@@ -1,0 +1,219 @@
+/// s3asim — the command-line driver.
+///
+/// Usage:
+///   s3asim [options] [config-file]
+///
+/// Options (override the config file):
+///   --procs N            total MPI ranks (1 master + N-1 workers)
+///   --strategy NAME      MW | WW-POSIX | WW-List | WW-Coll | WW-CollList
+///   --sync               enable the per-query synchronization option
+///   --speed X            compute-speed multiplier (paper: 0.1 ... 25.6)
+///   --trace FILE.csv     export the phase timeline as CSV
+///   --gantt              print an ASCII Gantt chart of the run
+///   --groups G           hybrid query/database segmentation with G teams
+///   --set key=value      any config-file key (repeatable)
+///   --print-config       show the effective configuration and exit
+///   --help
+///
+/// Exit status: 0 on success with a verified output file, 1 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config_loader.hpp"
+#include "core/simulation.hpp"
+#include "trace/trace.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "usage: s3asim [options] [config-file]\n"
+      "  --procs N          total ranks (master + workers)\n"
+      "  --strategy NAME    MW | WW-POSIX | WW-List | WW-Coll | WW-CollList\n"
+      "  --sync             per-query synchronization on\n"
+      "  --speed X          compute-speed multiplier\n"
+      "  --trace FILE.csv   export phase timeline CSV\n"
+      "  --gantt            print an ASCII timeline\n"
+      "  --groups G         hybrid segmentation with G master/worker teams\n"
+      "  --json FILE.json   export full run statistics as JSON\n"
+      "  --set key=value    override any config key (repeatable)\n"
+      "  --print-config     show effective configuration and exit\n"
+      "  --help");
+}
+
+void print_effective_config(const s3asim::core::SimConfig& config) {
+  using namespace s3asim;
+  std::printf("nprocs            = %u\n", config.nprocs);
+  std::printf("strategy          = %s\n", core::strategy_name(config.strategy));
+  std::printf("query_sync        = %s\n", config.query_sync ? "true" : "false");
+  std::printf("compute_speed     = %g\n", config.compute_speed);
+  std::printf("queries_per_flush = %u\n", config.queries_per_flush);
+  std::printf("sync_after_write  = %s\n",
+              config.sync_after_write ? "true" : "false");
+  std::printf("query_count       = %u\n", config.workload.query_count);
+  std::printf("fragment_count    = %u\n", config.workload.fragment_count);
+  std::printf("result_count      = [%u, %u]\n", config.workload.result_count_min,
+              config.workload.result_count_max);
+  std::printf("seed              = %llu\n",
+              static_cast<unsigned long long>(config.workload.seed));
+  std::printf("database_bytes    = %s\n",
+              util::format_bytes(config.workload.database_bytes).c_str());
+  std::printf("worker_memory     = %s\n",
+              util::format_bytes(config.worker_memory_bytes).c_str());
+  std::printf("servers x strip   = %u x %s\n",
+              config.model.pfs.layout.server_count(),
+              util::format_bytes(config.model.pfs.layout.strip_size()).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace s3asim;
+  util::set_log_level(util::LogLevel::Warn);
+
+  std::string config_path;
+  std::vector<std::string> overrides;
+  std::string trace_path;
+  std::string json_path;
+  bool want_gantt = false;
+  bool print_config_only = false;
+  std::uint32_t groups = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* option) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", option);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--procs") {
+      overrides.push_back("nprocs = " + next_value("--procs"));
+    } else if (arg == "--strategy") {
+      overrides.push_back("strategy = " + next_value("--strategy"));
+    } else if (arg == "--sync") {
+      overrides.push_back("query_sync = true");
+    } else if (arg == "--speed") {
+      overrides.push_back("compute_speed = " + next_value("--speed"));
+    } else if (arg == "--trace") {
+      trace_path = next_value("--trace");
+    } else if (arg == "--gantt") {
+      want_gantt = true;
+    } else if (arg == "--groups") {
+      groups = static_cast<std::uint32_t>(std::atoi(next_value("--groups").c_str()));
+    } else if (arg == "--json") {
+      json_path = next_value("--json");
+    } else if (arg == "--set") {
+      std::string setting = next_value("--set");
+      const auto equals = setting.find('=');
+      if (equals == std::string::npos) {
+        std::fprintf(stderr, "error: --set expects key=value\n");
+        return 1;
+      }
+      setting.replace(equals, 1, " = ");
+      overrides.push_back(setting);
+    } else if (arg == "--print-config") {
+      print_config_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 1;
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one config file\n");
+      return 1;
+    }
+  }
+
+  // Compose: file contents first, command-line overrides appended (the
+  // key=value parser rejects duplicates, so strip overridden lines first).
+  std::string text;
+  if (!config_path.empty()) {
+    std::ifstream input(config_path);
+    if (!input) {
+      std::fprintf(stderr, "error: cannot open %s\n", config_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    text = buffer.str();
+  }
+  for (const auto& line : overrides) {
+    const std::string key = line.substr(0, line.find(' '));
+    // Drop any earlier definition of the same key (first token before '=').
+    std::istringstream all(text);
+    std::ostringstream kept;
+    std::string existing;
+    while (std::getline(all, existing)) {
+      const auto first = existing.find_first_not_of(" \t");
+      if (first != std::string::npos) {
+        auto end = existing.find_first_of(" \t=", first);
+        if (end == std::string::npos) end = existing.size();
+        if (existing.substr(first, end - first) == key) continue;
+      }
+      kept << existing << '\n';
+    }
+    // Prepend (a trailing append could land inside a histogram section).
+    text = line + "\n" + kept.str();
+  }
+
+  core::SimConfig config;
+  try {
+    config = core::load_config(text);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  if (print_config_only) {
+    print_effective_config(config);
+    return 0;
+  }
+
+  trace::TraceLog trace;
+  const bool want_trace = want_gantt || !trace_path.empty();
+  trace::TraceLog* trace_ptr = want_trace ? &trace : nullptr;
+  core::RunStats stats;
+  try {
+    stats = groups > 1 ? core::run_hybrid_simulation(config, groups, trace_ptr)
+                       : core::run_simulation(config, trace_ptr);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf("%s\n", stats.phase_table().c_str());
+  std::printf("%s\n", stats.summary().c_str());
+  if (stats.db_bytes_read > 0)
+    std::printf("database streamed     : %s\n",
+                util::format_bytes(stats.db_bytes_read).c_str());
+
+  if (want_gantt) std::printf("\n%s", trace.render_gantt(110).c_str());
+  if (!trace_path.empty()) {
+    trace.export_csv(trace_path);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << stats.to_json() << '\n';
+    std::printf("stats written to %s\n", json_path.c_str());
+  }
+  return stats.file_exact ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+/// Ablation A — the paper's §5 proposal: "a collective I/O method
+/// implemented with list I/O and forced synchronization may be a more
+/// efficient collective I/O method than the default two phase I/O method in
+/// ROMIO."  Compares:
+///   * WW-Coll      — collective via ROMIO-style two-phase
+///   * WW-CollList  — collective via list I/O + barriers (same blocking
+///                    semantics, no two-phase machinery)
+///   * WW-List+sync — the paper's actual proxy measurement (individual list
+///                    I/O with the forced query barrier)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const auto procs = paper_proc_counts(quick);
+
+  std::printf("S3aSim Ablation A: two-phase collective vs. list-based "
+              "collectives\n");
+
+  util::TextTable table({"Processes", "WW-Coll (two-phase)",
+                         "WW-CollList (list+sync)", "WW-List + query sync"});
+  util::CsvWriter csv("ablation_coll_list.csv");
+  csv.write_row({"procs", "ww_coll", "ww_coll_list", "ww_list_sync"});
+
+  for (const auto nprocs : procs) {
+    const auto two_phase = run_point(core::Strategy::WWColl, nprocs, false);
+    const auto coll_list = run_point(core::Strategy::WWCollList, nprocs, false);
+    const auto list_sync = run_point(core::Strategy::WWList, nprocs, true);
+    table.add_row_numeric(std::to_string(nprocs),
+                          {two_phase.wall_seconds, coll_list.wall_seconds,
+                           list_sync.wall_seconds});
+    csv.write_row_numeric(std::to_string(nprocs),
+                          {two_phase.wall_seconds, coll_list.wall_seconds,
+                           list_sync.wall_seconds});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("(csv: ablation_coll_list.csv)\n");
+  std::printf("\nPaper evidence at 96 procs: WW-List+sync 40.24 s vs WW-Coll"
+              "+sync 45.54 s — the list-based collective wins.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// Ablation C — §4: "A larger file system configuration with more I/O
+/// bandwidth may have provided more scalable I/O performance."  Sweeps the
+/// PVFS2 server count and strip size for WW-List and WW-POSIX at 64
+/// processes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+namespace {
+
+core::RunStats run_fs(core::Strategy strategy, std::uint32_t servers,
+                      std::uint64_t strip) {
+  auto config = core::paper_config();
+  config.strategy = strategy;
+  config.nprocs = 64;
+  config.model.pfs.layout = pfs::Layout(strip, servers);
+  auto stats = core::run_simulation(config);
+  require_exact(stats);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+
+  std::printf("S3aSim Ablation C: file-system scaling (64 processes)\n");
+
+  // Server-count sweep at the paper's 64 KiB strips.
+  {
+    const std::vector<std::uint32_t> servers =
+        quick ? std::vector<std::uint32_t>{4, 16, 64}
+              : std::vector<std::uint32_t>{4, 8, 16, 32, 64};
+    util::TextTable table({"Servers", "WW-List (s)", "WW-POSIX (s)",
+                           "WW-Coll (s)"});
+    util::CsvWriter csv("ablation_fs_servers.csv");
+    csv.write_row({"servers", "ww_list", "ww_posix", "ww_coll"});
+    for (const auto count : servers) {
+      const auto list = run_fs(core::Strategy::WWList, count, 64 * util::KiB);
+      const auto posix = run_fs(core::Strategy::WWPosix, count, 64 * util::KiB);
+      const auto coll = run_fs(core::Strategy::WWColl, count, 64 * util::KiB);
+      table.add_row_numeric(std::to_string(count),
+                            {list.wall_seconds, posix.wall_seconds,
+                             coll.wall_seconds});
+      csv.write_row_numeric(std::to_string(count),
+                            {list.wall_seconds, posix.wall_seconds,
+                             coll.wall_seconds});
+    }
+    std::printf("\n== Server-count sweep (strip 64 KiB) ==\n%s",
+                table.render().c_str());
+    std::printf("(csv: ablation_fs_servers.csv)\n");
+  }
+
+  // Strip-size sweep at the paper's 16 servers.
+  {
+    const std::vector<std::uint64_t> strips =
+        quick ? std::vector<std::uint64_t>{16 * util::KiB, 64 * util::KiB,
+                                           1 * util::MiB}
+              : std::vector<std::uint64_t>{16 * util::KiB, 32 * util::KiB,
+                                           64 * util::KiB, 256 * util::KiB,
+                                           1 * util::MiB};
+    util::TextTable table({"Strip", "WW-List (s)", "WW-POSIX (s)"});
+    util::CsvWriter csv("ablation_fs_strips.csv");
+    csv.write_row({"strip_bytes", "ww_list", "ww_posix"});
+    for (const auto strip : strips) {
+      const auto list = run_fs(core::Strategy::WWList, 16, strip);
+      const auto posix = run_fs(core::Strategy::WWPosix, 16, strip);
+      table.add_row_numeric(util::format_bytes(strip),
+                            {list.wall_seconds, posix.wall_seconds});
+      csv.write_row_numeric(std::to_string(strip),
+                            {list.wall_seconds, posix.wall_seconds});
+    }
+    std::printf("\n== Strip-size sweep (16 servers) ==\n%s",
+                table.render().c_str());
+    std::printf("(csv: ablation_fs_strips.csv)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// Ablation H — "new I/O algorithms" (§5): file-per-process (N-N) output.
+/// Workers append results contiguously to private files the moment they are
+/// computed — no offset lists, no noncontiguous writes, no synchronization —
+/// and the master pays for it all at the end, reading every private file
+/// back and list-writing 208 MB into sorted order.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const auto procs = paper_proc_counts(quick);
+
+  std::printf("S3aSim Ablation H: file-per-process (N-N) vs shared-file "
+              "strategies\n");
+
+  util::TextTable table({"Procs", "WW-FilePerProc (s)", "  of which merge (s)",
+                         "WW-List (s)", "MW (s)"});
+  util::CsvWriter csv("ablation_nn_files.csv");
+  csv.write_row({"procs", "nn_total", "nn_merge", "ww_list", "mw"});
+
+  for (const auto nprocs : procs) {
+    const auto nn = run_point(core::Strategy::WWFilePerProcess, nprocs, false);
+    const auto list = run_point(core::Strategy::WWList, nprocs, false);
+    const auto mw = run_point(core::Strategy::MW, nprocs, false);
+    // The merge runs serially on the master at the end; its I/O phase is a
+    // good proxy (the master does no other I/O in this strategy).
+    const double merge = nn.master_seconds(core::Phase::Io);
+    table.add_row_numeric(std::to_string(nprocs),
+                          {nn.wall_seconds, merge, list.wall_seconds,
+                           mw.wall_seconds});
+    csv.write_row_numeric(std::to_string(nprocs),
+                          {nn.wall_seconds, merge, list.wall_seconds,
+                           mw.wall_seconds});
+  }
+  std::printf("%s(csv: ablation_nn_files.csv)\n", table.render().c_str());
+  std::printf("\nN-N makes the workers' write path trivial (contiguous "
+              "appends) but moves every byte twice and serializes the merge "
+              "on one rank — at scale the merge dominates, which is why the "
+              "tools the paper studies write one shared, sorted file "
+              "in-flight instead.\n");
+  return 0;
+}

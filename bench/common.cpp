@@ -1,0 +1,145 @@
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace s3asim::bench {
+
+std::vector<std::uint32_t> paper_proc_counts(bool quick) {
+  if (quick) return {2, 8, 32, 96};
+  return {2, 4, 8, 16, 32, 48, 64, 96};  // §3.3: "2 to 96 processors"
+}
+
+std::vector<double> paper_compute_speeds(bool quick) {
+  if (quick) return {0.1, 1.0, 25.6};
+  return {0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6};
+}
+
+const std::vector<core::Strategy>& paper_strategies() {
+  static const std::vector<core::Strategy> strategies{
+      core::Strategy::MW, core::Strategy::WWPosix, core::Strategy::WWList,
+      core::Strategy::WWColl};
+  return strategies;
+}
+
+core::RunStats run_point(core::Strategy strategy, std::uint32_t nprocs,
+                         bool query_sync, double compute_speed) {
+  auto config = core::paper_config();
+  config.strategy = strategy;
+  config.nprocs = nprocs;
+  config.query_sync = query_sync;
+  config.compute_speed = compute_speed;
+  auto stats = core::run_simulation(config);
+  require_exact(stats);
+  return stats;
+}
+
+void require_exact(const core::RunStats& stats) {
+  if (!stats.file_exact) {
+    std::cerr << "FATAL: output-file verification failed: " << stats.summary()
+              << '\n';
+    std::abort();
+  }
+}
+
+void print_overall_table(const std::string& title, const std::string& x_label,
+                         const std::vector<std::string>& x_values,
+                         const std::vector<core::Strategy>& strategies,
+                         const std::vector<std::vector<double>>& seconds,
+                         const std::string& csv_prefix) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::string> headers{x_label};
+  for (const auto strategy : strategies)
+    headers.push_back(std::string(core::strategy_name(strategy)) + " (s)");
+  util::TextTable table(headers);
+  for (std::size_t i = 0; i < x_values.size(); ++i)
+    table.add_row_numeric(x_values[i], seconds[i]);
+  std::cout << table;
+
+  if (!csv_prefix.empty()) {
+    util::CsvWriter csv(csv_prefix + ".csv");
+    std::vector<std::string> csv_header{x_label};
+    for (const auto strategy : strategies)
+      csv_header.emplace_back(core::strategy_name(strategy));
+    csv.write_row(csv_header);
+    for (std::size_t i = 0; i < x_values.size(); ++i)
+      csv.write_row_numeric(x_values[i], seconds[i]);
+    std::printf("(csv: %s.csv)\n", csv_prefix.c_str());
+  }
+}
+
+void print_phase_breakdown(const std::string& title, const std::string& x_label,
+                           const std::vector<std::string>& x_values,
+                           const std::vector<core::RunStats>& runs,
+                           const std::string& csv_prefix) {
+  std::printf("\n== %s (worker process, seconds) ==\n", title.c_str());
+  std::vector<std::string> headers{std::string("Phase \\ ") + x_label};
+  for (const auto& x : x_values) headers.push_back(x);
+  util::TextTable table(headers);
+  for (const auto phase : core::all_phases()) {
+    std::vector<double> row;
+    row.reserve(runs.size());
+    for (const auto& stats : runs)
+      row.push_back(stats.worker_mean_seconds(phase));
+    table.add_row_numeric(core::phase_name(phase), row);
+  }
+  std::vector<double> walls;
+  walls.reserve(runs.size());
+  for (const auto& stats : runs) walls.push_back(stats.wall_seconds);
+  table.add_row_numeric("Overall", walls);
+  std::cout << table;
+
+  if (!csv_prefix.empty()) {
+    util::CsvWriter csv(csv_prefix + ".csv");
+    std::vector<std::string> csv_header{"phase"};
+    for (const auto& x : x_values) csv_header.push_back(x);
+    csv.write_row(csv_header);
+    for (const auto phase : core::all_phases()) {
+      std::vector<double> row;
+      for (const auto& stats : runs)
+        row.push_back(stats.worker_mean_seconds(phase));
+      csv.write_row_numeric(core::phase_name(phase), row);
+    }
+    csv.write_row_numeric("overall", walls);
+    std::printf("(csv: %s.csv)\n", csv_prefix.c_str());
+  }
+}
+
+void print_headline_ratios(const std::string& context,
+                           const std::vector<core::Strategy>& strategies,
+                           const std::vector<double>& seconds,
+                           const std::vector<double>& paper_percent,
+                           bool sync) {
+  std::printf("\n-- Headline (paper §4): WW-List outperforms ... %s, %s --\n",
+              context.c_str(), sync ? "sync" : "no-sync");
+  double list_seconds = 0.0;
+  for (std::size_t i = 0; i < strategies.size(); ++i)
+    if (strategies[i] == core::Strategy::WWList) list_seconds = seconds[i];
+  util::TextTable table({"Strategy", "Time (s)", "Measured \"by N%\"",
+                         "Paper \"by N%\""});
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    if (strategies[i] == core::Strategy::WWList) continue;
+    const double measured =
+        list_seconds > 0.0 ? (seconds[i] / list_seconds - 1.0) * 100.0 : 0.0;
+    table.add_row({core::strategy_name(strategies[i]),
+                   util::format_fixed(seconds[i]),
+                   util::format_fixed(measured, 0) + "%",
+                   util::format_fixed(paper_percent[i], 0) + "%"});
+  }
+  std::cout << table;
+}
+
+bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  // google-benchmark-style filter flags also imply a smoke run.
+  return std::getenv("S3ASIM_BENCH_QUICK") != nullptr;
+}
+
+}  // namespace s3asim::bench

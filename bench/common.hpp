@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared driver for the figure-reproduction benches: runs the paper's
+/// workload grid, prints the series each figure plots, and mirrors them to
+/// CSV.  Absolute seconds are model-calibrated; the *shapes* are the
+/// reproduction target (see DESIGN.md §3 and EXPERIMENTS.md).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace s3asim::bench {
+
+/// Process counts used by the paper's first test suite (Figures 2–4).
+[[nodiscard]] std::vector<std::uint32_t> paper_proc_counts(bool quick);
+
+/// Compute speeds used by the second suite (Figures 5–7): 0.1 … 25.6, ×2.
+[[nodiscard]] std::vector<double> paper_compute_speeds(bool quick);
+
+/// The four strategies of the paper, in presentation order.
+[[nodiscard]] const std::vector<core::Strategy>& paper_strategies();
+
+/// Runs one paper-config simulation with the given overrides.
+[[nodiscard]] core::RunStats run_point(core::Strategy strategy,
+                                       std::uint32_t nprocs, bool query_sync,
+                                       double compute_speed = 1.0);
+
+/// Prints an "Overall Execution Time" table (one row per x value, one
+/// column per strategy) and writes it to `<csv_prefix>.csv` when non-empty.
+void print_overall_table(
+    const std::string& title, const std::string& x_label,
+    const std::vector<std::string>& x_values,
+    const std::vector<core::Strategy>& strategies,
+    const std::vector<std::vector<double>>& seconds,  // [x][strategy]
+    const std::string& csv_prefix);
+
+/// Prints the per-phase worker-process breakdown for one strategy/mode
+/// (one row per phase, one column per x value) — the stacked bars of
+/// Figures 3/4/6/7 — and mirrors to CSV.
+void print_phase_breakdown(
+    const std::string& title, const std::string& x_label,
+    const std::vector<std::string>& x_values,
+    const std::vector<core::RunStats>& runs,  // one per x value
+    const std::string& csv_prefix);
+
+/// Prints the paper's §4 headline comparison: how much WW-List outperforms
+/// each other strategy ("by N%"), paper value alongside.
+void print_headline_ratios(const std::string& context,
+                           const std::vector<core::Strategy>& strategies,
+                           const std::vector<double>& seconds,
+                           const std::vector<double>& paper_percent,
+                           bool sync);
+
+/// True when "--quick" is among the args (reduced grid for smoke runs).
+[[nodiscard]] bool quick_mode(int argc, char** argv);
+
+/// Verifies a run's output file and aborts loudly if broken.
+void require_exact(const core::RunStats& stats);
+
+}  // namespace s3asim::bench

@@ -1,0 +1,54 @@
+/// Figure 2 — "Results when scaling up the number of processors with
+/// no-sync/sync query options": overall execution time of MW, WW-POSIX,
+/// WW-List, WW-Coll over 2–96 processes, both query-sync modes, plus the
+/// §4 headline ratios at 96 processes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const auto procs = paper_proc_counts(quick);
+  const auto& strategies = paper_strategies();
+
+  std::printf("S3aSim Figure 2: overall execution time vs. process count\n");
+  std::printf("workload: 20 queries x 128 fragments, NT histograms, ~208 MB "
+              "output, flush per query, MPI_File_sync after every write\n");
+
+  for (const bool sync : {false, true}) {
+    std::vector<std::string> x_values;
+    std::vector<std::vector<double>> seconds;
+    std::vector<double> at_max(strategies.size(), 0.0);
+    for (const auto nprocs : procs) {
+      std::vector<double> row;
+      for (std::size_t s = 0; s < strategies.size(); ++s) {
+        const auto stats = run_point(strategies[s], nprocs, sync);
+        row.push_back(stats.wall_seconds);
+        at_max[s] = stats.wall_seconds;  // last proc count wins
+      }
+      x_values.push_back(std::to_string(nprocs));
+      seconds.push_back(std::move(row));
+    }
+    print_overall_table(
+        std::string("Overall Execution Time - ") + (sync ? "Sync" : "No-sync"),
+        "Processes", x_values, strategies, seconds,
+        std::string("fig2_") + (sync ? "sync" : "nosync"));
+
+    // §4: "WW-List outperforms the other I/O strategies by 364% (MW), 33%
+    // (WW-POSIX), and 75% (WW-Coll) in the no-sync cases and 182% (MW), 37%
+    // (WW-POSIX), and 13% (WW-Coll) in the sync cases" at 96 processors.
+    const std::vector<double> paper =
+        sync ? std::vector<double>{182.0, 37.0, 0.0, 13.0}
+             : std::vector<double>{364.0, 33.0, 0.0, 75.0};
+    if (procs.back() == 96)
+      print_headline_ratios("at 96 processors", strategies, at_max, paper,
+                            sync);
+  }
+  return 0;
+}

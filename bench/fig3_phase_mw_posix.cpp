@@ -1,0 +1,38 @@
+/// Figure 3 — "Individual phase timing results when scaling up the number
+/// of processors with no-sync/sync query options for MW and WW-POSIX":
+/// per-phase worker-process breakdown across 2–96 processes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const auto procs = paper_proc_counts(quick);
+
+  std::printf("S3aSim Figure 3: phase breakdown vs. process count "
+              "(MW and WW-POSIX)\n");
+
+  for (const auto strategy : {core::Strategy::MW, core::Strategy::WWPosix}) {
+    for (const bool sync : {false, true}) {
+      std::vector<std::string> x_values;
+      std::vector<core::RunStats> runs;
+      for (const auto nprocs : procs) {
+        runs.push_back(run_point(strategy, nprocs, sync));
+        x_values.push_back(std::to_string(nprocs));
+      }
+      const std::string mode = sync ? "sync" : "no-sync";
+      print_phase_breakdown(
+          std::string(core::strategy_name(strategy)) + " - " + mode,
+          "Processes", x_values, runs,
+          std::string("fig3_") + core::strategy_name(strategy) + "_" +
+              (sync ? "sync" : "nosync"));
+    }
+  }
+  return 0;
+}

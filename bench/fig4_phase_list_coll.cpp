@@ -1,0 +1,52 @@
+/// Figure 4 — "Individual phase timing results when scaling up the number
+/// of processors with no-sync/sync query options for WW-List and WW-Coll".
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const auto procs = paper_proc_counts(quick);
+
+  std::printf("S3aSim Figure 4: phase breakdown vs. process count "
+              "(WW-List and WW-Coll)\n");
+
+  for (const auto strategy : {core::Strategy::WWList, core::Strategy::WWColl}) {
+    for (const bool sync : {false, true}) {
+      std::vector<std::string> x_values;
+      std::vector<core::RunStats> runs;
+      for (const auto nprocs : procs) {
+        runs.push_back(run_point(strategy, nprocs, sync));
+        x_values.push_back(std::to_string(nprocs));
+      }
+      const std::string mode = sync ? "sync" : "no-sync";
+      print_phase_breakdown(
+          std::string(core::strategy_name(strategy)) + " - " + mode,
+          "Processes", x_values, runs,
+          std::string("fig4_") + core::strategy_name(strategy) + "_" +
+              (sync ? "sync" : "nosync"));
+    }
+  }
+
+  // §4 checkpoints at 96 processors for WW-List:
+  //   sync phase rises 0.41 s → 5.87 s and data distribution 4.47 → 18.47
+  //   when turning query sync on.
+  if (procs.back() == 96) {
+    const auto nosync = run_point(core::Strategy::WWList, 96, false);
+    const auto sync = run_point(core::Strategy::WWList, 96, true);
+    std::printf("\nWW-List at 96 procs, no-sync → sync (paper in brackets):\n"
+                "  sync phase   %.2f → %.2f s   [0.41 → 5.87]\n"
+                "  data distr.  %.2f → %.2f s   [4.47 → 18.47]\n",
+                nosync.worker_mean_seconds(core::Phase::Sync),
+                sync.worker_mean_seconds(core::Phase::Sync),
+                nosync.worker_mean_seconds(core::Phase::DataDistribution),
+                sync.worker_mean_seconds(core::Phase::DataDistribution));
+  }
+  return 0;
+}

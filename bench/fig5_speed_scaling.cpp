@@ -1,0 +1,63 @@
+/// Figure 5 — "Results when scaling up the compute speed with no-sync/sync
+/// query options": overall execution time at 64 processes over compute
+/// speeds 0.1–25.6, plus the §4 headline ratios at speed 25.6.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const auto speeds = paper_compute_speeds(quick);
+  const auto& strategies = paper_strategies();
+  constexpr std::uint32_t kProcs = 64;
+
+  std::printf("S3aSim Figure 5: overall execution time vs. compute speed "
+              "(64 processes)\n");
+
+  for (const bool sync : {false, true}) {
+    std::vector<std::string> x_values;
+    std::vector<std::vector<double>> seconds;
+    std::vector<double> at_max(strategies.size(), 0.0);
+    for (const double speed : speeds) {
+      std::vector<double> row;
+      for (std::size_t s = 0; s < strategies.size(); ++s) {
+        const auto stats = run_point(strategies[s], kProcs, sync, speed);
+        row.push_back(stats.wall_seconds);
+        at_max[s] = stats.wall_seconds;
+      }
+      x_values.push_back(util::format_fixed(speed, 1));
+      seconds.push_back(std::move(row));
+    }
+    print_overall_table(
+        std::string("Overall Execution Time - ") + (sync ? "Sync" : "No-sync"),
+        "Compute Speed", x_values, strategies, seconds,
+        std::string("fig5_") + (sync ? "sync" : "nosync"));
+
+    // §4: at compute speed 25.6, WW-List outperforms by 592% (MW), 32%
+    // (WW-POSIX), 98% (WW-Coll) no-sync; 444%, 65%, 58% sync.
+    const std::vector<double> paper =
+        sync ? std::vector<double>{444.0, 65.0, 0.0, 58.0}
+             : std::vector<double>{592.0, 32.0, 0.0, 98.0};
+    print_headline_ratios("at compute speed 25.6", strategies, at_max, paper,
+                          sync);
+
+    // §4: MW is compute-insensitive ("increasing the compute speed up to
+    // 25.6 times faster than the base compute speed made less than a 2%
+    // difference").
+    double mw_base = seconds.back()[0];
+    for (std::size_t i = 0; i < speeds.size(); ++i)
+      if (speeds[i] == 1.0) mw_base = seconds[i][0];
+    const double mw_fastest = seconds.back()[0];
+    std::printf("MW delta from base speed (1.0x) to 25.6x: %.1f%% "
+                "(paper: <2%%)\n",
+                (mw_base / mw_fastest - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// Figure 6 — "Individual phase timing results when scaling up the compute
+/// speed with no-sync/sync query options for MW and WW-POSIX" (64 procs).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const auto speeds = paper_compute_speeds(quick);
+  constexpr std::uint32_t kProcs = 64;
+
+  std::printf("S3aSim Figure 6: phase breakdown vs. compute speed "
+              "(MW and WW-POSIX, 64 processes)\n");
+
+  for (const auto strategy : {core::Strategy::MW, core::Strategy::WWPosix}) {
+    for (const bool sync : {false, true}) {
+      std::vector<std::string> x_values;
+      std::vector<core::RunStats> runs;
+      for (const double speed : speeds) {
+        runs.push_back(run_point(strategy, kProcs, sync, speed));
+        x_values.push_back(util::format_fixed(speed, 1));
+      }
+      const std::string mode = sync ? "sync" : "no-sync";
+      print_phase_breakdown(
+          std::string(core::strategy_name(strategy)) + " - " + mode,
+          "Speed", x_values, runs,
+          std::string("fig6_") + core::strategy_name(strategy) + "_" +
+              (sync ? "sync" : "nosync"));
+    }
+  }
+
+  // §4 checkpoint: "At compute speed = 0.1, workers spend close to an
+  // average of 54 secs in the compute phase"; at 25.6, "slightly more than
+  // 0.8 secs".
+  const auto slow = run_point(core::Strategy::WWPosix, kProcs, false, 0.1);
+  const auto fast = run_point(core::Strategy::WWPosix, kProcs, false, 25.6);
+  std::printf("\nWorker mean compute at speed 0.1: %.2f s [paper ~54],"
+              " at 25.6: %.2f s [paper ~0.8]\n",
+              slow.worker_mean_seconds(core::Phase::Compute),
+              fast.worker_mean_seconds(core::Phase::Compute));
+  return 0;
+}

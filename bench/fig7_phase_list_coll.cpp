@@ -1,0 +1,53 @@
+/// Figure 7 — "Individual phase timing results when scaling up the compute
+/// speed with no-sync/sync query options for WW-List and WW-Coll" (64
+/// procs).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const auto speeds = paper_compute_speeds(quick);
+  constexpr std::uint32_t kProcs = 64;
+
+  std::printf("S3aSim Figure 7: phase breakdown vs. compute speed "
+              "(WW-List and WW-Coll, 64 processes)\n");
+
+  for (const auto strategy : {core::Strategy::WWList, core::Strategy::WWColl}) {
+    for (const bool sync : {false, true}) {
+      std::vector<std::string> x_values;
+      std::vector<core::RunStats> runs;
+      for (const double speed : speeds) {
+        runs.push_back(run_point(strategy, kProcs, sync, speed));
+        x_values.push_back(util::format_fixed(speed, 1));
+      }
+      const std::string mode = sync ? "sync" : "no-sync";
+      print_phase_breakdown(
+          std::string(core::strategy_name(strategy)) + " - " + mode,
+          "Speed", x_values, runs,
+          std::string("fig7_") + core::strategy_name(strategy) + "_" +
+              (sync ? "sync" : "nosync"));
+    }
+  }
+
+  // §4: "WW-Coll is hardly affected when going from no-sync to sync (at
+  // most 4%)" across the speed sweep.
+  double worst = 0.0;
+  for (const double speed : speeds) {
+    const auto nosync = run_point(core::Strategy::WWColl, kProcs, false, speed);
+    const auto sync = run_point(core::Strategy::WWColl, kProcs, true, speed);
+    const double delta =
+        (sync.wall_seconds / nosync.wall_seconds - 1.0) * 100.0;
+    worst = std::max(worst, std::abs(delta));
+  }
+  std::printf("\nWW-Coll worst |sync - no-sync| delta over the sweep: %.1f%% "
+              "[paper: at most ~4%%]\n", worst);
+  return 0;
+}

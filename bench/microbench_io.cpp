@@ -1,0 +1,142 @@
+/// Ablation B — the pure-I/O comparison the paper contrasts itself against
+/// (§3.3: "Collective I/O, in nearly all noncontiguous I/O cases,
+/// outperforms POSIX I/O and, in some noncontiguous I/O cases, outperforms
+/// list I/O in pure I/O tests" — while in the *application* the ordering
+/// flips).  Google-benchmark over the mpiio layer without any application
+/// logic: N clients concurrently writing interleaved extents.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpiio/file.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace s3asim;
+
+struct IoWorld {
+  sim::Scheduler sched;
+  net::Network network;
+  mpi::Comm comm;
+  pfs::Pfs fs;
+  pfs::FileHandle handle = 0;
+  std::unique_ptr<mpiio::File> file;
+
+  explicit IoWorld(std::uint32_t clients, mpiio::Hints hints = {})
+      : network(sched, clients + 16),
+        comm(sched, network, clients),
+        fs(sched, network, clients) {
+    auto create = [](IoWorld& world) -> sim::Process {
+      world.handle = co_await world.fs.create_file(0, "bench");
+    };
+    sched.spawn(create(*this));
+    sched.run();
+    std::vector<mpi::Rank> participants;
+    for (mpi::Rank r = 0; r < clients; ++r) participants.push_back(r);
+    file = std::make_unique<mpiio::File>(sched, network, fs, comm, handle,
+                                         participants, hints);
+  }
+
+  ~IoWorld() {
+    fs.shutdown();
+    sched.run();
+  }
+};
+
+/// Interleaved extents: client c owns pieces c, c+P, c+2P, ... of
+/// `pieces_per_client * clients` extents of `piece` bytes.
+std::vector<pfs::Extent> client_extents(std::uint32_t client,
+                                        std::uint32_t clients,
+                                        std::uint32_t pieces_per_client,
+                                        std::uint64_t piece) {
+  std::vector<pfs::Extent> extents;
+  extents.reserve(pieces_per_client);
+  for (std::uint32_t k = 0; k < pieces_per_client; ++k) {
+    const std::uint64_t index = static_cast<std::uint64_t>(k) * clients + client;
+    extents.push_back(pfs::Extent{index * piece, piece});
+  }
+  return extents;
+}
+
+enum class Method { Posix, List, TwoPhase };
+
+/// Runs one concurrent pure-I/O round; returns simulated seconds.
+double pure_io_seconds(Method method, std::uint32_t clients,
+                       std::uint32_t pieces, std::uint64_t piece_bytes) {
+  IoWorld world(clients);
+  auto writer = [](IoWorld& w, Method m, mpi::Rank rank, std::uint32_t nclients,
+                   std::uint32_t npieces, std::uint64_t piece) -> sim::Process {
+    auto extents = client_extents(rank, nclients, npieces, piece);
+    switch (m) {
+      case Method::Posix:
+        co_await w.file->write_noncontig(rank, std::move(extents),
+                                         mpiio::NoncontigMethod::Posix);
+        break;
+      case Method::List:
+        co_await w.file->write_noncontig(rank, std::move(extents),
+                                         mpiio::NoncontigMethod::ListIo);
+        break;
+      case Method::TwoPhase:
+        co_await w.file->write_at_all(rank, std::move(extents));
+        break;
+    }
+  };
+  for (mpi::Rank r = 0; r < clients; ++r)
+    world.sched.spawn(writer(world, method, r, clients, pieces, piece_bytes));
+  world.sched.run();
+  return sim::to_seconds(world.sched.now());
+}
+
+void BM_PureIo(benchmark::State& state, Method method) {
+  const auto clients = static_cast<std::uint32_t>(state.range(0));
+  const auto pieces = static_cast<std::uint32_t>(state.range(1));
+  const auto piece_bytes = static_cast<std::uint64_t>(state.range(2));
+  double simulated = 0.0;
+  for (auto _ : state) simulated = pure_io_seconds(method, clients, pieces, piece_bytes);
+  state.counters["simulated_io_s"] = simulated;
+  state.counters["aggregate_MBps"] =
+      static_cast<double>(clients) * pieces * static_cast<double>(piece_bytes) /
+      simulated / 1e6;
+}
+
+void IoArgs(benchmark::internal::Benchmark* bench) {
+  bench->Args({8, 16, 7 * 1024})
+      ->Args({32, 16, 7 * 1024})
+      ->Args({32, 64, 7 * 1024})
+      ->Args({32, 16, 64 * 1024})
+      ->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK_CAPTURE(BM_PureIo, posix, Method::Posix)->Apply(IoArgs);
+BENCHMARK_CAPTURE(BM_PureIo, list, Method::List)->Apply(IoArgs);
+BENCHMARK_CAPTURE(BM_PureIo, two_phase, Method::TwoPhase)->Apply(IoArgs);
+
+/// Contiguous single-writer baseline (the MW write pattern).
+void BM_PureIoContiguous(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  double simulated = 0.0;
+  for (auto _ : state) {
+    IoWorld world(2);
+    auto writer = [](IoWorld& w, std::uint64_t n) -> sim::Process {
+      co_await w.file->write_at(0, 0, n);
+    };
+    world.sched.spawn(writer(world, bytes));
+    world.sched.run();
+    simulated = sim::to_seconds(world.sched.now());
+  }
+  state.counters["simulated_io_s"] = simulated;
+  state.counters["MBps"] = static_cast<double>(bytes) / simulated / 1e6;
+}
+BENCHMARK(BM_PureIoContiguous)
+    ->Arg(1 << 20)
+    ->Arg(10 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+/// Micro-benchmarks of the simulation substrate itself: host-side cost of
+/// the DES kernel, coroutine tasks, channels, barriers, the network model,
+/// and the MPI layer.  These bound how large a simulated system the
+/// framework can drive.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "net/network.hpp"
+#include "sim/barrier.hpp"
+#include "sim/channel.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace s3asim;
+using sim::Process;
+using sim::Scheduler;
+
+void BM_SchedulerDelayEvents(benchmark::State& state) {
+  const auto count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    auto proc = [](Scheduler& s, int n) -> Process {
+      for (int i = 0; i < n; ++i) co_await s.delay(10);
+    };
+    sched.spawn(proc(sched, count));
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_SchedulerDelayEvents)->Arg(1'000)->Arg(100'000);
+
+void BM_ManyProcessesInterleaved(benchmark::State& state) {
+  const auto procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    auto proc = [](Scheduler& s, int id) -> Process {
+      for (int i = 0; i < 32; ++i) co_await s.delay(100 + id % 7);
+    };
+    for (int p = 0; p < procs; ++p) sched.spawn(proc(sched, p));
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 32);
+}
+BENCHMARK(BM_ManyProcessesInterleaved)->Arg(100)->Arg(1'000);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    sim::Channel<int> ping(sched), pong(sched);
+    auto a = [](Scheduler&, sim::Channel<int>& tx, sim::Channel<int>& rx,
+                int n) -> Process {
+      for (int i = 0; i < n; ++i) {
+        tx.push(i);
+        (void)co_await rx.pop();
+      }
+      tx.close();
+    };
+    auto b = [](Scheduler&, sim::Channel<int>& rx, sim::Channel<int>& tx)
+        -> Process {
+      while (auto v = co_await rx.pop()) tx.push(*v);
+    };
+    sched.spawn(a(sched, ping, pong, rounds));
+    sched.spawn(b(sched, ping, pong));
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(10'000);
+
+void BM_BarrierCycles(benchmark::State& state) {
+  const auto parties = static_cast<std::size_t>(state.range(0));
+  constexpr int kCycles = 100;
+  for (auto _ : state) {
+    Scheduler sched;
+    sim::Barrier barrier(sched, parties);
+    auto proc = [](Scheduler& s, sim::Barrier& b, std::size_t id) -> Process {
+      for (int c = 0; c < kCycles; ++c) {
+        co_await s.delay(static_cast<sim::Time>(id + 1));
+        co_await b.arrive_and_wait();
+      }
+    };
+    for (std::size_t p = 0; p < parties; ++p) sched.spawn(proc(sched, barrier, p));
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(parties) * kCycles);
+}
+BENCHMARK(BM_BarrierCycles)->Arg(16)->Arg(96);
+
+void BM_NetworkTransfers(benchmark::State& state) {
+  const auto transfers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    net::Network network(sched, 4);
+    auto proc = [](Scheduler&, net::Network& n, int count) -> Process {
+      for (int i = 0; i < count; ++i) co_await n.transfer(0, 1, 4096);
+    };
+    sched.spawn(proc(sched, network, transfers));
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * transfers);
+}
+BENCHMARK(BM_NetworkTransfers)->Arg(10'000);
+
+void BM_MpiSendRecvPairs(benchmark::State& state) {
+  const auto messages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    net::Network network(sched, 2);
+    mpi::Comm comm(sched, network, 2);
+    auto sender = [](Scheduler&, mpi::Comm& c, int n) -> Process {
+      for (int i = 0; i < n; ++i) co_await c.send(0, 1, 1, 256);
+    };
+    auto receiver = [](Scheduler&, mpi::Comm& c, int n) -> Process {
+      for (int i = 0; i < n; ++i) (void)co_await c.recv(1, 0, 1);
+    };
+    sched.spawn(sender(sched, comm, messages));
+    sched.spawn(receiver(sched, comm, messages));
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * messages);
+}
+BENCHMARK(BM_MpiSendRecvPairs)->Arg(10'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/// Workload characterization — the §3.3 sanity table: prints the NT
+/// histogram reconstruction, the paper workload's aggregate statistics
+/// (result counts, output volume, per-query regions), and the per-fragment
+/// compute-time distribution that drives straggler effects.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/workload.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+
+int main() {
+  const auto config = core::paper_config();
+  const core::WorkloadModel workload(config.workload);
+
+  std::printf("S3aSim workload characterization (paper §3.3 setup)\n\n");
+  std::printf("NT database histogram reconstruction:\n%s\n",
+              config.workload.database_histogram.describe().c_str());
+  std::printf("query histogram: mean %s (paper: 20 queries ~ 86 KB)\n\n",
+              util::format_bytes(static_cast<std::uint64_t>(
+                  config.workload.query_histogram.mean())).c_str());
+
+  // Aggregate statistics.
+  std::printf("queries              : %u\n", config.workload.query_count);
+  std::printf("fragments            : %u\n", config.workload.fragment_count);
+  std::printf("total results        : %llu  (paper: 1000-2000/query)\n",
+              static_cast<unsigned long long>(workload.total_result_count()));
+  std::printf("total output         : %s  (paper: ~208 MB)\n",
+              util::format_bytes(workload.total_output_bytes()).c_str());
+
+  // Per-query regions.
+  util::TextTable table({"Query", "Results", "Region size", "Region offset"});
+  for (std::uint32_t q = 0; q < config.workload.query_count; ++q) {
+    const auto& query = workload.query(q);
+    table.add_row({std::to_string(q), std::to_string(query.results.size()),
+                   util::format_bytes(query.total_bytes),
+                   util::format_bytes(workload.region_base(q))});
+  }
+  std::printf("\n%s", table.render().c_str());
+
+  // Compute-time heterogeneity across (query, fragment) tasks — the source
+  // of the straggler effects in Figures 4/7.
+  std::vector<double> task_seconds;
+  util::RunningStats stats;
+  for (std::uint32_t q = 0; q < config.workload.query_count; ++q) {
+    for (std::uint32_t f = 0; f < config.workload.fragment_count; ++f) {
+      const double seconds =
+          (sim::to_seconds(config.model.compute_startup) +
+           static_cast<double>(workload.fragment_result_bytes(q, f)) *
+               config.model.compute_ns_per_result_byte * 1e-9);
+      task_seconds.push_back(seconds);
+      stats.add(seconds);
+    }
+  }
+  std::printf("\nper-task compute time at speed 1.0:\n");
+  std::printf("  tasks %zu, total %.1f s, mean %.3f s, stddev %.3f s\n",
+              task_seconds.size(), stats.sum(), stats.mean(), stats.stddev());
+  std::printf("  p50 %.3f s, p90 %.3f s, p99 %.3f s, max %.3f s\n",
+              util::percentile(task_seconds, 50),
+              util::percentile(task_seconds, 90),
+              util::percentile(task_seconds, 99), stats.max());
+  std::printf("  (coefficient of variation %.2f — the paper: \"large "
+              "variance in compute phase times among workers\")\n",
+              util::coefficient_of_variation(task_seconds));
+  return 0;
+}

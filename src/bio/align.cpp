@@ -1,0 +1,109 @@
+#include "bio/align.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace s3asim::bio {
+
+namespace {
+[[nodiscard]] int base_score(char a, char b, const ScoringParams& params) noexcept {
+  return a == b ? params.match : params.mismatch;
+}
+}  // namespace
+
+Hsp extend_ungapped(std::string_view query, std::string_view subject,
+                    std::uint32_t query_pos, std::uint32_t subject_pos,
+                    std::uint32_t seed_length, const ScoringParams& params) {
+  S3A_REQUIRE(query_pos + seed_length <= query.size());
+  S3A_REQUIRE(subject_pos + seed_length <= subject.size());
+
+  int score = 0;
+  for (std::uint32_t i = 0; i < seed_length; ++i)
+    score += base_score(query[query_pos + i], subject[subject_pos + i], params);
+
+  // Rightward extension.
+  int best = score;
+  std::uint32_t best_right = 0;
+  {
+    int running = score;
+    std::uint32_t steps = 0;
+    while (query_pos + seed_length + steps < query.size() &&
+           subject_pos + seed_length + steps < subject.size()) {
+      running += base_score(query[query_pos + seed_length + steps],
+                            subject[subject_pos + seed_length + steps], params);
+      ++steps;
+      if (running > best) {
+        best = running;
+        best_right = steps;
+      }
+      if (best - running > params.xdrop) break;
+    }
+  }
+
+  // Leftward extension.
+  int best_with_left = best;
+  std::uint32_t best_left = 0;
+  {
+    int running = best;
+    std::uint32_t steps = 0;
+    while (steps < query_pos && steps < subject_pos) {
+      running += base_score(query[query_pos - steps - 1],
+                            subject[subject_pos - steps - 1], params);
+      ++steps;
+      if (running > best_with_left) {
+        best_with_left = running;
+        best_left = steps;
+      }
+      if (best_with_left - running > params.xdrop) break;
+    }
+  }
+
+  Hsp hsp;
+  hsp.query_start = query_pos - best_left;
+  hsp.subject_start = subject_pos - best_left;
+  hsp.length = seed_length + best_left + best_right;
+  hsp.score = best_with_left;
+  return hsp;
+}
+
+int banded_smith_waterman(std::string_view query, std::string_view subject,
+                          std::int64_t diagonal, std::uint32_t band,
+                          const ScoringParams& params) {
+  if (query.empty() || subject.empty()) return 0;
+  const int gap = params.gap_open + params.gap_extend;  // linear approximation
+  const auto rows = static_cast<std::int64_t>(query.size());
+  const auto cols = static_cast<std::int64_t>(subject.size());
+  const std::int64_t width = 2 * static_cast<std::int64_t>(band) + 1;
+
+  // dp[b] holds the cell on diagonal offset b-band relative to `diagonal`.
+  std::vector<int> previous(static_cast<std::size_t>(width), 0);
+  std::vector<int> current(static_cast<std::size_t>(width), 0);
+  int best = 0;
+
+  for (std::int64_t i = 1; i <= rows; ++i) {
+    std::fill(current.begin(), current.end(), 0);
+    for (std::int64_t b = 0; b < width; ++b) {
+      const std::int64_t j = i + diagonal + (b - band);
+      if (j < 1 || j > cols) continue;
+      const int match = base_score(query[static_cast<std::size_t>(i - 1)],
+                                   subject[static_cast<std::size_t>(j - 1)], params);
+      // Same diagonal offset in the previous row is the diagonal move.
+      int value = previous[static_cast<std::size_t>(b)] + match;
+      // Gap in subject: cell (i-1, j) is diagonal offset b+1 in row i-1.
+      if (b + 1 < width)
+        value = std::max(value, previous[static_cast<std::size_t>(b + 1)] + gap);
+      // Gap in query: cell (i, j-1) is diagonal offset b-1 in row i.
+      if (b - 1 >= 0)
+        value = std::max(value, current[static_cast<std::size_t>(b - 1)] + gap);
+      value = std::max(value, 0);
+      current[static_cast<std::size_t>(b)] = value;
+      best = std::max(best, value);
+    }
+    std::swap(previous, current);
+  }
+  return best;
+}
+
+}  // namespace s3asim::bio

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file align.hpp
+/// Pairwise alignment kernels: ungapped X-drop seed extension (the BLAST
+/// HSP stage) and banded Smith-Waterman rescoring.
+
+#include <cstdint>
+#include <string_view>
+
+namespace s3asim::bio {
+
+/// Simple match/mismatch/gap scoring (BLASTN-style defaults).
+struct ScoringParams {
+  int match = 2;
+  int mismatch = -3;
+  int gap_open = -5;
+  int gap_extend = -2;
+  /// X-drop cutoff for ungapped extension.
+  int xdrop = 20;
+};
+
+/// An ungapped high-scoring segment pair.
+struct Hsp {
+  std::uint32_t query_start = 0;
+  std::uint32_t subject_start = 0;
+  std::uint32_t length = 0;
+  int score = 0;
+
+  [[nodiscard]] std::uint32_t query_end() const noexcept {
+    return query_start + length;
+  }
+  [[nodiscard]] std::uint32_t subject_end() const noexcept {
+    return subject_start + length;
+  }
+};
+
+/// Extends a seed match at (query_pos, subject_pos) of length `seed_length`
+/// in both directions, ungapped, stopping when the running score drops
+/// `params.xdrop` below the best seen (BLAST's X-drop rule).
+[[nodiscard]] Hsp extend_ungapped(std::string_view query, std::string_view subject,
+                                  std::uint32_t query_pos, std::uint32_t subject_pos,
+                                  std::uint32_t seed_length,
+                                  const ScoringParams& params);
+
+/// Banded Smith-Waterman: best local alignment score of `query` vs
+/// `subject` restricted to |i - j - diagonal| <= band.  Affine gaps are
+/// approximated with linear gap cost gap_open+gap_extend per residue.
+[[nodiscard]] int banded_smith_waterman(std::string_view query,
+                                        std::string_view subject,
+                                        std::int64_t diagonal, std::uint32_t band,
+                                        const ScoringParams& params);
+
+}  // namespace s3asim::bio

@@ -1,0 +1,75 @@
+#include "bio/blast.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace s3asim::bio {
+
+std::uint64_t estimate_output_bytes(std::uint64_t query_length,
+                                    std::uint64_t subject_length,
+                                    std::uint64_t aligned_length) {
+  // A formatted pairwise report prints the query row, the match row, and
+  // the subject row for the aligned region, plus headers/statistics.  The
+  // paper's cap is 3 × max(query, subject); short alignments print less.
+  constexpr std::uint64_t kHeader = 256;
+  const std::uint64_t cap = 3 * std::max(query_length, subject_length);
+  return std::min(cap, 3 * aligned_length + kHeader);
+}
+
+BlastSearcher::BlastSearcher(std::vector<Sequence> subjects, BlastParams params)
+    : subjects_(std::move(subjects)),
+      params_(params),
+      index_(subjects_, params.k) {}
+
+std::vector<Match> BlastSearcher::search(const Sequence& query) const {
+  std::vector<Match> matches;
+  if (query.data.size() < params_.k) return matches;
+
+  // (subject, diagonal) pairs already extended — BLAST's diagonal dedup.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::int64_t>> seen;
+  std::unordered_map<std::uint32_t, Match> best_per_subject;
+
+  const std::string_view query_view(query.data);
+  for (std::uint32_t pos = 0; pos + params_.k <= query_view.size(); ++pos) {
+    const std::string_view word = query_view.substr(pos, params_.k);
+    for (const SeedHit& hit : index_.lookup(word)) {
+      const std::int64_t diagonal =
+          static_cast<std::int64_t>(hit.position) - static_cast<std::int64_t>(pos);
+      auto& diagonals = seen[hit.sequence];
+      if (!diagonals.insert(diagonal).second) continue;  // already extended
+
+      const Sequence& subject = subjects_[hit.sequence];
+      Hsp hsp = extend_ungapped(query_view, subject.data, pos, hit.position,
+                                params_.k, params_.scoring);
+      int score = hsp.score;
+      if (score < params_.min_score) continue;
+      if (params_.rescore_banded_sw) {
+        score = std::max(
+            score, banded_smith_waterman(query_view, subject.data, diagonal,
+                                         params_.sw_band, params_.scoring));
+      }
+      auto [it, inserted] = best_per_subject.try_emplace(hit.sequence);
+      if (inserted || score > it->second.score) {
+        Match match;
+        match.subject = hit.sequence;
+        match.score = score;
+        match.hsp = hsp;
+        match.output_bytes = estimate_output_bytes(
+            query.data.size(), subject.data.size(), hsp.length);
+        it->second = match;
+      }
+    }
+  }
+
+  matches.reserve(best_per_subject.size());
+  for (const auto& [subject, match] : best_per_subject) matches.push_back(match);
+  std::sort(matches.begin(), matches.end(), [](const Match& a, const Match& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.subject < b.subject;
+  });
+  if (matches.size() > params_.max_matches) matches.resize(params_.max_matches);
+  return matches;
+}
+
+}  // namespace s3asim::bio

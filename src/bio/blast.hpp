@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file blast.hpp
+/// A miniature BLASTN-style search engine: k-mer seeding, diagonal-deduped
+/// ungapped X-drop extension, optional banded Smith-Waterman rescoring, and
+/// score-sorted match lists whose *formatted output size* follows the
+/// paper's rule of thumb ("up to three times the maximum of the input query
+/// and the matching database sequence").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/align.hpp"
+#include "bio/kmer_index.hpp"
+#include "bio/sequence.hpp"
+
+namespace s3asim::bio {
+
+/// One query-vs-subject match (the unit that S3aSim's result model counts).
+struct Match {
+  std::uint32_t subject = 0;     ///< index into the searched subject set
+  int score = 0;                 ///< alignment score (SW if rescored)
+  Hsp hsp{};                     ///< best ungapped segment
+  std::uint64_t output_bytes = 0;  ///< estimated formatted-report size
+};
+
+struct BlastParams {
+  unsigned k = 11;               ///< BLASTN default word size
+  ScoringParams scoring{};
+  int min_score = 24;            ///< report threshold
+  bool rescore_banded_sw = true; ///< gapped rescoring pass
+  std::uint32_t sw_band = 16;
+  std::size_t max_matches = 500; ///< keep the top N per query
+};
+
+/// Estimated size of the formatted BLAST report for one match — the paper's
+/// result-size model (§3): bounded by 3 × max(query length, subject length).
+[[nodiscard]] std::uint64_t estimate_output_bytes(std::uint64_t query_length,
+                                                  std::uint64_t subject_length,
+                                                  std::uint64_t aligned_length);
+
+/// Searches one query against an indexed subject set.  Matches are returned
+/// in descending score order (stable on subject index) — the order workers
+/// ship results to the master in every parallel tool the paper discusses.
+class BlastSearcher {
+ public:
+  BlastSearcher(std::vector<Sequence> subjects, BlastParams params = {});
+
+  [[nodiscard]] std::vector<Match> search(const Sequence& query) const;
+
+  [[nodiscard]] const std::vector<Sequence>& subjects() const noexcept {
+    return subjects_;
+  }
+  [[nodiscard]] const BlastParams& params() const noexcept { return params_; }
+
+ private:
+  std::vector<Sequence> subjects_;
+  BlastParams params_;
+  KmerIndex index_;
+};
+
+}  // namespace s3asim::bio

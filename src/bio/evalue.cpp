@@ -1,0 +1,39 @@
+#include "bio/evalue.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace s3asim::bio {
+
+double bit_score(int raw_score, const KarlinAltschulParams& params) {
+  S3A_REQUIRE(params.lambda > 0.0 && params.k > 0.0);
+  return (params.lambda * static_cast<double>(raw_score) -
+          std::log(params.k)) /
+         std::log(2.0);
+}
+
+double expect_value(int raw_score, std::uint64_t query_length,
+                    std::uint64_t database_length,
+                    const KarlinAltschulParams& params) {
+  S3A_REQUIRE(query_length > 0 && database_length > 0);
+  const double bits = bit_score(raw_score, params);
+  return static_cast<double>(query_length) *
+         static_cast<double>(database_length) * std::exp2(-bits);
+}
+
+int min_significant_score(double threshold, std::uint64_t query_length,
+                          std::uint64_t database_length,
+                          const KarlinAltschulParams& params) {
+  S3A_REQUIRE(threshold > 0.0);
+  S3A_REQUIRE(query_length > 0 && database_length > 0);
+  // E < t  ⇔  S' > log2(m n / t)  ⇔  S > (S'·ln2 + ln K) / λ.
+  const double bits_needed =
+      std::log2(static_cast<double>(query_length) *
+                static_cast<double>(database_length) / threshold);
+  const double raw =
+      (bits_needed * std::log(2.0) + std::log(params.k)) / params.lambda;
+  return static_cast<int>(std::ceil(raw));
+}
+
+}  // namespace s3asim::bio

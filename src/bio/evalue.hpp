@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file evalue.hpp
+/// Karlin–Altschul statistics for ungapped local alignments: bit scores and
+/// expectation values.  BLAST ranks and thresholds its reported results by
+/// E-value; S3aSim's "results ordered by statistics representing the
+/// alignment qualities" (§2) is exactly this ordering.
+
+#include <cstdint>
+
+namespace s3asim::bio {
+
+/// Karlin–Altschul parameters for a scoring system.  The defaults are the
+/// classic BLASTN values for match/mismatch = +1/−3-class systems scaled to
+/// this library's +2/−3 scheme (λ ≈ 0.625, K ≈ 0.41 for +2/−3 on uniform
+/// base composition).
+struct KarlinAltschulParams {
+  double lambda = 0.625;
+  double k = 0.41;
+
+  /// Parameters appropriate for this library's default ScoringParams
+  /// (+2 match / −3 mismatch, uniform ACGT composition).
+  [[nodiscard]] static KarlinAltschulParams blastn_default() noexcept {
+    return {};
+  }
+};
+
+/// Normalized ("bit") score: S' = (λ·S − ln K) / ln 2.
+[[nodiscard]] double bit_score(int raw_score,
+                               const KarlinAltschulParams& params =
+                                   KarlinAltschulParams::blastn_default());
+
+/// Expectation value for a search space of query length m and database
+/// residue count n:  E = m · n · 2^(−S').
+[[nodiscard]] double expect_value(int raw_score, std::uint64_t query_length,
+                                  std::uint64_t database_length,
+                                  const KarlinAltschulParams& params =
+                                      KarlinAltschulParams::blastn_default());
+
+/// The smallest raw score whose E-value is below `threshold` in the given
+/// search space — BLAST's reporting cutoff expressed in raw-score terms.
+[[nodiscard]] int min_significant_score(double threshold,
+                                        std::uint64_t query_length,
+                                        std::uint64_t database_length,
+                                        const KarlinAltschulParams& params =
+                                            KarlinAltschulParams::blastn_default());
+
+}  // namespace s3asim::bio

@@ -1,0 +1,107 @@
+#include "bio/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace s3asim::bio {
+
+namespace {
+
+/// Splits a header line ">id description..." into (id, description).
+void parse_header(const std::string& line, Sequence& out) {
+  std::size_t start = 1;  // skip '>'
+  while (start < line.size() && std::isspace(static_cast<unsigned char>(line[start])))
+    ++start;
+  std::size_t id_end = start;
+  while (id_end < line.size() && !std::isspace(static_cast<unsigned char>(line[id_end])))
+    ++id_end;
+  out.id = line.substr(start, id_end - start);
+  std::size_t desc_start = id_end;
+  while (desc_start < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[desc_start])))
+    ++desc_start;
+  out.description = line.substr(desc_start);
+}
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+std::optional<Sequence> FastaReader::next() {
+  std::string line;
+  if (!saw_header_) {
+    // Find the first header.
+    while (std::getline(*input_, line)) {
+      strip_cr(line);
+      if (line.empty()) continue;
+      if (line[0] != '>')
+        throw std::runtime_error("FASTA: sequence data before any '>' header");
+      pending_header_ = line;
+      saw_header_ = true;
+      break;
+    }
+    if (!saw_header_) return std::nullopt;  // empty input
+  }
+  if (pending_header_.empty()) return std::nullopt;  // fully consumed
+
+  Sequence sequence;
+  parse_header(pending_header_, sequence);
+  pending_header_.clear();
+  while (std::getline(*input_, line)) {
+    strip_cr(line);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      pending_header_ = line;
+      break;
+    }
+    for (const char c : line)
+      if (!std::isspace(static_cast<unsigned char>(c)))
+        sequence.data += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return sequence;
+}
+
+std::vector<Sequence> FastaReader::read_all() {
+  std::vector<Sequence> sequences;
+  while (auto sequence = next()) sequences.push_back(std::move(*sequence));
+  return sequences;
+}
+
+FastaWriter::FastaWriter(std::ostream& output, std::size_t line_width)
+    : output_(&output), line_width_(line_width == 0 ? 70 : line_width) {}
+
+void FastaWriter::write(const Sequence& sequence) {
+  *output_ << '>' << sequence.id;
+  if (!sequence.description.empty()) *output_ << ' ' << sequence.description;
+  *output_ << '\n';
+  for (std::size_t pos = 0; pos < sequence.data.size(); pos += line_width_) {
+    *output_ << sequence.data.substr(pos, line_width_) << '\n';
+  }
+}
+
+void FastaWriter::write_all(const std::vector<Sequence>& sequences) {
+  for (const Sequence& sequence : sequences) write(sequence);
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path) {
+  std::ifstream input(path);
+  if (!input) throw std::runtime_error("cannot open FASTA file: " + path);
+  FastaReader reader(input);
+  return reader.read_all();
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& sequences,
+                      std::size_t line_width) {
+  std::ofstream output(path);
+  if (!output) throw std::runtime_error("cannot create FASTA file: " + path);
+  FastaWriter writer(output, line_width);
+  writer.write_all(sequences);
+}
+
+}  // namespace s3asim::bio

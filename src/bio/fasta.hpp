@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file fasta.hpp
+/// Streaming FASTA reader/writer.  The examples use this to materialize the
+/// synthetic NT-like database on disk and read it back, mirroring the way
+/// mpiBLAST formats and fragments its databases.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace s3asim::bio {
+
+/// Incremental FASTA parser over any std::istream.
+class FastaReader {
+ public:
+  explicit FastaReader(std::istream& input) : input_(&input) {}
+
+  /// Reads the next record, or std::nullopt at end of input.
+  /// Throws std::runtime_error on malformed input (data before any header).
+  [[nodiscard]] std::optional<Sequence> next();
+
+  /// Reads all remaining records.
+  [[nodiscard]] std::vector<Sequence> read_all();
+
+ private:
+  std::istream* input_;
+  std::string pending_header_;
+  bool saw_header_ = false;
+};
+
+/// FASTA writer with configurable line wrapping.
+class FastaWriter {
+ public:
+  explicit FastaWriter(std::ostream& output, std::size_t line_width = 70);
+
+  void write(const Sequence& sequence);
+  void write_all(const std::vector<Sequence>& sequences);
+
+ private:
+  std::ostream* output_;
+  std::size_t line_width_;
+};
+
+/// Convenience round trips through files; throw std::runtime_error on I/O
+/// failure.
+[[nodiscard]] std::vector<Sequence> read_fasta_file(const std::string& path);
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& sequences,
+                      std::size_t line_width = 70);
+
+}  // namespace s3asim::bio

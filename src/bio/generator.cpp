@@ -1,0 +1,76 @@
+#include "bio/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace s3asim::bio {
+
+std::vector<Sequence> generate_sequences(const GeneratorConfig& config,
+                                         std::uint64_t count,
+                                         const std::string& id_prefix) {
+  S3A_REQUIRE(config.gc_content >= 0.0 && config.gc_content <= 1.0);
+  util::Xoshiro256 rng(config.seed);
+  std::vector<Sequence> sequences;
+  sequences.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Sequence sequence;
+    sequence.id = id_prefix + "|" + std::to_string(i);
+    sequence.description = "synthetic sequence " + std::to_string(i);
+    const std::uint64_t length = config.length_histogram.sample(rng);
+    sequence.data.reserve(length);
+    for (std::uint64_t pos = 0; pos < length; ++pos) {
+      const bool gc = rng.uniform() < config.gc_content;
+      const bool first = rng.uniform() < 0.5;
+      sequence.data += gc ? (first ? 'G' : 'C') : (first ? 'A' : 'T');
+    }
+    sequences.push_back(std::move(sequence));
+  }
+  return sequences;
+}
+
+std::vector<Sequence> generate_queries(std::uint64_t seed, std::uint64_t count) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.length_histogram = util::nt_query_histogram();
+  return generate_sequences(config, count, "s3asim|query");
+}
+
+std::vector<std::vector<std::size_t>> fragment_database(
+    const std::vector<Sequence>& database, std::uint32_t fragment_count) {
+  S3A_REQUIRE(fragment_count >= 1);
+  // Greedy longest-processing-time partitioning: assign each sequence (in
+  // decreasing length order) to the currently lightest fragment.
+  std::vector<std::size_t> order(database.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (database[a].length() != database[b].length())
+      return database[a].length() > database[b].length();
+    return a < b;
+  });
+
+  using Load = std::pair<std::uint64_t, std::uint32_t>;  // (residues, fragment)
+  std::priority_queue<Load, std::vector<Load>, std::greater<>> heap;
+  for (std::uint32_t f = 0; f < fragment_count; ++f) heap.emplace(0, f);
+
+  std::vector<std::vector<std::size_t>> fragments(fragment_count);
+  for (const std::size_t index : order) {
+    auto [load, fragment] = heap.top();
+    heap.pop();
+    fragments[fragment].push_back(index);
+    heap.emplace(load + database[index].length(), fragment);
+  }
+  // Keep each fragment's sequences in original database order.
+  for (auto& fragment : fragments) std::sort(fragment.begin(), fragment.end());
+  return fragments;
+}
+
+std::uint64_t total_residues(const std::vector<Sequence>& sequences) {
+  std::uint64_t total = 0;
+  for (const Sequence& sequence : sequences) total += sequence.length();
+  return total;
+}
+
+}  // namespace s3asim::bio

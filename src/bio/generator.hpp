@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file generator.hpp
+/// Synthetic sequence-database generation.
+///
+/// The paper characterizes its workload by the NCBI NT database's length
+/// histogram rather than its contents; this generator produces databases
+/// and query sets with exactly such statistics, plus the database
+/// *fragmentation* step that database-segmented tools (mpiBLAST's
+/// mpiformatdb) perform.
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace s3asim::bio {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+  /// Length distribution of generated sequences.
+  util::BoxHistogram length_histogram = util::nt_database_histogram();
+  /// GC content of the generated nucleotides in [0,1].
+  double gc_content = 0.5;
+};
+
+/// Generates `count` random sequences with histogram-driven lengths.
+[[nodiscard]] std::vector<Sequence> generate_sequences(
+    const GeneratorConfig& config, std::uint64_t count,
+    const std::string& id_prefix = "s3asim|synth");
+
+/// Generates a query set the way the paper describes: `count` sequences
+/// from the (truncated) NT query histogram.
+[[nodiscard]] std::vector<Sequence> generate_queries(std::uint64_t seed,
+                                                     std::uint64_t count);
+
+/// Partitions a database into `fragment_count` fragments balanced by total
+/// residue count (greedy longest-first bin packing — what mpiformatdb
+/// approximates).  Returns per-fragment sequence indices.
+[[nodiscard]] std::vector<std::vector<std::size_t>> fragment_database(
+    const std::vector<Sequence>& database, std::uint32_t fragment_count);
+
+/// Total residues across a set of sequences.
+[[nodiscard]] std::uint64_t total_residues(const std::vector<Sequence>& sequences);
+
+}  // namespace s3asim::bio

@@ -1,0 +1,49 @@
+#include "bio/kmer_index.hpp"
+
+namespace s3asim::bio {
+
+bool KmerIndex::pack(std::string_view word, std::uint64_t& packed) noexcept {
+  packed = 0;
+  for (const char c : word) {
+    const std::uint8_t code = encode_base(c);
+    if (code > 3) return false;
+    packed = (packed << 2) | code;
+  }
+  return true;
+}
+
+KmerIndex::KmerIndex(std::span<const Sequence> subjects, unsigned k) : k_(k) {
+  S3A_REQUIRE_MSG(k >= 4 && k <= 31, "k must be in [4, 31]");
+  for (std::uint32_t s = 0; s < subjects.size(); ++s) {
+    const std::string& data = subjects[s].data;
+    if (data.size() < k) continue;
+    // Rolling 2-bit pack; `valid` counts consecutive ACGT characters seen.
+    std::uint64_t packed = 0;
+    unsigned valid = 0;
+    const std::uint64_t mask = (k >= 32) ? ~0ULL : ((1ULL << (2 * k)) - 1);
+    for (std::uint32_t pos = 0; pos < data.size(); ++pos) {
+      const std::uint8_t code = encode_base(data[pos]);
+      if (code > 3) {
+        valid = 0;
+        packed = 0;
+        continue;
+      }
+      packed = ((packed << 2) | code) & mask;
+      if (++valid >= k) {
+        table_[packed].push_back(SeedHit{s, pos + 1 - k});
+        ++positions_;
+      }
+    }
+  }
+}
+
+std::span<const SeedHit> KmerIndex::lookup(std::string_view word) const {
+  S3A_REQUIRE_MSG(word.size() == k_, "lookup word length must equal k");
+  std::uint64_t packed = 0;
+  if (!pack(word, packed)) return {};
+  const auto it = table_.find(packed);
+  if (it == table_.end()) return {};
+  return it->second;
+}
+
+}  // namespace s3asim::bio

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file kmer_index.hpp
+/// Exact k-mer seed index — the word-lookup stage of a BLASTN-style search.
+/// Maps every 2-bit-packed k-mer of the indexed subject sequences to its
+/// (sequence, position) occurrences.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::bio {
+
+/// One occurrence of a k-mer in the indexed set.
+struct SeedHit {
+  std::uint32_t sequence = 0;  ///< index into the subject set
+  std::uint32_t position = 0;  ///< 0-based offset of the k-mer start
+
+  friend bool operator==(const SeedHit&, const SeedHit&) = default;
+};
+
+class KmerIndex {
+ public:
+  /// Builds an index of all ACGT k-mers (words containing other characters
+  /// are skipped).  k in [4, 31].
+  KmerIndex(std::span<const Sequence> subjects, unsigned k);
+
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t distinct_kmers() const noexcept { return table_.size(); }
+  [[nodiscard]] std::uint64_t total_positions() const noexcept { return positions_; }
+
+  /// Occurrences of the k-mer starting at `text.data()`; empty if the word
+  /// contains non-ACGT characters or is absent.
+  [[nodiscard]] std::span<const SeedHit> lookup(std::string_view word) const;
+
+  /// Packs an ACGT word into 2 bits/base; returns false on other characters.
+  static bool pack(std::string_view word, std::uint64_t& packed) noexcept;
+
+ private:
+  unsigned k_;
+  std::uint64_t positions_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<SeedHit>> table_;
+};
+
+}  // namespace s3asim::bio

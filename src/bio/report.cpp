@@ -1,0 +1,92 @@
+#include "bio/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace s3asim::bio {
+
+double identity_fraction(const Sequence& query, const Sequence& subject,
+                         const Match& match) {
+  const Hsp& hsp = match.hsp;
+  S3A_REQUIRE(hsp.query_end() <= query.length());
+  S3A_REQUIRE(hsp.subject_end() <= subject.length());
+  if (hsp.length == 0) return 0.0;
+  std::uint32_t identical = 0;
+  for (std::uint32_t i = 0; i < hsp.length; ++i)
+    if (query.data[hsp.query_start + i] == subject.data[hsp.subject_start + i])
+      ++identical;
+  return static_cast<double>(identical) / static_cast<double>(hsp.length);
+}
+
+std::string format_match(const Sequence& query, const Sequence& subject,
+                         const Match& match, const ReportOptions& options) {
+  S3A_REQUIRE(options.line_width >= 10);
+  const Hsp& hsp = match.hsp;
+  S3A_REQUIRE(hsp.query_end() <= query.length());
+  S3A_REQUIRE(hsp.subject_end() <= subject.length());
+
+  std::ostringstream out;
+  if (options.include_header) {
+    std::uint32_t identical = 0;
+    for (std::uint32_t i = 0; i < hsp.length; ++i)
+      if (query.data[hsp.query_start + i] ==
+          subject.data[hsp.subject_start + i])
+        ++identical;
+    out << "> " << subject.id;
+    if (!subject.description.empty()) out << ' ' << subject.description;
+    out << "\n Score = " << match.score << ", Identities = " << identical
+        << '/' << hsp.length;
+    if (hsp.length > 0)
+      out << " (" << (identical * 100 / hsp.length) << "%)";
+    out << "\n\n";
+  }
+
+  for (std::uint32_t offset = 0; offset < hsp.length;
+       offset += static_cast<std::uint32_t>(options.line_width)) {
+    const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        options.line_width, hsp.length - offset));
+    const std::uint32_t q_start = hsp.query_start + offset;
+    const std::uint32_t s_start = hsp.subject_start + offset;
+
+    out << "Query  " << (q_start + 1) << "  "
+        << query.data.substr(q_start, chunk) << "  " << (q_start + chunk)
+        << '\n';
+
+    // Match row: '|' for identity, space otherwise, aligned under the
+    // sequence columns.
+    const std::size_t indent = 7 + std::to_string(q_start + 1).size() + 2;
+    out << std::string(indent, ' ');
+    for (std::uint32_t i = 0; i < chunk; ++i)
+      out << (query.data[q_start + i] == subject.data[s_start + i] ? '|' : ' ');
+    out << '\n';
+
+    out << "Sbjct  " << (s_start + 1) << "  "
+        << subject.data.substr(s_start, chunk) << "  " << (s_start + chunk)
+        << "\n\n";
+  }
+  return out.str();
+}
+
+std::string format_report(const Sequence& query, const BlastSearcher& searcher,
+                          const std::vector<Match>& matches,
+                          const ReportOptions& options) {
+  std::ostringstream out;
+  out << "Query= " << query.id;
+  if (!query.description.empty()) out << ' ' << query.description;
+  out << "\n  (" << query.length() << " letters)\n\n";
+  if (matches.empty()) {
+    out << " ***** No hits found ******\n";
+    return out.str();
+  }
+  out << "Sequences producing significant alignments:  " << matches.size()
+      << "\n\n";
+  for (const Match& match : matches) {
+    const Sequence& subject = searcher.subjects()[match.subject];
+    out << format_match(query, subject, match, options);
+  }
+  return out.str();
+}
+
+}  // namespace s3asim::bio

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file report.hpp
+/// BLAST-style pairwise report formatting.
+///
+/// This is what the paper's result-size model abstracts: "the actual BLAST
+/// output is generally formatted with the input sequence, database
+/// sequence, and the matches between them" (§3) — three text rows per
+/// alignment block plus headers, which is why a result is bounded by
+/// ~3 × max(query length, subject length).  The formatter produces real
+/// report text so the model's constant can be validated against it.
+
+#include <cstdint>
+#include <string>
+
+#include "bio/blast.hpp"
+#include "bio/sequence.hpp"
+
+namespace s3asim::bio {
+
+struct ReportOptions {
+  std::size_t line_width = 60;   ///< residues per alignment row
+  bool include_header = true;    ///< per-match score/identity header
+};
+
+/// Formats one match as a classic three-row pairwise alignment:
+///
+///   > gi|... subject description
+///    Score = 123, Identities = 57/60 (95%)
+///
+///   Query  1   ACGTACGT...  60
+///              |||| |||...
+///   Sbjct  87  ACGTTCGT...  146
+///
+/// The aligned region is the match's HSP (ungapped), so rows align 1:1.
+[[nodiscard]] std::string format_match(const Sequence& query,
+                                       const Sequence& subject,
+                                       const Match& match,
+                                       const ReportOptions& options = {});
+
+/// Formats a whole result set, best-first, as BLAST would print them.
+[[nodiscard]] std::string format_report(const Sequence& query,
+                                        const BlastSearcher& searcher,
+                                        const std::vector<Match>& matches,
+                                        const ReportOptions& options = {});
+
+/// Fraction of identical positions within the match's HSP, in [0, 1].
+[[nodiscard]] double identity_fraction(const Sequence& query,
+                                       const Sequence& subject,
+                                       const Match& match);
+
+}  // namespace s3asim::bio

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file config.hpp
+/// All knobs of a simulation run.  `paper_config()` reproduces the test
+/// setup of §3.3 exactly: 20 queries, 128 fragments, NT histograms,
+/// 1000–2000 results per query, write-after-every-query, MPI_File_sync
+/// after every write, 16 PVFS2 servers with 64 KiB strips.
+
+#include <cstdint>
+
+#include "core/strategy.hpp"
+#include "mpiio/hints.hpp"
+#include "net/model.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/time.hpp"
+#include "util/histogram.hpp"
+
+namespace s3asim::core {
+
+/// Workload description (what the searched data "looks like").
+struct WorkloadConfig {
+  std::uint64_t seed = 20060627;  // HPDC'06 presentation date
+  std::uint32_t query_count = 20;
+  std::uint32_t fragment_count = 128;
+  util::BoxHistogram query_histogram = util::nt_query_histogram();
+  util::BoxHistogram database_histogram = util::nt_database_histogram();
+  /// Results per query over the whole database, uniform in [min, max].
+  std::uint32_t result_count_min = 1000;
+  std::uint32_t result_count_max = 2000;
+  /// Lower bound on one result's formatted size.
+  std::uint64_t min_result_bytes = 512;
+  /// On-disk size of the (formatted) sequence database.  0 disables
+  /// database-I/O modeling (the paper's S3aSim starts after the database is
+  /// distributed).  When set, a worker assigned a fragment it has not
+  /// cached must first stream `database_bytes / fragment_count` from the
+  /// file system — §1's "repeated I/O introduced by loading sequence data
+  /// back and forth between the file system and the main memory".
+  std::uint64_t database_bytes = 0;
+  /// Result size is uniform in [min_result_bytes, cap] where cap =
+  /// size_scale × 3 × max(query_len, db_sequence_len) — the paper's model
+  /// ("anywhere from the minimum input size to three times the maximum of
+  /// the input query and the matching database sequence").  size_scale
+  /// calibrates the aggregate output volume (~208 MB for the paper setup).
+  double size_scale = 0.715;
+};
+
+/// Hardware / substrate cost model (see DESIGN.md §4 for calibration).
+struct ModelParams {
+  net::LinkParams network = net::LinkParams::myrinet2000();
+  pfs::PfsParams pfs{};
+  /// Compute model (paper §3): per-(query,fragment) search time =
+  /// (startup + result_bytes × per_result_byte) / compute_speed.
+  sim::Time compute_startup = sim::milliseconds(24);
+  double compute_ns_per_result_byte = 1350.0;
+  /// Worker-side merge of a query's new results into its sorted list.
+  double merge_ns_per_byte = 6.0;
+  /// Master-side merge of an incoming score list (per entry).
+  sim::Time master_merge_per_entry = sim::microseconds(1.2);
+  /// MW only: master-side handling of the full result payloads — buffer
+  /// copies, merge shifting, and output formatting of every result byte.
+  /// This is the centralization cost of master-writing (§2.1: "Only a
+  /// single process is gathering all the results and doing the writing on
+  /// behalf of all the workers"); workers in WW strategies do the same
+  /// work, but spread over P−1 processes where it overlaps with compute.
+  double master_result_ns_per_byte = 420.0;
+  /// Message payload sizes.
+  std::uint64_t bytes_per_score_entry = 16;  // score + size
+  std::uint64_t bytes_per_offset_entry = 8;  // 64-bit offsets (paper §2.2)
+  std::uint64_t control_message_bytes = 64;  // work requests/assignments
+  std::uint64_t setup_message_bytes = 1024;  // input-variable broadcast
+};
+
+/// One full simulation configuration.
+struct SimConfig {
+  /// Total MPI ranks: 1 master + (nprocs − 1) workers.
+  std::uint32_t nprocs = 16;
+  Strategy strategy = Strategy::WWList;
+  /// The paper's "query sync" option: all processes synchronize after the
+  /// results of each query are written.
+  bool query_sync = false;
+  /// Search speed multiplier (paper Figures 5–7 sweep 0.1 … 25.6).
+  double compute_speed = 1.0;
+  /// Per-worker heterogeneity: worker w's speed is compute_speed scaled by
+  /// a deterministic factor uniform in [1-jitter, 1+jitter].  0 = the
+  /// paper's homogeneous Europa-nodes setup; >0 models mixed hardware
+  /// ("variable simulated compute speeds", §3).
+  double compute_speed_jitter = 0.0;
+  /// Flush results every n queries (1 = after every query, as in the paper
+  /// evaluation; query_count = write-at-end, like mpiBLAST 1.2/pioBLAST).
+  std::uint32_t queries_per_flush = 1;
+  /// Call MPI_File_sync after every write (always on in the paper).
+  bool sync_after_write = true;
+  /// Per-worker memory available for caching database fragments (Feynman
+  /// nodes: 1 GB RDRAM).  Only used when workload.database_bytes > 0.
+  std::uint64_t worker_memory_bytes = util::GiB;
+  /// Master prefers assigning fragments a worker already holds in memory
+  /// (mpiBLAST-style fragment affinity).  Only affects runs that model
+  /// database I/O.
+  bool fragment_affinity = true;
+  /// MW only: the master issues its batch writes asynchronously and keeps
+  /// serving work requests (§2.1: "While nonblocking I/O could reduce this
+  /// overhead, blocking I/O is commonly used in a MW strategy").
+  bool mw_nonblocking_io = false;
+  WorkloadConfig workload{};
+  ModelParams model{};
+  mpiio::Hints hints{};
+};
+
+/// The exact evaluation setup of §3.3.
+[[nodiscard]] inline SimConfig paper_config() {
+  SimConfig config;
+  config.nprocs = 16;
+  config.strategy = Strategy::WWList;
+  config.query_sync = false;
+  config.compute_speed = 1.0;
+  return config;
+}
+
+/// A scaled-down configuration for unit/integration tests: 4 queries,
+/// 8 fragments, small results — runs in milliseconds of host time.
+[[nodiscard]] inline SimConfig test_config() {
+  SimConfig config;
+  config.nprocs = 5;
+  config.workload.query_count = 4;
+  config.workload.fragment_count = 8;
+  config.workload.result_count_min = 40;
+  config.workload.result_count_max = 80;
+  config.workload.query_histogram = util::BoxHistogram{{{500, 4000, 1.0}}};
+  config.workload.database_histogram = util::BoxHistogram{{{200, 8000, 1.0}}};
+  config.workload.min_result_bytes = 256;
+  config.model.pfs.layout = pfs::Layout(16 * util::KiB, 4);
+  return config;
+}
+
+}  // namespace s3asim::core

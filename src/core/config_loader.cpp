@@ -1,0 +1,124 @@
+#include "core/config_loader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace s3asim::core {
+
+namespace {
+
+mpiio::CollectiveAlgorithm parse_collective(const std::string& name) {
+  if (name == "two_phase" || name == "two-phase")
+    return mpiio::CollectiveAlgorithm::TwoPhase;
+  if (name == "list_sync" || name == "list-sync")
+    return mpiio::CollectiveAlgorithm::ListWithSync;
+  throw std::invalid_argument("unknown collective_algorithm '" + name + "'");
+}
+
+}  // namespace
+
+SimConfig load_config(const std::string& config_text) {
+  const auto keyval = util::KeyValConfig::parse(config_text);
+  SimConfig config = paper_config();
+
+  // --- Run shape. -----------------------------------------------------------
+  config.nprocs = static_cast<std::uint32_t>(
+      keyval.get_int("nprocs", config.nprocs));
+  config.strategy =
+      parse_strategy(keyval.get_string("strategy", strategy_name(config.strategy)));
+  config.query_sync = keyval.get_bool("query_sync", config.query_sync);
+  config.compute_speed = keyval.get_double("compute_speed", config.compute_speed);
+  config.compute_speed_jitter =
+      keyval.get_double("compute_speed_jitter", config.compute_speed_jitter);
+  config.queries_per_flush = static_cast<std::uint32_t>(
+      keyval.get_int("queries_per_flush", config.queries_per_flush));
+  config.sync_after_write =
+      keyval.get_bool("sync_after_write", config.sync_after_write);
+  config.worker_memory_bytes =
+      keyval.get_bytes("worker_memory", config.worker_memory_bytes);
+  config.fragment_affinity =
+      keyval.get_bool("fragment_affinity", config.fragment_affinity);
+  config.mw_nonblocking_io =
+      keyval.get_bool("mw_nonblocking_io", config.mw_nonblocking_io);
+
+  // --- Workload. --------------------------------------------------------------
+  auto& workload = config.workload;
+  workload.seed = static_cast<std::uint64_t>(
+      keyval.get_int("seed", static_cast<std::int64_t>(workload.seed)));
+  workload.query_count = static_cast<std::uint32_t>(
+      keyval.get_int("query_count", workload.query_count));
+  workload.fragment_count = static_cast<std::uint32_t>(
+      keyval.get_int("fragment_count", workload.fragment_count));
+  workload.result_count_min = static_cast<std::uint32_t>(
+      keyval.get_int("result_count_min", workload.result_count_min));
+  workload.result_count_max = static_cast<std::uint32_t>(
+      keyval.get_int("result_count_max", workload.result_count_max));
+  workload.min_result_bytes =
+      keyval.get_bytes("min_result_bytes", workload.min_result_bytes);
+  workload.size_scale = keyval.get_double("size_scale", workload.size_scale);
+  workload.database_bytes =
+      keyval.get_bytes("database_bytes", workload.database_bytes);
+  if (const auto hist = keyval.get_histogram("query"))
+    workload.query_histogram = *hist;
+  if (const auto hist = keyval.get_histogram("database"))
+    workload.database_histogram = *hist;
+
+  // --- Model. -----------------------------------------------------------------
+  auto& model = config.model;
+  model.network.latency = sim::microseconds(keyval.get_double(
+      "net_latency_us", sim::to_seconds(model.network.latency) * 1e6));
+  model.network.bandwidth_bps =
+      keyval.get_double("net_bandwidth_mbps",
+                        model.network.bandwidth_bps / 1e6) * 1e6;
+  const std::uint64_t strip = keyval.get_bytes(
+      "strip_size", model.pfs.layout.strip_size());
+  const std::uint32_t servers = static_cast<std::uint32_t>(
+      keyval.get_int("server_count", model.pfs.layout.server_count()));
+  model.pfs.layout = pfs::Layout(strip, servers);
+  model.pfs.disk.bandwidth_bps =
+      keyval.get_double("disk_bandwidth_mbps",
+                        model.pfs.disk.bandwidth_bps / 1e6) * 1e6;
+  model.pfs.disk.per_request = sim::milliseconds(keyval.get_double(
+      "disk_per_request_ms", sim::to_milliseconds(model.pfs.disk.per_request)));
+  model.pfs.disk.per_pair = sim::milliseconds(keyval.get_double(
+      "disk_per_pair_ms", sim::to_milliseconds(model.pfs.disk.per_pair)));
+  model.pfs.disk.sync_cost = sim::milliseconds(keyval.get_double(
+      "sync_cost_ms", sim::to_milliseconds(model.pfs.disk.sync_cost)));
+  model.compute_startup = sim::milliseconds(keyval.get_double(
+      "compute_startup_ms", sim::to_milliseconds(model.compute_startup)));
+  model.compute_ns_per_result_byte = keyval.get_double(
+      "compute_ns_per_byte", model.compute_ns_per_result_byte);
+
+  // --- Hints. -----------------------------------------------------------------
+  config.hints.cb_nodes = static_cast<std::uint32_t>(
+      keyval.get_int("cb_nodes", config.hints.cb_nodes));
+  config.hints.cb_buffer_size =
+      keyval.get_bytes("cb_buffer_size", config.hints.cb_buffer_size);
+  config.hints.two_phase_round_overhead = sim::milliseconds(keyval.get_double(
+      "two_phase_overhead_ms",
+      sim::to_milliseconds(config.hints.two_phase_round_overhead)));
+  if (keyval.has("collective_algorithm"))
+    config.hints.collective_algorithm =
+        parse_collective(keyval.get_string("collective_algorithm", ""));
+
+  const auto unused = keyval.unused_keys();
+  if (!unused.empty()) {
+    std::string message = "unrecognized config keys:";
+    for (const auto& key : unused) message += " '" + key + "'";
+    throw std::invalid_argument(message);
+  }
+  return config;
+}
+
+SimConfig load_config_file(const std::string& path) {
+  std::ifstream input(path);
+  if (!input) throw std::runtime_error("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return load_config(buffer.str());
+}
+
+}  // namespace s3asim::core

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file fasta_workload.hpp
+/// Bridges real sequence data into the simulator: derives a WorkloadConfig's
+/// histograms, query count, and database size from FASTA files (or parsed
+/// sequences), the way the paper derived its workload from the NCBI NT
+/// database ("In order to get the characteristics of an NCBI database, we
+/// chose the NT database ... We used the same histogram to represent our
+/// input query set", §3.3).
+
+#include <span>
+#include <string>
+
+#include "bio/sequence.hpp"
+#include "core/config.hpp"
+
+namespace s3asim::core {
+
+/// Replaces `config`'s database histogram and on-disk size with statistics
+/// measured from `database` (length histogram over `bins` geometric bins;
+/// database_bytes = total residues).
+void apply_database_sequences(WorkloadConfig& config,
+                              std::span<const bio::Sequence> database,
+                              unsigned bins = 16);
+
+/// Replaces `config`'s query histogram and query count with statistics from
+/// `queries`.
+void apply_query_sequences(WorkloadConfig& config,
+                           std::span<const bio::Sequence> queries,
+                           unsigned bins = 8);
+
+/// Convenience: reads both FASTA files and applies them on top of `base`.
+/// Throws std::runtime_error on unreadable files, std::invalid_argument on
+/// empty ones.
+[[nodiscard]] WorkloadConfig workload_from_fasta(
+    const std::string& database_path, const std::string& query_path,
+    WorkloadConfig base = {});
+
+}  // namespace s3asim::core

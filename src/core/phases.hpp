@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file phases.hpp
+/// The eight timing phases of S3aSim (paper §3) and per-rank accumulators.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace s3asim::core {
+
+/// Paper §3 timing phases, in presentation order (Figures 3/4/6/7 stack
+/// them bottom-up as Setup, Data Distribution, Compute, Merge Results,
+/// Gather Results, I/O, Sync, Other).
+enum class Phase : std::uint8_t {
+  Setup = 0,
+  DataDistribution,
+  Compute,
+  MergeResults,
+  GatherResults,
+  Io,
+  Sync,
+  Other,
+};
+
+inline constexpr std::size_t kPhaseCount = 8;
+
+[[nodiscard]] constexpr const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::Setup: return "Setup";
+    case Phase::DataDistribution: return "Data Distribution";
+    case Phase::Compute: return "Compute";
+    case Phase::MergeResults: return "Merge Results";
+    case Phase::GatherResults: return "Gather Results";
+    case Phase::Io: return "I/O";
+    case Phase::Sync: return "Sync";
+    case Phase::Other: return "Other";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::array<Phase, kPhaseCount> all_phases() noexcept {
+  return {Phase::Setup,        Phase::DataDistribution, Phase::Compute,
+          Phase::MergeResults, Phase::GatherResults,    Phase::Io,
+          Phase::Sync,         Phase::Other};
+}
+
+/// Per-rank phase-time accumulator.  `Other` is derived at the end as the
+/// wall time not attributed to any explicit phase.
+class PhaseTimers {
+ public:
+  void add(Phase phase, sim::Time duration) noexcept {
+    if (duration > 0) times_[static_cast<std::size_t>(phase)] += duration;
+  }
+
+  [[nodiscard]] sim::Time get(Phase phase) const noexcept {
+    return times_[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] double seconds(Phase phase) const noexcept {
+    return sim::to_seconds(get(phase));
+  }
+
+  /// Sum of all explicitly-attributed phases (excluding Other).
+  [[nodiscard]] sim::Time attributed() const noexcept {
+    sim::Time total = 0;
+    for (const Phase phase : all_phases())
+      if (phase != Phase::Other) total += get(phase);
+    return total;
+  }
+
+  /// Sets Other := wall − attributed (clamped at 0).
+  void finish(sim::Time wall) noexcept {
+    const sim::Time rest = wall - attributed();
+    times_[static_cast<std::size_t>(Phase::Other)] = rest > 0 ? rest : 0;
+  }
+
+  /// Sum over every phase including Other.
+  [[nodiscard]] sim::Time total() const noexcept {
+    sim::Time sum = 0;
+    for (const Phase phase : all_phases()) sum += get(phase);
+    return sum;
+  }
+
+ private:
+  std::array<sim::Time, kPhaseCount> times_{};
+};
+
+}  // namespace s3asim::core

@@ -1,0 +1,1049 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpiio/file.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/barrier.hpp"
+#include "sim/channel.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Message protocol
+// ---------------------------------------------------------------------------
+
+/// worker → master: "give me work" (Algorithm 2, step 3).
+constexpr mpi::Tag kTagRequest = 1;
+/// master → worker: assignment / done / offsets / finish, one ordered stream.
+constexpr mpi::Tag kTagMasterToWorker = 2;
+/// worker → master: scores (and, for MW, result payloads).
+constexpr mpi::Tag kTagScores = 3;
+/// master → worker: setup variables (Algorithm 1/2, step 1).
+constexpr mpi::Tag kTagSetup = 4;
+
+/// Payload of a master→worker message.  Queries are identified both by
+/// their global id (indexes the WorkloadModel) and their local position in
+/// the owning group's query list (drives batching and file layout — under
+/// hybrid segmentation a group owns only a subset of the queries).
+struct MasterMsg {
+  enum class Kind {
+    Assign,   ///< (query, fragment) to search
+    Done,     ///< no more tasks will be assigned
+    Offsets,  ///< offset list for a completed query (possibly empty)
+    Finish,   ///< all offsets sent; worker may tear down
+  };
+  Kind kind = Kind::Assign;
+  std::uint32_t query = 0;        ///< global query id
+  std::uint32_t local_query = 0;  ///< position within the group's query list
+  std::uint32_t fragment = 0;
+  std::vector<pfs::Extent> extents;  // Offsets only
+};
+
+/// Payload of a worker→master scores message.
+struct ScoresMsg {
+  std::uint32_t query = 0;        ///< global query id
+  std::uint32_t local_query = 0;  ///< group-local position
+  std::uint32_t fragment = 0;
+  mpi::Rank worker = 0;
+};
+
+/// LRU set of database fragments a worker holds in memory.  The master
+/// mirrors each worker's cache (both sides apply the same `touch` sequence)
+/// to implement mpiBLAST-style fragment-affinity scheduling.
+class FragmentCache {
+ public:
+  explicit FragmentCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Marks `fragment` most-recently-used; returns true if it was cached.
+  bool touch(std::uint32_t fragment) {
+    if (capacity_ == 0) return false;
+    const auto it = std::find(lru_.begin(), lru_.end(), fragment);
+    if (it != lru_.end()) {
+      lru_.erase(it);
+      lru_.push_back(fragment);
+      return true;
+    }
+    if (lru_.size() == capacity_) lru_.erase(lru_.begin());
+    lru_.push_back(fragment);
+    return false;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t fragment) const {
+    return std::find(lru_.begin(), lru_.end(), fragment) != lru_.end();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::uint32_t> lru_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared world + per-group application state
+// ---------------------------------------------------------------------------
+
+/// Everything shared by all groups: the cluster, the file system, the
+/// deterministic workload, and the per-rank statistics.
+struct World {
+  World(const SimConfig& cfg, std::uint32_t ranks)
+      : config(cfg),
+        workload(cfg.workload),
+        scheduler(),
+        network(scheduler, ranks + cfg.model.pfs.layout.server_count(),
+                cfg.model.network),
+        comm(scheduler, network, ranks),
+        fs(scheduler, network, /*server_endpoint_base=*/ranks, cfg.model.pfs),
+        rank_stats(ranks) {
+    S3A_REQUIRE(cfg.compute_speed > 0.0);
+    S3A_REQUIRE(cfg.queries_per_flush >= 1);
+  }
+
+  const SimConfig& config;
+  WorkloadModel workload;
+  sim::Scheduler scheduler;
+  net::Network network;
+  mpi::Comm comm;
+  pfs::Pfs fs;
+  std::vector<RankStats> rank_stats;
+  trace::TraceLog* trace_log = nullptr;
+};
+
+/// One master/worker group: under plain database segmentation there is a
+/// single group spanning all ranks and all queries; under hybrid query/
+/// database segmentation (paper §5 future work) each group owns a slice of
+/// the queries, its own master, and its own output file.
+struct App {
+  App(World& w, mpi::Rank master_rank, std::vector<mpi::Rank> worker_ranks,
+      std::vector<std::uint32_t> query_ids)
+      : world(w),
+        config(w.config),
+        workload(w.workload),
+        scheduler(w.scheduler),
+        network(w.network),
+        comm(w.comm),
+        fs(w.fs),
+        rank_stats(w.rank_stats),
+        master(master_rank),
+        workers(std::move(worker_ranks)),
+        queries(std::move(query_ids)),
+        query_barrier(w.scheduler, std::max<std::size_t>(workers.size(), 1)) {
+    S3A_REQUIRE_MSG(!workers.empty(), "a group needs at least one worker");
+    S3A_REQUIRE_MSG(!queries.empty(), "a group needs at least one query");
+    for (const mpi::Rank rank : workers)
+      events.emplace(rank,
+                     std::make_unique<sim::Channel<mpi::Message>>(scheduler));
+    request_wake = std::make_unique<sim::Channel<int>>(scheduler);
+    scores_wake = std::make_unique<sim::Channel<int>>(scheduler);
+    // Group-local file layout: the group's queries packed back to back.
+    region_bases.reserve(queries.size());
+    std::uint64_t cursor = 0;
+    for (const std::uint32_t query : queries) {
+      region_bases.push_back(cursor);
+      cursor += workload.query(query).total_bytes;
+    }
+    group_output_bytes = cursor;
+  }
+
+  World& world;
+  const SimConfig& config;
+  WorkloadModel& workload;
+  sim::Scheduler& scheduler;
+  net::Network& network;
+  mpi::Comm& comm;
+  pfs::Pfs& fs;
+  std::vector<RankStats>& rank_stats;
+  trace::TraceLog* trace_log = nullptr;
+
+  mpi::Rank master;
+  std::vector<mpi::Rank> workers;
+  std::vector<std::uint32_t> queries;  ///< global query ids, ascending
+  sim::Barrier query_barrier;  ///< the "query sync" barrier (§3.3: workers only)
+  std::vector<std::uint64_t> region_bases;  ///< group-file offset per local query
+  std::uint64_t group_output_bytes = 0;
+
+  /// Per-worker inbound event queues fed by pump processes.
+  std::map<mpi::Rank, std::unique_ptr<sim::Channel<mpi::Message>>> events;
+
+  /// Master-side priority split: Algorithm 1 *blocks* on work requests
+  /// (step 3) and only *tests* score receives (step 10), so requests are
+  /// served before queued score processing.  Pumps deposit messages here
+  /// and push a wake token into the matching wake channel.
+  std::deque<mpi::Message> master_requests;
+  std::deque<mpi::Message> master_scores;
+  std::unique_ptr<sim::Channel<int>> request_wake;
+  std::unique_ptr<sim::Channel<int>> scores_wake;
+
+  std::unique_ptr<mpiio::File> file;
+  /// The on-disk database, present when workload.database_bytes > 0.
+  std::unique_ptr<mpiio::File> database_file;
+  /// WW-FilePerProc: each worker's private output file.
+  std::map<mpi::Rank, std::unique_ptr<mpiio::File>> worker_files;
+
+  // Database-streaming model.
+  [[nodiscard]] bool models_database_io() const noexcept {
+    return config.workload.database_bytes > 0;
+  }
+  [[nodiscard]] std::uint64_t fragment_bytes() const noexcept {
+    return config.workload.database_bytes / config.workload.fragment_count;
+  }
+  [[nodiscard]] std::size_t cache_capacity() const noexcept {
+    if (!models_database_io() || fragment_bytes() == 0) return 0;
+    return static_cast<std::size_t>(config.worker_memory_bytes /
+                                    fragment_bytes());
+  }
+
+  // Derived mode flags.
+  [[nodiscard]] bool per_query_msgs_to_all() const noexcept {
+    return config.query_sync || is_collective(config.strategy);
+  }
+  [[nodiscard]] std::uint32_t nworkers() const noexcept {
+    return static_cast<std::uint32_t>(workers.size());
+  }
+  [[nodiscard]] std::uint32_t query_count() const noexcept {
+    return static_cast<std::uint32_t>(queries.size());
+  }
+  [[nodiscard]] std::uint32_t batch_of(std::uint32_t local_query) const noexcept {
+    return local_query / config.queries_per_flush;
+  }
+  [[nodiscard]] std::uint32_t batch_last_query(std::uint32_t batch) const noexcept {
+    return std::min(query_count(), (batch + 1) * config.queries_per_flush) - 1;
+  }
+
+  /// Offset of local query q's region within the group's output file.
+  [[nodiscard]] std::uint64_t region_base(std::uint32_t local_query) const {
+    return region_bases[local_query];
+  }
+
+  /// Worker `rank`'s effective search speed: the global multiplier scaled
+  /// by a deterministic per-rank heterogeneity factor.
+  [[nodiscard]] double worker_speed(mpi::Rank rank) const {
+    double factor = 1.0;
+    if (config.compute_speed_jitter > 0.0) {
+      util::Xoshiro256 rng(
+          util::hash_combine(config.workload.seed ^ 0x48e7e601ULL, rank));
+      factor += config.compute_speed_jitter * (2.0 * rng.uniform() - 1.0);
+    }
+    return config.compute_speed * factor;
+  }
+
+  [[nodiscard]] sim::Time compute_time(std::uint32_t query,
+                                       std::uint32_t fragment,
+                                       mpi::Rank rank) const {
+    const std::uint64_t bytes = workload.fragment_result_bytes(query, fragment);
+    const double nanos =
+        static_cast<double>(config.model.compute_startup) +
+        static_cast<double>(bytes) * config.model.compute_ns_per_result_byte;
+    return static_cast<sim::Time>(std::llround(nanos / worker_speed(rank)));
+  }
+
+  void record_phase(mpi::Rank rank, Phase phase, sim::Time start, sim::Time end) {
+    rank_stats[rank].phases.add(phase, end - start);
+    if (trace_log != nullptr && end > start)
+      trace_log->record(rank, phase_name(phase), start, end);
+  }
+};
+
+/// Scoped-ish phase timing around co_await points.
+#define S3A_PHASE(app, rank, phase, ...)                          \
+  do {                                                            \
+    const sim::Time s3a_phase_start__ = (app).scheduler.now();    \
+    __VA_ARGS__;                                                  \
+    (app).record_phase((rank), (phase), s3a_phase_start__,        \
+                       (app).scheduler.now());                    \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Pumps: turn MPI matching into per-rank ordered event streams
+// ---------------------------------------------------------------------------
+
+sim::Process worker_stream_pump(App& app, mpi::Rank rank) {
+  while (true) {
+    mpi::Message message =
+        co_await app.comm.recv(rank, app.master, kTagMasterToWorker);
+    const bool finish =
+        message.as<MasterMsg>().kind == MasterMsg::Kind::Finish;
+    app.events.at(rank)->push(std::move(message));
+    if (finish) break;
+  }
+  app.events.at(rank)->close();
+}
+
+sim::Process master_request_pump(App& app) {
+  // Every worker sends one request per assignment plus the final one that
+  // is answered with Done.
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(app.query_count()) *
+          app.config.workload.fragment_count +
+      app.nworkers();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    mpi::Message message =
+        co_await app.comm.recv(app.master, mpi::kAnySource, kTagRequest);
+    app.master_requests.push_back(std::move(message));
+    app.request_wake->push(0);
+  }
+}
+
+sim::Process master_scores_pump(App& app) {
+  const std::uint64_t total = static_cast<std::uint64_t>(app.query_count()) *
+                              app.config.workload.fragment_count;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    mpi::Message message =
+        co_await app.comm.recv(app.master, mpi::kAnySource, kTagScores);
+    app.master_scores.push_back(std::move(message));
+    app.scores_wake->push(0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Master process (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+struct MasterState {
+  std::uint32_t next_query = 0;  ///< local index of the query being assigned
+  /// Unassigned fragments of `next_query` (affinity scheduling may pick any).
+  std::vector<std::uint32_t> pending_fragments;
+  std::uint64_t tasks_assigned = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint32_t done_sent = 0;
+  /// Master's mirror of each worker's fragment cache (affinity scheduling).
+  std::map<mpi::Rank, FragmentCache> worker_caches;
+  /// Outstanding nonblocking MW batch writes (mw_nonblocking_io).
+  std::vector<std::unique_ptr<sim::Gate>> pending_writes;
+
+  /// Per local query: fragments completed and (worker, fragment) pairs.
+  std::vector<std::uint32_t> fragments_done;
+  std::vector<std::vector<std::pair<mpi::Rank, std::uint32_t>>> contributors;
+  /// Next local query awaiting in-order region processing.
+  std::uint32_t next_inorder = 0;
+  /// Local queries completed but blocked behind an earlier incomplete one.
+  std::set<std::uint32_t> completed_out_of_order;
+};
+
+/// Extents (in the group file) of local query `local`'s results produced by
+/// one worker, in file order.
+std::vector<pfs::Extent> worker_extents(const App& app, std::uint32_t local,
+                                        const std::vector<std::uint32_t>& fragments) {
+  const QueryWorkload& workload = app.workload.query(app.queries[local]);
+  const std::uint64_t base = app.region_base(local);
+  std::vector<std::uint32_t> indices;
+  for (const std::uint32_t fragment : fragments)
+    for (const std::uint32_t index : workload.by_fragment[fragment])
+      indices.push_back(index);
+  std::sort(indices.begin(), indices.end());
+  std::vector<pfs::Extent> extents;
+  extents.reserve(indices.size());
+  for (const std::uint32_t index : indices) {
+    const std::uint64_t offset = base + workload.offsets[index];
+    const std::uint64_t length = workload.results[index].bytes;
+    if (!extents.empty() && extents.back().end() == offset)
+      extents.back().length += length;  // coalesce adjacent results
+    else
+      extents.push_back(pfs::Extent{offset, length});
+  }
+  return extents;
+}
+
+/// Sends the offset lists (or empty per-query notifications) for a
+/// completed query, per strategy/sync mode.  Gather-results bookkeeping has
+/// already happened; this is Algorithm 1, step 15.
+sim::Task<void> master_dispatch_query(App& app, MasterState& state,
+                                      std::uint32_t local) {
+  const ModelParams& model = app.config.model;
+  if (app.config.strategy == Strategy::MW ||
+      app.config.strategy == Strategy::WWFilePerProcess) {
+    // MW/file-per-process sync modes still notify workers per query (after
+    // the batch boundary, handled by the caller); no offset lists — the
+    // master writes itself (MW) or workers append position-free (N-N).
+    co_return;
+  }
+  // Group the query's fragments per contributing worker.
+  std::map<mpi::Rank, std::vector<std::uint32_t>> fragments_by_worker;
+  for (const auto& [worker, fragment] : state.contributors[local])
+    fragments_by_worker[worker].push_back(fragment);
+
+  for (const mpi::Rank worker : app.workers) {
+    const auto it = fragments_by_worker.find(worker);
+    const bool contributes = it != fragments_by_worker.end();
+    if (!contributes && !app.per_query_msgs_to_all()) continue;
+    MasterMsg msg;
+    msg.kind = MasterMsg::Kind::Offsets;
+    msg.query = app.queries[local];
+    msg.local_query = local;
+    if (contributes) msg.extents = worker_extents(app, local, it->second);
+    const std::uint64_t bytes =
+        model.control_message_bytes +
+        model.bytes_per_offset_entry * msg.extents.size();
+    (void)app.comm.isend(app.master, worker, kTagMasterToWorker, bytes,
+                         std::move(msg));
+  }
+  co_return;
+}
+
+/// MW: write a batch of completed query regions as one contiguous call.
+sim::Task<void> master_write_batch(App& app, std::uint32_t first_local,
+                                   std::uint32_t last_local,
+                                   bool record_io_phase = true) {
+  const std::uint64_t base = app.region_base(first_local);
+  const std::uint64_t end =
+      app.region_base(last_local) +
+      app.workload.query(app.queries[last_local]).total_bytes;
+  const sim::Time start = app.scheduler.now();
+  co_await app.file->write_at(app.master, base, end - base, first_local);
+  if (app.config.sync_after_write) co_await app.file->sync(app.master);
+  // Asynchronous (mw_nonblocking_io) writes overlap the master's other
+  // phases; only the blocking variant charges the I/O phase here.
+  if (record_io_phase)
+    app.record_phase(app.master, Phase::Io, start, app.scheduler.now());
+  app.rank_stats[app.master].bytes_written += end - base;
+  ++app.rank_stats[app.master].writes_issued;
+}
+
+/// In MW + sync mode workers still need per-query notifications so they can
+/// join the per-batch barrier.
+void master_notify_batch(App& app, std::uint32_t first_local,
+                         std::uint32_t last_local) {
+  for (std::uint32_t local = first_local; local <= last_local; ++local) {
+    for (const mpi::Rank worker : app.workers) {
+      MasterMsg msg;
+      msg.kind = MasterMsg::Kind::Offsets;
+      msg.query = app.queries[local];
+      msg.local_query = local;
+      (void)app.comm.isend(app.master, worker, kTagMasterToWorker,
+                           app.config.model.control_message_bytes, msg);
+    }
+  }
+}
+
+sim::Process master_process(App& app) {
+  MasterState state;
+  const std::uint32_t queries = app.query_count();
+  const std::uint32_t fragments = app.config.workload.fragment_count;
+  const std::uint64_t total_tasks =
+      static_cast<std::uint64_t>(queries) * fragments;
+  state.fragments_done.assign(queries, 0);
+  state.contributors.assign(queries, {});
+  for (const mpi::Rank worker : app.workers)
+    state.worker_caches.emplace(worker, FragmentCache(app.cache_capacity()));
+
+  // ---- Setup: create the output file, broadcast input variables. ---------
+  {
+    const sim::Time start = app.scheduler.now();
+    const auto handle = co_await app.fs.create_file(
+        app.comm.endpoint_of(app.master),
+        "results." + std::to_string(app.master) + ".out");
+    mpiio::Hints hints = app.config.hints;
+    if (app.config.strategy == Strategy::WWCollList)
+      hints.collective_algorithm = mpiio::CollectiveAlgorithm::ListWithSync;
+    app.file = std::make_unique<mpiio::File>(app.scheduler, app.network, app.fs,
+                                             app.comm, handle, app.workers,
+                                             hints);
+    if (app.models_database_io()) {
+      const auto db_handle = co_await app.fs.create_file(
+          app.comm.endpoint_of(app.master),
+          "database." + std::to_string(app.master));
+      app.database_file = std::make_unique<mpiio::File>(
+          app.scheduler, app.network, app.fs, app.comm, db_handle, app.workers,
+          mpiio::Hints{});
+    }
+    if (app.config.strategy == Strategy::WWFilePerProcess) {
+      for (const mpi::Rank worker : app.workers) {
+        const auto worker_handle = co_await app.fs.create_file(
+            app.comm.endpoint_of(app.master),
+            "results." + std::to_string(worker) + ".part");
+        app.worker_files.emplace(
+            worker, std::make_unique<mpiio::File>(
+                        app.scheduler, app.network, app.fs, app.comm,
+                        worker_handle, std::vector<mpi::Rank>{worker},
+                        mpiio::Hints{}));
+      }
+    }
+    for (const mpi::Rank worker : app.workers)
+      co_await app.comm.send(app.master, worker, kTagSetup,
+                             app.config.model.setup_message_bytes);
+    app.record_phase(app.master, Phase::Setup, start, app.scheduler.now());
+  }
+
+  const bool sync_mode = app.config.query_sync;
+  const Strategy strategy = app.config.strategy;
+
+  // Algorithm 1, step 10: process one completed score receive — merge it
+  // (for MW including the full result payload), then handle any queries
+  // that completed, in query order (steps 14–18).
+  auto handle_score = [&app, &state, fragments, sync_mode,
+                       strategy]() -> sim::Task<void> {
+    mpi::Message event = std::move(app.master_scores.front());
+    app.master_scores.pop_front();
+    S3A_CHECK(event.tag == kTagScores);
+    const auto& scores = event.as<ScoresMsg>();
+    {
+      const sim::Time merge_start = app.scheduler.now();
+      const auto count = static_cast<sim::Time>(
+          app.workload.query(scores.query).by_fragment[scores.fragment].size());
+      sim::Time merge_time = count * app.config.model.master_merge_per_entry;
+      if (strategy == Strategy::MW) {
+        const std::uint64_t payload =
+            app.workload.fragment_result_bytes(scores.query, scores.fragment);
+        merge_time += static_cast<sim::Time>(
+            std::llround(static_cast<double>(payload) *
+                         app.config.model.master_result_ns_per_byte));
+      }
+      co_await app.scheduler.delay(merge_time);
+      app.record_phase(app.master, Phase::GatherResults, merge_start,
+                       app.scheduler.now());
+    }
+    state.contributors[scores.local_query].emplace_back(scores.worker,
+                                                        scores.fragment);
+    ++state.tasks_completed;
+    if (++state.fragments_done[scores.local_query] == fragments)
+      state.completed_out_of_order.insert(scores.local_query);
+
+    while (state.completed_out_of_order.contains(state.next_inorder)) {
+      const std::uint32_t local = state.next_inorder;
+      state.completed_out_of_order.erase(local);
+      ++state.next_inorder;
+
+      co_await master_dispatch_query(app, state, local);
+
+      const std::uint32_t batch = app.batch_of(local);
+      if (local == app.batch_last_query(batch)) {
+        const std::uint32_t first = batch * app.config.queries_per_flush;
+        if (strategy == Strategy::MW) {
+          if (app.config.mw_nonblocking_io) {
+            // §2.1 ablation: issue the write asynchronously and keep
+            // serving requests; completion is collected at teardown.
+            auto gate = std::make_unique<sim::Gate>(app.scheduler);
+            auto writer = [](App& a, std::uint32_t lo, std::uint32_t hi,
+                             sim::Gate& done) -> sim::Process {
+              co_await master_write_batch(a, lo, hi, /*record_io_phase=*/false);
+              done.open();
+            };
+            app.scheduler.spawn(writer(app, first, local, *gate));
+            state.pending_writes.push_back(std::move(gate));
+          } else {
+            co_await master_write_batch(app, first, local);
+          }
+          if (sync_mode) master_notify_batch(app, first, local);
+        } else if (strategy == Strategy::WWFilePerProcess && sync_mode) {
+          master_notify_batch(app, first, local);
+        }
+        // §3.3: the query-sync barrier is among the *worker* nodes; the
+        // master keeps distributing work.
+      }
+    }
+  };
+
+  while (true) {
+    const bool everything_done = state.tasks_completed == total_tasks &&
+                                 state.done_sent == app.nworkers() &&
+                                 state.next_inorder == queries;
+    if (everything_done) break;
+
+    // ---- Step 3: the master *blocks* receiving work requests and only
+    // *tests* score receives — requests are answered first, and the score
+    // backlog is drained after each reply (steps 8, 10).
+    const bool requests_exhausted = state.done_sent == app.nworkers();
+    if (!requests_exhausted) {
+      const sim::Time wait_start = app.scheduler.now();
+      auto token = co_await app.request_wake->pop();
+      S3A_CHECK_MSG(token.has_value(), "master request stream closed early");
+      app.record_phase(app.master, Phase::DataDistribution, wait_start,
+                       app.scheduler.now());
+
+      // ---- Steps 4-9: assign work or notify completion. ----------------
+      S3A_CHECK(!app.master_requests.empty());
+      mpi::Message event = std::move(app.master_requests.front());
+      app.master_requests.pop_front();
+      const mpi::Rank worker = event.source;
+      const sim::Time send_start = app.scheduler.now();
+      MasterMsg reply;
+      if (state.tasks_assigned < total_tasks) {
+        if (state.pending_fragments.empty()) {
+          state.pending_fragments.resize(fragments);
+          for (std::uint32_t f = 0; f < fragments; ++f)
+            state.pending_fragments[f] = f;
+        }
+        // mpiBLAST-style fragment affinity: within the current query,
+        // prefer a fragment the requesting worker already has in memory.
+        std::size_t pick = 0;
+        if (app.config.fragment_affinity && app.models_database_io()) {
+          for (std::size_t i = 0; i < state.pending_fragments.size(); ++i) {
+            if (state.worker_caches.at(worker).contains(
+                    state.pending_fragments[i])) {
+              pick = i;
+              break;
+            }
+          }
+        }
+        reply.kind = MasterMsg::Kind::Assign;
+        reply.query = app.queries[state.next_query];
+        reply.local_query = state.next_query;
+        reply.fragment = state.pending_fragments[pick];
+        state.pending_fragments.erase(
+            state.pending_fragments.begin() +
+            static_cast<std::ptrdiff_t>(pick));
+        if (app.models_database_io())
+          (void)state.worker_caches.at(worker).touch(reply.fragment);
+        if (state.pending_fragments.empty()) ++state.next_query;
+        ++state.tasks_assigned;
+      } else {
+        reply.kind = MasterMsg::Kind::Done;
+        ++state.done_sent;
+      }
+      co_await app.comm.send(app.master, worker, kTagMasterToWorker,
+                             app.config.model.control_message_bytes, reply);
+      app.record_phase(app.master, Phase::DataDistribution, send_start,
+                       app.scheduler.now());
+      // Step 10: after serving the request, drain the completed receives.
+      while (!app.master_scores.empty()) co_await handle_score();
+    } else {
+      // No more requests will come; block on the remaining score receives.
+      const sim::Time wait_start = app.scheduler.now();
+      auto token = co_await app.scores_wake->pop();
+      S3A_CHECK_MSG(token.has_value(), "master score stream closed early");
+      app.record_phase(app.master, Phase::GatherResults, wait_start,
+                       app.scheduler.now());
+      // The token may be stale if an earlier drain already consumed the
+      // message; every queued message is guaranteed a token, so just skip.
+      if (!app.master_scores.empty()) co_await handle_score();
+    }
+  }
+
+  // ---- Teardown: drain async writes, tell every worker the stream is
+  //      over, then sync. --------------------------------------------------
+  for (const auto& gate : state.pending_writes) {
+    const sim::Time io_start = app.scheduler.now();
+    co_await gate->wait();
+    app.record_phase(app.master, Phase::Io, io_start, app.scheduler.now());
+  }
+  if (strategy == Strategy::WWFilePerProcess) {
+    // N-N merge: read every worker's private file back and list-write its
+    // results into their sorted positions in the final file.
+    const sim::Time merge_start = app.scheduler.now();
+    for (const mpi::Rank worker : app.workers) {
+      std::vector<pfs::Extent> extents;
+      for (std::uint32_t local = 0; local < queries; ++local) {
+        std::vector<std::uint32_t> worker_fragments;
+        for (const auto& [contributor, fragment] : state.contributors[local])
+          if (contributor == worker) worker_fragments.push_back(fragment);
+        if (worker_fragments.empty()) continue;
+        const auto query_extents = worker_extents(app, local, worker_fragments);
+        extents.insert(extents.end(), query_extents.begin(),
+                       query_extents.end());
+      }
+      std::uint64_t bytes = 0;
+      for (const pfs::Extent& extent : extents) bytes += extent.length;
+      if (bytes == 0) continue;
+      co_await app.worker_files.at(worker)->read_at(app.master, 0, bytes);
+      co_await app.file->write_noncontig(app.master, std::move(extents),
+                                         mpiio::NoncontigMethod::ListIo);
+      app.rank_stats[app.master].bytes_written += bytes;
+      ++app.rank_stats[app.master].writes_issued;
+    }
+    if (app.config.sync_after_write) co_await app.file->sync(app.master);
+    app.record_phase(app.master, Phase::Io, merge_start, app.scheduler.now());
+  }
+  for (const mpi::Rank worker : app.workers) {
+    MasterMsg msg;
+    msg.kind = MasterMsg::Kind::Finish;
+    (void)app.comm.isend(app.master, worker, kTagMasterToWorker,
+                         app.config.model.control_message_bytes, msg);
+  }
+  {
+    const sim::Time barrier_start = app.scheduler.now();
+    co_await app.comm.barrier();
+    app.record_phase(app.master, Phase::Sync, barrier_start,
+                     app.scheduler.now());
+  }
+  app.rank_stats[app.master].wall = app.scheduler.now();
+  app.rank_stats[app.master].phases.finish(app.rank_stats[app.master].wall);
+}
+
+// ---------------------------------------------------------------------------
+// Worker process (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+struct WorkerState {
+  bool done = false;                ///< master said no more tasks
+  bool awaiting_response = false;   ///< a work request is outstanding
+  std::vector<pfs::Extent> pending; ///< extents accumulated for current flush
+  std::uint32_t pending_batch = 0;  ///< batch the pending extents belong to
+  std::uint32_t batch_msgs = 0;     ///< per-query messages seen this batch
+  std::uint32_t current_batch = 0;  ///< next batch expected (per-query mode)
+  std::set<std::uint32_t> merged_queries;  ///< queries with previous results
+  std::uint64_t own_file_cursor = 0;  ///< append position (WW-FilePerProc)
+  /// WW-Coll only (§2.3): an assignment for an upcoming query that cannot
+  /// start until the pending collective I/O completes.  Stores
+  /// (local query, global query, fragment).
+  std::optional<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> deferred;
+  /// Database fragments held in memory (when database I/O is modeled).
+  FragmentCache cache{0};
+};
+
+/// Writes the worker's accumulated extents with the strategy's method.
+sim::Task<void> worker_flush(App& app, mpi::Rank rank, WorkerState& state,
+                             std::uint32_t query_tag) {
+  const Strategy strategy = app.config.strategy;
+  const sim::Time start = app.scheduler.now();
+  std::uint64_t bytes = 0;
+  for (const pfs::Extent& extent : state.pending) bytes += extent.length;
+
+  if (is_collective(strategy)) {
+    co_await app.file->write_at_all(rank, std::move(state.pending), query_tag);
+    if (app.config.sync_after_write) co_await app.file->sync(rank);
+  } else if (!state.pending.empty()) {
+    const auto method = strategy == Strategy::WWPosix
+                            ? mpiio::NoncontigMethod::Posix
+                            : mpiio::NoncontigMethod::ListIo;
+    co_await app.file->write_noncontig(rank, std::move(state.pending), method,
+                                       query_tag);
+    if (app.config.sync_after_write) co_await app.file->sync(rank);
+  }
+  state.pending.clear();
+  app.record_phase(rank, Phase::Io, start, app.scheduler.now());
+  app.rank_stats[rank].bytes_written += bytes;
+  if (bytes > 0 || is_collective(strategy)) ++app.rank_stats[rank].writes_issued;
+
+  if (app.config.query_sync) {
+    const sim::Time barrier_start = app.scheduler.now();
+    co_await app.query_barrier.arrive_and_wait();
+    app.record_phase(rank, Phase::Sync, barrier_start, app.scheduler.now());
+  }
+}
+
+sim::Process worker_process(App& app, mpi::Rank rank) {
+  WorkerState state;
+  state.cache = FragmentCache(app.cache_capacity());
+  const ModelParams& model = app.config.model;
+
+  // Steps 6-10 of Algorithm 2 for one (query, fragment) assignment:
+  // search, merge, ship scores (and results for MW), request the next task.
+  auto process_assignment =
+      [&app, &state, &model, rank](std::uint32_t local, std::uint32_t query,
+                                   std::uint32_t fragment) -> sim::Task<void> {
+    // ---- Database staging: stream the fragment in unless cached. -------
+    if (app.models_database_io()) {
+      if (state.cache.touch(fragment)) {
+        ++app.rank_stats[rank].fragment_hits;
+      } else {
+        ++app.rank_stats[rank].fragment_loads;
+        const sim::Time start = app.scheduler.now();
+        co_await app.database_file->read_at(
+            rank, static_cast<std::uint64_t>(fragment) * app.fragment_bytes(),
+            app.fragment_bytes());
+        app.record_phase(rank, Phase::Io, start, app.scheduler.now());
+      }
+    }
+
+    // ---- Step 6: the search itself. ------------------------------------
+    S3A_PHASE(app, rank, Phase::Compute,
+              co_await app.scheduler.delay(
+                  app.compute_time(query, fragment, rank)));
+    ++app.rank_stats[rank].tasks_processed;
+
+    const std::uint64_t result_bytes =
+        app.workload.fragment_result_bytes(query, fragment);
+    const std::uint64_t count =
+        app.workload.query(query).by_fragment[fragment].size();
+
+    // ---- Step 8: merge with previous results for this query. -----------
+    if (worker_writes(app.config.strategy)) {
+      if (!state.merged_queries.insert(query).second) {
+        const auto merge_ns = static_cast<sim::Time>(std::llround(
+            static_cast<double>(result_bytes) * model.merge_ns_per_byte));
+        S3A_PHASE(app, rank, Phase::MergeResults,
+                  co_await app.scheduler.delay(merge_ns));
+      }
+    }
+
+    // ---- Step 10: send scores (and results if MW) to the master. -------
+    {
+      const sim::Time start = app.scheduler.now();
+      std::uint64_t bytes =
+          model.control_message_bytes + count * model.bytes_per_score_entry;
+      if (app.config.strategy == Strategy::MW) bytes += result_bytes;
+      ScoresMsg scores{query, local, fragment, rank};
+      (void)app.comm.isend(rank, app.master, kTagScores, bytes, scores);
+      // MPI_Isend initiation cost; the transfer itself is asynchronous.
+      co_await app.scheduler.delay(model.network.per_message_overhead);
+      app.record_phase(rank, Phase::GatherResults, start, app.scheduler.now());
+    }
+
+    // ---- N-N extension: append results to the private file immediately —
+    // contiguous, position-free, no offset list to wait for. --------------
+    if (app.config.strategy == Strategy::WWFilePerProcess && result_bytes > 0) {
+      const sim::Time start = app.scheduler.now();
+      mpiio::File& own = *app.worker_files.at(rank);
+      co_await own.write_at(rank, state.own_file_cursor, result_bytes, query);
+      state.own_file_cursor += result_bytes;
+      if (app.config.sync_after_write) co_await own.sync(rank);
+      app.record_phase(rank, Phase::Io, start, app.scheduler.now());
+      app.rank_stats[rank].bytes_written += result_bytes;
+      ++app.rank_stats[rank].writes_issued;
+    }
+
+    // ---- Step 3 again: request the next task. ---------------------------
+    {
+      const sim::Time start = app.scheduler.now();
+      co_await app.comm.send(rank, app.master, kTagRequest,
+                             model.control_message_bytes);
+      state.awaiting_response = true;
+      app.record_phase(rank, Phase::DataDistribution, start,
+                       app.scheduler.now());
+    }
+  };
+
+  // ---- Step 1: receive input variables. ----------------------------------
+  {
+    const sim::Time start = app.scheduler.now();
+    (void)co_await app.comm.recv(rank, app.master, kTagSetup);
+    app.record_phase(rank, Phase::Setup, start, app.scheduler.now());
+  }
+
+  // First work request.
+  {
+    const sim::Time start = app.scheduler.now();
+    co_await app.comm.send(rank, app.master, kTagRequest,
+                           model.control_message_bytes);
+    state.awaiting_response = true;
+    app.record_phase(rank, Phase::DataDistribution, start, app.scheduler.now());
+  }
+
+  while (true) {
+    const sim::Time wait_start = app.scheduler.now();
+    auto event = co_await app.events.at(rank)->pop();
+    const sim::Time wait_end = app.scheduler.now();
+    if (!event) break;  // stream closed right after Finish
+    const auto& msg = event->as<MasterMsg>();
+
+    switch (msg.kind) {
+      case MasterMsg::Kind::Assign: {
+        app.record_phase(rank, Phase::DataDistribution, wait_start, wait_end);
+        state.awaiting_response = false;
+        if (is_collective(app.config.strategy) &&
+            app.batch_of(msg.local_query) > state.current_batch) {
+          // §2.3: collective I/O blocks the process, so an assignment for an
+          // upcoming query cannot start until the pending collective write
+          // completes.  Hold it; the flush handler resumes it.
+          S3A_CHECK(!state.deferred.has_value());
+          state.deferred.emplace(msg.local_query, msg.query, msg.fragment);
+        } else {
+          co_await process_assignment(msg.local_query, msg.query, msg.fragment);
+        }
+        break;
+      }
+
+      case MasterMsg::Kind::Done: {
+        app.record_phase(rank, Phase::DataDistribution, wait_start, wait_end);
+        state.awaiting_response = false;
+        state.done = true;
+        break;
+      }
+
+      case MasterMsg::Kind::Offsets: {
+        // Waiting time while a work request is outstanding — or while an
+        // assignment is stalled behind a pending collective (§4: "wasting
+        // time, which shows up in the data distribution time") — counts as
+        // data distribution; afterwards it is unattributed (→ Other).
+        if (state.awaiting_response || state.deferred.has_value())
+          app.record_phase(rank, Phase::DataDistribution, wait_start, wait_end);
+
+        if (app.per_query_msgs_to_all()) {
+          // One message per query, for everyone: flush on batch boundary.
+          state.pending.insert(state.pending.end(), msg.extents.begin(),
+                               msg.extents.end());
+          ++state.batch_msgs;
+          const std::uint32_t batch = app.batch_of(msg.local_query);
+          S3A_CHECK_MSG(batch == state.current_batch,
+                        "per-query offset messages out of order");
+          const std::uint32_t batch_first =
+              batch * app.config.queries_per_flush;
+          const std::uint32_t batch_size =
+              app.batch_last_query(batch) - batch_first + 1;
+          if (state.batch_msgs == batch_size) {
+            state.batch_msgs = 0;
+            ++state.current_batch;
+            if (app.config.strategy == Strategy::MW ||
+                app.config.strategy == Strategy::WWFilePerProcess) {
+              state.pending.clear();  // notification only; nothing to place
+              if (app.config.query_sync) {
+                const sim::Time start = app.scheduler.now();
+                co_await app.query_barrier.arrive_and_wait();
+                app.record_phase(rank, Phase::Sync, start, app.scheduler.now());
+              }
+            } else {
+              co_await worker_flush(app, rank, state, msg.local_query);
+            }
+            // Resume an assignment that was blocked on this collective.
+            if (state.deferred.has_value() &&
+                app.batch_of(std::get<0>(*state.deferred)) <=
+                    state.current_batch) {
+              const auto [local, query, fragment] = *state.deferred;
+              state.deferred.reset();
+              co_await process_assignment(local, query, fragment);
+            }
+          }
+        } else {
+          // Contributor-only mode: flush when the batch boundary is crossed.
+          const std::uint32_t batch = app.batch_of(msg.local_query);
+          if (!state.pending.empty() && batch != state.pending_batch)
+            co_await worker_flush(app, rank, state, msg.local_query);
+          state.pending_batch = batch;
+          state.pending.insert(state.pending.end(), msg.extents.begin(),
+                               msg.extents.end());
+          if (app.config.queries_per_flush == 1)
+            co_await worker_flush(app, rank, state, msg.local_query);
+        }
+        break;
+      }
+
+      case MasterMsg::Kind::Finish: {
+        if (!state.pending.empty())
+          co_await worker_flush(app, rank, state, app.query_count() - 1);
+        break;
+      }
+    }
+    if (msg.kind == MasterMsg::Kind::Finish) break;
+  }
+
+  // ---- Final synchronization (Sync phase). -------------------------------
+  {
+    const sim::Time start = app.scheduler.now();
+    co_await app.comm.barrier();
+    app.record_phase(rank, Phase::Sync, start, app.scheduler.now());
+  }
+  app.rank_stats[rank].wall = app.scheduler.now();
+  app.rank_stats[rank].phases.finish(app.rank_stats[rank].wall);
+}
+
+/// Spawns one group's master, workers, and pumps.
+void launch_group(App& app) {
+  app.scheduler.spawn(master_process(app));
+  app.scheduler.spawn(master_request_pump(app));
+  app.scheduler.spawn(master_scores_pump(app));
+  for (const mpi::Rank rank : app.workers) {
+    app.scheduler.spawn(worker_process(app, rank));
+    app.scheduler.spawn(worker_stream_pump(app, rank));
+  }
+}
+
+/// Collects run-wide statistics after the scheduler has drained.
+RunStats collect_stats(World& world, const std::vector<std::unique_ptr<App>>& groups) {
+  RunStats stats;
+  stats.strategy = world.config.strategy;
+  stats.nprocs = static_cast<std::uint32_t>(world.rank_stats.size());
+  stats.query_sync = world.config.query_sync;
+  stats.compute_speed = world.config.compute_speed;
+  stats.groups = static_cast<std::uint32_t>(groups.size());
+  stats.wall_seconds = sim::to_seconds(world.scheduler.now());
+  stats.ranks = std::move(world.rank_stats);
+
+  stats.output_bytes = world.workload.total_output_bytes();
+  stats.file_exact = true;
+  for (const auto& app : groups) {
+    const pfs::FileImage& image = world.fs.image(app->file->handle());
+    stats.bytes_covered += image.covered_bytes();
+    stats.overlap_count += image.overlap_count();
+    if (!image.covers_exactly(app->group_output_bytes)) stats.file_exact = false;
+    if (app->database_file)
+      stats.db_bytes_read += world.fs.bytes_read(app->database_file->handle());
+  }
+  if (stats.bytes_covered != stats.output_bytes) stats.file_exact = false;
+
+  const pfs::ServerStats fs_total = world.fs.aggregate_stats();
+  stats.fs.server_requests = fs_total.requests;
+  stats.fs.server_pairs = fs_total.pairs;
+  stats.fs.server_bytes = fs_total.bytes;
+  stats.fs.server_syncs = fs_total.syncs;
+  stats.fs.server_busy_seconds = sim::to_seconds(fs_total.busy);
+
+  S3A_LOG_INFO(stats.summary());
+  return stats;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+RunStats run_simulation(const SimConfig& config, trace::TraceLog* trace_log) {
+  S3A_REQUIRE_MSG(config.nprocs >= 2, "need a master and at least one worker");
+  World world(config, config.nprocs);
+  world.trace_log = trace_log;
+
+  std::vector<mpi::Rank> workers;
+  for (mpi::Rank rank = 1; rank < config.nprocs; ++rank)
+    workers.push_back(rank);
+  std::vector<std::uint32_t> queries;
+  for (std::uint32_t q = 0; q < config.workload.query_count; ++q)
+    queries.push_back(q);
+
+  std::vector<std::unique_ptr<App>> groups;
+  groups.push_back(
+      std::make_unique<App>(world, 0, std::move(workers), std::move(queries)));
+  groups.back()->trace_log = trace_log;
+  launch_group(*groups.back());
+
+  world.scheduler.run();
+  world.fs.shutdown();
+  world.scheduler.run();
+  S3A_CHECK_MSG(world.scheduler.live_processes() == 0,
+                "simulation did not quiesce");
+  return collect_stats(world, groups);
+}
+
+RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
+                               trace::TraceLog* trace_log) {
+  S3A_REQUIRE_MSG(groups >= 1, "need at least one group");
+  S3A_REQUIRE_MSG(config.nprocs % groups == 0,
+                  "nprocs must be divisible by the group count");
+  const std::uint32_t per_group = config.nprocs / groups;
+  S3A_REQUIRE_MSG(per_group >= 2,
+                  "each group needs a master and at least one worker");
+  S3A_REQUIRE_MSG(groups <= config.workload.query_count,
+                  "more groups than queries");
+
+  World world(config, config.nprocs);
+  world.trace_log = trace_log;
+
+  std::vector<std::unique_ptr<App>> apps;
+  for (std::uint32_t g = 0; g < groups; ++g) {
+    const mpi::Rank base = g * per_group;
+    std::vector<mpi::Rank> workers;
+    for (mpi::Rank rank = base + 1; rank < base + per_group; ++rank)
+      workers.push_back(rank);
+    // Round-robin query split (query segmentation across groups).
+    std::vector<std::uint32_t> queries;
+    for (std::uint32_t q = g; q < config.workload.query_count; q += groups)
+      queries.push_back(q);
+    apps.push_back(std::make_unique<App>(world, base, std::move(workers),
+                                         std::move(queries)));
+    apps.back()->trace_log = trace_log;
+    launch_group(*apps.back());
+  }
+
+  world.scheduler.run();
+  world.fs.shutdown();
+  world.scheduler.run();
+  S3A_CHECK_MSG(world.scheduler.live_processes() == 0,
+                "hybrid simulation did not quiesce");
+  return collect_stats(world, apps);
+}
+
+}  // namespace s3asim::core

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file simulation.hpp
+/// The S3aSim application: master (Algorithm 1) + workers (Algorithm 2)
+/// over the simulated MPI / MPI-IO / PVFS2 stack, for any of the I/O
+/// strategies of §2.  `run_simulation` executes one full run and returns
+/// the per-phase statistics the paper's figures are built from.
+
+#include "core/config.hpp"
+#include "core/stats.hpp"
+#include "core/workload.hpp"
+#include "trace/trace.hpp"
+
+namespace s3asim::core {
+
+/// Runs one simulation to completion.
+///
+/// Invariants verified on return (see DESIGN.md §5):
+///  * the output file is covered exactly [0, total) with zero overlap
+///    (reported in RunStats; asserted by callers/tests);
+///  * per-rank phase times sum to that rank's wall time.
+///
+/// If `trace` is non-null, every phase interval of every rank is recorded.
+[[nodiscard]] RunStats run_simulation(const SimConfig& config,
+                                      trace::TraceLog* trace_log = nullptr);
+
+/// Hybrid query/database segmentation (§5 future work): the ranks are split
+/// into `groups` independent master/worker teams sharing the cluster and
+/// the file system; the queries are divided round-robin across teams
+/// (query segmentation), and each team database-segments its searches
+/// internally.  Each team writes its own output file.
+///
+/// Requirements: nprocs divisible by `groups`, ≥ 2 ranks per group, and at
+/// least one query per group.
+[[nodiscard]] RunStats run_hybrid_simulation(const SimConfig& config,
+                                             std::uint32_t groups,
+                                             trace::TraceLog* trace_log = nullptr);
+
+}  // namespace s3asim::core

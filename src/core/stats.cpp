@@ -1,0 +1,118 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace s3asim::core {
+
+double RunStats::worker_mean_seconds(Phase phase) const {
+  if (ranks.size() <= 1) return 0.0;
+  double total = 0.0;
+  for (std::size_t rank = 1; rank < ranks.size(); ++rank)
+    total += ranks[rank].phases.seconds(phase);
+  return total / static_cast<double>(ranks.size() - 1);
+}
+
+double RunStats::master_seconds(Phase phase) const {
+  if (ranks.empty()) return 0.0;
+  return ranks[0].phases.seconds(phase);
+}
+
+std::string RunStats::phase_table() const {
+  util::TextTable table({"Phase", "Master (s)", "Worker mean (s)"});
+  for (const Phase phase : all_phases()) {
+    table.add_row({phase_name(phase),
+                   util::format_fixed(master_seconds(phase)),
+                   util::format_fixed(worker_mean_seconds(phase))});
+  }
+  table.add_row({"Wall", util::format_fixed(wall_seconds), ""});
+  return table.render();
+}
+
+std::string RunStats::to_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("strategy");
+  json.value(strategy_name(strategy));
+  json.key("nprocs");
+  json.value(static_cast<std::uint64_t>(nprocs));
+  json.key("groups");
+  json.value(static_cast<std::uint64_t>(groups));
+  json.key("query_sync");
+  json.value(query_sync);
+  json.key("compute_speed");
+  json.value(compute_speed);
+  json.key("wall_seconds");
+  json.value(wall_seconds);
+
+  json.key("output");
+  json.begin_object();
+  json.key("bytes");
+  json.value(output_bytes);
+  json.key("covered_bytes");
+  json.value(bytes_covered);
+  json.key("overlaps");
+  json.value(overlap_count);
+  json.key("exact");
+  json.value(file_exact);
+  json.key("db_bytes_read");
+  json.value(db_bytes_read);
+  json.end_object();
+
+  json.key("file_system");
+  json.begin_object();
+  json.key("requests");
+  json.value(fs.server_requests);
+  json.key("pairs");
+  json.value(fs.server_pairs);
+  json.key("bytes");
+  json.value(fs.server_bytes);
+  json.key("syncs");
+  json.value(fs.server_syncs);
+  json.key("busy_seconds");
+  json.value(fs.server_busy_seconds);
+  json.end_object();
+
+  json.key("ranks");
+  json.begin_array();
+  for (std::size_t rank = 0; rank < ranks.size(); ++rank) {
+    const RankStats& stats = ranks[rank];
+    json.begin_object();
+    json.key("rank");
+    json.value(static_cast<std::uint64_t>(rank));
+    json.key("wall_seconds");
+    json.value(sim::to_seconds(stats.wall));
+    json.key("tasks");
+    json.value(stats.tasks_processed);
+    json.key("bytes_written");
+    json.value(stats.bytes_written);
+    json.key("fragment_loads");
+    json.value(stats.fragment_loads);
+    json.key("phases");
+    json.begin_object();
+    for (const Phase phase : all_phases()) {
+      json.key(phase_name(phase));
+      json.value(stats.phases.seconds(phase));
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream out;
+  out << strategy_name(strategy) << " procs=" << nprocs
+      << (query_sync ? " sync" : " no-sync") << " speed=" << compute_speed
+      << ": wall " << util::format_fixed(wall_seconds) << " s, output "
+      << util::format_bytes(output_bytes)
+      << (file_exact ? " (verified)" : " (VERIFICATION FAILED)");
+  return out.str();
+}
+
+}  // namespace s3asim::core

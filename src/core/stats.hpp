@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file stats.hpp
+/// Per-run statistics: per-rank phase breakdowns (the stacked bars of
+/// Figures 3/4/6/7), output-file verification, and file-system counters.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/phases.hpp"
+#include "core/strategy.hpp"
+#include "sim/time.hpp"
+
+namespace s3asim::core {
+
+struct RankStats {
+  PhaseTimers phases;
+  sim::Time wall = 0;
+  std::uint64_t tasks_processed = 0;   ///< (query, fragment) pairs searched
+  std::uint64_t bytes_written = 0;     ///< bytes this rank wrote to the file
+  std::uint64_t writes_issued = 0;     ///< write calls this rank issued
+  std::uint64_t fragment_loads = 0;    ///< database fragments streamed from FS
+  std::uint64_t fragment_hits = 0;     ///< fragment assignments served from cache
+};
+
+struct FsStats {
+  std::uint64_t server_requests = 0;
+  std::uint64_t server_pairs = 0;
+  std::uint64_t server_bytes = 0;
+  std::uint64_t server_syncs = 0;
+  double server_busy_seconds = 0.0;
+};
+
+struct RunStats {
+  Strategy strategy = Strategy::MW;
+  std::uint32_t nprocs = 0;
+  bool query_sync = false;
+  double compute_speed = 1.0;
+  /// Master/worker groups (1 = plain database segmentation; >1 = hybrid
+  /// query/database segmentation).
+  std::uint32_t groups = 1;
+
+  double wall_seconds = 0.0;           ///< overall execution time (the paper's y-axis)
+  std::vector<RankStats> ranks;        ///< [0] = master, [1..] = workers
+
+  // Output-file verification.
+  std::uint64_t output_bytes = 0;      ///< expected file size
+  std::uint64_t bytes_covered = 0;
+  std::uint64_t overlap_count = 0;
+  bool file_exact = false;             ///< covers [0, output_bytes) exactly
+
+  /// Database streaming (only when workload.database_bytes > 0).
+  std::uint64_t db_bytes_read = 0;
+
+  FsStats fs;
+
+  /// Mean over worker ranks of a phase's time, in seconds (the worker-
+  /// process view the paper's breakdown figures use).
+  [[nodiscard]] double worker_mean_seconds(Phase phase) const;
+
+  /// Master's time in a phase, in seconds.
+  [[nodiscard]] double master_seconds(Phase phase) const;
+
+  /// Renders the per-phase worker breakdown as an ASCII table row set.
+  [[nodiscard]] std::string phase_table() const;
+
+  /// One-line summary for logs.
+  [[nodiscard]] std::string summary() const;
+
+  /// Full machine-readable dump (configuration echo, per-rank phase times,
+  /// file-system counters, verification verdict) as a JSON document.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace s3asim::core

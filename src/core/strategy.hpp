@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file strategy.hpp
+/// The I/O strategies compared in the paper (§2), plus the extension its
+/// conclusion proposes.
+
+#include <string>
+
+#include "util/require.hpp"
+
+namespace s3asim::core {
+
+enum class Strategy {
+  /// Master-writing: workers ship scores *and* result data to the master,
+  /// which writes each completed query region contiguously (§2.1).
+  MW,
+  /// Worker-writing with per-extent POSIX I/O (§2.3).
+  WWPosix,
+  /// Worker-writing with PVFS2-native list I/O (§2.3).
+  WWList,
+  /// Worker-writing with collective two-phase I/O, à la pioBLAST (§2.2).
+  WWColl,
+  /// Extension (paper §5): collective implemented as list I/O bracketed by
+  /// synchronization, instead of ROMIO's two-phase.
+  WWCollList,
+  /// Extension ("new I/O algorithms", §5): file-per-process (N-N) — each
+  /// worker appends its results contiguously to a private file as soon as
+  /// they are computed (no offset lists, no waiting); the master assembles
+  /// the final sorted file at the end by reading every private file back
+  /// and list-writing it into place.
+  WWFilePerProcess,
+};
+
+[[nodiscard]] constexpr const char* strategy_name(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::MW: return "MW";
+    case Strategy::WWPosix: return "WW-POSIX";
+    case Strategy::WWList: return "WW-List";
+    case Strategy::WWColl: return "WW-Coll";
+    case Strategy::WWCollList: return "WW-CollList";
+    case Strategy::WWFilePerProcess: return "WW-FilePerProc";
+  }
+  return "?";
+}
+
+/// True for every strategy where workers write their own results.
+[[nodiscard]] constexpr bool worker_writes(Strategy strategy) noexcept {
+  return strategy != Strategy::MW;
+}
+
+/// True when the write path is a collective operation (all workers
+/// participate in every I/O round).
+[[nodiscard]] constexpr bool is_collective(Strategy strategy) noexcept {
+  return strategy == Strategy::WWColl || strategy == Strategy::WWCollList;
+}
+
+[[nodiscard]] inline Strategy parse_strategy(const std::string& name) {
+  if (name == "MW" || name == "mw") return Strategy::MW;
+  if (name == "WW-POSIX" || name == "ww-posix" || name == "posix")
+    return Strategy::WWPosix;
+  if (name == "WW-List" || name == "ww-list" || name == "list")
+    return Strategy::WWList;
+  if (name == "WW-Coll" || name == "ww-coll" || name == "coll")
+    return Strategy::WWColl;
+  if (name == "WW-CollList" || name == "ww-colllist" || name == "colllist")
+    return Strategy::WWCollList;
+  if (name == "WW-FilePerProc" || name == "ww-fileperproc" || name == "nn" ||
+      name == "file-per-process")
+    return Strategy::WWFilePerProcess;
+  S3A_REQUIRE_MSG(false, "unknown strategy '" + name + "'");
+  return Strategy::MW;  // unreachable
+}
+
+}  // namespace s3asim::core

@@ -1,0 +1,116 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace s3asim::core {
+
+WorkloadModel::WorkloadModel(WorkloadConfig config) : config_(std::move(config)) {
+  S3A_REQUIRE(config_.query_count >= 1);
+  S3A_REQUIRE(config_.fragment_count >= 1);
+  S3A_REQUIRE(config_.result_count_min >= 1);
+  S3A_REQUIRE(config_.result_count_min <= config_.result_count_max);
+  S3A_REQUIRE(config_.size_scale > 0.0);
+  cache_.resize(config_.query_count);
+  region_base_cache_.assign(config_.query_count, UINT64_MAX);
+}
+
+void WorkloadModel::generate(std::uint32_t q) const {
+  S3A_REQUIRE(q < config_.query_count);
+  if (cache_[q]) return;
+
+  // Independent stream per query: results do not depend on generation order.
+  util::Xoshiro256 root(config_.seed);
+  util::Xoshiro256 rng = root.fork(util::hash_combine(0x51e5, q));
+
+  auto workload = std::make_unique<QueryWorkload>();
+  workload->query_length = config_.query_histogram.sample(rng);
+
+  const std::uint32_t count = static_cast<std::uint32_t>(
+      rng.uniform_u64(config_.result_count_min, config_.result_count_max));
+  workload->results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ResultInfo result;
+    result.score = rng();
+    const std::uint64_t db_len = config_.database_histogram.sample(rng);
+    // Paper §3: result size ranges from the minimum result size up to
+    // 3 × max(query length, matching database sequence length).
+    const double raw_cap =
+        config_.size_scale *
+        3.0 * static_cast<double>(std::max(workload->query_length, db_len));
+    const auto cap = std::max(
+        config_.min_result_bytes,
+        static_cast<std::uint64_t>(raw_cap));
+    result.bytes = rng.uniform_u64(config_.min_result_bytes, cap);
+    result.fragment = static_cast<std::uint32_t>(
+        rng.uniform_u64(0, config_.fragment_count - 1));
+    workload->results.push_back(result);
+  }
+
+  // Final file order: descending score (stable tiebreak on index keeps the
+  // order deterministic even under score collisions).
+  std::vector<std::uint32_t> order(workload->results.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return workload->results[a].score >
+                            workload->results[b].score;
+                   });
+  std::vector<ResultInfo> sorted;
+  sorted.reserve(workload->results.size());
+  for (const std::uint32_t index : order)
+    sorted.push_back(workload->results[index]);
+  workload->results = std::move(sorted);
+
+  workload->offsets.resize(workload->results.size());
+  workload->by_fragment.assign(config_.fragment_count, {});
+  std::uint64_t cursor = 0;
+  for (std::uint32_t i = 0; i < workload->results.size(); ++i) {
+    workload->offsets[i] = cursor;
+    cursor += workload->results[i].bytes;
+    workload->by_fragment[workload->results[i].fragment].push_back(i);
+  }
+  workload->total_bytes = cursor;
+  cache_[q] = std::move(workload);
+}
+
+const QueryWorkload& WorkloadModel::query(std::uint32_t q) const {
+  generate(q);
+  return *cache_[q];
+}
+
+std::uint64_t WorkloadModel::region_base(std::uint32_t q) const {
+  S3A_REQUIRE(q < config_.query_count);
+  if (region_base_cache_[q] != UINT64_MAX) return region_base_cache_[q];
+  std::uint64_t base = 0;
+  for (std::uint32_t earlier = 0; earlier < q; ++earlier)
+    base += query(earlier).total_bytes;
+  region_base_cache_[q] = base;
+  return base;
+}
+
+std::uint64_t WorkloadModel::total_output_bytes() const {
+  const std::uint32_t last = config_.query_count - 1;
+  return region_base(last) + query(last).total_bytes;
+}
+
+std::uint64_t WorkloadModel::total_result_count() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t q = 0; q < config_.query_count; ++q)
+    total += query(q).results.size();
+  return total;
+}
+
+std::uint64_t WorkloadModel::fragment_result_bytes(std::uint32_t q,
+                                                   std::uint32_t fragment) const {
+  S3A_REQUIRE(fragment < config_.fragment_count);
+  const QueryWorkload& workload = query(q);
+  std::uint64_t total = 0;
+  for (const std::uint32_t index : workload.by_fragment[fragment])
+    total += workload.results[index].bytes;
+  return total;
+}
+
+}  // namespace s3asim::core

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file workload.hpp
+/// Deterministic pseudo-random workload generation.
+///
+/// Every quantity is derived from (seed, query) via forked RNG streams, so
+/// the result set — counts, sizes, scores, fragment assignment, and hence
+/// the entire output-file layout — is identical for every strategy and
+/// process count (paper §3.3: "Although we use different numbers of
+/// processors, the results are always identical since they are
+/// pseudo-randomly generated").
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "util/rng.hpp"
+
+namespace s3asim::core {
+
+/// One search result (HSP report) of a query.
+struct ResultInfo {
+  std::uint64_t score = 0;     ///< similarity score; file order is descending
+  std::uint64_t bytes = 0;     ///< formatted output size
+  std::uint32_t fragment = 0;  ///< database fragment that produced it
+};
+
+/// Everything about one query's results, in final (descending-score) order.
+struct QueryWorkload {
+  std::uint64_t query_length = 0;
+  std::vector<ResultInfo> results;        ///< sorted by descending score
+  std::vector<std::uint64_t> offsets;     ///< region-relative offset per result
+  std::uint64_t total_bytes = 0;          ///< region size
+  std::vector<std::vector<std::uint32_t>> by_fragment;  ///< result idx per frag
+};
+
+class WorkloadModel {
+ public:
+  explicit WorkloadModel(WorkloadConfig config);
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+  /// The (cached) workload of one query.
+  [[nodiscard]] const QueryWorkload& query(std::uint32_t q) const;
+
+  /// Absolute file offset of query q's region (sum of earlier regions).
+  [[nodiscard]] std::uint64_t region_base(std::uint32_t q) const;
+
+  /// Size of the whole output file.
+  [[nodiscard]] std::uint64_t total_output_bytes() const;
+
+  /// Total result count over all queries.
+  [[nodiscard]] std::uint64_t total_result_count() const;
+
+  /// Result bytes produced by searching (q, fragment) — drives compute time.
+  [[nodiscard]] std::uint64_t fragment_result_bytes(std::uint32_t q,
+                                                    std::uint32_t fragment) const;
+
+ private:
+  void generate(std::uint32_t q) const;
+
+  WorkloadConfig config_;
+  mutable std::vector<std::unique_ptr<QueryWorkload>> cache_;
+  mutable std::vector<std::uint64_t> region_base_cache_;
+};
+
+}  // namespace s3asim::core

@@ -1,0 +1,182 @@
+#pragma once
+
+/// \file comm.hpp
+/// An MPI-like communicator over the simulated network.
+///
+/// Semantics follow the MPI point-to-point model closely enough to express
+/// the paper's Algorithms 1 and 2 verbatim:
+///  * `isend` returns immediately; the request completes when the message
+///    has fully arrived at the destination NIC (conservative: between eager
+///    and rendezvous; only waiters observe the difference).
+///  * `irecv` matches against the unexpected-message queue first, then is
+///    posted; matching is (source, tag) with wildcards, FIFO within a pair
+///    (MPI's non-overtaking rule for identical envelopes).
+///  * `test` is a free, instantaneous completion check (MPI_Test).
+///  * `wait` suspends until completion (MPI_Wait).
+///  * `barrier` is a dissemination-style barrier: all ranks arrive, then pay
+///    ceil(log2(P)) network latencies.
+
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mpi/message.hpp"
+#include "net/network.hpp"
+#include "sim/barrier.hpp"
+#include "sim/task.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::mpi {
+
+class Comm {
+ public:
+  /// Ranks map to network endpoints [endpoint_base, endpoint_base + size).
+  Comm(sim::Scheduler& scheduler, net::Network& network, Rank size,
+       net::EndpointId endpoint_base = 0)
+      : scheduler_(&scheduler),
+        network_(&network),
+        size_(size),
+        endpoint_base_(endpoint_base),
+        barrier_(scheduler, size) {
+    S3A_REQUIRE(size >= 1);
+    S3A_REQUIRE(endpoint_base + size <= network.endpoint_count());
+    mailboxes_.resize(size);
+  }
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  [[nodiscard]] Rank size() const noexcept { return size_; }
+
+  /// Nonblocking send of `bytes` with a structured payload.
+  Request isend(Rank src, Rank dst, Tag tag, std::uint64_t bytes,
+                std::any payload = {}) {
+    S3A_REQUIRE(src < size_ && dst < size_);
+    S3A_REQUIRE_MSG(tag >= 0, "send tag must be non-negative");
+    auto request = std::make_shared<RequestState>(*scheduler_);
+    scheduler_->spawn(
+        deliver(src, dst, tag, bytes, std::move(payload), request));
+    return request;
+  }
+
+  /// Blocking send (MPI_Send): returns when the message has been delivered.
+  sim::Task<void> send(Rank src, Rank dst, Tag tag, std::uint64_t bytes,
+                       std::any payload = {}) {
+    auto request = isend(src, dst, tag, bytes, std::move(payload));
+    co_await request->gate().wait();
+  }
+
+  /// Nonblocking receive; `source`/`tag` may be wildcards.
+  Request irecv(Rank self, Rank source, Tag tag) {
+    S3A_REQUIRE(self < size_);
+    auto request = std::make_shared<RequestState>(*scheduler_);
+    Mailbox& box = mailboxes_[self];
+    for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+      if (matches(source, tag, *it)) {
+        request->message = std::move(*it);
+        box.unexpected.erase(it);
+        request->mark_complete();
+        return request;
+      }
+    }
+    box.posted.push_back(PostedRecv{source, tag, request});
+    return request;
+  }
+
+  /// Blocking receive (MPI_Recv).
+  sim::Task<Message> recv(Rank self, Rank source, Tag tag) {
+    auto request = irecv(self, source, tag);
+    co_await request->gate().wait();
+    co_return std::move(request->message);
+  }
+
+  /// MPI_Test: instantaneous, cost-free completion check.
+  [[nodiscard]] static bool test(const Request& request) {
+    return request->complete();
+  }
+
+  /// MPI_Wait.
+  static sim::Task<void> wait(Request request) {
+    co_await request->gate().wait();
+  }
+
+  /// MPI_Waitall.
+  static sim::Task<void> wait_all(std::vector<Request> requests) {
+    for (auto& request : requests) co_await request->gate().wait();
+  }
+
+  /// MPI_Barrier over all ranks of this communicator.
+  sim::Task<void> barrier() {
+    co_await barrier_.arrive_and_wait();
+    co_await scheduler_->delay(barrier_cost());
+  }
+
+  /// Number of messages sitting unmatched in a rank's unexpected queue.
+  [[nodiscard]] std::size_t unexpected_count(Rank rank) const {
+    S3A_REQUIRE(rank < size_);
+    return mailboxes_[rank].unexpected.size();
+  }
+  /// Number of posted-but-unmatched receives at a rank.
+  [[nodiscard]] std::size_t posted_count(Rank rank) const {
+    S3A_REQUIRE(rank < size_);
+    return mailboxes_[rank].posted.size();
+  }
+
+  [[nodiscard]] net::EndpointId endpoint_of(Rank rank) const noexcept {
+    return endpoint_base_ + rank;
+  }
+
+ private:
+  struct PostedRecv {
+    Rank source;
+    Tag tag;
+    Request request;
+  };
+  struct Mailbox {
+    std::vector<PostedRecv> posted;
+    std::deque<Message> unexpected;
+  };
+
+  [[nodiscard]] static bool matches(Rank want_source, Tag want_tag,
+                                    const Message& message) noexcept {
+    const bool source_ok = want_source == kAnySource || want_source == message.source;
+    const bool tag_ok = want_tag == kAnyTag || want_tag == message.tag;
+    return source_ok && tag_ok;
+  }
+
+  [[nodiscard]] sim::Time barrier_cost() const noexcept {
+    if (size_ <= 1) return 0;
+    const auto rounds = static_cast<double>(
+        std::ceil(std::log2(static_cast<double>(size_))));
+    return static_cast<sim::Time>(rounds) * network_->params().latency;
+  }
+
+  sim::Process deliver(Rank src, Rank dst, Tag tag, std::uint64_t bytes,
+                       std::any payload, Request request) {
+    co_await network_->transfer(endpoint_of(src), endpoint_of(dst), bytes);
+    Message message{src, tag, bytes, std::move(payload)};
+    Mailbox& box = mailboxes_[dst];
+    bool matched = false;
+    for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+      if (matches(it->source, it->tag, message)) {
+        Request receiver = it->request;
+        box.posted.erase(it);
+        receiver->message = std::move(message);
+        receiver->mark_complete();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) box.unexpected.push_back(std::move(message));
+    request->mark_complete();
+  }
+
+  sim::Scheduler* scheduler_;
+  net::Network* network_;
+  Rank size_;
+  net::EndpointId endpoint_base_;
+  sim::Barrier barrier_;
+  std::vector<Mailbox> mailboxes_;
+};
+
+}  // namespace s3asim::mpi

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file message.hpp
+/// Message and request types for the MPI-like layer.
+///
+/// Payloads carry *structured simulation data* (work assignments, score
+/// lists, offset lists) in a std::any; the `bytes` field is what the network
+/// model charges for.  This mirrors how S3aSim itself works: it moves real
+/// MPI messages whose contents are synthetic.
+
+#include <any>
+#include <cstdint>
+#include <memory>
+
+#include "sim/gate.hpp"
+#include "sim/scheduler.hpp"
+
+namespace s3asim::mpi {
+
+using Rank = std::uint32_t;
+using Tag = std::int32_t;
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr Rank kAnySource = 0xffffffffu;
+inline constexpr Tag kAnyTag = -1;
+
+struct Message {
+  Rank source = 0;
+  Tag tag = 0;
+  std::uint64_t bytes = 0;
+  std::any payload{};
+
+  /// Typed payload access; throws std::bad_any_cast on mismatch.
+  template <class T>
+  [[nodiscard]] const T& as() const {
+    return std::any_cast<const T&>(payload);
+  }
+};
+
+/// Shared completion state for nonblocking operations (MPI_Request).
+class RequestState {
+ public:
+  explicit RequestState(sim::Scheduler& scheduler) : gate_(scheduler) {}
+
+  [[nodiscard]] bool complete() const noexcept { return gate_.is_open(); }
+  void mark_complete() { gate_.open(); }
+
+  [[nodiscard]] sim::Gate& gate() noexcept { return gate_; }
+
+  /// For receive requests: the matched message (valid once complete).
+  Message message{};
+
+ private:
+  sim::Gate gate_;
+};
+
+using Request = std::shared_ptr<RequestState>;
+
+}  // namespace s3asim::mpi

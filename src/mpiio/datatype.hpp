@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file datatype.hpp
+/// A miniature MPI derived-datatype system with flattening.
+///
+/// ROMIO supports list I/O on PVFS2 through a "datatype flattening" pass
+/// that turns an arbitrary derived datatype + file view into an offset-
+/// length list (paper §3.1).  The strategies in s3asim describe their
+/// noncontiguous result regions with these datatypes, and the I/O layer
+/// flattens them before choosing POSIX / list / two-phase execution.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pfs/layout.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::mpiio {
+
+using pfs::Extent;
+
+/// An immutable derived datatype: a sequence of (displacement, length)
+/// blocks relative to the datatype's origin, plus an overall extent used
+/// when the type is repeated.
+class Datatype {
+ public:
+  /// A contiguous run of `length` bytes.
+  [[nodiscard]] static Datatype contiguous(std::uint64_t length) {
+    Datatype type;
+    if (length > 0) type.blocks_.push_back(Extent{0, length});
+    type.extent_ = length;
+    return type;
+  }
+
+  /// MPI_Type_vector: `count` blocks of `block_length` bytes, strided by
+  /// `stride` bytes.
+  [[nodiscard]] static Datatype vector(std::uint64_t count,
+                                       std::uint64_t block_length,
+                                       std::uint64_t stride) {
+    S3A_REQUIRE_MSG(stride >= block_length, "vector blocks must not overlap");
+    Datatype type;
+    type.blocks_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+      if (block_length > 0)
+        type.blocks_.push_back(Extent{i * stride, block_length});
+    type.extent_ = count == 0 ? 0 : (count - 1) * stride + block_length;
+    return type;
+  }
+
+  /// MPI_Type_indexed (hindexed flavor): explicit displacement/length pairs.
+  /// Displacements must be non-decreasing and non-overlapping.
+  [[nodiscard]] static Datatype indexed(std::vector<Extent> blocks) {
+    std::uint64_t prev_end = 0;
+    bool first = true;
+    std::uint64_t extent = 0;
+    for (const Extent& block : blocks) {
+      S3A_REQUIRE_MSG(first || block.offset >= prev_end,
+                      "indexed blocks must be sorted and disjoint");
+      prev_end = block.end();
+      extent = std::max(extent, block.end());
+      first = false;
+    }
+    Datatype type;
+    type.blocks_ = std::move(blocks);
+    std::erase_if(type.blocks_, [](const Extent& b) { return b.length == 0; });
+    type.extent_ = extent;
+    return type;
+  }
+
+  /// Concatenation of `count` copies of `element`, each advanced by the
+  /// element's extent (MPI_Type_contiguous over a derived type).
+  [[nodiscard]] static Datatype repeated(const Datatype& element,
+                                         std::uint64_t count) {
+    Datatype type;
+    type.blocks_.reserve(element.blocks_.size() * count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t base = i * element.extent_;
+      for (const Extent& block : element.blocks_)
+        type.blocks_.push_back(Extent{base + block.offset, block.length});
+    }
+    type.extent_ = element.extent_ * count;
+    return type;
+  }
+
+  /// Total bytes of data the type describes.
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    std::uint64_t total = 0;
+    for (const Extent& block : blocks_) total += block.length;
+    return total;
+  }
+
+  /// The span from origin to the end of the last block.
+  [[nodiscard]] std::uint64_t extent() const noexcept { return extent_; }
+
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  [[nodiscard]] const std::vector<Extent>& blocks() const noexcept { return blocks_; }
+
+  /// Flattening: absolute file extents of this type placed at `file_offset`,
+  /// with adjacent blocks coalesced — exactly what list I/O consumes.
+  [[nodiscard]] std::vector<Extent> flatten(std::uint64_t file_offset) const {
+    std::vector<Extent> extents;
+    extents.reserve(blocks_.size());
+    for (const Extent& block : blocks_) {
+      const std::uint64_t offset = file_offset + block.offset;
+      if (!extents.empty() && extents.back().end() == offset) {
+        extents.back().length += block.length;
+      } else {
+        extents.push_back(Extent{offset, block.length});
+      }
+    }
+    return extents;
+  }
+
+ private:
+  Datatype() = default;
+
+  std::vector<Extent> blocks_;
+  std::uint64_t extent_ = 0;
+};
+
+}  // namespace s3asim::mpiio

@@ -1,0 +1,346 @@
+#pragma once
+
+/// \file file.hpp
+/// MPI-IO style file abstraction over the simulated PVFS2.
+///
+/// Independent operations:
+///  * `write_at`            — contiguous write (MPI_File_write_at)
+///  * `write_noncontig`     — noncontiguous write with a flattened extent
+///                            list, executed per the chosen method
+///                            (POSIX per-extent, or PVFS2-native list I/O)
+///  * `sync`                — MPI_File_sync (flush at every server)
+///
+/// Collective operation:
+///  * `write_at_all`        — every participant calls it with its own
+///                            extents; executed either as ROMIO-style
+///                            two-phase I/O or as list-I/O-with-barriers
+///                            (the paper's proposed alternative), per hints.
+///
+/// The inherent synchronization of collective I/O — the effect the paper
+/// sets out to expose — is *structural* here: a participant cannot leave
+/// `write_at_all` before every other participant has arrived and the
+/// aggregators have drained their writes.  `collective_wait(rank)`
+/// reports the accumulated stall.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpiio/datatype.hpp"
+#include "mpiio/hints.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/gate.hpp"
+#include "sim/task.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::mpiio {
+
+class File {
+ public:
+  File(sim::Scheduler& scheduler, net::Network& network, pfs::Pfs& fs,
+       mpi::Comm& comm, pfs::FileHandle handle,
+       std::vector<mpi::Rank> participants, Hints hints = {})
+      : scheduler_(&scheduler),
+        network_(&network),
+        fs_(&fs),
+        comm_(&comm),
+        handle_(handle),
+        participants_(std::move(participants)),
+        hints_(hints) {
+    S3A_REQUIRE_MSG(!participants_.empty(),
+                    "a file needs at least one participant");
+    for (std::size_t slot = 0; slot < participants_.size(); ++slot) {
+      S3A_REQUIRE(participants_[slot] < comm.size());
+      slot_of_[participants_[slot]] = slot;
+    }
+    wait_time_.resize(participants_.size(), 0);
+    next_collective_.resize(participants_.size(), 0);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  [[nodiscard]] const Hints& hints() const noexcept { return hints_; }
+  [[nodiscard]] pfs::FileHandle handle() const noexcept { return handle_; }
+
+  /// Contiguous independent write.
+  sim::Task<void> write_at(mpi::Rank rank, std::uint64_t offset,
+                           std::uint64_t length, std::uint64_t query = 0) {
+    co_await fs_->write_contiguous(handle_, comm_->endpoint_of(rank), offset,
+                                   length, rank, query);
+  }
+
+  /// Independent noncontiguous write of pre-flattened extents.
+  sim::Task<void> write_noncontig(mpi::Rank rank, std::vector<Extent> extents,
+                                  NoncontigMethod method,
+                                  std::uint64_t query = 0) {
+    if (method == NoncontigMethod::Posix) {
+      co_await fs_->write_posix(handle_, comm_->endpoint_of(rank), extents,
+                                rank, query);
+    } else {
+      co_await fs_->write_list(handle_, comm_->endpoint_of(rank), extents,
+                               rank, query);
+    }
+  }
+
+  /// Independent noncontiguous write described by a datatype at an offset.
+  sim::Task<void> write_typed(mpi::Rank rank, std::uint64_t offset,
+                              const Datatype& type, NoncontigMethod method,
+                              std::uint64_t query = 0) {
+    co_await write_noncontig(rank, type.flatten(offset), method, query);
+  }
+
+  /// Contiguous independent read (MPI_File_read_at) — used by
+  /// query-segmentation tools streaming database fragments.
+  sim::Task<void> read_at(mpi::Rank rank, std::uint64_t offset,
+                          std::uint64_t length) {
+    co_await fs_->read_contiguous(handle_, comm_->endpoint_of(rank), offset,
+                                  length);
+  }
+
+  /// MPI_File_sync.
+  sim::Task<void> sync(mpi::Rank rank) {
+    co_await fs_->sync(handle_, comm_->endpoint_of(rank));
+  }
+
+  /// Collective write: must be called once per participant per collective
+  /// round, with that participant's (possibly empty) extent list.
+  sim::Task<void> write_at_all(mpi::Rank rank, std::vector<Extent> extents,
+                               std::uint64_t query = 0) {
+    const std::size_t slot = slot_of(rank);
+    const std::uint64_t id = next_collective_[slot]++;
+    Context& ctx = context(id);
+
+    // ---- Phase 0: arrival (the inherent synchronization). -----------------
+    ctx.extents_by_slot[slot] = std::move(extents);
+    const sim::Time before_arrive = scheduler_->now();
+    if (++ctx.arrived == participants_.size()) {
+      plan(ctx);
+      ctx.all_arrived.open();
+    } else {
+      co_await ctx.all_arrived.wait();
+    }
+    wait_time_[slot] += scheduler_->now() - before_arrive;
+    // Extent/offset allgather cost.
+    co_await scheduler_->delay(allgather_cost());
+
+    if (hints_.collective_algorithm == CollectiveAlgorithm::ListWithSync) {
+      // The paper's proposed collective: everyone writes its own extents
+      // with native list I/O, then synchronizes.
+      co_await fs_->write_list(handle_, comm_->endpoint_of(rank),
+                               ctx.extents_by_slot[slot], rank, query);
+    } else {
+      co_await two_phase_exchange_and_write(ctx, rank, slot, query);
+    }
+
+    // ---- Final phase: leave together. --------------------------------------
+    const sim::Time before_exit = scheduler_->now();
+    if (++ctx.finished == participants_.size()) {
+      ctx.all_finished.open();
+    } else {
+      co_await ctx.all_finished.wait();
+    }
+    wait_time_[slot] += scheduler_->now() - before_exit;
+
+    if (++ctx.departed == participants_.size()) contexts_.erase(id);
+  }
+
+  /// Cumulative time `rank` has spent stalled inside collective calls
+  /// (arrival + exit synchronization; excludes its own writing).
+  [[nodiscard]] sim::Time collective_wait(mpi::Rank rank) const {
+    return wait_time_[slot_of(rank)];
+  }
+
+  [[nodiscard]] const pfs::FileImage& image() const { return fs_->image(handle_); }
+
+ private:
+  struct Context {
+    explicit Context(sim::Scheduler& scheduler, std::size_t parties)
+        : all_arrived(scheduler),
+          all_exchanged(scheduler),
+          all_finished(scheduler),
+          extents_by_slot(parties) {}
+    sim::Gate all_arrived;
+    sim::Gate all_exchanged;
+    sim::Gate all_finished;
+    std::vector<std::vector<Extent>> extents_by_slot;
+    std::size_t arrived = 0;
+    std::size_t exchanged = 0;
+    std::size_t finished = 0;
+    std::size_t departed = 0;
+    // Two-phase plan, computed by the last arriver:
+    std::uint32_t aggregator_count = 0;
+    std::vector<Extent> domains;               // per-aggregator [offset,len)
+    std::vector<std::vector<Extent>> to_write; // merged extents per aggregator
+  };
+
+  [[nodiscard]] std::size_t slot_of(mpi::Rank rank) const {
+    const auto it = slot_of_.find(rank);
+    S3A_REQUIRE_MSG(it != slot_of_.end(), "rank is not a file participant");
+    return it->second;
+  }
+
+  Context& context(std::uint64_t id) {
+    auto it = contexts_.find(id);
+    if (it == contexts_.end()) {
+      it = contexts_
+               .emplace(id, std::make_unique<Context>(*scheduler_,
+                                                      participants_.size()))
+               .first;
+    }
+    return *it->second;
+  }
+
+  [[nodiscard]] sim::Time allgather_cost() const noexcept {
+    const auto parties = static_cast<double>(participants_.size());
+    if (parties <= 1.0) return 0;
+    const auto rounds =
+        static_cast<sim::Time>(std::ceil(std::log2(parties)));
+    return rounds * network_->params().latency;
+  }
+
+  /// Computes the two-phase plan: covered span, per-aggregator file domains
+  /// (evenly split, optionally strip-aligned), and per-aggregator merged
+  /// write lists.
+  void plan(Context& ctx) {
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    std::vector<Extent> all;
+    for (const auto& list : ctx.extents_by_slot) {
+      for (const Extent& extent : list) {
+        if (extent.length == 0) continue;
+        lo = std::min(lo, extent.offset);
+        hi = std::max(hi, extent.end());
+        all.push_back(extent);
+      }
+    }
+    const std::uint32_t parties =
+        static_cast<std::uint32_t>(participants_.size());
+    ctx.aggregator_count =
+        hints_.cb_nodes == 0 ? parties : std::min(hints_.cb_nodes, parties);
+    ctx.domains.assign(ctx.aggregator_count, Extent{});
+    ctx.to_write.assign(ctx.aggregator_count, {});
+    if (all.empty()) return;
+
+    std::uint64_t span = hi - lo;
+    std::uint64_t chunk = (span + ctx.aggregator_count - 1) / ctx.aggregator_count;
+    if (hints_.align_domains_to_strips) {
+      const std::uint64_t strip = fs_->layout().strip_size();
+      chunk = (chunk + strip - 1) / strip * strip;
+    }
+    for (std::uint32_t a = 0; a < ctx.aggregator_count; ++a) {
+      const std::uint64_t start = std::min(hi, lo + a * chunk);
+      const std::uint64_t end = std::min(hi, start + chunk);
+      ctx.domains[a] = Extent{start, end - start};
+    }
+
+    // Merge all extents, then slice per domain.
+    std::sort(all.begin(), all.end(), [](const Extent& a, const Extent& b) {
+      return a.offset < b.offset;
+    });
+    std::vector<Extent> merged;
+    for (const Extent& extent : all) {
+      if (!merged.empty() && merged.back().end() >= extent.offset) {
+        merged.back().length =
+            std::max(merged.back().end(), extent.end()) - merged.back().offset;
+      } else {
+        merged.push_back(extent);
+      }
+    }
+    for (std::uint32_t a = 0; a < ctx.aggregator_count; ++a) {
+      const Extent& domain = ctx.domains[a];
+      for (const Extent& extent : merged) {
+        const std::uint64_t s = std::max(extent.offset, domain.offset);
+        const std::uint64_t e = std::min(extent.end(), domain.end());
+        if (s < e) ctx.to_write[a].push_back(Extent{s, e - s});
+      }
+    }
+  }
+
+  /// Bytes of `extents` falling inside `domain`.
+  [[nodiscard]] static std::uint64_t bytes_in_domain(
+      const std::vector<Extent>& extents, const Extent& domain) noexcept {
+    std::uint64_t total = 0;
+    for (const Extent& extent : extents) {
+      const std::uint64_t s = std::max(extent.offset, domain.offset);
+      const std::uint64_t e = std::min(extent.end(), domain.end());
+      if (s < e) total += e - s;
+    }
+    return total;
+  }
+
+  sim::Process exchange_to(mpi::Rank from, mpi::Rank to, std::uint64_t bytes,
+                           sim::Gate& done) {
+    co_await network_->transfer(comm_->endpoint_of(from), comm_->endpoint_of(to),
+                                bytes);
+    done.open();
+  }
+
+  sim::Task<void> two_phase_exchange_and_write(Context& ctx, mpi::Rank rank,
+                                               std::size_t slot,
+                                               std::uint64_t query) {
+    // ROMIO generic two-phase implementation overhead (see Hints).
+    co_await scheduler_->delay(hints_.two_phase_round_overhead);
+
+    // ---- Phase 1: data exchange to aggregators. ---------------------------
+    const std::vector<Extent>& mine = ctx.extents_by_slot[slot];
+    std::vector<std::unique_ptr<sim::Gate>> sends;
+    for (std::uint32_t a = 0; a < ctx.aggregator_count; ++a) {
+      const std::uint64_t bytes = bytes_in_domain(mine, ctx.domains[a]);
+      if (bytes == 0) continue;
+      auto gate = std::make_unique<sim::Gate>(*scheduler_);
+      scheduler_->spawn(exchange_to(rank, participants_[a], bytes, *gate));
+      sends.push_back(std::move(gate));
+    }
+    for (const auto& gate : sends) co_await gate->wait();
+    if (++ctx.exchanged == participants_.size()) {
+      ctx.all_exchanged.open();
+    } else {
+      co_await ctx.all_exchanged.wait();
+    }
+
+    // ---- Phase 2: aggregators write their domains in cb_buffer_size
+    //      rounds of (mostly) contiguous data. -------------------------------
+    if (slot < ctx.aggregator_count && !ctx.to_write[slot].empty()) {
+      const std::uint64_t round_bytes = std::max<std::uint64_t>(
+          hints_.cb_buffer_size, fs_->layout().strip_size());
+      std::vector<Extent> round;
+      std::uint64_t filled = 0;
+      for (const Extent& extent : ctx.to_write[slot]) {
+        std::uint64_t offset = extent.offset;
+        std::uint64_t remaining = extent.length;
+        while (remaining > 0) {
+          const std::uint64_t take = std::min(remaining, round_bytes - filled);
+          round.push_back(Extent{offset, take});
+          offset += take;
+          remaining -= take;
+          filled += take;
+          if (filled == round_bytes) {
+            co_await fs_->write_list(handle_, comm_->endpoint_of(rank), round,
+                                     rank, query);
+            round.clear();
+            filled = 0;
+          }
+        }
+      }
+      if (!round.empty())
+        co_await fs_->write_list(handle_, comm_->endpoint_of(rank), round,
+                                 rank, query);
+    }
+  }
+
+  sim::Scheduler* scheduler_;
+  net::Network* network_;
+  pfs::Pfs* fs_;
+  mpi::Comm* comm_;
+  pfs::FileHandle handle_;
+  std::vector<mpi::Rank> participants_;
+  Hints hints_;
+  std::map<mpi::Rank, std::size_t> slot_of_;
+  std::vector<sim::Time> wait_time_;
+  std::vector<std::uint64_t> next_collective_;
+  std::map<std::uint64_t, std::unique_ptr<Context>> contexts_;
+};
+
+}  // namespace s3asim::mpiio

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file model.hpp
+/// Network model parameters.  Defaults approximate the paper's testbed
+/// interconnect: Myrinet-2000 (≈ 2 Gb/s links, single-digit-µs latency)
+/// connecting compute nodes and PVFS2 I/O servers (§3.2).
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace s3asim::net {
+
+struct LinkParams {
+  /// One-way wire latency per message.
+  sim::Time latency = sim::microseconds(7.5);
+  /// Per-NIC injection/ejection bandwidth in bytes/second.
+  double bandwidth_bps = 230.0 * 1024 * 1024;
+  /// Fixed per-message software overhead at each endpoint (MPI stack cost).
+  sim::Time per_message_overhead = sim::microseconds(1.5);
+  /// Switch-fabric capacity: the number of transfers that can cross the
+  /// fabric simultaneously.  0 = non-blocking fabric (Myrinet-2000's Clos
+  /// networks were close to full bisection); smaller values model an
+  /// oversubscribed backplane that serializes concurrent wire crossings.
+  std::uint32_t fabric_concurrent_transfers = 0;
+
+  [[nodiscard]] static LinkParams myrinet2000() noexcept { return {}; }
+
+  /// A deliberately slow network for tests that need visible transfer times.
+  [[nodiscard]] static LinkParams slow_test_network() noexcept {
+    LinkParams params;
+    params.latency = sim::microseconds(100);
+    params.bandwidth_bps = 1.0 * 1024 * 1024;
+    params.per_message_overhead = 0;
+    return params;
+  }
+};
+
+/// Identifies an endpoint (a compute node NIC or an I/O-server NIC).
+using EndpointId = std::uint32_t;
+
+}  // namespace s3asim::net

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file disk.hpp
+/// Per-server storage cost model (2006-era commodity I/O node under PVFS2).
+///
+/// Service time of one write request carrying `pairs` offset-length regions
+/// and `bytes` of data:
+///     per_request + pairs * per_pair + bytes / bandwidth
+/// `MPI_File_sync` maps to a dedicated sync request costing `sync_cost`
+/// (forcing dirty data out to the platter, dominated by seek + rotation).
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace s3asim::pfs {
+
+struct DiskModel {
+  /// Fixed cost of accepting and dispatching any request (metadata lookup,
+  /// buffer setup, one head repositioning).
+  sim::Time per_request = sim::milliseconds(2);
+  /// Incremental cost of each noncontiguous region in a request: datatype
+  /// processing plus, dominantly, a head repositioning per scattered region
+  /// on a 2006-era disk (~6 ms seek + rotation).
+  sim::Time per_pair = sim::milliseconds(6);
+  /// Streaming bandwidth of the server's disk subsystem.
+  double bandwidth_bps = 38.0 * 1024 * 1024;
+  /// Base cost of a sync/flush request that has dirty data to push out.
+  sim::Time sync_cost = sim::milliseconds(6);
+  /// Cost of a sync when the server holds no dirty data (cache hit).
+  sim::Time sync_noop_cost = sim::microseconds(200);
+  /// Rate at which dirty data drains to the platter during a sync.
+  double sync_flush_bps = 24.0 * 1024 * 1024;
+
+  [[nodiscard]] sim::Time write_service_time(std::uint64_t pairs,
+                                             std::uint64_t bytes) const noexcept {
+    return per_request + static_cast<sim::Time>(pairs) * per_pair +
+           sim::transfer_time(bytes, bandwidth_bps);
+  }
+
+  /// Service time of an MPI_File_sync-induced flush given the dirty bytes
+  /// accumulated at the server since the last sync.
+  [[nodiscard]] sim::Time sync_service_time(std::uint64_t dirty_bytes) const noexcept {
+    if (dirty_bytes == 0) return sync_noop_cost;
+    return sync_cost + sim::transfer_time(dirty_bytes, sync_flush_bps);
+  }
+
+  /// A fast, uniform model for unit tests that need exact arithmetic.
+  [[nodiscard]] static DiskModel test_model() noexcept {
+    DiskModel model;
+    model.per_request = 1'000;
+    model.per_pair = 100;
+    model.bandwidth_bps = 1e9;  // 1 ns per byte
+    model.sync_cost = 10'000;
+    model.sync_noop_cost = 100;
+    model.sync_flush_bps = 1e9;
+    return model;
+  }
+};
+
+}  // namespace s3asim::pfs

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file file_image.hpp
+/// Logical image of an output file: which byte ranges have been written, by
+/// whom, in what order.  This is the correctness oracle for every I/O
+/// strategy — the paper's guarantee is that workers write to *mutually
+/// exclusive* locations, so any overlap is a bug in the offset-list logic.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pfs/layout.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::pfs {
+
+/// A write recorded against the file, with provenance.
+struct RecordedWrite {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint32_t writer = 0;  // rank or client id
+  std::uint64_t query = 0;   // application-level tag (query index)
+};
+
+class FileImage {
+ public:
+  /// Records a write.  Overlap with existing data is recorded (PVFS2 does
+  /// not serialize or reject overlapping writes) but counted, so tests can
+  /// assert `overlap_count() == 0`.
+  void record_write(std::uint64_t offset, std::uint64_t length,
+                    std::uint32_t writer = 0, std::uint64_t query = 0) {
+    if (length == 0) return;
+    history_.push_back(RecordedWrite{offset, length, writer, query});
+    bytes_written_ += length;
+    insert_interval(offset, length);
+  }
+
+  /// Total bytes across all writes (overlapping bytes counted every time).
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+
+  /// Number of writes that overlapped previously-written data.
+  [[nodiscard]] std::uint64_t overlap_count() const noexcept { return overlaps_; }
+
+  /// Bytes covered by at least one write.
+  [[nodiscard]] std::uint64_t covered_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [offset, end] : intervals_) total += end - offset;
+    return total;
+  }
+
+  /// True iff the union of writes is exactly [0, total) with no overlap.
+  [[nodiscard]] bool covers_exactly(std::uint64_t total) const noexcept {
+    if (overlaps_ != 0) return false;
+    if (total == 0) return intervals_.empty();
+    return intervals_.size() == 1 && intervals_.begin()->first == 0 &&
+           intervals_.begin()->second == total;
+  }
+
+  /// Uncovered holes inside [0, total).
+  [[nodiscard]] std::vector<Extent> gaps(std::uint64_t total) const {
+    std::vector<Extent> holes;
+    std::uint64_t cursor = 0;
+    for (const auto& [offset, end] : intervals_) {
+      if (offset >= total) break;
+      if (offset > cursor) holes.push_back(Extent{cursor, offset - cursor});
+      cursor = std::max(cursor, end);
+    }
+    if (cursor < total) holes.push_back(Extent{cursor, total - cursor});
+    return holes;
+  }
+
+  [[nodiscard]] const std::vector<RecordedWrite>& history() const noexcept {
+    return history_;
+  }
+
+  [[nodiscard]] std::uint64_t write_count() const noexcept { return history_.size(); }
+
+ private:
+  void insert_interval(std::uint64_t offset, std::uint64_t length) {
+    std::uint64_t end = offset + length;
+    // Find the first interval that could overlap or be adjacent.
+    auto it = intervals_.upper_bound(offset);
+    if (it != intervals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= offset) {
+        if (prev->second > offset) ++overlaps_;
+        offset = prev->first;
+        end = std::max(end, prev->second);
+        it = intervals_.erase(prev);
+      }
+    }
+    while (it != intervals_.end() && it->first <= end) {
+      if (it->first < end) ++overlaps_;
+      end = std::max(end, it->second);
+      it = intervals_.erase(it);
+    }
+    intervals_[offset] = end;
+  }
+
+  std::map<std::uint64_t, std::uint64_t> intervals_;  // offset -> end (merged)
+  std::vector<RecordedWrite> history_;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t overlaps_ = 0;
+};
+
+}  // namespace s3asim::pfs

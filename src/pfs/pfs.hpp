@@ -1,0 +1,343 @@
+#pragma once
+
+/// \file pfs.hpp
+/// The simulated parallel file system: N server processes behind network
+/// endpoints, a metadata server, striped file layout, and client-side write
+/// paths (contiguous, POSIX per-extent, native list I/O).
+///
+/// PVFS2 properties modeled (paper §3.1):
+///  * no locking and no atomicity for overlapping writes — requests from
+///    different clients interleave freely with no false-sharing
+///    serialization;
+///  * native noncontiguous support: one list-I/O request ships an arbitrary
+///    OL (offset-length) list to each touched server;
+///  * server-side costs: per-request overhead, per-OL-pair overhead, byte
+///    bandwidth, and an explicit sync (flush) request.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "pfs/disk.hpp"
+#include "pfs/file_image.hpp"
+#include "pfs/layout.hpp"
+#include "sim/channel.hpp"
+#include "sim/gate.hpp"
+#include "sim/task.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::pfs {
+
+struct PfsParams {
+  Layout layout = Layout::paper_default();
+  DiskModel disk{};
+  /// Cost of a metadata operation at the metadata server (create/open).
+  sim::Time metadata_op = sim::microseconds(120);
+  /// Wire size of a request envelope and of each OL pair within it.
+  std::uint64_t request_header_bytes = 64;
+  std::uint64_t pair_header_bytes = 16;
+  /// Wire size of a server acknowledgement.
+  std::uint64_t ack_bytes = 32;
+};
+
+using FileHandle = std::uint32_t;
+
+/// Per-server activity counters.
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t read_bytes = 0;
+  sim::Time busy = 0;
+};
+
+class Pfs {
+ public:
+  /// Servers occupy network endpoints [server_endpoint_base,
+  /// server_endpoint_base + layout.server_count()).  Server 0 doubles as
+  /// the metadata server (matching the paper's configuration).
+  Pfs(sim::Scheduler& scheduler, net::Network& network,
+      net::EndpointId server_endpoint_base, PfsParams params = {})
+      : scheduler_(&scheduler),
+        network_(&network),
+        params_(params),
+        server_endpoint_base_(server_endpoint_base) {
+    const std::uint32_t count = params_.layout.server_count();
+    S3A_REQUIRE(server_endpoint_base + count <= network.endpoint_count());
+    servers_.reserve(count);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      servers_.push_back(std::make_unique<Server>(scheduler));
+      scheduler_->spawn(server_loop(s));
+    }
+  }
+  Pfs(const Pfs&) = delete;
+  Pfs& operator=(const Pfs&) = delete;
+
+  [[nodiscard]] const Layout& layout() const noexcept { return params_.layout; }
+  [[nodiscard]] const PfsParams& params() const noexcept { return params_; }
+
+  /// Stops all server loops (call after the application has quiesced so the
+  /// scheduler can drain to zero live processes).
+  void shutdown() {
+    for (const auto& server : servers_) server->queue.close();
+  }
+
+  /// Creates a file; models a metadata round trip from `client` to the
+  /// metadata server (server 0).
+  sim::Task<FileHandle> create_file(net::EndpointId client, std::string name) {
+    co_await network_->transfer(client, server_endpoint_base_,
+                                params_.request_header_bytes);
+    co_await scheduler_->delay(params_.metadata_op);
+    co_await network_->transfer(server_endpoint_base_, client, params_.ack_bytes);
+    files_.push_back(std::make_unique<FileState>(std::move(name)));
+    co_return static_cast<FileHandle>(files_.size() - 1);
+  }
+
+  /// One contiguous write: at most one OL pair per server, all servers in
+  /// parallel; completes when the slowest server acknowledges.
+  sim::Task<void> write_contiguous(FileHandle file, net::EndpointId client,
+                                   std::uint64_t offset, std::uint64_t length,
+                                   std::uint32_t writer = 0,
+                                   std::uint64_t query = 0) {
+    std::vector<Extent> one{Extent{offset, length}};
+    co_await write_list(file, client, one, writer, query);
+  }
+
+  /// Native list I/O: every extent decomposed and grouped per server; one
+  /// request per touched server carrying that server's whole OL list; all
+  /// servers proceed in parallel.
+  sim::Task<void> write_list(FileHandle file, net::EndpointId client,
+                             const std::vector<Extent>& extents,
+                             std::uint32_t writer = 0, std::uint64_t query = 0) {
+    FileState& state = file_state(file);
+    const auto per_server = params_.layout.group_by_server(extents);
+
+    struct Pending {
+      sim::Gate gate;
+      explicit Pending(sim::Scheduler& s) : gate(s) {}
+    };
+    std::vector<std::unique_ptr<Pending>> pending;
+    for (std::uint32_t s = 0; s < per_server.size(); ++s) {
+      if (per_server[s].empty()) continue;
+      auto entry = std::make_unique<Pending>(*scheduler_);
+      scheduler_->spawn(
+          issue_write(s, client, per_server[s], entry->gate));
+      pending.push_back(std::move(entry));
+    }
+    for (const auto& entry : pending) co_await entry->gate.wait();
+
+    for (const Extent& extent : extents)
+      state.image.record_write(extent.offset, extent.length, writer, query);
+  }
+
+  /// Read of a contiguous range: one request per touched server carrying
+  /// only headers out, data back.  Used by query-segmentation tools that
+  /// stream database fragments from the file system.
+  sim::Task<void> read_contiguous(FileHandle file, net::EndpointId client,
+                                  std::uint64_t offset, std::uint64_t length) {
+    FileState& state = file_state(file);
+    state.bytes_read += length;
+    const auto per_server =
+        params_.layout.group_by_server({Extent{offset, length}});
+    std::vector<std::unique_ptr<sim::Gate>> gates;
+    for (std::uint32_t s = 0; s < per_server.size(); ++s) {
+      if (per_server[s].empty()) continue;
+      auto gate = std::make_unique<sim::Gate>(*scheduler_);
+      scheduler_->spawn(issue_read(s, client, per_server[s], *gate));
+      gates.push_back(std::move(gate));
+    }
+    for (const auto& gate : gates) co_await gate->wait();
+  }
+
+  /// POSIX-style noncontiguous write: one fully-synchronous round trip per
+  /// extent, in order — "the MPI_Write() call without optimization".
+  sim::Task<void> write_posix(FileHandle file, net::EndpointId client,
+                              const std::vector<Extent>& extents,
+                              std::uint32_t writer = 0, std::uint64_t query = 0) {
+    FileState& state = file_state(file);
+    for (const Extent& extent : extents) {
+      const auto per_server = params_.layout.group_by_server({extent});
+      std::vector<std::unique_ptr<sim::Gate>> gates;
+      for (std::uint32_t s = 0; s < per_server.size(); ++s) {
+        if (per_server[s].empty()) continue;
+        auto gate = std::make_unique<sim::Gate>(*scheduler_);
+        scheduler_->spawn(issue_write(s, client, per_server[s], *gate));
+        gates.push_back(std::move(gate));
+      }
+      for (const auto& gate : gates) co_await gate->wait();
+      state.image.record_write(extent.offset, extent.length, writer, query);
+    }
+  }
+
+  /// MPI_File_sync: a flush request to every server, in parallel.
+  sim::Task<void> sync(FileHandle file, net::EndpointId client) {
+    (void)file;  // PVFS2 sync flushes the server-side streams
+    std::vector<std::unique_ptr<sim::Gate>> gates;
+    for (std::uint32_t s = 0; s < servers_.size(); ++s) {
+      auto gate = std::make_unique<sim::Gate>(*scheduler_);
+      scheduler_->spawn(issue_sync(s, client, *gate));
+      gates.push_back(std::move(gate));
+    }
+    for (const auto& gate : gates) co_await gate->wait();
+  }
+
+  [[nodiscard]] const FileImage& image(FileHandle file) const {
+    S3A_REQUIRE(file < files_.size());
+    return files_[file]->image;
+  }
+  [[nodiscard]] const std::string& file_name(FileHandle file) const {
+    S3A_REQUIRE(file < files_.size());
+    return files_[file]->name;
+  }
+  [[nodiscard]] const ServerStats& server_stats(std::uint32_t server) const {
+    S3A_REQUIRE(server < servers_.size());
+    return servers_[server]->stats;
+  }
+  [[nodiscard]] ServerStats aggregate_stats() const {
+    ServerStats total;
+    for (const auto& server : servers_) {
+      total.requests += server->stats.requests;
+      total.pairs += server->stats.pairs;
+      total.bytes += server->stats.bytes;
+      total.syncs += server->stats.syncs;
+      total.reads += server->stats.reads;
+      total.read_bytes += server->stats.read_bytes;
+      total.busy += server->stats.busy;
+    }
+    return total;
+  }
+
+  /// Bytes read from a file so far (query-segmentation database streaming).
+  [[nodiscard]] std::uint64_t bytes_read(FileHandle file) const {
+    S3A_REQUIRE(file < files_.size());
+    return files_[file]->bytes_read;
+  }
+
+ private:
+  struct ServerRequest {
+    std::uint64_t pairs = 0;
+    std::uint64_t bytes = 0;
+    bool is_sync = false;
+    bool is_read = false;
+    net::EndpointId client = 0;
+    sim::Gate* done = nullptr;
+  };
+  struct Server {
+    explicit Server(sim::Scheduler& scheduler) : queue(scheduler) {}
+    sim::Channel<ServerRequest> queue;
+    ServerStats stats;
+    std::uint64_t dirty_bytes = 0;  ///< written since the last sync
+  };
+  struct FileState {
+    explicit FileState(std::string file_name) : name(std::move(file_name)) {}
+    std::string name;
+    FileImage image;
+    std::uint64_t bytes_read = 0;
+  };
+
+  [[nodiscard]] FileState& file_state(FileHandle file) {
+    S3A_REQUIRE(file < files_.size());
+    return *files_[file];
+  }
+
+  [[nodiscard]] net::EndpointId server_endpoint(std::uint32_t server) const noexcept {
+    return server_endpoint_base_ + server;
+  }
+
+  /// Client side of one write request to one server: ship header + data,
+  /// enqueue for service, wait for the ack.
+  sim::Process issue_write(std::uint32_t server, net::EndpointId client,
+                           std::vector<ServerPiece> pieces, sim::Gate& done) {
+    std::uint64_t bytes = 0;
+    for (const ServerPiece& piece : pieces) bytes += piece.length;
+    const std::uint64_t wire_bytes =
+        params_.request_header_bytes +
+        params_.pair_header_bytes * pieces.size() + bytes;
+    co_await network_->transfer(client, server_endpoint(server), wire_bytes);
+    sim::Gate serviced(*scheduler_);
+    ServerRequest request{.pairs = pieces.size(), .bytes = bytes,
+                          .client = client, .done = &serviced};
+    servers_[server]->queue.push(request);
+    co_await serviced.wait();
+    co_await network_->transfer(server_endpoint(server), client, params_.ack_bytes);
+    done.open();
+  }
+
+  /// Client side of one read request: headers out, service, data back.
+  sim::Process issue_read(std::uint32_t server, net::EndpointId client,
+                          std::vector<ServerPiece> pieces, sim::Gate& done) {
+    std::uint64_t bytes = 0;
+    for (const ServerPiece& piece : pieces) bytes += piece.length;
+    const std::uint64_t request_bytes =
+        params_.request_header_bytes + params_.pair_header_bytes * pieces.size();
+    co_await network_->transfer(client, server_endpoint(server), request_bytes);
+    sim::Gate serviced(*scheduler_);
+    ServerRequest request{.pairs = pieces.size(), .bytes = bytes,
+                          .client = client, .done = &serviced};
+    request.is_read = true;
+    servers_[server]->queue.push(request);
+    co_await serviced.wait();
+    co_await network_->transfer(server_endpoint(server), client,
+                                params_.ack_bytes + bytes);
+    done.open();
+  }
+
+  sim::Process issue_sync(std::uint32_t server, net::EndpointId client,
+                          sim::Gate& done) {
+    co_await network_->transfer(client, server_endpoint(server),
+                                params_.request_header_bytes);
+    sim::Gate serviced(*scheduler_);
+    ServerRequest request{.is_sync = true, .client = client,
+                          .done = &serviced};
+    servers_[server]->queue.push(request);
+    co_await serviced.wait();
+    co_await network_->transfer(server_endpoint(server), client, params_.ack_bytes);
+    done.open();
+  }
+
+  /// Server process: FIFO service of queued requests.
+  sim::Process server_loop(std::uint32_t index) {
+    Server& server = *servers_[index];
+    while (auto request = co_await server.queue.pop()) {
+      if (request->is_sync) {
+        const sim::Time service =
+            params_.disk.sync_service_time(server.dirty_bytes);
+        server.dirty_bytes = 0;
+        co_await scheduler_->delay(service);
+        ++server.stats.syncs;
+        server.stats.busy += service;
+      } else if (request->is_read) {
+        // Reads use the same mechanical cost model but leave no dirty data.
+        const sim::Time service =
+            params_.disk.write_service_time(request->pairs, request->bytes);
+        co_await scheduler_->delay(service);
+        ++server.stats.reads;
+        server.stats.read_bytes += request->bytes;
+        server.stats.busy += service;
+      } else {
+        const sim::Time service =
+            params_.disk.write_service_time(request->pairs, request->bytes);
+        server.dirty_bytes += request->bytes;
+        co_await scheduler_->delay(service);
+        ++server.stats.requests;
+        server.stats.pairs += request->pairs;
+        server.stats.bytes += request->bytes;
+        server.stats.busy += service;
+      }
+      request->done->open();
+    }
+  }
+
+  sim::Scheduler* scheduler_;
+  net::Network* network_;
+  PfsParams params_;
+  net::EndpointId server_endpoint_base_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<FileState>> files_;
+};
+
+}  // namespace s3asim::pfs

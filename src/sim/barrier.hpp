@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file barrier.hpp
+/// Reusable (cyclic) synchronization barrier for a fixed party count.
+/// Models MPI_Barrier and the paper's "query sync" option.
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::sim {
+
+class Barrier {
+ public:
+  Barrier(Scheduler& scheduler, std::size_t parties)
+      : scheduler_(&scheduler), parties_(parties) {
+    S3A_REQUIRE(parties >= 1);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  struct ArriveAwaiter {
+    Barrier& barrier;
+    [[nodiscard]] bool await_ready() {
+      if (++barrier.arrived_ == barrier.parties_) {
+        barrier.arrived_ = 0;
+        ++barrier.generation_;
+        for (const auto handle : barrier.waiters_)
+          barrier.scheduler_->schedule_now(handle);
+        barrier.waiters_.clear();
+        return true;  // last arriver proceeds immediately
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      barrier.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Blocks until `parties` processes have arrived; then all proceed and the
+  /// barrier resets for the next cycle.
+  [[nodiscard]] ArriveAwaiter arrive_and_wait() noexcept {
+    return ArriveAwaiter{*this};
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+  [[nodiscard]] std::size_t arrived() const noexcept { return arrived_; }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  Scheduler* scheduler_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_{};
+};
+
+}  // namespace s3asim::sim

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file channel.hpp
+/// Unbounded closeable mailbox.  The producer side never blocks; consumers
+/// `co_await channel.pop()` and receive `std::nullopt` once the channel is
+/// closed and drained.  Server loops (PFS servers, the MPI progress engine)
+/// are written as `while (auto item = co_await ch.pop()) { ... }` so the
+/// whole simulation reaches quiescence when drivers close their channels.
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::sim {
+
+template <class T>
+class Channel {
+ public:
+  explicit Channel(Scheduler& scheduler) noexcept : scheduler_(&scheduler) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Delivers an item; wakes the longest-waiting consumer if any.
+  void push(T item) {
+    S3A_REQUIRE_MSG(!closed_, "push to a closed channel");
+    if (!poppers_.empty()) {
+      PopAwaiter* popper = poppers_.front();
+      poppers_.pop_front();
+      popper->result.emplace(std::move(item));
+      scheduler_->schedule_now(popper->waiter);
+    } else {
+      items_.push_back(std::move(item));
+    }
+  }
+
+  /// Closes the channel: queued items still drain, waiting (and future)
+  /// consumers get std::nullopt once empty.  Idempotent.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    for (PopAwaiter* popper : poppers_) scheduler_->schedule_now(popper->waiter);
+    poppers_.clear();
+  }
+
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  struct PopAwaiter {
+    Channel& channel;
+    std::optional<T> result{};
+    std::coroutine_handle<> waiter{};
+
+    [[nodiscard]] bool await_ready() {
+      if (!channel.items_.empty()) {
+        result.emplace(std::move(channel.items_.front()));
+        channel.items_.pop_front();
+        return true;
+      }
+      return channel.closed_;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      waiter = handle;
+      channel.poppers_.push_back(this);
+    }
+    std::optional<T> await_resume() {
+      // A consumer woken by close() may still find late items absent;
+      // a consumer woken by push() has its result deposited directly.
+      if (!result && !channel.items_.empty()) {
+        result.emplace(std::move(channel.items_.front()));
+        channel.items_.pop_front();
+      }
+      return std::move(result);
+    }
+  };
+
+  /// Awaitable pop: yields the next item or std::nullopt when closed+empty.
+  [[nodiscard]] PopAwaiter pop() noexcept { return PopAwaiter{*this}; }
+
+ private:
+  Scheduler* scheduler_;
+  std::deque<T> items_{};
+  std::deque<PopAwaiter*> poppers_{};
+  bool closed_ = false;
+};
+
+}  // namespace s3asim::sim

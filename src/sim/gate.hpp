@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file gate.hpp
+/// One-shot event: processes `co_await gate.wait()` until someone calls
+/// `open()`.  Used for request completion (MPI_Wait-style) and shutdown
+/// signalling.  Waiters are released through the scheduler queue so wakeup
+/// order is deterministic (FIFO at the same instant).
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace s3asim::sim {
+
+class Gate {
+ public:
+  explicit Gate(Scheduler& scheduler) noexcept : scheduler_(&scheduler) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  /// Opens the gate, releasing current and future waiters.  Idempotent.
+  void open() {
+    if (open_) return;
+    open_ = true;
+    for (const auto handle : waiters_) scheduler_->schedule_now(handle);
+    waiters_.clear();
+  }
+
+  [[nodiscard]] bool is_open() const noexcept { return open_; }
+
+  struct WaitAwaiter {
+    Gate& gate;
+    [[nodiscard]] bool await_ready() const noexcept { return gate.open_; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      gate.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] WaitAwaiter wait() noexcept { return WaitAwaiter{*this}; }
+
+ private:
+  Scheduler* scheduler_;
+  bool open_ = false;
+  std::vector<std::coroutine_handle<>> waiters_{};
+};
+
+}  // namespace s3asim::sim

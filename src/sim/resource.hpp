@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file resource.hpp
+/// Counting FIFO resource — models anything that serializes work: a NIC
+/// transmit path, a disk head, a server request pipeline.  `capacity`
+/// concurrent holders; further acquirers queue in arrival order.
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::sim {
+
+class Resource {
+ public:
+  explicit Resource(Scheduler& scheduler, std::uint32_t capacity = 1)
+      : scheduler_(&scheduler), capacity_(capacity) {
+    S3A_REQUIRE(capacity >= 1);
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  struct AcquireAwaiter {
+    Resource& resource;
+    [[nodiscard]] bool await_ready() const noexcept {
+      if (resource.in_use_ < resource.capacity_) {
+        ++resource.in_use_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      resource.waiters_.push_back(handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable acquire; pair with `release()` or use `ResourceHold`.
+  [[nodiscard]] AcquireAwaiter acquire() noexcept { return AcquireAwaiter{*this}; }
+
+  /// Releases one slot.  If a waiter is queued, the slot is handed over
+  /// directly (in_use_ stays constant) and the waiter resumes at `now`.
+  void release() {
+    S3A_CHECK_MSG(in_use_ > 0, "release without acquire");
+    if (!waiters_.empty()) {
+      const auto handle = waiters_.front();
+      waiters_.pop_front();
+      scheduler_->schedule_now(handle);
+    } else {
+      --in_use_;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept { return waiters_.size(); }
+
+ private:
+  Scheduler* scheduler_;
+  std::uint32_t capacity_;
+  std::uint32_t in_use_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_{};
+};
+
+/// RAII release for a slot that has already been acquired:
+///   co_await resource.acquire();
+///   ResourceHold hold{resource};
+class ResourceHold {
+ public:
+  explicit ResourceHold(Resource& resource) noexcept : resource_(&resource) {}
+  ResourceHold(ResourceHold&& other) noexcept
+      : resource_(std::exchange(other.resource_, nullptr)) {}
+  ResourceHold(const ResourceHold&) = delete;
+  ResourceHold& operator=(const ResourceHold&) = delete;
+  ResourceHold& operator=(ResourceHold&&) = delete;
+  ~ResourceHold() {
+    if (resource_ != nullptr) resource_->release();
+  }
+
+ private:
+  Resource* resource_;
+};
+
+}  // namespace s3asim::sim

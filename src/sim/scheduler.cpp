@@ -1,0 +1,40 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace s3asim::sim {
+
+std::size_t Scheduler::run() {
+  std::size_t resumed = 0;
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.at;
+    entry.handle.resume();
+    ++resumed;
+    if (first_error_) {
+      auto error = std::exchange(first_error_, nullptr);
+      std::rethrow_exception(error);
+    }
+  }
+  return resumed;
+}
+
+std::size_t Scheduler::run_until(Time deadline) {
+  std::size_t resumed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.at;
+    entry.handle.resume();
+    ++resumed;
+    if (first_error_) {
+      auto error = std::exchange(first_error_, nullptr);
+      std::rethrow_exception(error);
+    }
+  }
+  if (now_ < deadline) now_ = deadline;
+  return resumed;
+}
+
+}  // namespace s3asim::sim

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// The discrete-event scheduler.  Every suspension point in the simulator
+/// (delays, message arrivals, resource grants, barrier releases) funnels
+/// through this queue, which orders events by (time, insertion sequence) —
+/// FIFO among simultaneous events — so runs are fully deterministic.
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::sim {
+
+class Process;
+
+/// Single-threaded discrete-event scheduler.
+///
+/// Coroutine frames are owned by their parents (`Task` objects live in the
+/// awaiting frame); top-level `Process` frames self-destroy at completion.
+/// A simulation is expected to run to quiescence — `run()` drains the queue
+/// and `live_processes()` must reach zero (server loops exit via closed
+/// channels).  Destroying a scheduler with live processes leaks their
+/// frames; tests assert quiescence instead.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Enqueues a coroutine to resume at absolute time `at` (>= now()).
+  void schedule_at(std::coroutine_handle<> handle, Time at) {
+    S3A_CHECK_MSG(at >= now_, "cannot schedule into the past");
+    queue_.push(Entry{at, next_seq_++, handle});
+  }
+
+  /// Enqueues a coroutine to resume at the current time, after all events
+  /// already enqueued for this instant (FIFO fairness).
+  void schedule_now(std::coroutine_handle<> handle) { schedule_at(handle, now_); }
+
+  /// Starts a top-level detached process at the current time.
+  void spawn(Process process);
+
+  /// Runs until the event queue is empty.  Returns the number of resumptions
+  /// performed.  Rethrows the first exception that escaped any process.
+  std::size_t run();
+
+  /// Runs until the queue is empty or simulated time would exceed
+  /// `deadline`; events after the deadline stay queued.
+  std::size_t run_until(Time deadline);
+
+  [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
+  [[nodiscard]] std::size_t live_processes() const noexcept { return live_; }
+  [[nodiscard]] std::size_t finished_processes() const noexcept { return finished_; }
+
+  /// Awaitable: suspend the current coroutine for `duration` sim-time.
+  struct DelayAwaiter {
+    Scheduler& scheduler;
+    Time duration;
+    [[nodiscard]] bool await_ready() const noexcept { return duration <= 0; }
+    void await_suspend(std::coroutine_handle<> handle) const {
+      scheduler.schedule_at(handle, scheduler.now() + duration);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] DelayAwaiter delay(Time duration) noexcept {
+    return DelayAwaiter{*this, duration};
+  }
+
+  /// Awaitable: yield to other same-time events, resuming afterwards.
+  [[nodiscard]] DelayAwaiter yield() noexcept { return DelayAwaiter{*this, 1}; }
+
+  // Process bookkeeping (used by Process' promise; not for applications).
+  void note_process_started() noexcept { ++live_; }
+  void note_process_finished() noexcept {
+    --live_;
+    ++finished_;
+  }
+  void note_process_failed(std::exception_ptr error) noexcept {
+    if (!first_error_) first_error_ = error;
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::size_t finished_ = 0;
+  std::exception_ptr first_error_{};
+};
+
+}  // namespace s3asim::sim

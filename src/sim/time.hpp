@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file time.hpp
+/// Simulated-time representation.  Integer nanoseconds keep event ordering
+/// exact and platform-independent (doubles would make event order depend on
+/// rounding, breaking the bit-for-bit determinism the paper relies on).
+
+#include <cmath>
+#include <cstdint>
+
+namespace s3asim::sim {
+
+/// Simulated time / duration in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+[[nodiscard]] constexpr Time nanoseconds(std::int64_t n) noexcept { return n; }
+
+[[nodiscard]] inline Time microseconds(double us) noexcept {
+  return static_cast<Time>(std::llround(us * 1e3));
+}
+
+[[nodiscard]] inline Time milliseconds(double ms) noexcept {
+  return static_cast<Time>(std::llround(ms * 1e6));
+}
+
+[[nodiscard]] inline Time seconds(double s) noexcept {
+  return static_cast<Time>(std::llround(s * 1e9));
+}
+
+[[nodiscard]] constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+[[nodiscard]] constexpr double to_milliseconds(Time t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+
+/// Duration of moving `bytes` at `bytes_per_second`, rounded to whole ns.
+[[nodiscard]] inline Time transfer_time(std::uint64_t bytes,
+                                        double bytes_per_second) noexcept {
+  if (bytes_per_second <= 0.0) return 0;
+  return static_cast<Time>(
+      std::llround(static_cast<double>(bytes) / bytes_per_second * 1e9));
+}
+
+}  // namespace s3asim::sim

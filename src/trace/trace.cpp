@@ -1,0 +1,120 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace s3asim::trace {
+
+std::vector<std::pair<std::string, sim::Time>> TraceLog::totals_for_rank(
+    std::uint32_t rank) const {
+  std::map<std::string, sim::Time> totals;
+  for (const Interval& interval : intervals_)
+    if (interval.rank == rank) totals[interval.category] += interval.duration();
+  return {totals.begin(), totals.end()};
+}
+
+std::string TraceLog::render_gantt(unsigned width) const {
+  S3A_REQUIRE(width >= 10);
+  if (intervals_.empty()) return "(empty trace)\n";
+
+  sim::Time makespan = 0;
+  std::uint32_t max_rank = 0;
+  for (const Interval& interval : intervals_) {
+    makespan = std::max(makespan, interval.end);
+    max_rank = std::max(max_rank, interval.rank);
+  }
+  if (makespan == 0) return "(zero-length trace)\n";
+
+  // Assign each category a glyph: its first letter if free, otherwise any
+  // later letter of the name, otherwise a palette character.
+  std::map<std::string, char> glyphs;
+  std::string used;
+  const std::string palette = "*+=@%&$!0123456789";
+  for (const Interval& interval : intervals_) {
+    if (glyphs.contains(interval.category)) continue;
+    char glyph = 0;
+    for (const char c : interval.category) {
+      const char upper =
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      if (std::isalpha(static_cast<unsigned char>(upper)) &&
+          used.find(upper) == std::string::npos) {
+        glyph = upper;
+        break;
+      }
+    }
+    if (glyph == 0) {
+      for (const char c : palette) {
+        if (used.find(c) == std::string::npos) {
+          glyph = c;
+          break;
+        }
+      }
+    }
+    if (glyph == 0) glyph = '?';
+    used += glyph;
+    glyphs.emplace(interval.category, glyph);
+  }
+
+  std::ostringstream out;
+  out << "time span: " << util::format_seconds(sim::to_seconds(makespan))
+      << ", one column = "
+      << util::format_seconds(sim::to_seconds(makespan) / width) << "\n";
+  for (const auto& [category, glyph] : glyphs)
+    out << "  " << glyph << " = " << category << "\n";
+
+  for (std::uint32_t rank = 0; rank <= max_rank; ++rank) {
+    // For each column pick the category with the most coverage.
+    std::vector<std::map<std::string, sim::Time>> columns(width);
+    bool any = false;
+    for (const Interval& interval : intervals_) {
+      if (interval.rank != rank) continue;
+      any = true;
+      const auto first_col = static_cast<std::size_t>(
+          interval.start * static_cast<sim::Time>(width) / makespan);
+      auto last_col = static_cast<std::size_t>(
+          interval.end * static_cast<sim::Time>(width) / makespan);
+      last_col = std::min<std::size_t>(last_col, width - 1);
+      for (std::size_t col = first_col; col <= last_col; ++col) {
+        const sim::Time col_start =
+            static_cast<sim::Time>(col) * makespan / static_cast<sim::Time>(width);
+        const sim::Time col_end = static_cast<sim::Time>(col + 1) * makespan /
+                                  static_cast<sim::Time>(width);
+        const sim::Time overlap = std::min(interval.end, col_end) -
+                                  std::max(interval.start, col_start);
+        if (overlap > 0) columns[col][interval.category] += overlap;
+      }
+    }
+    if (!any) continue;
+    out << "rank " << rank << (rank < 10 ? "  |" : " |");
+    for (const auto& column : columns) {
+      if (column.empty()) {
+        out << ' ';
+        continue;
+      }
+      const auto best = std::max_element(
+          column.begin(), column.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      out << glyphs.at(best->first);
+    }
+    out << "|\n";
+  }
+  return out.str();
+}
+
+void TraceLog::export_csv(const std::string& path) const {
+  util::CsvWriter csv(path);
+  csv.write_row({"rank", "category", "start_s", "end_s"});
+  for (const Interval& interval : intervals_) {
+    csv.write_row({std::to_string(interval.rank), interval.category,
+                   util::format_fixed(sim::to_seconds(interval.start), 9),
+                   util::format_fixed(sim::to_seconds(interval.end), 9)});
+  }
+}
+
+}  // namespace s3asim::trace

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file trace.hpp
+/// Execution tracing — the MPE/Jumpshot substitute (paper §3: S3aSim
+/// integrates with MPE and Jumpshot for debugging).  Phase intervals are
+/// recorded per rank and can be rendered as a text Gantt chart or exported
+/// as CSV for external plotting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace s3asim::trace {
+
+struct Interval {
+  std::uint32_t rank = 0;
+  std::string category;   ///< phase name or custom label
+  sim::Time start = 0;
+  sim::Time end = 0;
+
+  [[nodiscard]] sim::Time duration() const noexcept { return end - start; }
+};
+
+class TraceLog {
+ public:
+  void record(std::uint32_t rank, std::string category, sim::Time start,
+              sim::Time end) {
+    if (end < start) return;  // clock misuse; drop rather than corrupt
+    intervals_.push_back(Interval{rank, std::move(category), start, end});
+  }
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return intervals_.size(); }
+  void clear() noexcept { intervals_.clear(); }
+
+  /// Total time per (rank, category).
+  [[nodiscard]] std::vector<std::pair<std::string, sim::Time>> totals_for_rank(
+      std::uint32_t rank) const;
+
+  /// Renders an ASCII Gantt chart: one row per rank, `width` columns across
+  /// [0, makespan], each cell showing the category most present in its slice.
+  [[nodiscard]] std::string render_gantt(unsigned width = 100) const;
+
+  /// Writes "rank,category,start_s,end_s" rows.
+  void export_csv(const std::string& path) const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace s3asim::trace

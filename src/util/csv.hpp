@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV writer.  Each bench binary mirrors its printed table into a
+/// CSV so the figures can be re-plotted without re-running the simulation.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace s3asim::util {
+
+/// RFC-4180-ish CSV writer (quotes cells containing commas/quotes/newlines).
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row_numeric(const std::string& label,
+                         const std::vector<double>& values);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace s3asim::util

@@ -1,0 +1,132 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace s3asim::util {
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (!out_.str().empty())
+      throw std::logic_error("JsonWriter: more than one top-level value");
+    return;
+  }
+  if (stack_.back() == Frame::Object) {
+    if (!pending_key_)
+      throw std::logic_error("JsonWriter: value inside object needs a key");
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Frame::Object);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::Object || pending_key_)
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  out_ << '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Frame::Array);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::Array)
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  out_ << ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+}
+
+void JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Frame::Object || pending_key_)
+    throw std::logic_error("JsonWriter: key outside object");
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& text) {
+  before_value();
+  out_ << '"' << escape(text) << '"';
+}
+
+void JsonWriter::value(const char* text) { value(std::string(text)); }
+
+void JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    out_ << "null";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", number);
+  out_ << buffer;
+}
+
+void JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ << number;
+}
+
+void JsonWriter::value(bool boolean) {
+  before_value();
+  out_ << (boolean ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty())
+    throw std::logic_error("JsonWriter: unbalanced containers at str()");
+  return out_.str();
+}
+
+std::string JsonWriter::escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace s3asim::util

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file json.hpp
+/// A minimal JSON *writer* (no parsing): enough to export run statistics
+/// for external tooling.  Produces deterministic, valid JSON with escaped
+/// strings and locale-independent numbers.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace s3asim::util {
+
+/// Streaming JSON writer with explicit structure calls:
+///
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("name"); json.value("WW-List");
+///   json.key("procs"); json.value(96);
+///   json.key("phases"); json.begin_array();
+///   ...
+///   json.end_array();
+///   json.end_object();
+///   std::string text = json.str();
+///
+/// The writer tracks whether a comma is needed; misuse (value without a
+/// key inside an object, unbalanced end calls) throws std::logic_error.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; must be inside an object and followed by a value
+  /// or container.
+  void key(const std::string& name);
+
+  void value(const std::string& text);
+  void value(const char* text);
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(bool boolean);
+  void null();
+
+  /// Finished document text.  Throws if containers are unbalanced.
+  [[nodiscard]] std::string str() const;
+
+  /// Escapes a string for embedding in JSON (quotes not included).
+  [[nodiscard]] static std::string escape(const std::string& text);
+
+ private:
+  enum class Frame { Object, Array };
+  void before_value();
+
+  std::ostringstream out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace s3asim::util

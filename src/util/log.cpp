@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <cctype>
+#include <iostream>
+#include <stdexcept>
+
+namespace s3asim::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  throw std::invalid_argument("unknown log level '" + name + "'");
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::ostream& out = static_cast<int>(level) >= static_cast<int>(LogLevel::Warn)
+                          ? std::cerr
+                          : std::clog;
+  out << "[" << to_string(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace s3asim::util

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file log.hpp
+/// Leveled logging with a process-global level.  Default level is Warn so
+/// benches and tests stay quiet; examples raise it to Info.
+
+#include <sstream>
+#include <string>
+
+namespace s3asim::util {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Sets/gets the global log threshold (not thread-safe by design: the
+/// simulator is single-threaded; see DESIGN.md §2).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// Parses "debug", "INFO", ... (case-insensitive). Throws on unknown names.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace s3asim::util
+
+#define S3A_LOG(level, ...)                                                  \
+  do {                                                                       \
+    if (static_cast<int>(level) >=                                           \
+        static_cast<int>(::s3asim::util::log_level())) {                     \
+      std::ostringstream s3a_log_stream__;                                   \
+      s3a_log_stream__ << __VA_ARGS__;                                       \
+      ::s3asim::util::detail::emit(level, s3a_log_stream__.str());           \
+    }                                                                        \
+  } while (0)
+
+#define S3A_LOG_DEBUG(...) S3A_LOG(::s3asim::util::LogLevel::Debug, __VA_ARGS__)
+#define S3A_LOG_INFO(...) S3A_LOG(::s3asim::util::LogLevel::Info, __VA_ARGS__)
+#define S3A_LOG_WARN(...) S3A_LOG(::s3asim::util::LogLevel::Warn, __VA_ARGS__)
+#define S3A_LOG_ERROR(...) S3A_LOG(::s3asim::util::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file require.hpp
+/// Lightweight contract-checking macros used across all s3asim modules.
+///
+/// S3A_REQUIRE  — precondition check, always on, throws std::invalid_argument.
+/// S3A_CHECK    — internal invariant check, always on, throws std::logic_error.
+///
+/// Following the C++ Core Guidelines (I.6/E.12), violated contracts are
+/// reported with the failing expression and source location so that callers
+/// (and tests) can assert on them.
+
+#include <stdexcept>
+#include <string>
+
+namespace s3asim::util {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr,
+                                                   const char* file, int line,
+                                                   const std::string& msg) {
+  throw std::invalid_argument(std::string("requirement failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void throw_invariant_failure(const char* expr,
+                                                 const char* file, int line,
+                                                 const std::string& msg) {
+  throw std::logic_error(std::string("invariant failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace s3asim::util
+
+#define S3A_REQUIRE(expr)                                                     \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::s3asim::util::throw_requirement_failure(#expr, __FILE__, __LINE__,    \
+                                                "");                          \
+  } while (0)
+
+#define S3A_REQUIRE_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::s3asim::util::throw_requirement_failure(#expr, __FILE__, __LINE__,    \
+                                                (msg));                       \
+  } while (0)
+
+#define S3A_CHECK(expr)                                                       \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::s3asim::util::throw_invariant_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define S3A_CHECK_MSG(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::s3asim::util::throw_invariant_failure(#expr, __FILE__, __LINE__,      \
+                                              (msg));                         \
+  } while (0)

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for the simulator.
+///
+/// S3aSim requires bit-identical workloads regardless of simulated process
+/// count, platform, or standard-library version (the paper: "the results are
+/// always identical since they are pseudo-randomly generated").  We therefore
+/// avoid std::mt19937 + std::*_distribution (whose algorithms are
+/// implementation-defined for the real distributions) and ship our own
+/// xoshiro256** generator plus the handful of distributions the workload
+/// model needs.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace s3asim::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+/// Reference: Sebastiano Vigna, public-domain implementation.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x5eedf00ddeadbeefULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), lo <= hi.  Uses Lemire-style
+  /// rejection-free scaling acceptable for simulation workloads.
+  constexpr std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t span = hi - lo;
+    if (span == std::numeric_limits<std::uint64_t>::max()) return (*this)();
+    // 128-bit multiply-shift maps a 64-bit draw onto [0, span].
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) *
+        static_cast<unsigned __int128>(span + 1);
+    return lo + static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Derives an independent child generator; used to give each (query,
+  /// fragment) pair its own stream so results do not depend on scheduling.
+  constexpr Xoshiro256 fork(std::uint64_t stream_id) noexcept {
+    SplitMix64 sm(state_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x1234abcdULL));
+    Xoshiro256 child(sm.next());
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stable 64-bit hash combiner for deriving per-entity seeds.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  SplitMix64 sm(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+  return sm.next();
+}
+
+}  // namespace s3asim::util

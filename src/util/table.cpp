@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace s3asim::util {
+
+TextTable::TextTable(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label,
+                                const std::vector<double>& values,
+                                int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double v : values) cells.push_back(format_fixed(v, decimals));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::size_t columns = headers_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  };
+  measure(headers_);
+  for (const auto& row : rows_) measure(row);
+
+  auto align_of = [&](std::size_t c) {
+    if (c < aligns_.size()) return aligns_[c];
+    return c == 0 ? Align::Left : Align::Right;
+  };
+  auto emit_row = [&](std::ostringstream& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = widths[c] - cell.size();
+      out << (c == 0 ? "| " : " ");
+      if (align_of(c) == Align::Right) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  std::ostringstream rule;
+  for (std::size_t c = 0; c < columns; ++c)
+    rule << (c == 0 ? "+" : "") << std::string(widths[c] + 2, '-') << "+";
+  rule << '\n';
+
+  out << rule.str();
+  if (!headers_.empty()) {
+    emit_row(out, headers_);
+    out << rule.str();
+  }
+  for (const auto& row : rows_) emit_row(out, row);
+  out << rule.str();
+  return out.str();
+}
+
+}  // namespace s3asim::util

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table rendering for the benchmark harness — every figure/table of
+/// the paper is regenerated as one of these plus a CSV file.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace s3asim::util {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// A simple row/column text table.  Rows are added as vectors of cells; the
+/// renderer pads every column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  /// Appends a row.  Short rows are padded with empty cells; long rows
+  /// extend the column set.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int decimals = 2);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+    return os << t.render();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace s3asim::util

@@ -1,0 +1,75 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace s3asim::util {
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= GiB)
+    return format_fixed(static_cast<double>(bytes) / static_cast<double>(GiB)) + " GiB";
+  if (bytes >= MiB)
+    return format_fixed(static_cast<double>(bytes) / static_cast<double>(MiB)) + " MiB";
+  if (bytes >= KiB)
+    return format_fixed(static_cast<double>(bytes) / static_cast<double>(KiB)) + " KiB";
+  return std::to_string(bytes) + " B";
+}
+
+std::uint64_t parse_bytes(std::string_view text) {
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.'))
+    ++pos;
+  if (pos == 0) throw std::invalid_argument("parse_bytes: no leading number");
+  const std::string number(text.substr(0, pos));
+  double value = 0.0;
+  try {
+    value = std::stod(number);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_bytes: bad number '" + number + "'");
+  }
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+    ++pos;
+  std::string unit(text.substr(pos));
+  for (char& c : unit) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  double multiplier = 1.0;
+  if (unit.empty() || unit == "b") {
+    multiplier = 1.0;
+  } else if (unit == "kib" || unit == "k") {
+    multiplier = static_cast<double>(KiB);
+  } else if (unit == "mib" || unit == "m") {
+    multiplier = static_cast<double>(MiB);
+  } else if (unit == "gib" || unit == "g") {
+    multiplier = static_cast<double>(GiB);
+  } else if (unit == "kb") {
+    multiplier = 1e3;
+  } else if (unit == "mb") {
+    multiplier = 1e6;
+  } else if (unit == "gb") {
+    multiplier = 1e9;
+  } else {
+    throw std::invalid_argument("parse_bytes: unknown unit '" + unit + "'");
+  }
+  const double total = value * multiplier;
+  if (total < 0.0 || std::isnan(total))
+    throw std::invalid_argument("parse_bytes: negative or NaN size");
+  return static_cast<std::uint64_t>(std::llround(total));
+}
+
+std::string format_seconds(double seconds) {
+  const double magnitude = std::fabs(seconds);
+  if (magnitude >= 1.0) return format_fixed(seconds) + " s";
+  if (magnitude >= 1e-3) return format_fixed(seconds * 1e3) + " ms";
+  if (magnitude >= 1e-6) return format_fixed(seconds * 1e6) + " us";
+  return format_fixed(seconds * 1e9) + " ns";
+}
+
+}  // namespace s3asim::util

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file units.hpp
+/// Byte-size and time formatting/parsing helpers shared by the reporting
+/// layers (tables, traces, benches).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace s3asim::util {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// "1.25 MiB", "64 KiB", "17 B".  Two significant decimals.
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Parses "64KiB", "1.5 MiB", "208MB" (decimal MB = 1e6), plain "4096".
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] std::uint64_t parse_bytes(std::string_view text);
+
+/// "12.34 s", "5.6 ms", "780 us", "3 ns" from a second count.
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// Fixed-width "%.2f" double rendering (locale-independent).
+[[nodiscard]] std::string format_fixed(double value, int decimals = 2);
+
+}  // namespace s3asim::util

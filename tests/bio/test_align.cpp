@@ -1,0 +1,123 @@
+#include "bio/align.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using s3asim::bio::banded_smith_waterman;
+using s3asim::bio::extend_ungapped;
+using s3asim::bio::Hsp;
+using s3asim::bio::ScoringParams;
+
+TEST(ExtendUngappedTest, PerfectMatchExtendsFully) {
+  const std::string query = "ACGTACGTAC";
+  const std::string subject = "ACGTACGTAC";
+  const Hsp hsp = extend_ungapped(query, subject, 3, 3, 4, {});
+  EXPECT_EQ(hsp.query_start, 0u);
+  EXPECT_EQ(hsp.subject_start, 0u);
+  EXPECT_EQ(hsp.length, 10u);
+  EXPECT_EQ(hsp.score, 20);  // 10 matches × 2
+}
+
+TEST(ExtendUngappedTest, StopsAtMismatchRun) {
+  //             seed here vvvv
+  const std::string query = "ACGTAAAA";
+  const std::string subject = "ACGTCCCC";
+  const Hsp hsp = extend_ungapped(query, subject, 0, 0, 4, {});
+  EXPECT_EQ(hsp.length, 4u);
+  EXPECT_EQ(hsp.score, 8);
+}
+
+TEST(ExtendUngappedTest, ToleratesSingleMismatchInsideGoodRegion) {
+  const std::string query = "AAAACGTTAAAA";
+  const std::string subject = "AAAACGATAAAA";  // one mismatch at index 6
+  ScoringParams params;
+  const Hsp hsp = extend_ungapped(query, subject, 0, 0, 4, params);
+  EXPECT_EQ(hsp.length, 12u);
+  EXPECT_EQ(hsp.score, 11 * params.match + params.mismatch);
+}
+
+TEST(ExtendUngappedTest, LeftwardExtensionWorks) {
+  const std::string query = "ACGTACGT";
+  const std::string subject = "ACGTACGT";
+  // Seed at the right end: extension must reach back to position 0.
+  const Hsp hsp = extend_ungapped(query, subject, 4, 4, 4, {});
+  EXPECT_EQ(hsp.query_start, 0u);
+  EXPECT_EQ(hsp.length, 8u);
+}
+
+TEST(ExtendUngappedTest, XdropLimitsWastedExtension) {
+  ScoringParams tight;
+  tight.xdrop = 4;
+  const std::string query = "ACGT" + std::string(100, 'A');
+  const std::string subject = "ACGT" + std::string(100, 'C');
+  const Hsp hsp = extend_ungapped(query, subject, 0, 0, 4, tight);
+  // With xdrop 4 and mismatch -3, extension stops after ~2 mismatches.
+  EXPECT_LE(hsp.length, 8u);
+  EXPECT_EQ(hsp.score, 8);
+}
+
+TEST(ExtendUngappedTest, RejectsOutOfRangeSeed) {
+  EXPECT_THROW(
+      (void)extend_ungapped("ACGT", "ACGT", 2, 0, 4, {}),
+      std::invalid_argument);
+}
+
+TEST(BandedSwTest, PerfectMatchScoresFullLength) {
+  const std::string s = "ACGTACGTACGT";
+  EXPECT_EQ(banded_smith_waterman(s, s, 0, 4, {}), 24);
+}
+
+TEST(BandedSwTest, EmptyInputsScoreZero) {
+  EXPECT_EQ(banded_smith_waterman("", "ACGT", 0, 4, {}), 0);
+  EXPECT_EQ(banded_smith_waterman("ACGT", "", 0, 4, {}), 0);
+}
+
+TEST(BandedSwTest, LocalAlignmentIgnoresFlankingJunk) {
+  const std::string query = "TTTTTTACGTACGTTTTTTT";
+  const std::string subject = "GGGGGGACGTACGTGGGGGG";
+  const int score = banded_smith_waterman(query, subject, 0, 8, {});
+  EXPECT_EQ(score, 16);  // the 8-base common core
+}
+
+TEST(BandedSwTest, GapRecoversAlignment) {
+  // subject = query with one base deleted; ungapped would break at the gap,
+  // gapped alignment recovers most of the score.
+  const std::string query = "ACGTACGTACGTACGT";
+  std::string subject = query;
+  subject.erase(8, 1);
+  ScoringParams params;
+  const int gapped = banded_smith_waterman(query, subject, 0, 4, params);
+  // 15 matches + one gap: 15×2 - 7 = 23.
+  EXPECT_GE(gapped, 20);
+  const int left_only = 8 * params.match;
+  EXPECT_GT(gapped, left_only);
+}
+
+TEST(BandedSwTest, DiagonalShiftFindsOffsetMatch) {
+  const std::string query = "ACGTACGT";
+  const std::string subject = "TTTTTTTTTTACGTACGT";
+  // Match lies on diagonal +10; searching near diagonal 0 with band 2 misses
+  // it, while diagonal 10 finds it.
+  EXPECT_LT(banded_smith_waterman(query, subject, 0, 2, {}), 8);
+  EXPECT_EQ(banded_smith_waterman(query, subject, 10, 2, {}), 16);
+}
+
+TEST(BandedSwTest, ScoreNeverNegative) {
+  EXPECT_EQ(banded_smith_waterman("AAAA", "CCCC", 0, 2, {}), 0);
+}
+
+TEST(BandedSwTest, WiderBandNeverDecreasesScore) {
+  const std::string query = "ACGTTACGGTACGT";
+  const std::string subject = "ACGTACGTACGT";
+  int previous = 0;
+  for (const std::uint32_t band : {1u, 2u, 4u, 8u, 16u}) {
+    const int score = banded_smith_waterman(query, subject, 0, band, {});
+    EXPECT_GE(score, previous);
+    previous = score;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include "bio/blast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bio/generator.hpp"
+
+namespace {
+
+using namespace s3asim::bio;
+using s3asim::util::BoxHistogram;
+using s3asim::util::HistogramBin;
+
+std::vector<Sequence> make_subjects() {
+  // Subject 0 contains the query exactly; subject 1 a mutated copy;
+  // subject 2 unrelated.
+  const std::string core = "ACGTTGCAACGGTTAACCGGATCGATCG";
+  std::vector<Sequence> subjects;
+  subjects.push_back({"exact", "", "TTTTTT" + core + "GGGGGG"});
+  std::string mutated = core;
+  mutated[5] = mutated[5] == 'A' ? 'C' : 'A';
+  mutated[15] = mutated[15] == 'G' ? 'T' : 'G';
+  subjects.push_back({"mutated", "", "AAAAAA" + mutated + "CCCCCC"});
+  subjects.push_back({"unrelated", "", std::string(60, 'T')});
+  return subjects;
+}
+
+BlastParams quick_params() {
+  BlastParams params;
+  params.k = 8;
+  params.min_score = 16;
+  return params;
+}
+
+TEST(BlastTest, FindsExactMatch) {
+  BlastSearcher searcher(make_subjects(), quick_params());
+  const Sequence query{"q", "", "ACGTTGCAACGGTTAACCGGATCGATCG"};
+  const auto matches = searcher.search(query);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].subject, 0u);  // exact copy scores highest
+}
+
+TEST(BlastTest, RanksExactAboveMutated) {
+  BlastSearcher searcher(make_subjects(), quick_params());
+  const Sequence query{"q", "", "ACGTTGCAACGGTTAACCGGATCGATCG"};
+  const auto matches = searcher.search(query);
+  ASSERT_GE(matches.size(), 2u);
+  EXPECT_EQ(matches[0].subject, 0u);
+  EXPECT_EQ(matches[1].subject, 1u);
+  EXPECT_GT(matches[0].score, matches[1].score);
+}
+
+TEST(BlastTest, UnrelatedSubjectNotReported) {
+  BlastSearcher searcher(make_subjects(), quick_params());
+  const Sequence query{"q", "", "ACGTTGCAACGGTTAACCGGATCGATCG"};
+  for (const auto& match : searcher.search(query))
+    EXPECT_NE(match.subject, 2u);
+}
+
+TEST(BlastTest, ScoresSortedDescending) {
+  GeneratorConfig config;
+  config.seed = 3;
+  config.length_histogram = BoxHistogram{{HistogramBin{200, 400, 1.0}}};
+  auto subjects = generate_sequences(config, 30);
+  // Plant the query inside several subjects to guarantee hits.
+  const std::string planted = "ACGTTGCAACGGTTAACCGGATCGATCGAATTGGCC";
+  for (std::size_t i = 0; i < subjects.size(); i += 3)
+    subjects[i].data.insert(subjects[i].data.size() / 2, planted);
+
+  BlastSearcher searcher(std::move(subjects), quick_params());
+  const auto matches = searcher.search({"q", "", planted});
+  ASSERT_GE(matches.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(matches.begin(), matches.end(),
+                             [](const Match& a, const Match& b) {
+                               return a.score > b.score ||
+                                      (a.score == b.score && a.subject < b.subject);
+                             }));
+}
+
+TEST(BlastTest, AtMostOneMatchPerSubject) {
+  auto subjects = make_subjects();
+  // Subject with the query planted twice — still one (best) match.
+  subjects.push_back({"double", "",
+                      "ACGTTGCAACGGTTAACCGGATCGATCG" + std::string(20, 'T') +
+                          "ACGTTGCAACGGTTAACCGGATCGATCG"});
+  BlastSearcher searcher(std::move(subjects), quick_params());
+  const auto matches = searcher.search({"q", "", "ACGTTGCAACGGTTAACCGGATCGATCG"});
+  std::set<std::uint32_t> seen;
+  for (const auto& match : matches)
+    EXPECT_TRUE(seen.insert(match.subject).second);
+}
+
+TEST(BlastTest, ShortQueryYieldsNothing) {
+  BlastSearcher searcher(make_subjects(), quick_params());
+  EXPECT_TRUE(searcher.search({"q", "", "ACG"}).empty());
+}
+
+TEST(BlastTest, MaxMatchesTruncates) {
+  GeneratorConfig config;
+  config.seed = 11;
+  config.length_histogram = BoxHistogram{{HistogramBin{100, 150, 1.0}}};
+  auto subjects = generate_sequences(config, 50);
+  const std::string planted = "ACGTTGCAACGGTTAACCGGATCGATCG";
+  for (auto& subject : subjects) subject.data += planted;
+  auto params = quick_params();
+  params.max_matches = 7;
+  BlastSearcher searcher(std::move(subjects), params);
+  const auto matches = searcher.search({"q", "", planted});
+  EXPECT_EQ(matches.size(), 7u);
+}
+
+TEST(BlastTest, OutputBytesBoundedByPaperRule) {
+  BlastSearcher searcher(make_subjects(), quick_params());
+  const Sequence query{"q", "", "ACGTTGCAACGGTTAACCGGATCGATCG"};
+  for (const auto& match : searcher.search(query)) {
+    const auto& subject = searcher.subjects()[match.subject];
+    EXPECT_LE(match.output_bytes,
+              3 * std::max(query.data.size(), subject.data.size()));
+    EXPECT_GT(match.output_bytes, 0u);
+  }
+}
+
+TEST(EstimateOutputBytesTest, CapAppliesToLongAlignments) {
+  EXPECT_EQ(estimate_output_bytes(100, 50, 1'000'000), 300u);
+}
+
+TEST(EstimateOutputBytesTest, ShortAlignmentUsesAlignedSize) {
+  const auto size = estimate_output_bytes(10'000, 10'000, 20);
+  EXPECT_EQ(size, 3 * 20 + 256u);
+}
+
+TEST(BlastTest, DeterministicAcrossRuns) {
+  BlastSearcher searcher(make_subjects(), quick_params());
+  const Sequence query{"q", "", "ACGTTGCAACGGTTAACCGGATCGATCG"};
+  const auto a = searcher.search(query);
+  const auto b = searcher.search(query);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].subject, b[i].subject);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+}
+
+}  // namespace

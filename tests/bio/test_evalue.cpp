@@ -1,0 +1,70 @@
+#include "bio/evalue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace s3asim::bio;
+
+TEST(BitScoreTest, IncreasesWithRawScore) {
+  EXPECT_LT(bit_score(10), bit_score(20));
+  EXPECT_LT(bit_score(20), bit_score(40));
+}
+
+TEST(BitScoreTest, MatchesFormula) {
+  const KarlinAltschulParams params{0.625, 0.41};
+  const double expected = (0.625 * 30 - std::log(0.41)) / std::log(2.0);
+  EXPECT_NEAR(bit_score(30, params), expected, 1e-12);
+}
+
+TEST(BitScoreTest, RejectsDegenerateParams) {
+  EXPECT_THROW((void)bit_score(10, {0.0, 0.41}), std::invalid_argument);
+  EXPECT_THROW((void)bit_score(10, {0.625, 0.0}), std::invalid_argument);
+}
+
+TEST(ExpectValueTest, DecreasesWithScore) {
+  EXPECT_GT(expect_value(20, 1'000, 1'000'000),
+            expect_value(40, 1'000, 1'000'000));
+}
+
+TEST(ExpectValueTest, ScalesWithSearchSpace) {
+  const double small = expect_value(30, 1'000, 1'000'000);
+  const double big = expect_value(30, 1'000, 10'000'000);
+  EXPECT_NEAR(big / small, 10.0, 1e-9);
+}
+
+TEST(ExpectValueTest, DoublingBitScoreHalvesRepeatedly) {
+  // E halves per extra bit: S' + 1 ⇒ E/2.  One raw-score point adds
+  // λ/ln2 bits.
+  const double e1 = expect_value(30, 1'000, 1'000'000);
+  const double e2 = expect_value(31, 1'000, 1'000'000);
+  EXPECT_NEAR(e1 / e2, std::exp2(0.625 / std::log(2.0)), 1e-9);
+}
+
+TEST(ExpectValueTest, RejectsEmptySearchSpace) {
+  EXPECT_THROW((void)expect_value(30, 0, 100), std::invalid_argument);
+  EXPECT_THROW((void)expect_value(30, 100, 0), std::invalid_argument);
+}
+
+TEST(MinSignificantScoreTest, ThresholdRoundTrip) {
+  constexpr std::uint64_t m = 2'000, n = 5'000'000;
+  for (const double threshold : {10.0, 1e-3, 1e-10}) {
+    const int cutoff = min_significant_score(threshold, m, n);
+    EXPECT_LT(expect_value(cutoff, m, n), threshold);
+    EXPECT_GE(expect_value(cutoff - 1, m, n), threshold * 0.99);
+  }
+}
+
+TEST(MinSignificantScoreTest, StricterThresholdNeedsHigherScore) {
+  EXPECT_GT(min_significant_score(1e-10, 1'000, 1'000'000),
+            min_significant_score(10.0, 1'000, 1'000'000));
+}
+
+TEST(MinSignificantScoreTest, BiggerDatabaseNeedsHigherScore) {
+  EXPECT_GT(min_significant_score(1e-3, 1'000, 1ull << 40),
+            min_significant_score(1e-3, 1'000, 1'000'000));
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include "bio/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "bio/generator.hpp"
+
+namespace {
+
+using s3asim::bio::FastaReader;
+using s3asim::bio::FastaWriter;
+using s3asim::bio::Sequence;
+
+TEST(FastaReaderTest, ParsesSingleRecord) {
+  std::istringstream input(">seq1 a description\nACGT\nACGT\n");
+  FastaReader reader(input);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->id, "seq1");
+  EXPECT_EQ(record->description, "a description");
+  EXPECT_EQ(record->data, "ACGTACGT");
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FastaReaderTest, ParsesMultipleRecords) {
+  std::istringstream input(">a\nAC\n>b\nGT\n>c\nTT\n");
+  FastaReader reader(input);
+  const auto all = reader.read_all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, "a");
+  EXPECT_EQ(all[1].data, "GT");
+  EXPECT_EQ(all[2].id, "c");
+}
+
+TEST(FastaReaderTest, EmptyInputYieldsNothing) {
+  std::istringstream input("");
+  FastaReader reader(input);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FastaReaderTest, SkipsBlankLines) {
+  std::istringstream input("\n\n>x\n\nAC\n\nGT\n\n");
+  FastaReader reader(input);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->data, "ACGT");
+}
+
+TEST(FastaReaderTest, UppercasesData) {
+  std::istringstream input(">x\nacgtN\n");
+  FastaReader reader(input);
+  EXPECT_EQ(reader.next()->data, "ACGTN");
+}
+
+TEST(FastaReaderTest, HandlesWindowsLineEndings) {
+  std::istringstream input(">x desc\r\nACGT\r\n");
+  FastaReader reader(input);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->description, "desc");
+  EXPECT_EQ(record->data, "ACGT");
+}
+
+TEST(FastaReaderTest, RejectsDataBeforeHeader) {
+  std::istringstream input("ACGT\n>x\nAC\n");
+  FastaReader reader(input);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST(FastaReaderTest, RecordWithNoData) {
+  std::istringstream input(">empty\n>full\nAC\n");
+  FastaReader reader(input);
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->data.empty());
+  EXPECT_EQ(reader.next()->id, "full");
+}
+
+TEST(FastaReaderTest, GiStyleHeader) {
+  std::istringstream input(">gi|3123744|dbj|AB013447.1|AB013447 Perilla\nTTGG\n");
+  FastaReader reader(input);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->id, "gi|3123744|dbj|AB013447.1|AB013447");
+  EXPECT_EQ(record->description, "Perilla");
+}
+
+TEST(FastaWriterTest, WrapsLines) {
+  std::ostringstream output;
+  FastaWriter writer(output, 4);
+  writer.write(Sequence{"x", "", "ACGTACGTAC"});
+  EXPECT_EQ(output.str(), ">x\nACGT\nACGT\nAC\n");
+}
+
+TEST(FastaWriterTest, IncludesDescription) {
+  std::ostringstream output;
+  FastaWriter writer(output);
+  writer.write(Sequence{"id1", "some text", "AC"});
+  EXPECT_EQ(output.str(), ">id1 some text\nAC\n");
+}
+
+TEST(FastaRoundTripTest, WriterThenReaderPreservesRecords) {
+  s3asim::bio::GeneratorConfig config;
+  config.seed = 7;
+  config.length_histogram = s3asim::util::BoxHistogram{{{10, 500, 1.0}}};
+  const auto original = s3asim::bio::generate_sequences(config, 20);
+
+  std::ostringstream buffer;
+  FastaWriter writer(buffer, 60);
+  writer.write_all(original);
+  std::istringstream input(buffer.str());
+  FastaReader reader(input);
+  const auto reread = reader.read_all();
+
+  ASSERT_EQ(reread.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reread[i].id, original[i].id);
+    EXPECT_EQ(reread[i].data, original[i].data);
+  }
+}
+
+TEST(FastaFileTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/s3asim_fasta_test.fa";
+  const std::vector<Sequence> sequences{{"a", "d1", "ACGT"}, {"b", "", "TTTT"}};
+  s3asim::bio::write_fasta_file(path, sequences);
+  const auto reread = s3asim::bio::read_fasta_file(path);
+  ASSERT_EQ(reread.size(), 2u);
+  EXPECT_EQ(reread[1].data, "TTTT");
+  std::remove(path.c_str());
+}
+
+TEST(FastaFileTest, MissingFileThrows) {
+  EXPECT_THROW((void)s3asim::bio::read_fasta_file("/no/such/file.fa"),
+               std::runtime_error);
+}
+
+}  // namespace

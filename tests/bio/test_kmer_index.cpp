@@ -1,0 +1,107 @@
+#include "bio/kmer_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using s3asim::bio::KmerIndex;
+using s3asim::bio::SeedHit;
+using s3asim::bio::Sequence;
+
+std::vector<Sequence> subjects(std::initializer_list<std::string> data) {
+  std::vector<Sequence> result;
+  int i = 0;
+  for (const auto& d : data) result.push_back(Sequence{"s" + std::to_string(i++), "", d});
+  return result;
+}
+
+TEST(KmerIndexTest, FindsExactWord) {
+  const auto set = subjects({"AAAACGTAAAA"});
+  const KmerIndex index(set, 4);
+  const auto hits = index.lookup("ACGT");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (SeedHit{0, 3}));
+}
+
+TEST(KmerIndexTest, FindsAllOccurrences) {
+  const auto set = subjects({"ACGTACGT"});
+  const KmerIndex index(set, 4);
+  const auto hits = index.lookup("ACGT");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].position, 4u);
+}
+
+TEST(KmerIndexTest, SearchesAcrossSequences) {
+  const auto set = subjects({"TTTTACGT", "ACGTTTTT"});
+  const KmerIndex index(set, 4);
+  const auto hits = index.lookup("ACGT");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].sequence, 0u);
+  EXPECT_EQ(hits[1].sequence, 1u);
+}
+
+TEST(KmerIndexTest, AbsentWordIsEmpty) {
+  const auto set = subjects({"AAAAAAA"});
+  const KmerIndex index(set, 4);
+  EXPECT_TRUE(index.lookup("CCCC").empty());
+}
+
+TEST(KmerIndexTest, NonAcgtWordIsEmpty) {
+  const auto set = subjects({"AAAAAAA"});
+  const KmerIndex index(set, 4);
+  EXPECT_TRUE(index.lookup("ANNA").empty());
+}
+
+TEST(KmerIndexTest, NonAcgtInSubjectBreaksWords) {
+  // The N at position 4 invalidates every word overlapping it.
+  const auto set = subjects({"ACGTNACGT"});
+  const KmerIndex index(set, 4);
+  const auto hits = index.lookup("ACGT");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].position, 5u);
+}
+
+TEST(KmerIndexTest, ShortSequenceContributesNothing) {
+  const auto set = subjects({"ACG"});
+  const KmerIndex index(set, 4);
+  EXPECT_EQ(index.total_positions(), 0u);
+}
+
+TEST(KmerIndexTest, TotalPositionsCountsEveryWindow) {
+  const auto set = subjects({"ACGTACGTT"});  // 9 bases, k=4 ⇒ 6 windows
+  const KmerIndex index(set, 4);
+  EXPECT_EQ(index.total_positions(), 6u);
+}
+
+TEST(KmerIndexTest, RejectsBadK) {
+  const auto set = subjects({"ACGT"});
+  EXPECT_THROW(KmerIndex(set, 2), std::invalid_argument);
+  EXPECT_THROW(KmerIndex(set, 40), std::invalid_argument);
+}
+
+TEST(KmerIndexTest, RejectsWrongLookupLength) {
+  const auto set = subjects({"ACGTACGT"});
+  const KmerIndex index(set, 4);
+  EXPECT_THROW((void)index.lookup("ACGTA"), std::invalid_argument);
+}
+
+TEST(KmerIndexTest, PackRoundTripDistinctness) {
+  std::uint64_t a = 0, b = 0;
+  ASSERT_TRUE(KmerIndex::pack("ACGT", a));
+  ASSERT_TRUE(KmerIndex::pack("TGCA", b));
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(KmerIndex::pack("ACGN", a));
+}
+
+TEST(KmerIndexTest, LargeKWorks) {
+  const std::string word(31, 'A');
+  const auto set = subjects({word + "CCC"});
+  const KmerIndex index(set, 31);
+  EXPECT_EQ(index.lookup(word).size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include "bio/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace s3asim::bio;
+
+struct ReportFixture : ::testing::Test {
+  std::vector<Sequence> subjects{
+      {"subj|1", "exact copy", "TTTTTTACGTACGTACGTACGTACGTGGGGGG"},
+      {"subj|2", "unrelated", std::string(40, 'T')}};
+  BlastParams params = [] {
+    BlastParams p;
+    p.k = 8;
+    p.min_score = 16;
+    return p;
+  }();
+  BlastSearcher searcher{subjects, params};
+  Sequence query{"q1", "test query", "ACGTACGTACGTACGTACGT"};
+};
+
+TEST_F(ReportFixture, FormatMatchHasThreeRowStructure) {
+  const auto matches = searcher.search(query);
+  ASSERT_FALSE(matches.empty());
+  const auto text =
+      format_match(query, subjects[matches[0].subject], matches[0]);
+  EXPECT_NE(text.find("Query  "), std::string::npos);
+  EXPECT_NE(text.find("Sbjct  "), std::string::npos);
+  EXPECT_NE(text.find("Score = "), std::string::npos);
+  EXPECT_NE(text.find("|"), std::string::npos);
+}
+
+TEST_F(ReportFixture, PerfectMatchIsAllPipes) {
+  const auto matches = searcher.search(query);
+  ASSERT_FALSE(matches.empty());
+  const Match& match = matches[0];
+  EXPECT_DOUBLE_EQ(identity_fraction(query, subjects[match.subject], match),
+                   1.0);
+  const auto text = format_match(query, subjects[match.subject], match);
+  EXPECT_NE(text.find("(100%)"), std::string::npos);
+}
+
+TEST_F(ReportFixture, MismatchShowsGapInPipeRow) {
+  Sequence mutated_query = query;
+  mutated_query.data[10] = mutated_query.data[10] == 'A' ? 'C' : 'A';
+  const auto matches = searcher.search(mutated_query);
+  ASSERT_FALSE(matches.empty());
+  const Match& match = matches[0];
+  const double identity =
+      identity_fraction(mutated_query, subjects[match.subject], match);
+  EXPECT_LT(identity, 1.0);
+  EXPECT_GT(identity, 0.8);
+}
+
+TEST_F(ReportFixture, LineWidthWrapsLongAlignments) {
+  const auto matches = searcher.search(query);
+  ASSERT_FALSE(matches.empty());
+  ReportOptions options;
+  options.line_width = 10;
+  const auto text =
+      format_match(query, subjects[matches[0].subject], matches[0], options);
+  // 20-base HSP at width 10 ⇒ two Query rows.
+  const auto count = [&](const std::string& needle) {
+    std::size_t occurrences = 0, pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      ++occurrences;
+      pos += needle.size();
+    }
+    return occurrences;
+  };
+  EXPECT_GE(count("Query  "), 2u);
+}
+
+TEST_F(ReportFixture, HeaderOptional) {
+  const auto matches = searcher.search(query);
+  ASSERT_FALSE(matches.empty());
+  ReportOptions options;
+  options.include_header = false;
+  const auto text =
+      format_match(query, subjects[matches[0].subject], matches[0], options);
+  EXPECT_EQ(text.find("Score ="), std::string::npos);
+}
+
+TEST_F(ReportFixture, FullReportListsQueryAndMatches) {
+  const auto matches = searcher.search(query);
+  const auto text = format_report(query, searcher, matches);
+  EXPECT_NE(text.find("Query= q1"), std::string::npos);
+  EXPECT_NE(text.find("(20 letters)"), std::string::npos);
+  EXPECT_NE(text.find("subj|1"), std::string::npos);
+}
+
+TEST_F(ReportFixture, EmptyReportSaysNoHits) {
+  const Sequence hopeless{"none", "", "CCCCCCCCCCCC"};
+  const auto matches = searcher.search(hopeless);
+  const auto text = format_report(hopeless, searcher, matches);
+  EXPECT_NE(text.find("No hits found"), std::string::npos);
+}
+
+TEST_F(ReportFixture, FormattedSizeWithinModelCap) {
+  // The simulator's result-size rule: formatted output ≤ 3 × max(query,
+  // subject) — check the real formatter obeys it (modulo the fixed header,
+  // which estimate_output_bytes also carries).
+  const auto matches = searcher.search(query);
+  ASSERT_FALSE(matches.empty());
+  for (const Match& match : matches) {
+    const Sequence& subject = searcher.subjects()[match.subject];
+    const auto text = format_match(query, subject, match);
+    const std::uint64_t cap =
+        3 * std::max(query.length(), subject.length()) + 512;
+    EXPECT_LE(text.size(), cap);
+  }
+}
+
+TEST_F(ReportFixture, RejectsTinyLineWidth) {
+  const auto matches = searcher.search(query);
+  ASSERT_FALSE(matches.empty());
+  ReportOptions options;
+  options.line_width = 4;
+  EXPECT_THROW((void)format_match(query, subjects[matches[0].subject],
+                                  matches[0], options),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include "core/config_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace {
+
+using namespace s3asim::core;
+
+TEST(ConfigLoaderTest, EmptyTextYieldsPaperConfig) {
+  const auto loaded = load_config("");
+  const auto paper = paper_config();
+  EXPECT_EQ(loaded.nprocs, paper.nprocs);
+  EXPECT_EQ(loaded.strategy, paper.strategy);
+  EXPECT_EQ(loaded.workload.query_count, paper.workload.query_count);
+  EXPECT_EQ(loaded.model.pfs.layout.strip_size(),
+            paper.model.pfs.layout.strip_size());
+}
+
+TEST(ConfigLoaderTest, BasicOverrides) {
+  const auto config = load_config(
+      "nprocs = 24\nstrategy = MW\nquery_sync = true\ncompute_speed = 3.2\n");
+  EXPECT_EQ(config.nprocs, 24u);
+  EXPECT_EQ(config.strategy, Strategy::MW);
+  EXPECT_TRUE(config.query_sync);
+  EXPECT_DOUBLE_EQ(config.compute_speed, 3.2);
+}
+
+TEST(ConfigLoaderTest, WorkloadKeys) {
+  const auto config = load_config(
+      "query_count = 7\nfragment_count = 16\nresult_count_min = 10\n"
+      "result_count_max = 20\nmin_result_bytes = 1KiB\nseed = 99\n"
+      "database_bytes = 2GiB\n");
+  EXPECT_EQ(config.workload.query_count, 7u);
+  EXPECT_EQ(config.workload.fragment_count, 16u);
+  EXPECT_EQ(config.workload.result_count_min, 10u);
+  EXPECT_EQ(config.workload.result_count_max, 20u);
+  EXPECT_EQ(config.workload.min_result_bytes, 1024u);
+  EXPECT_EQ(config.workload.seed, 99u);
+  EXPECT_EQ(config.workload.database_bytes, 2ull << 30);
+}
+
+TEST(ConfigLoaderTest, ModelKeys) {
+  const auto config = load_config(
+      "strip_size = 32KiB\nserver_count = 8\nnet_latency_us = 12\n"
+      "disk_per_pair_ms = 3\n");
+  EXPECT_EQ(config.model.pfs.layout.strip_size(), 32768u);
+  EXPECT_EQ(config.model.pfs.layout.server_count(), 8u);
+  EXPECT_EQ(config.model.network.latency, s3asim::sim::microseconds(12));
+  EXPECT_EQ(config.model.pfs.disk.per_pair, s3asim::sim::milliseconds(3));
+}
+
+TEST(ConfigLoaderTest, HintsKeys) {
+  const auto config = load_config(
+      "cb_nodes = 4\ncb_buffer_size = 1MiB\ncollective_algorithm = list_sync\n");
+  EXPECT_EQ(config.hints.cb_nodes, 4u);
+  EXPECT_EQ(config.hints.cb_buffer_size, 1u << 20);
+  EXPECT_EQ(config.hints.collective_algorithm,
+            s3asim::mpiio::CollectiveAlgorithm::ListWithSync);
+}
+
+TEST(ConfigLoaderTest, HistogramSectionsApply) {
+  const auto config = load_config(
+      "[histogram query]\n100 200 1.0\n[histogram database]\n300 400 1.0\n");
+  EXPECT_EQ(config.workload.query_histogram.min_value(), 100u);
+  EXPECT_EQ(config.workload.database_histogram.max_value(), 400u);
+}
+
+TEST(ConfigLoaderTest, UnknownKeyRejected) {
+  EXPECT_THROW((void)load_config("not_a_real_key = 5\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigLoaderTest, UnknownStrategyRejected) {
+  EXPECT_THROW((void)load_config("strategy = turbo\n"), std::invalid_argument);
+}
+
+TEST(ConfigLoaderTest, UnknownCollectiveRejected) {
+  EXPECT_THROW((void)load_config("collective_algorithm = psychic\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigLoaderTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_config_file("/no/such/file.conf"),
+               std::runtime_error);
+}
+
+TEST(ConfigLoaderTest, LoadedConfigActuallyRuns) {
+  const auto config = load_config(
+      "nprocs = 4\nquery_count = 3\nfragment_count = 6\n"
+      "result_count_min = 20\nresult_count_max = 40\nstrategy = WW-List\n"
+      "strip_size = 4KiB\nserver_count = 4\n"
+      "[histogram query]\n500 2000 1.0\n[histogram database]\n500 4000 1.0\n");
+  const auto stats = run_simulation(config);
+  EXPECT_TRUE(stats.file_exact);
+  EXPECT_EQ(stats.nprocs, 4u);
+}
+
+}  // namespace

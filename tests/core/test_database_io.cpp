@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "util/units.hpp"
+
+/// Tests for the database-streaming extension (§1's query-segmentation
+/// motivation; mpiBLAST fragment-affinity scheduling; super-linear-speedup
+/// mechanics) and the MW nonblocking-I/O ablation (§2.1).
+
+namespace {
+
+using namespace s3asim::core;
+using s3asim::util::MiB;
+
+SimConfig db_config(std::uint64_t db_bytes, std::uint64_t memory,
+                    bool affinity = true) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  config.workload.database_bytes = db_bytes;
+  config.worker_memory_bytes = memory;
+  config.fragment_affinity = affinity;
+  return config;
+}
+
+TEST(DatabaseIoTest, DisabledByDefault) {
+  const auto stats = run_simulation(test_config());
+  EXPECT_EQ(stats.db_bytes_read, 0u);
+  for (const auto& rank : stats.ranks) {
+    EXPECT_EQ(rank.fragment_loads, 0u);
+    EXPECT_EQ(rank.fragment_hits, 0u);
+  }
+}
+
+TEST(DatabaseIoTest, ColdFragmentsAreStreamed) {
+  // Plenty of memory: each fragment is read at most once per worker.
+  const auto stats = run_simulation(db_config(64 * MiB, 1024 * MiB));
+  EXPECT_GT(stats.db_bytes_read, 0u);
+  std::uint64_t loads = 0, hits = 0;
+  for (const auto& rank : stats.ranks) {
+    loads += rank.fragment_loads;
+    hits += rank.fragment_hits;
+  }
+  EXPECT_GT(loads, 0u);
+  // 8 fragments, 4 workers, 4 queries: with caching, far fewer loads than
+  // tasks.
+  EXPECT_LT(loads, 32u);
+  EXPECT_EQ(loads + hits, 32u);  // every task either hits or loads
+  EXPECT_TRUE(stats.file_exact);
+}
+
+TEST(DatabaseIoTest, BytesReadMatchesLoadCount) {
+  const auto config = db_config(64 * MiB, 1024 * MiB);
+  const auto stats = run_simulation(config);
+  std::uint64_t loads = 0;
+  for (const auto& rank : stats.ranks) loads += rank.fragment_loads;
+  const std::uint64_t fragment_bytes =
+      config.workload.database_bytes / config.workload.fragment_count;
+  EXPECT_EQ(stats.db_bytes_read, loads * fragment_bytes);
+}
+
+TEST(DatabaseIoTest, TinyMemoryThrashes) {
+  // Memory below one fragment: every task must stream its fragment.
+  const auto stats = run_simulation(db_config(64 * MiB, 4 * MiB));
+  std::uint64_t loads = 0, hits = 0;
+  for (const auto& rank : stats.ranks) {
+    loads += rank.fragment_loads;
+    hits += rank.fragment_hits;
+  }
+  EXPECT_EQ(hits, 0u);
+  EXPECT_EQ(loads, 32u);  // 4 queries x 8 fragments
+}
+
+TEST(DatabaseIoTest, MoreMemoryNeverSlower) {
+  const auto tight = run_simulation(db_config(256 * MiB, 16 * MiB));
+  const auto roomy = run_simulation(db_config(256 * MiB, 512 * MiB));
+  EXPECT_LE(roomy.wall_seconds, tight.wall_seconds * 1.01);
+  EXPECT_LT(roomy.db_bytes_read, tight.db_bytes_read);
+}
+
+TEST(DatabaseIoTest, AffinityReducesFragmentLoads) {
+  const auto with = run_simulation(db_config(256 * MiB, 64 * MiB, true));
+  const auto without = run_simulation(db_config(256 * MiB, 64 * MiB, false));
+  std::uint64_t loads_with = 0, loads_without = 0;
+  for (const auto& rank : with.ranks) loads_with += rank.fragment_loads;
+  for (const auto& rank : without.ranks) loads_without += rank.fragment_loads;
+  EXPECT_LE(loads_with, loads_without);
+  EXPECT_TRUE(with.file_exact);
+  EXPECT_TRUE(without.file_exact);
+}
+
+TEST(DatabaseIoTest, AggregateMemoryEffect) {
+  // §1: "Super-linear speedup is possible when the sequence database is
+  // larger than the processor memory by fitting the large database into
+  // the aggregate memory of all processors."  With affinity, more workers
+  // ⇒ each worker's working set of fragments shrinks into its memory ⇒
+  // per-task fragment loads drop.
+  auto few = db_config(512 * MiB, 64 * MiB);
+  few.nprocs = 3;
+  auto many = db_config(512 * MiB, 64 * MiB);
+  many.nprocs = 9;
+  const auto few_stats = run_simulation(few);
+  const auto many_stats = run_simulation(many);
+  std::uint64_t few_loads = 0, many_loads = 0;
+  for (const auto& rank : few_stats.ranks) few_loads += rank.fragment_loads;
+  for (const auto& rank : many_stats.ranks) many_loads += rank.fragment_loads;
+  EXPECT_LT(many_loads, few_loads);
+}
+
+TEST(DatabaseIoTest, VerificationHoldsForAllStrategiesWithDbIo) {
+  for (const Strategy strategy :
+       {Strategy::MW, Strategy::WWPosix, Strategy::WWList, Strategy::WWColl}) {
+    auto config = db_config(128 * MiB, 32 * MiB);
+    config.strategy = strategy;
+    const auto stats = run_simulation(config);
+    EXPECT_TRUE(stats.file_exact) << strategy_name(strategy);
+  }
+}
+
+TEST(MwNonblockingTest, NonblockingIsAtLeastAsFast) {
+  auto config = test_config();
+  config.strategy = Strategy::MW;
+  const auto blocking = run_simulation(config);
+  config.mw_nonblocking_io = true;
+  const auto nonblocking = run_simulation(config);
+  EXPECT_TRUE(nonblocking.file_exact);
+  EXPECT_LE(nonblocking.wall_seconds, blocking.wall_seconds * 1.001);
+  EXPECT_EQ(nonblocking.output_bytes, blocking.output_bytes);
+}
+
+TEST(MwNonblockingTest, PhaseAccountingStillSumsToWall) {
+  auto config = test_config();
+  config.strategy = Strategy::MW;
+  config.mw_nonblocking_io = true;
+  const auto stats = run_simulation(config);
+  for (const auto& rank : stats.ranks)
+    EXPECT_EQ(rank.phases.total(), rank.wall);
+}
+
+TEST(MwNonblockingTest, OnlyAffectsMw) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  const auto base = run_simulation(config);
+  config.mw_nonblocking_io = true;
+  const auto toggled = run_simulation(config);
+  EXPECT_DOUBLE_EQ(base.wall_seconds, toggled.wall_seconds);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include "core/fasta_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bio/fasta.hpp"
+#include "bio/generator.hpp"
+#include "core/simulation.hpp"
+
+namespace {
+
+using namespace s3asim;
+using core::apply_database_sequences;
+using core::apply_query_sequences;
+using core::workload_from_fasta;
+
+std::vector<bio::Sequence> make_sequences(std::uint64_t count,
+                                          std::uint64_t lo, std::uint64_t hi,
+                                          std::uint64_t seed = 5) {
+  bio::GeneratorConfig config;
+  config.seed = seed;
+  config.length_histogram = util::BoxHistogram{{{lo, hi, 1.0}}};
+  return bio::generate_sequences(config, count);
+}
+
+TEST(FastaWorkloadTest, DatabaseStatisticsApplied) {
+  core::WorkloadConfig config;
+  const auto database = make_sequences(200, 500, 5'000);
+  apply_database_sequences(config, database);
+  EXPECT_GE(config.database_histogram.min_value(), 500u);
+  EXPECT_LE(config.database_histogram.max_value(), 5'000u);
+  const auto residues = bio::total_residues(database);
+  EXPECT_GT(config.database_bytes, residues);           // + FASTA overhead
+  EXPECT_LT(config.database_bytes, residues * 11 / 10);
+}
+
+TEST(FastaWorkloadTest, QueryStatisticsApplied) {
+  core::WorkloadConfig config;
+  const auto queries = make_sequences(12, 1'000, 2'000);
+  apply_query_sequences(config, queries);
+  EXPECT_EQ(config.query_count, 12u);
+  EXPECT_GE(config.query_histogram.mean(), 900.0);
+  EXPECT_LE(config.query_histogram.mean(), 2'100.0);
+}
+
+TEST(FastaWorkloadTest, EmptyInputRejected) {
+  core::WorkloadConfig config;
+  EXPECT_THROW(apply_database_sequences(config, {}), std::invalid_argument);
+  EXPECT_THROW(apply_query_sequences(config, {}), std::invalid_argument);
+}
+
+TEST(FastaWorkloadTest, FileRoundTripAndRun) {
+  const std::string db_path = ::testing::TempDir() + "/s3asim_wl_db.fa";
+  const std::string query_path = ::testing::TempDir() + "/s3asim_wl_q.fa";
+  bio::write_fasta_file(db_path, make_sequences(100, 300, 3'000, 7));
+  bio::write_fasta_file(query_path, make_sequences(4, 800, 1'500, 9));
+
+  auto base = core::test_config().workload;
+  auto workload = workload_from_fasta(db_path, query_path, base);
+  EXPECT_EQ(workload.query_count, 4u);
+  EXPECT_GT(workload.database_bytes, 0u);
+
+  // And the derived workload drives a full simulation.
+  auto config = core::test_config();
+  config.workload = workload;
+  config.worker_memory_bytes = workload.database_bytes / 4;
+  const auto stats = core::run_simulation(config);
+  EXPECT_TRUE(stats.file_exact);
+  EXPECT_GT(stats.db_bytes_read, 0u);
+
+  std::remove(db_path.c_str());
+  std::remove(query_path.c_str());
+}
+
+TEST(FastaWorkloadTest, MissingFilesThrow) {
+  EXPECT_THROW((void)workload_from_fasta("/no/db.fa", "/no/q.fa"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+/// Tests for the per-worker compute-speed heterogeneity knob ("variable
+/// simulated compute speeds", §3).
+
+namespace {
+
+using namespace s3asim::core;
+
+TEST(HeterogeneityTest, ZeroJitterIsHomogeneousBaseline) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  const auto base = run_simulation(config);
+  config.compute_speed_jitter = 0.0;
+  const auto again = run_simulation(config);
+  EXPECT_DOUBLE_EQ(base.wall_seconds, again.wall_seconds);
+}
+
+TEST(HeterogeneityTest, JitterChangesPerWorkerComputeTimes) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  config.compute_speed_jitter = 0.5;
+  const auto stats = run_simulation(config);
+  EXPECT_TRUE(stats.file_exact);
+  // Workers must no longer have near-identical compute-per-task rates.
+  std::vector<double> per_task;
+  for (std::size_t rank = 1; rank < stats.ranks.size(); ++rank) {
+    if (stats.ranks[rank].tasks_processed == 0) continue;
+    per_task.push_back(stats.ranks[rank].phases.seconds(Phase::Compute) /
+                       static_cast<double>(stats.ranks[rank].tasks_processed));
+  }
+  ASSERT_GE(per_task.size(), 2u);
+  const auto [lo, hi] = std::minmax_element(per_task.begin(), per_task.end());
+  EXPECT_GT(*hi, *lo * 1.05);
+}
+
+TEST(HeterogeneityTest, JitterIsDeterministic) {
+  auto config = test_config();
+  config.compute_speed_jitter = 0.3;
+  const auto a = run_simulation(config);
+  const auto b = run_simulation(config);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
+}
+
+TEST(HeterogeneityTest, DynamicSchedulingAbsorbsHeterogeneity) {
+  // The master/worker pull model balances mixed-speed nodes: fast workers
+  // process more tasks.
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  config.workload.query_count = 6;
+  config.workload.fragment_count = 16;
+  config.compute_speed_jitter = 0.6;
+  const auto stats = run_simulation(config);
+  std::uint64_t min_tasks = UINT64_MAX, max_tasks = 0;
+  for (std::size_t rank = 1; rank < stats.ranks.size(); ++rank) {
+    min_tasks = std::min(min_tasks, stats.ranks[rank].tasks_processed);
+    max_tasks = std::max(max_tasks, stats.ranks[rank].tasks_processed);
+  }
+  EXPECT_GT(max_tasks, min_tasks);  // faster workers pulled more tasks
+  EXPECT_TRUE(stats.file_exact);
+}
+
+TEST(HeterogeneityTest, WorksAcrossStrategiesAndSync) {
+  for (const Strategy strategy : {Strategy::MW, Strategy::WWColl}) {
+    auto config = test_config();
+    config.strategy = strategy;
+    config.query_sync = true;
+    config.compute_speed_jitter = 0.4;
+    const auto stats = run_simulation(config);
+    EXPECT_TRUE(stats.file_exact) << strategy_name(strategy);
+  }
+}
+
+}  // namespace

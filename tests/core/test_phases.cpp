@@ -1,0 +1,68 @@
+#include "core/phases.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace s3asim::core;
+
+TEST(PhaseTest, NamesMatchPaper) {
+  EXPECT_STREQ(phase_name(Phase::Setup), "Setup");
+  EXPECT_STREQ(phase_name(Phase::DataDistribution), "Data Distribution");
+  EXPECT_STREQ(phase_name(Phase::Compute), "Compute");
+  EXPECT_STREQ(phase_name(Phase::MergeResults), "Merge Results");
+  EXPECT_STREQ(phase_name(Phase::GatherResults), "Gather Results");
+  EXPECT_STREQ(phase_name(Phase::Io), "I/O");
+  EXPECT_STREQ(phase_name(Phase::Sync), "Sync");
+  EXPECT_STREQ(phase_name(Phase::Other), "Other");
+}
+
+TEST(PhaseTest, AllPhasesListsEight) {
+  EXPECT_EQ(all_phases().size(), kPhaseCount);
+}
+
+TEST(PhaseTimersTest, Accumulates) {
+  PhaseTimers timers;
+  timers.add(Phase::Compute, 100);
+  timers.add(Phase::Compute, 50);
+  EXPECT_EQ(timers.get(Phase::Compute), 150);
+  EXPECT_EQ(timers.get(Phase::Io), 0);
+}
+
+TEST(PhaseTimersTest, IgnoresNonPositiveDurations) {
+  PhaseTimers timers;
+  timers.add(Phase::Io, 0);
+  timers.add(Phase::Io, -5);
+  EXPECT_EQ(timers.get(Phase::Io), 0);
+}
+
+TEST(PhaseTimersTest, OtherAbsorbsRemainder) {
+  PhaseTimers timers;
+  timers.add(Phase::Compute, 300);
+  timers.add(Phase::Io, 200);
+  timers.finish(1000);
+  EXPECT_EQ(timers.get(Phase::Other), 500);
+  EXPECT_EQ(timers.total(), 1000);
+}
+
+TEST(PhaseTimersTest, OtherClampsAtZero) {
+  PhaseTimers timers;
+  timers.add(Phase::Compute, 300);
+  timers.finish(200);  // over-attributed (rounding)
+  EXPECT_EQ(timers.get(Phase::Other), 0);
+}
+
+TEST(PhaseTimersTest, SecondsConversion) {
+  PhaseTimers timers;
+  timers.add(Phase::Sync, s3asim::sim::seconds(2.5));
+  EXPECT_DOUBLE_EQ(timers.seconds(Phase::Sync), 2.5);
+}
+
+TEST(PhaseTimersTest, AttributedExcludesOther) {
+  PhaseTimers timers;
+  timers.add(Phase::Compute, 10);
+  timers.finish(100);
+  EXPECT_EQ(timers.attributed(), 10);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace s3asim::core;
+
+constexpr Strategy kAllStrategies[] = {Strategy::MW, Strategy::WWPosix,
+                                       Strategy::WWList, Strategy::WWColl,
+                                       Strategy::WWCollList};
+
+// ---------------------------------------------------------------------------
+// Every strategy × sync mode: output-file exactness and phase accounting.
+// ---------------------------------------------------------------------------
+
+class StrategyModeTest
+    : public ::testing::TestWithParam<std::tuple<Strategy, bool>> {};
+
+TEST_P(StrategyModeTest, OutputFileCoveredExactlyOnce) {
+  const auto [strategy, sync] = GetParam();
+  auto config = test_config();
+  config.strategy = strategy;
+  config.query_sync = sync;
+  const auto stats = run_simulation(config);
+  EXPECT_TRUE(stats.file_exact) << stats.summary();
+  EXPECT_EQ(stats.overlap_count, 0u);
+  EXPECT_EQ(stats.bytes_covered, stats.output_bytes);
+}
+
+TEST_P(StrategyModeTest, PhaseTimesSumToWall) {
+  const auto [strategy, sync] = GetParam();
+  auto config = test_config();
+  config.strategy = strategy;
+  config.query_sync = sync;
+  const auto stats = run_simulation(config);
+  for (const auto& rank : stats.ranks) {
+    EXPECT_EQ(rank.phases.total(), rank.wall);
+    EXPECT_LE(s3asim::sim::to_seconds(rank.wall), stats.wall_seconds + 1e-9);
+  }
+}
+
+TEST_P(StrategyModeTest, AllTasksProcessedExactlyOnce) {
+  const auto [strategy, sync] = GetParam();
+  auto config = test_config();
+  config.strategy = strategy;
+  config.query_sync = sync;
+  const auto stats = run_simulation(config);
+  std::uint64_t tasks = 0;
+  for (const auto& rank : stats.ranks) tasks += rank.tasks_processed;
+  EXPECT_EQ(tasks, static_cast<std::uint64_t>(config.workload.query_count) *
+                       config.workload.fragment_count);
+  EXPECT_EQ(stats.ranks[0].tasks_processed, 0u);  // master never searches
+}
+
+TEST_P(StrategyModeTest, WriterRolesMatchStrategy) {
+  const auto [strategy, sync] = GetParam();
+  auto config = test_config();
+  config.strategy = strategy;
+  config.query_sync = sync;
+  const auto stats = run_simulation(config);
+  std::uint64_t master_bytes = stats.ranks[0].bytes_written;
+  std::uint64_t worker_bytes = 0;
+  for (std::size_t rank = 1; rank < stats.ranks.size(); ++rank)
+    worker_bytes += stats.ranks[rank].bytes_written;
+  if (strategy == Strategy::MW) {
+    EXPECT_EQ(master_bytes, stats.output_bytes);
+    EXPECT_EQ(worker_bytes, 0u);
+  } else {
+    EXPECT_EQ(master_bytes, 0u);
+    EXPECT_EQ(worker_bytes, stats.output_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyModeTest,
+    ::testing::Combine(::testing::ValuesIn(kAllStrategies),
+                       ::testing::Bool()),
+    [](const auto& param_info) {
+      std::string name = strategy_name(std::get<0>(param_info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + (std::get<1>(param_info.param) ? "_sync" : "_nosync");
+    });
+
+// ---------------------------------------------------------------------------
+// Determinism and process-count invariance
+// ---------------------------------------------------------------------------
+
+TEST(SimulationTest, IdenticalConfigGivesIdenticalWall) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  const auto a = run_simulation(config);
+  const auto b = run_simulation(config);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_EQ(a.fs.server_requests, b.fs.server_requests);
+}
+
+TEST(SimulationTest, OutputIdenticalAcrossProcessCounts) {
+  // §3.3: "Although we use different numbers of processors, the results are
+  // always identical since they are pseudo-randomly generated."
+  std::uint64_t reference = 0;
+  for (const std::uint32_t nprocs : {2u, 3u, 5u, 9u}) {
+    auto config = test_config();
+    config.nprocs = nprocs;
+    config.strategy = Strategy::WWList;
+    const auto stats = run_simulation(config);
+    EXPECT_TRUE(stats.file_exact);
+    if (reference == 0) reference = stats.output_bytes;
+    EXPECT_EQ(stats.output_bytes, reference);
+  }
+}
+
+TEST(SimulationTest, OutputIdenticalAcrossStrategies) {
+  std::uint64_t reference = 0;
+  for (const Strategy strategy : kAllStrategies) {
+    auto config = test_config();
+    config.strategy = strategy;
+    const auto stats = run_simulation(config);
+    if (reference == 0) reference = stats.output_bytes;
+    EXPECT_EQ(stats.output_bytes, reference) << strategy_name(strategy);
+  }
+}
+
+TEST(SimulationTest, MinimumTwoProcsEnforced) {
+  auto config = test_config();
+  config.nprocs = 1;
+  EXPECT_THROW((void)run_simulation(config), std::invalid_argument);
+}
+
+TEST(SimulationTest, ComputeSpeedScalesComputePhase) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  config.compute_speed = 1.0;
+  const auto base = run_simulation(config);
+  config.compute_speed = 4.0;
+  const auto fast = run_simulation(config);
+  const double base_compute = base.worker_mean_seconds(Phase::Compute);
+  const double fast_compute = fast.worker_mean_seconds(Phase::Compute);
+  EXPECT_NEAR(fast_compute, base_compute / 4.0, base_compute * 0.05);
+  EXPECT_LT(fast.wall_seconds, base.wall_seconds);
+}
+
+TEST(SimulationTest, MoreWorkersReduceWallClock) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  config.nprocs = 2;
+  const auto small = run_simulation(config);
+  config.nprocs = 9;
+  const auto large = run_simulation(config);
+  EXPECT_LT(large.wall_seconds, small.wall_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Flush batching ("after every n queries") and write-at-end
+// ---------------------------------------------------------------------------
+
+class FlushBatchTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FlushBatchTest, BatchedFlushStillExact) {
+  for (const Strategy strategy : kAllStrategies) {
+    auto config = test_config();
+    config.strategy = strategy;
+    config.queries_per_flush = GetParam();
+    const auto stats = run_simulation(config);
+    EXPECT_TRUE(stats.file_exact)
+        << strategy_name(strategy) << " flush=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, FlushBatchTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(FlushBatchTest, WriteAtEndReducesWriteCalls) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  const auto per_query = run_simulation(config);
+  config.queries_per_flush = config.workload.query_count;  // mpiBLAST 1.2 mode
+  const auto at_end = run_simulation(config);
+  EXPECT_TRUE(at_end.file_exact);
+  std::uint64_t per_query_writes = 0, at_end_writes = 0;
+  for (const auto& rank : per_query.ranks) per_query_writes += rank.writes_issued;
+  for (const auto& rank : at_end.ranks) at_end_writes += rank.writes_issued;
+  EXPECT_LT(at_end_writes, per_query_writes);
+}
+
+TEST(FlushBatchTest, MwBatchingWritesFewerLargerCalls) {
+  auto config = test_config();
+  config.strategy = Strategy::MW;
+  const auto per_query = run_simulation(config);
+  config.queries_per_flush = 2;
+  const auto batched = run_simulation(config);
+  EXPECT_TRUE(batched.file_exact);
+  EXPECT_LT(batched.ranks[0].writes_issued, per_query.ranks[0].writes_issued);
+  EXPECT_EQ(batched.ranks[0].bytes_written, per_query.ranks[0].bytes_written);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing integration
+// ---------------------------------------------------------------------------
+
+TEST(SimulationTest, TraceRecordsAllRanksAndPhases) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  s3asim::trace::TraceLog trace;
+  const auto stats = run_simulation(config, &trace);
+  EXPECT_GT(trace.size(), 0u);
+  // Every rank appears.
+  std::vector<bool> seen(config.nprocs, false);
+  for (const auto& interval : trace.intervals()) {
+    ASSERT_LT(interval.rank, config.nprocs);
+    seen[interval.rank] = true;
+    EXPECT_GE(interval.duration(), 0);
+  }
+  for (std::uint32_t rank = 0; rank < config.nprocs; ++rank)
+    EXPECT_TRUE(seen[rank]) << "rank " << rank << " missing from trace";
+  // Compute intervals only on workers.
+  for (const auto& interval : trace.intervals()) {
+    if (interval.category == "Compute") {
+      EXPECT_NE(interval.rank, 0u);
+    }
+  }
+  EXPECT_TRUE(stats.file_exact);
+}
+
+TEST(SimulationTest, SyncAfterWriteTogglesServerSyncs) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  config.sync_after_write = true;
+  const auto with_sync = run_simulation(config);
+  config.sync_after_write = false;
+  const auto without_sync = run_simulation(config);
+  EXPECT_GT(with_sync.fs.server_syncs, without_sync.fs.server_syncs);
+  EXPECT_TRUE(without_sync.file_exact);
+}
+
+TEST(SimulationTest, JsonExportIsWellFormedAndComplete) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  const auto stats = run_simulation(config);
+  const std::string json = stats.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"strategy\":\"WW-List\""), std::string::npos);
+  EXPECT_NE(json.find("\"exact\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"Data Distribution\""), std::string::npos);
+  // One rank entry per process.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"rank\":", pos)) != std::string::npos) {
+    ++count;
+    pos += 7;
+  }
+  EXPECT_EQ(count, config.nprocs);
+}
+
+}  // namespace

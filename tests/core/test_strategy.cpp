@@ -1,0 +1,73 @@
+#include "core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace {
+
+using namespace s3asim::core;
+
+TEST(StrategyTest, Names) {
+  EXPECT_STREQ(strategy_name(Strategy::MW), "MW");
+  EXPECT_STREQ(strategy_name(Strategy::WWPosix), "WW-POSIX");
+  EXPECT_STREQ(strategy_name(Strategy::WWList), "WW-List");
+  EXPECT_STREQ(strategy_name(Strategy::WWColl), "WW-Coll");
+  EXPECT_STREQ(strategy_name(Strategy::WWCollList), "WW-CollList");
+}
+
+TEST(StrategyTest, WorkerWritesClassification) {
+  EXPECT_FALSE(worker_writes(Strategy::MW));
+  EXPECT_TRUE(worker_writes(Strategy::WWPosix));
+  EXPECT_TRUE(worker_writes(Strategy::WWList));
+  EXPECT_TRUE(worker_writes(Strategy::WWColl));
+  EXPECT_TRUE(worker_writes(Strategy::WWCollList));
+}
+
+TEST(StrategyTest, CollectiveClassification) {
+  EXPECT_FALSE(is_collective(Strategy::MW));
+  EXPECT_FALSE(is_collective(Strategy::WWPosix));
+  EXPECT_FALSE(is_collective(Strategy::WWList));
+  EXPECT_TRUE(is_collective(Strategy::WWColl));
+  EXPECT_TRUE(is_collective(Strategy::WWCollList));
+}
+
+TEST(StrategyTest, ParseRoundTrip) {
+  for (const Strategy strategy :
+       {Strategy::MW, Strategy::WWPosix, Strategy::WWList, Strategy::WWColl,
+        Strategy::WWCollList}) {
+    EXPECT_EQ(parse_strategy(strategy_name(strategy)), strategy);
+  }
+}
+
+TEST(StrategyTest, ParseAliases) {
+  EXPECT_EQ(parse_strategy("mw"), Strategy::MW);
+  EXPECT_EQ(parse_strategy("list"), Strategy::WWList);
+  EXPECT_EQ(parse_strategy("posix"), Strategy::WWPosix);
+  EXPECT_EQ(parse_strategy("coll"), Strategy::WWColl);
+}
+
+TEST(StrategyTest, ParseRejectsUnknown) {
+  EXPECT_THROW((void)parse_strategy("magic"), std::invalid_argument);
+}
+
+TEST(ConfigTest, PaperConfigMatchesSection33) {
+  const auto config = paper_config();
+  EXPECT_EQ(config.workload.query_count, 20u);
+  EXPECT_EQ(config.workload.fragment_count, 128u);
+  EXPECT_EQ(config.workload.result_count_min, 1000u);
+  EXPECT_EQ(config.workload.result_count_max, 2000u);
+  EXPECT_EQ(config.queries_per_flush, 1u);     // "written ... after each query"
+  EXPECT_TRUE(config.sync_after_write);        // "MPI_File_sync always called"
+  EXPECT_EQ(config.model.pfs.layout.server_count(), 16u);
+  EXPECT_EQ(config.model.pfs.layout.strip_size(), 65536u);
+}
+
+TEST(ConfigTest, TestConfigIsSmall) {
+  const auto config = test_config();
+  EXPECT_LE(config.workload.query_count, 8u);
+  EXPECT_LE(config.workload.fragment_count, 16u);
+  EXPECT_GE(config.nprocs, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+#include "core/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace s3asim::core;
+
+WorkloadConfig small_workload() {
+  WorkloadConfig config;
+  config.seed = 99;
+  config.query_count = 6;
+  config.fragment_count = 16;
+  config.result_count_min = 50;
+  config.result_count_max = 100;
+  config.min_result_bytes = 128;
+  return config;
+}
+
+TEST(WorkloadTest, ResultCountWithinConfiguredRange) {
+  WorkloadModel model(small_workload());
+  for (std::uint32_t q = 0; q < 6; ++q) {
+    const auto& workload = model.query(q);
+    EXPECT_GE(workload.results.size(), 50u);
+    EXPECT_LE(workload.results.size(), 100u);
+  }
+}
+
+TEST(WorkloadTest, ResultsSortedByDescendingScore) {
+  WorkloadModel model(small_workload());
+  for (std::uint32_t q = 0; q < 6; ++q) {
+    const auto& results = model.query(q).results;
+    for (std::size_t i = 1; i < results.size(); ++i)
+      EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+}
+
+TEST(WorkloadTest, OffsetsArePrefixSums) {
+  WorkloadModel model(small_workload());
+  const auto& workload = model.query(0);
+  std::uint64_t cursor = 0;
+  for (std::size_t i = 0; i < workload.results.size(); ++i) {
+    EXPECT_EQ(workload.offsets[i], cursor);
+    cursor += workload.results[i].bytes;
+  }
+  EXPECT_EQ(workload.total_bytes, cursor);
+}
+
+TEST(WorkloadTest, ByFragmentPartitionsAllResults) {
+  WorkloadModel model(small_workload());
+  const auto& workload = model.query(2);
+  std::set<std::uint32_t> seen;
+  for (const auto& indices : workload.by_fragment) {
+    for (const std::uint32_t index : indices) {
+      EXPECT_TRUE(seen.insert(index).second);
+      EXPECT_LT(index, workload.results.size());
+    }
+  }
+  EXPECT_EQ(seen.size(), workload.results.size());
+}
+
+TEST(WorkloadTest, FragmentResultBytesSumToRegion) {
+  WorkloadModel model(small_workload());
+  for (std::uint32_t q = 0; q < 6; ++q) {
+    std::uint64_t total = 0;
+    for (std::uint32_t f = 0; f < 16; ++f)
+      total += model.fragment_result_bytes(q, f);
+    EXPECT_EQ(total, model.query(q).total_bytes);
+  }
+}
+
+TEST(WorkloadTest, RegionBasesAreConsistent) {
+  WorkloadModel model(small_workload());
+  EXPECT_EQ(model.region_base(0), 0u);
+  for (std::uint32_t q = 1; q < 6; ++q) {
+    EXPECT_EQ(model.region_base(q),
+              model.region_base(q - 1) + model.query(q - 1).total_bytes);
+  }
+  EXPECT_EQ(model.total_output_bytes(),
+            model.region_base(5) + model.query(5).total_bytes);
+}
+
+TEST(WorkloadTest, MinResultBytesRespected) {
+  WorkloadModel model(small_workload());
+  for (std::uint32_t q = 0; q < 6; ++q)
+    for (const auto& result : model.query(q).results)
+      EXPECT_GE(result.bytes, 128u);
+}
+
+TEST(WorkloadTest, GenerationOrderIndependent) {
+  // Accessing query 5 before query 0 must not change either.
+  WorkloadModel forward(small_workload());
+  WorkloadModel backward(small_workload());
+  const auto& f0 = forward.query(0);
+  const auto& f5 = forward.query(5);
+  const auto& b5 = backward.query(5);
+  const auto& b0 = backward.query(0);
+  ASSERT_EQ(f0.results.size(), b0.results.size());
+  ASSERT_EQ(f5.results.size(), b5.results.size());
+  for (std::size_t i = 0; i < f0.results.size(); ++i) {
+    EXPECT_EQ(f0.results[i].score, b0.results[i].score);
+    EXPECT_EQ(f0.results[i].bytes, b0.results[i].bytes);
+    EXPECT_EQ(f0.results[i].fragment, b0.results[i].fragment);
+  }
+}
+
+TEST(WorkloadTest, SeedChangesWorkload) {
+  auto config_a = small_workload();
+  auto config_b = small_workload();
+  config_b.seed = 100;
+  WorkloadModel a(config_a), b(config_b);
+  EXPECT_NE(a.total_output_bytes(), b.total_output_bytes());
+}
+
+TEST(WorkloadTest, PaperWorkloadVolumeApproximates208MB) {
+  WorkloadConfig config;  // paper defaults
+  WorkloadModel model(config);
+  const double mb = static_cast<double>(model.total_output_bytes()) / 1e6;
+  // §3.3: "Each data point we present generated roughly 208 MBytes".
+  EXPECT_GT(mb, 160.0);
+  EXPECT_LT(mb, 260.0);
+  // 20 queries × [1000, 2000] results.
+  EXPECT_GE(model.total_result_count(), 20'000u);
+  EXPECT_LE(model.total_result_count(), 40'000u);
+}
+
+TEST(WorkloadTest, RejectsBadConfig) {
+  auto config = small_workload();
+  config.result_count_min = 0;
+  EXPECT_THROW(WorkloadModel{config}, std::invalid_argument);
+  config = small_workload();
+  config.result_count_min = 200;  // > max
+  EXPECT_THROW(WorkloadModel{config}, std::invalid_argument);
+  config = small_workload();
+  config.query_count = 0;
+  EXPECT_THROW(WorkloadModel{config}, std::invalid_argument);
+  config = small_workload();
+  config.size_scale = 0.0;
+  EXPECT_THROW(WorkloadModel{config}, std::invalid_argument);
+}
+
+TEST(WorkloadTest, FragmentOutOfRangeRejected) {
+  WorkloadModel model(small_workload());
+  EXPECT_THROW((void)model.fragment_result_bytes(0, 16), std::invalid_argument);
+}
+
+class WorkloadSizeScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WorkloadSizeScaleTest, OutputScalesRoughlyLinearly) {
+  auto config = small_workload();
+  config.size_scale = 1.0;
+  WorkloadModel base(config);
+  config.size_scale = GetParam();
+  WorkloadModel scaled(config);
+  const double ratio = static_cast<double>(scaled.total_output_bytes()) /
+                       static_cast<double>(base.total_output_bytes());
+  // The min_result_bytes floor keeps this from being perfectly linear.
+  EXPECT_GT(ratio, GetParam() * 0.5);
+  EXPECT_LT(ratio, GetParam() * 1.6 + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, WorkloadSizeScaleTest,
+                         ::testing::Values(0.5, 2.0, 4.0));
+
+}  // namespace

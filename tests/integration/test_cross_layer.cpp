@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+/// Cross-layer consistency: quantities reported by the application layer
+/// (RunStats) must agree with what the file-system and network layers
+/// actually carried.
+
+namespace {
+
+using namespace s3asim::core;
+
+constexpr Strategy kAllStrategies[] = {Strategy::MW, Strategy::WWPosix,
+                                       Strategy::WWList, Strategy::WWColl,
+                                       Strategy::WWCollList};
+
+class CrossLayerTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(CrossLayerTest, ServerBytesEqualOutputBytes) {
+  // Without database modeling, the only data moving into the servers is the
+  // result file — every strategy must push exactly output_bytes, no more
+  // (no write amplification), no less (nothing skipped).
+  auto config = test_config();
+  config.strategy = GetParam();
+  const auto stats = run_simulation(config);
+  EXPECT_EQ(stats.fs.server_bytes, stats.output_bytes);
+}
+
+TEST_P(CrossLayerTest, RankBytesWrittenSumToOutput) {
+  auto config = test_config();
+  config.strategy = GetParam();
+  const auto stats = run_simulation(config);
+  std::uint64_t total = 0;
+  for (const auto& rank : stats.ranks) total += rank.bytes_written;
+  // Two-phase aggregators write on behalf of others, so per-rank write
+  // attribution differs, but the sum is always the whole file.
+  EXPECT_EQ(total, stats.output_bytes);
+}
+
+TEST_P(CrossLayerTest, SyncCountsMatchPolicy) {
+  auto config = test_config();
+  config.strategy = GetParam();
+  config.sync_after_write = false;
+  const auto stats = run_simulation(config);
+  EXPECT_EQ(stats.fs.server_syncs, 0u);
+}
+
+TEST_P(CrossLayerTest, PairsAtLeastServerTouches) {
+  auto config = test_config();
+  config.strategy = GetParam();
+  const auto stats = run_simulation(config);
+  // Every write request carries at least one OL pair.
+  EXPECT_GE(stats.fs.server_pairs, stats.fs.server_requests);
+}
+
+TEST_P(CrossLayerTest, WallIsMaxOfRankWalls) {
+  auto config = test_config();
+  config.strategy = GetParam();
+  const auto stats = run_simulation(config);
+  s3asim::sim::Time max_wall = 0;
+  for (const auto& rank : stats.ranks)
+    max_wall = std::max(max_wall, rank.wall);
+  EXPECT_NEAR(stats.wall_seconds, s3asim::sim::to_seconds(max_wall), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, CrossLayerTest,
+                         ::testing::ValuesIn(kAllStrategies),
+                         [](const auto& param_info) {
+                           std::string name = strategy_name(param_info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(CrossLayerTest2, PosixIssuesMoreRequestsThanList) {
+  auto config = test_config();
+  config.strategy = Strategy::WWPosix;
+  const auto posix = run_simulation(config);
+  config.strategy = Strategy::WWList;
+  const auto list = run_simulation(config);
+  EXPECT_GT(posix.fs.server_requests, list.fs.server_requests);
+  // ... while moving the same bytes.
+  EXPECT_EQ(posix.fs.server_bytes, list.fs.server_bytes);
+}
+
+TEST(CrossLayerTest2, MwWritesAreContiguousFewPairs) {
+  auto config = test_config();
+  config.strategy = Strategy::MW;
+  const auto stats = run_simulation(config);
+  // One contiguous region per query touching <= server_count servers each.
+  const std::uint64_t max_pairs =
+      static_cast<std::uint64_t>(config.workload.query_count) *
+      config.model.pfs.layout.server_count();
+  EXPECT_LE(stats.fs.server_pairs, max_pairs);
+}
+
+TEST(CrossLayerTest2, DbModelingAddsReadsNotWrites) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  const auto without = run_simulation(config);
+  config.workload.database_bytes = 64ull << 20;
+  config.worker_memory_bytes = 8ull << 20;
+  const auto with = run_simulation(config);
+  EXPECT_EQ(with.fs.server_bytes, without.fs.server_bytes);
+  EXPECT_GT(with.db_bytes_read, 0u);
+}
+
+TEST(CrossLayerTest2, QuerySyncDoesNotChangeIoVolume) {
+  auto config = test_config();
+  config.strategy = Strategy::WWList;
+  const auto nosync = run_simulation(config);
+  config.query_sync = true;
+  const auto sync = run_simulation(config);
+  EXPECT_EQ(nosync.fs.server_bytes, sync.fs.server_bytes);
+  EXPECT_EQ(nosync.output_bytes, sync.output_bytes);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "util/rng.hpp"
+
+/// Property-based sweep: randomized-but-seeded configurations must always
+/// terminate, verify their output file exactly, account every task, and
+/// keep per-rank phase sums equal to wall time — across every strategy.
+
+namespace {
+
+using namespace s3asim::core;
+using s3asim::util::Xoshiro256;
+
+SimConfig random_config(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  SimConfig config;
+  config.nprocs = static_cast<std::uint32_t>(rng.uniform_u64(2, 12));
+  const Strategy strategies[] = {Strategy::MW, Strategy::WWPosix,
+                                 Strategy::WWList, Strategy::WWColl,
+                                 Strategy::WWCollList};
+  config.strategy = strategies[rng.uniform_u64(0, 4)];
+  config.query_sync = rng.uniform() < 0.5;
+  config.compute_speed = 0.25 + rng.uniform() * 4.0;
+  config.queries_per_flush = static_cast<std::uint32_t>(rng.uniform_u64(1, 4));
+  config.sync_after_write = rng.uniform() < 0.8;
+
+  config.workload.seed = seed * 31 + 7;
+  config.workload.query_count = static_cast<std::uint32_t>(rng.uniform_u64(1, 6));
+  config.workload.fragment_count =
+      static_cast<std::uint32_t>(rng.uniform_u64(1, 12));
+  config.workload.result_count_min =
+      static_cast<std::uint32_t>(rng.uniform_u64(1, 30));
+  config.workload.result_count_max =
+      config.workload.result_count_min +
+      static_cast<std::uint32_t>(rng.uniform_u64(0, 50));
+  config.workload.min_result_bytes = rng.uniform_u64(16, 2048);
+  config.workload.query_histogram =
+      s3asim::util::BoxHistogram{{{64, 4096, 1.0}}};
+  config.workload.database_histogram =
+      s3asim::util::BoxHistogram{{{64, 1 + rng.uniform_u64(64, 100'000), 1.0}}};
+
+  config.model.pfs.layout = s3asim::pfs::Layout(
+      1ull << rng.uniform_u64(9, 17),                       // 512 B – 128 KiB
+      static_cast<std::uint32_t>(rng.uniform_u64(1, 12)));  // servers
+  if (rng.uniform() < 0.3) {
+    config.workload.database_bytes = rng.uniform_u64(1, 64) << 20;
+    config.worker_memory_bytes = rng.uniform_u64(1, 32) << 20;
+    config.fragment_affinity = rng.uniform() < 0.5;
+  }
+  if (rng.uniform() < 0.2) config.mw_nonblocking_io = true;
+  return config;
+}
+
+class RandomConfigTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomConfigTest, TerminatesAndVerifies) {
+  const auto config = random_config(GetParam());
+  const auto stats = run_simulation(config);
+
+  EXPECT_TRUE(stats.file_exact)
+      << "strategy=" << strategy_name(config.strategy)
+      << " procs=" << config.nprocs << " sync=" << config.query_sync
+      << " flush=" << config.queries_per_flush;
+  EXPECT_EQ(stats.overlap_count, 0u);
+
+  std::uint64_t tasks = 0;
+  for (const auto& rank : stats.ranks) {
+    tasks += rank.tasks_processed;
+    EXPECT_EQ(rank.phases.total(), rank.wall);
+  }
+  EXPECT_EQ(tasks, static_cast<std::uint64_t>(config.workload.query_count) *
+                       config.workload.fragment_count);
+
+  // Determinism: the same config reruns identically.
+  const auto again = run_simulation(config);
+  EXPECT_DOUBLE_EQ(stats.wall_seconds, again.wall_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace

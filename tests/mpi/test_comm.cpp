@@ -1,0 +1,256 @@
+#include "mpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace s3asim;
+using mpi::Comm;
+using mpi::kAnySource;
+using mpi::kAnyTag;
+using mpi::Message;
+using sim::Process;
+using sim::Scheduler;
+using sim::Time;
+
+struct Fixture {
+  Scheduler sched;
+  net::Network network;
+  Comm comm;
+
+  explicit Fixture(mpi::Rank ranks)
+      : network(sched, ranks, net::LinkParams::slow_test_network()),
+        comm(sched, network, ranks) {}
+};
+
+TEST(CommTest, BlockingSendRecvDeliversPayload) {
+  Fixture f(2);
+  std::string got;
+  auto sender = [](Fixture& fx) -> Process {
+    co_await fx.comm.send(0, 1, /*tag=*/7, 100, std::string("hello"));
+  };
+  auto receiver = [](Fixture& fx, std::string& out) -> Process {
+    const Message m = co_await fx.comm.recv(1, 0, 7);
+    out = m.as<std::string>();
+    EXPECT_EQ(m.source, 0u);
+    EXPECT_EQ(m.tag, 7);
+    EXPECT_EQ(m.bytes, 100u);
+  };
+  f.sched.spawn(sender(f));
+  f.sched.spawn(receiver(f, got));
+  f.sched.run();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(CommTest, RecvBlocksUntilMessageArrives) {
+  Fixture f(2);
+  Time recv_done = -1;
+  auto sender = [](Fixture& fx) -> Process {
+    co_await fx.sched.delay(5000);
+    co_await fx.comm.send(0, 1, 1, 0);
+  };
+  auto receiver = [](Fixture& fx, Time& out) -> Process {
+    (void)co_await fx.comm.recv(1, 0, 1);
+    out = fx.sched.now();
+  };
+  f.sched.spawn(sender(f));
+  f.sched.spawn(receiver(f, recv_done));
+  f.sched.run();
+  EXPECT_GE(recv_done, 5000 + 100'000);  // delay + latency
+}
+
+TEST(CommTest, UnexpectedMessageQueueHoldsEarlyArrivals) {
+  Fixture f(2);
+  int got = 0;
+  auto sender = [](Fixture& fx) -> Process {
+    co_await fx.comm.send(0, 1, 3, 0, 41);
+  };
+  auto receiver = [](Fixture& fx, int& out) -> Process {
+    co_await fx.sched.delay(sim::seconds(1.0));  // message arrives first
+    EXPECT_EQ(fx.comm.unexpected_count(1), 1u);
+    const Message m = co_await fx.comm.recv(1, 0, 3);
+    out = m.as<int>() + 1;
+  };
+  f.sched.spawn(sender(f));
+  f.sched.spawn(receiver(f, got));
+  f.sched.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(f.comm.unexpected_count(1), 0u);
+}
+
+TEST(CommTest, TagSelectivity) {
+  Fixture f(2);
+  std::vector<int> order;
+  auto sender = [](Fixture& fx) -> Process {
+    co_await fx.comm.send(0, 1, /*tag=*/10, 0, 1);
+    co_await fx.comm.send(0, 1, /*tag=*/20, 0, 2);
+  };
+  auto receiver = [](Fixture& fx, std::vector<int>& log) -> Process {
+    // Receive tag 20 first even though tag 10 arrived earlier.
+    const Message m20 = co_await fx.comm.recv(1, 0, 20);
+    log.push_back(m20.as<int>());
+    const Message m10 = co_await fx.comm.recv(1, 0, 10);
+    log.push_back(m10.as<int>());
+  };
+  f.sched.spawn(sender(f));
+  f.sched.spawn(receiver(f, order));
+  f.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(CommTest, AnySourceMatchesFirstArrival) {
+  Fixture f(3);
+  mpi::Rank from = 99;
+  auto sender = [](Fixture& fx, mpi::Rank rank, Time when) -> Process {
+    co_await fx.sched.delay(when);
+    co_await fx.comm.send(rank, 0, 5, 0);
+  };
+  auto receiver = [](Fixture& fx, mpi::Rank& out) -> Process {
+    const Message m = co_await fx.comm.recv(0, kAnySource, 5);
+    out = m.source;
+  };
+  f.sched.spawn(sender(f, 2, 100));
+  f.sched.spawn(sender(f, 1, 50'000'000));
+  f.sched.spawn(receiver(f, from));
+  f.sched.run();
+  EXPECT_EQ(from, 2u);
+}
+
+TEST(CommTest, AnyTagMatches) {
+  Fixture f(2);
+  int tag_seen = -1;
+  auto sender = [](Fixture& fx) -> Process {
+    co_await fx.comm.send(0, 1, 77, 0);
+  };
+  auto receiver = [](Fixture& fx, int& out) -> Process {
+    const Message m = co_await fx.comm.recv(1, 0, kAnyTag);
+    out = m.tag;
+  };
+  f.sched.spawn(sender(f));
+  f.sched.spawn(receiver(f, tag_seen));
+  f.sched.run();
+  EXPECT_EQ(tag_seen, 77);
+}
+
+TEST(CommTest, NonOvertakingForIdenticalEnvelopes) {
+  Fixture f(2);
+  std::vector<int> order;
+  auto sender = [](Fixture& fx) -> Process {
+    co_await fx.comm.send(0, 1, 4, 10, 1);
+    co_await fx.comm.send(0, 1, 4, 10, 2);
+    co_await fx.comm.send(0, 1, 4, 10, 3);
+  };
+  auto receiver = [](Fixture& fx, std::vector<int>& log) -> Process {
+    for (int i = 0; i < 3; ++i) {
+      const Message m = co_await fx.comm.recv(1, 0, 4);
+      log.push_back(m.as<int>());
+    }
+  };
+  f.sched.spawn(sender(f));
+  f.sched.spawn(receiver(f, order));
+  f.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CommTest, IsendTestTransitionsToComplete) {
+  Fixture f(2);
+  auto prog = [](Fixture& fx) -> Process {
+    auto req = fx.comm.isend(0, 1, 9, 1024);
+    EXPECT_FALSE(Comm::test(req));
+    co_await Comm::wait(req);
+    EXPECT_TRUE(Comm::test(req));
+    // Drain the unexpected message so the test leaves a clean world.
+    (void)co_await fx.comm.recv(1, 0, 9);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+}
+
+TEST(CommTest, IrecvBeforeSendCompletesOnArrival) {
+  Fixture f(2);
+  auto prog = [](Fixture& fx) -> Process {
+    auto req = fx.comm.irecv(1, 0, 2);
+    EXPECT_FALSE(Comm::test(req));
+    auto send_req = fx.comm.isend(0, 1, 2, 64, std::string("x"));
+    co_await Comm::wait(req);
+    EXPECT_TRUE(Comm::test(req));
+    EXPECT_EQ(req->message.as<std::string>(), "x");
+    co_await Comm::wait(send_req);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+  EXPECT_EQ(f.comm.posted_count(1), 0u);
+}
+
+TEST(CommTest, WaitAllCompletesAllRequests) {
+  Fixture f(3);
+  auto prog = [](Fixture& fx) -> Process {
+    std::vector<mpi::Request> recvs;
+    recvs.push_back(fx.comm.irecv(0, 1, 1));
+    recvs.push_back(fx.comm.irecv(0, 2, 1));
+    auto s1 = fx.comm.isend(1, 0, 1, 10);
+    auto s2 = fx.comm.isend(2, 0, 1, 10);
+    co_await Comm::wait_all(recvs);
+    EXPECT_TRUE(Comm::test(recvs[0]));
+    EXPECT_TRUE(Comm::test(recvs[1]));
+    co_await Comm::wait(s1);
+    co_await Comm::wait(s2);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+}
+
+TEST(CommTest, BarrierSynchronizesAllRanks) {
+  Fixture f(4);
+  std::vector<Time> after;
+  auto party = [](Fixture& fx, Time arrive, std::vector<Time>& log) -> Process {
+    co_await fx.sched.delay(arrive);
+    co_await fx.comm.barrier();
+    log.push_back(fx.sched.now());
+  };
+  f.sched.spawn(party(f, 10, after));
+  f.sched.spawn(party(f, 2000, after));
+  f.sched.spawn(party(f, 30, after));
+  f.sched.spawn(party(f, 500, after));
+  f.sched.run();
+  ASSERT_EQ(after.size(), 4u);
+  for (const Time t : after) {
+    EXPECT_EQ(t, after[0]);
+    EXPECT_GE(t, 2000);
+  }
+}
+
+TEST(CommTest, BigMessageSlowerThanSmall) {
+  Fixture f(3);
+  Time small_done = -1, big_done = -1;
+  auto send_and_time = [](Fixture& fx, mpi::Rank src, mpi::Rank dst,
+                          std::uint64_t bytes, Time& out) -> Process {
+    co_await fx.comm.send(src, dst, 1, bytes);
+    out = fx.sched.now();
+  };
+  auto drain = [](Fixture& fx, mpi::Rank self, mpi::Rank src) -> Process {
+    (void)co_await fx.comm.recv(self, src, 1);
+  };
+  f.sched.spawn(send_and_time(f, 0, 1, 100, small_done));
+  f.sched.spawn(send_and_time(f, 2, 1, 1 << 20, big_done));
+  f.sched.spawn(drain(f, 1, 0));
+  f.sched.spawn(drain(f, 1, 2));
+  f.sched.run();
+  EXPECT_LT(small_done, big_done);
+}
+
+TEST(CommTest, InvalidRankRejected) {
+  Fixture f(2);
+  EXPECT_THROW(f.comm.isend(0, 9, 1, 0), std::invalid_argument);
+  EXPECT_THROW(f.comm.irecv(9, 0, 1), std::invalid_argument);
+}
+
+TEST(CommTest, NegativeSendTagRejected) {
+  Fixture f(2);
+  EXPECT_THROW(f.comm.isend(0, 1, kAnyTag, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+#include "mpiio/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using s3asim::mpiio::Datatype;
+using s3asim::mpiio::Extent;
+
+TEST(DatatypeTest, ContiguousBasics) {
+  const auto type = Datatype::contiguous(100);
+  EXPECT_EQ(type.size(), 100u);
+  EXPECT_EQ(type.extent(), 100u);
+  EXPECT_EQ(type.block_count(), 1u);
+}
+
+TEST(DatatypeTest, ContiguousZeroIsEmpty) {
+  const auto type = Datatype::contiguous(0);
+  EXPECT_EQ(type.size(), 0u);
+  EXPECT_EQ(type.block_count(), 0u);
+}
+
+TEST(DatatypeTest, VectorLayout) {
+  // 3 blocks of 10 bytes strided by 25: [0,10) [25,35) [50,60).
+  const auto type = Datatype::vector(3, 10, 25);
+  EXPECT_EQ(type.size(), 30u);
+  EXPECT_EQ(type.extent(), 60u);
+  ASSERT_EQ(type.block_count(), 3u);
+  EXPECT_EQ(type.blocks()[1], (Extent{25, 10}));
+}
+
+TEST(DatatypeTest, VectorRejectsOverlappingStride) {
+  EXPECT_THROW((void)Datatype::vector(3, 10, 5), std::invalid_argument);
+}
+
+TEST(DatatypeTest, VectorDegenerateCount) {
+  const auto type = Datatype::vector(0, 10, 25);
+  EXPECT_EQ(type.size(), 0u);
+  EXPECT_EQ(type.extent(), 0u);
+}
+
+TEST(DatatypeTest, IndexedLayout) {
+  const auto type = Datatype::indexed({Extent{5, 10}, Extent{40, 4}});
+  EXPECT_EQ(type.size(), 14u);
+  EXPECT_EQ(type.extent(), 44u);
+}
+
+TEST(DatatypeTest, IndexedRejectsUnsortedOrOverlapping) {
+  EXPECT_THROW((void)Datatype::indexed({Extent{40, 4}, Extent{5, 10}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Datatype::indexed({Extent{0, 10}, Extent{5, 10}}),
+               std::invalid_argument);
+}
+
+TEST(DatatypeTest, IndexedDropsEmptyBlocks) {
+  const auto type = Datatype::indexed({Extent{0, 10}, Extent{10, 0}, Extent{20, 5}});
+  EXPECT_EQ(type.block_count(), 2u);
+}
+
+TEST(DatatypeTest, RepeatedComposition) {
+  const auto element = Datatype::vector(2, 5, 10);  // extent 15, size 10
+  const auto type = Datatype::repeated(element, 3);
+  EXPECT_EQ(type.size(), 30u);
+  EXPECT_EQ(type.extent(), 45u);
+  EXPECT_EQ(type.block_count(), 6u);
+  EXPECT_EQ(type.blocks()[2], (Extent{15, 5}));  // second copy, first block
+}
+
+TEST(DatatypeTest, FlattenAppliesFileOffset) {
+  const auto type = Datatype::vector(2, 10, 30);
+  const auto extents = type.flatten(1000);
+  ASSERT_EQ(extents.size(), 2u);
+  EXPECT_EQ(extents[0], (Extent{1000, 10}));
+  EXPECT_EQ(extents[1], (Extent{1030, 10}));
+}
+
+TEST(DatatypeTest, FlattenCoalescesAdjacentBlocks) {
+  // stride == block_length ⇒ logically contiguous.
+  const auto type = Datatype::vector(4, 10, 10);
+  const auto extents = type.flatten(0);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0], (Extent{0, 40}));
+}
+
+TEST(DatatypeTest, FlattenSizeInvariant) {
+  const auto type = Datatype::indexed({Extent{3, 7}, Extent{20, 13}, Extent{50, 1}});
+  std::uint64_t total = 0;
+  for (const auto& extent : type.flatten(12345)) total += extent.length;
+  EXPECT_EQ(total, type.size());
+}
+
+}  // namespace

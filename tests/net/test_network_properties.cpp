@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+
+/// Property tests for the network model: analytic timing, conservation of
+/// counted traffic, and FIFO fairness under load.
+
+namespace {
+
+using namespace s3asim;
+using sim::Process;
+using sim::Scheduler;
+using sim::Time;
+
+class TransferTimingTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double, double>> {};
+
+TEST_P(TransferTimingTest, MatchesAnalyticFormula) {
+  const auto [bytes, bandwidth, latency_us] = GetParam();
+  net::LinkParams params;
+  params.latency = sim::microseconds(latency_us);
+  params.bandwidth_bps = bandwidth;
+  params.per_message_overhead = 0;
+
+  Scheduler sched;
+  net::Network network(sched, 2, params);
+  Time done = -1;
+  auto prog = [](Scheduler& s, net::Network& n, std::uint64_t b,
+                 Time& out) -> Process {
+    co_await n.transfer(0, 1, b);
+    out = s.now();
+  };
+  sched.spawn(prog(sched, network, bytes, done));
+  sched.run();
+
+  const Time expected = 2 * sim::transfer_time(bytes, bandwidth) +
+                        sim::microseconds(latency_us);
+  EXPECT_EQ(done, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TransferTimingTest,
+    ::testing::Combine(::testing::Values(0ull, 1ull, 4096ull, 1ull << 20),
+                       ::testing::Values(1e6, 230.0 * 1024 * 1024),
+                       ::testing::Values(1.0, 7.5, 100.0)));
+
+TEST(NetworkPropertyTest, CountersConserveTraffic) {
+  // Random many-to-many traffic: Σ sent == Σ received, per-byte exact.
+  Scheduler sched;
+  net::Network network(sched, 8, net::LinkParams::myrinet2000());
+  util::Xoshiro256 rng(99);
+  std::uint64_t expected_bytes = 0;
+  auto sender = [](Scheduler&, net::Network& n, net::EndpointId src,
+                   net::EndpointId dst, std::uint64_t b) -> Process {
+    co_await n.transfer(src, dst, b);
+  };
+  for (int i = 0; i < 200; ++i) {
+    const auto src = static_cast<net::EndpointId>(rng.uniform_u64(0, 7));
+    auto dst = static_cast<net::EndpointId>(rng.uniform_u64(0, 7));
+    if (dst == src) dst = (dst + 1) % 8;
+    const std::uint64_t bytes = rng.uniform_u64(0, 100'000);
+    expected_bytes += bytes;
+    sched.spawn(sender(sched, network, src, dst, bytes));
+  }
+  sched.run();
+  std::uint64_t sent = 0, received = 0, messages_in = 0, messages_out = 0;
+  for (net::EndpointId ep = 0; ep < 8; ++ep) {
+    sent += network.counters(ep).bytes_sent;
+    received += network.counters(ep).bytes_received;
+    messages_out += network.counters(ep).messages_sent;
+    messages_in += network.counters(ep).messages_received;
+  }
+  EXPECT_EQ(sent, expected_bytes);
+  EXPECT_EQ(received, expected_bytes);
+  EXPECT_EQ(messages_out, 200u);
+  EXPECT_EQ(messages_in, 200u);
+}
+
+TEST(NetworkPropertyTest, BusyTimeNeverExceedsMakespan) {
+  Scheduler sched;
+  net::Network network(sched, 4, net::LinkParams::slow_test_network());
+  auto sender = [](Scheduler&, net::Network& n, net::EndpointId src,
+                   std::uint64_t b) -> Process {
+    co_await n.transfer(src, 3, b);
+  };
+  for (net::EndpointId src = 0; src < 3; ++src)
+    sched.spawn(sender(sched, network, src, 500'000));
+  sched.run();
+  const Time makespan = sched.now();
+  for (net::EndpointId ep = 0; ep < 4; ++ep) {
+    EXPECT_LE(network.counters(ep).tx_busy, makespan);
+    EXPECT_LE(network.counters(ep).rx_busy, makespan);
+  }
+  // The shared receiver must be busy for the serialized sum.
+  EXPECT_EQ(network.counters(3).rx_busy,
+            3 * sim::transfer_time(500'000, 1.0 * 1024 * 1024));
+}
+
+TEST(NetworkPropertyTest, ThroughputBoundedByReceiverBandwidth) {
+  // N senders into one receiver: makespan >= total_bytes / bandwidth.
+  Scheduler sched;
+  net::LinkParams params;
+  params.latency = 1000;
+  params.bandwidth_bps = 1e8;
+  params.per_message_overhead = 0;
+  net::Network network(sched, 9, params);
+  auto sender = [](Scheduler&, net::Network& n, net::EndpointId src) -> Process {
+    for (int i = 0; i < 10; ++i) co_await n.transfer(src, 8, 100'000);
+  };
+  for (net::EndpointId src = 0; src < 8; ++src)
+    sched.spawn(sender(sched, network, src));
+  sched.run();
+  const double total_bytes = 8.0 * 10 * 100'000;
+  EXPECT_GE(sim::to_seconds(sched.now()), total_bytes / 1e8);
+}
+
+TEST(NetworkPropertyTest, OversubscribedFabricSerializesInjections) {
+  // 4 disjoint sender/receiver pairs; a fabric of capacity 1 must serialize
+  // the injections, a non-blocking fabric must not.
+  auto run_with_fabric = [](std::uint32_t capacity) {
+    net::LinkParams params;
+    params.latency = 10;
+    params.bandwidth_bps = 1e6;  // 1000 B ⇒ 1 ms serialization
+    params.per_message_overhead = 0;
+    params.fabric_concurrent_transfers = capacity;
+    Scheduler sched;
+    net::Network network(sched, 8, params);
+    auto sender = [](Scheduler&, net::Network& n, net::EndpointId src) -> Process {
+      co_await n.transfer(src, src + 4, 1000);
+    };
+    for (net::EndpointId src = 0; src < 4; ++src)
+      sched.spawn(sender(sched, network, src));
+    sched.run();
+    return sched.now();
+  };
+  const Time nonblocking = run_with_fabric(0);
+  const Time oversubscribed = run_with_fabric(1);
+  EXPECT_GE(oversubscribed, nonblocking + 3 * sim::transfer_time(1000, 1e6));
+  const Time half = run_with_fabric(2);
+  EXPECT_GT(half, nonblocking);
+  EXPECT_LT(half, oversubscribed);
+}
+
+}  // namespace

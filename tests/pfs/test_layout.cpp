@@ -1,0 +1,163 @@
+#include "pfs/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace {
+
+using s3asim::pfs::Extent;
+using s3asim::pfs::Layout;
+using s3asim::pfs::ServerPiece;
+
+TEST(LayoutTest, PaperDefaultIsSixteenServers64KiBStrips) {
+  const auto layout = Layout::paper_default();
+  EXPECT_EQ(layout.strip_size(), 65536u);
+  EXPECT_EQ(layout.server_count(), 16u);
+  EXPECT_EQ(layout.stripe_size(), 1048576u);  // "1-MByte stripe"
+}
+
+TEST(LayoutTest, ServerOfRoundRobin) {
+  const Layout layout(100, 4);
+  EXPECT_EQ(layout.server_of(0), 0u);
+  EXPECT_EQ(layout.server_of(99), 0u);
+  EXPECT_EQ(layout.server_of(100), 1u);
+  EXPECT_EQ(layout.server_of(399), 3u);
+  EXPECT_EQ(layout.server_of(400), 0u);  // wraps to next stripe
+}
+
+TEST(LayoutTest, ServerOffsetAccountsForStripes) {
+  const Layout layout(100, 4);
+  EXPECT_EQ(layout.server_offset_of(0), 0u);
+  EXPECT_EQ(layout.server_offset_of(50), 50u);
+  EXPECT_EQ(layout.server_offset_of(150), 50u);   // server 1, first strip
+  EXPECT_EQ(layout.server_offset_of(400), 100u);  // server 0, second strip
+  EXPECT_EQ(layout.server_offset_of(450), 150u);
+}
+
+TEST(LayoutTest, SmallExtentWithinOneStrip) {
+  const Layout layout(100, 4);
+  const auto pieces = layout.map_extent(Extent{120, 30});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], (ServerPiece{1, 20, 30}));
+}
+
+TEST(LayoutTest, ExtentSpanningTwoServers) {
+  const Layout layout(100, 4);
+  const auto pieces = layout.map_extent(Extent{80, 50});
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], (ServerPiece{0, 80, 20}));
+  EXPECT_EQ(pieces[1], (ServerPiece{1, 0, 30}));
+}
+
+TEST(LayoutTest, FullStripeTouchesEveryServerOnce) {
+  const Layout layout(100, 4);
+  const auto pieces = layout.map_extent(Extent{0, 400});
+  ASSERT_EQ(pieces.size(), 4u);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(pieces[s].server, s);
+    EXPECT_EQ(pieces[s].length, 100u);
+  }
+}
+
+TEST(LayoutTest, MultiStripeExtentCoalescesPerServer) {
+  // Two full stripes: strips (0,4), (1,5)... are adjacent in each server's
+  // local stream, so per-server pieces coalesce into a single pair when
+  // mapped via group_by_server.
+  const Layout layout(100, 4);
+  const auto grouped = layout.group_by_server({Extent{0, 800}});
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(grouped[s].size(), 1u) << "server " << s;
+    EXPECT_EQ(grouped[s][0].server_offset, 0u);
+    EXPECT_EQ(grouped[s][0].length, 200u);
+  }
+}
+
+TEST(LayoutTest, MapExtentPreservesTotalLength) {
+  const Layout layout(64 * 1024, 16);
+  const Extent extent{123'456, 10'000'000};
+  std::uint64_t total = 0;
+  for (const auto& piece : layout.map_extent(extent)) total += piece.length;
+  EXPECT_EQ(total, extent.length);
+}
+
+TEST(LayoutTest, ZeroLengthExtentMapsToNothing) {
+  const Layout layout(100, 4);
+  EXPECT_TRUE(layout.map_extent(Extent{50, 0}).empty());
+}
+
+TEST(LayoutTest, GroupByServerMergesScatteredExtents) {
+  const Layout layout(100, 2);
+  // Three scattered extents all landing on server 0.
+  const auto grouped = layout.group_by_server(
+      {Extent{0, 10}, Extent{20, 10}, Extent{40, 10}});
+  EXPECT_EQ(grouped[0].size(), 3u);
+  EXPECT_TRUE(grouped[1].empty());
+}
+
+TEST(LayoutTest, GroupByServerCoalescesTouchingExtents) {
+  const Layout layout(100, 2);
+  const auto grouped = layout.group_by_server({Extent{0, 10}, Extent{10, 10}});
+  ASSERT_EQ(grouped[0].size(), 1u);
+  EXPECT_EQ(grouped[0][0].length, 20u);
+}
+
+TEST(LayoutTest, SingleServerLayoutKeepsEverythingLocal) {
+  const Layout layout(64, 1);
+  const auto grouped = layout.group_by_server({Extent{0, 1000}});
+  ASSERT_EQ(grouped.size(), 1u);
+  ASSERT_EQ(grouped[0].size(), 1u);
+  EXPECT_EQ(grouped[0][0].length, 1000u);
+}
+
+TEST(LayoutTest, RejectsDegenerateParameters) {
+  EXPECT_THROW(Layout(0, 4), std::invalid_argument);
+  EXPECT_THROW(Layout(64, 0), std::invalid_argument);
+}
+
+class LayoutPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {};
+
+TEST_P(LayoutPropertyTest, DecompositionIsExactAndDisjoint) {
+  const auto [strip, servers] = GetParam();
+  const Layout layout(strip, servers);
+  // A batch of adjacent extents must decompose into pieces whose per-server
+  // lengths sum to the total and which never collide.
+  std::vector<Extent> extents;
+  std::uint64_t offset = 13;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t length = 7 + static_cast<std::uint64_t>(i) * 31 % 900;
+    extents.push_back(Extent{offset, length});
+    offset += length + (static_cast<std::uint64_t>(i) % 3) * strip;
+  }
+  std::uint64_t want_total = 0;
+  for (const auto& extent : extents) want_total += extent.length;
+
+  const auto grouped = layout.group_by_server(extents);
+  std::uint64_t got_total = 0;
+  for (std::uint32_t s = 0; s < grouped.size(); ++s) {
+    std::uint64_t prev_end = 0;
+    bool first = true;
+    for (const auto& piece : grouped[s]) {
+      EXPECT_EQ(piece.server, s);
+      if (!first) {
+        EXPECT_GT(piece.server_offset, prev_end);  // coalesced ⇒ strict gap
+      }
+      prev_end = piece.server_offset + piece.length;
+      first = false;
+      got_total += piece.length;
+    }
+  }
+  EXPECT_EQ(got_total, want_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LayoutPropertyTest,
+    ::testing::Values(std::tuple<std::uint64_t, std::uint32_t>{64, 1},
+                      std::tuple<std::uint64_t, std::uint32_t>{64, 3},
+                      std::tuple<std::uint64_t, std::uint32_t>{100, 4},
+                      std::tuple<std::uint64_t, std::uint32_t>{65536, 16},
+                      std::tuple<std::uint64_t, std::uint32_t>{1, 2},
+                      std::tuple<std::uint64_t, std::uint32_t>{4096, 32}));
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pfs/pfs.hpp"
+
+namespace {
+
+using namespace s3asim;
+using pfs::Pfs;
+using pfs::PfsParams;
+using sim::Process;
+using sim::Scheduler;
+using sim::Time;
+
+PfsParams read_params(std::uint32_t servers = 4, std::uint64_t strip = 1024) {
+  PfsParams params;
+  params.layout = pfs::Layout(strip, servers);
+  params.disk = pfs::DiskModel::test_model();
+  return params;
+}
+
+net::LinkParams fast_net() {
+  net::LinkParams params;
+  params.latency = 10;
+  params.bandwidth_bps = 1e12;
+  params.per_message_overhead = 0;
+  return params;
+}
+
+struct Fixture {
+  Scheduler sched;
+  net::Network network;
+  Pfs fs;
+  explicit Fixture(PfsParams params = read_params())
+      : network(sched, 2 + params.layout.server_count(), fast_net()),
+        fs(sched, network, 2, params) {}
+  ~Fixture() {
+    fs.shutdown();
+    sched.run();
+  }
+};
+
+TEST(PfsReadTest, ReadFansOutOverServers) {
+  Fixture f;
+  auto prog = [](Fixture& fx) -> Process {
+    const auto file = co_await fx.fs.create_file(0, "db");
+    co_await fx.fs.read_contiguous(file, 0, 0, 4096);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(f.fs.server_stats(s).reads, 1u) << "server " << s;
+    EXPECT_EQ(f.fs.server_stats(s).read_bytes, 1024u);
+  }
+}
+
+TEST(PfsReadTest, ReadsDoNotDirtyServers) {
+  Fixture f;
+  auto prog = [](Fixture& fx) -> Process {
+    const auto file = co_await fx.fs.create_file(0, "db");
+    co_await fx.fs.read_contiguous(file, 0, 0, 4096);
+    // Sync after a pure read must be the cheap no-op path everywhere.
+    co_await fx.fs.sync(file, 0);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+  // noop sync = 100 ns in the test model; flush sync = 10'000 ns.
+  for (std::uint32_t s = 0; s < 4; ++s)
+    EXPECT_LT(f.fs.server_stats(s).busy, 10'000);
+}
+
+TEST(PfsReadTest, BytesReadAccumulatePerFile) {
+  Fixture f;
+  auto prog = [](Fixture& fx) -> Process {
+    const auto db = co_await fx.fs.create_file(0, "db");
+    const auto other = co_await fx.fs.create_file(0, "other");
+    co_await fx.fs.read_contiguous(db, 0, 0, 1000);
+    co_await fx.fs.read_contiguous(db, 0, 5000, 2000);
+    co_await fx.fs.read_contiguous(other, 0, 0, 42);
+    EXPECT_EQ(fx.fs.bytes_read(db), 3000u);
+    EXPECT_EQ(fx.fs.bytes_read(other), 42u);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+}
+
+TEST(PfsReadTest, ReadDoesNotTouchFileImage) {
+  Fixture f;
+  auto prog = [](Fixture& fx) -> Process {
+    const auto file = co_await fx.fs.create_file(0, "db");
+    co_await fx.fs.read_contiguous(file, 0, 0, 4096);
+    EXPECT_EQ(fx.fs.image(file).covered_bytes(), 0u);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+}
+
+TEST(PfsReadTest, LargeReadSlowerThanSmall) {
+  Fixture f;
+  std::vector<Time> elapsed(2, 0);
+  auto prog = [](Fixture& fx, std::vector<Time>& out) -> Process {
+    const auto file = co_await fx.fs.create_file(0, "db");
+    Time start = fx.sched.now();
+    co_await fx.fs.read_contiguous(file, 0, 0, 1024);
+    out[0] = fx.sched.now() - start;
+    start = fx.sched.now();
+    co_await fx.fs.read_contiguous(file, 0, 0, 1024 * 1024);
+    out[1] = fx.sched.now() - start;
+  };
+  f.sched.spawn(prog(f, elapsed));
+  f.sched.run();
+  EXPECT_GT(elapsed[1], elapsed[0]);
+}
+
+TEST(PfsReadTest, ZeroLengthReadIsHarmless) {
+  Fixture f;
+  auto prog = [](Fixture& fx) -> Process {
+    const auto file = co_await fx.fs.create_file(0, "db");
+    co_await fx.fs.read_contiguous(file, 0, 100, 0);
+    EXPECT_EQ(fx.fs.bytes_read(file), 0u);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/barrier.hpp"
+#include "sim/channel.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace s3asim::sim;
+
+TEST(ChannelTest, PushThenPop) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::vector<int> got;
+  ch.push(1);
+  ch.push(2);
+  auto consumer = [](Scheduler&, Channel<int>& c, std::vector<int>& log) -> Process {
+    while (auto item = co_await c.pop()) log.push_back(*item);
+  };
+  sched.spawn(consumer(sched, ch, got));
+  auto closer = [](Scheduler& s, Channel<int>& c) -> Process {
+    co_await s.delay(10);
+    c.close();
+  };
+  sched.spawn(closer(sched, ch));
+  sched.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(ChannelTest, PopBlocksUntilPush) {
+  Scheduler sched;
+  Channel<std::string> ch(sched);
+  Time delivered = -1;
+  auto consumer = [](Scheduler& s, Channel<std::string>& c, Time& at) -> Process {
+    const auto item = co_await c.pop();
+    EXPECT_TRUE(item.has_value());
+    if (item) {
+      EXPECT_EQ(*item, "payload");
+    }
+    at = s.now();
+    c.close();
+  };
+  auto producer = [](Scheduler& s, Channel<std::string>& c) -> Process {
+    co_await s.delay(777);
+    c.push("payload");
+  };
+  sched.spawn(consumer(sched, ch, delivered));
+  sched.spawn(producer(sched, ch));
+  sched.run();
+  EXPECT_EQ(delivered, 777);
+}
+
+TEST(ChannelTest, CloseWakesBlockedConsumerWithNullopt) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  bool got_nullopt = false;
+  auto consumer = [](Scheduler&, Channel<int>& c, bool& flag) -> Process {
+    const auto item = co_await c.pop();
+    flag = !item.has_value();
+  };
+  auto closer = [](Scheduler& s, Channel<int>& c) -> Process {
+    co_await s.delay(5);
+    c.close();
+  };
+  sched.spawn(consumer(sched, ch, got_nullopt));
+  sched.spawn(closer(sched, ch));
+  sched.run();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(ChannelTest, QueuedItemsDrainAfterClose) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  ch.push(10);
+  ch.push(20);
+  ch.close();
+  std::vector<int> got;
+  bool ended = false;
+  auto consumer = [](Scheduler&, Channel<int>& c, std::vector<int>& log,
+                     bool& end_flag) -> Process {
+    while (true) {
+      const auto item = co_await c.pop();
+      if (!item) {
+        end_flag = true;
+        co_return;
+      }
+      log.push_back(*item);
+    }
+  };
+  sched.spawn(consumer(sched, ch, got, ended));
+  sched.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20}));
+  EXPECT_TRUE(ended);
+}
+
+TEST(ChannelTest, PushAfterCloseThrows) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  ch.close();
+  EXPECT_THROW(ch.push(1), std::invalid_argument);
+}
+
+TEST(ChannelTest, MultipleConsumersShareWorkFifo) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::vector<std::pair<int, int>> handled;  // (consumer, item)
+  auto consumer = [](Scheduler&, Channel<int>& c, int id,
+                     std::vector<std::pair<int, int>>& log) -> Process {
+    while (auto item = co_await c.pop()) log.emplace_back(id, *item);
+  };
+  sched.spawn(consumer(sched, ch, 0, handled));
+  sched.spawn(consumer(sched, ch, 1, handled));
+  auto producer = [](Scheduler& s, Channel<int>& c) -> Process {
+    co_await s.delay(1);
+    c.push(100);
+    c.push(200);
+    co_await s.delay(1);
+    c.close();
+  };
+  sched.spawn(producer(sched, ch));
+  sched.run();
+  ASSERT_EQ(handled.size(), 2u);
+  // Consumer 0 blocked first, so it receives the first item.
+  EXPECT_EQ(handled[0], (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(handled[1], (std::pair<int, int>{1, 200}));
+}
+
+TEST(BarrierTest, ReleasesWhenAllArrive) {
+  Scheduler sched;
+  Barrier barrier(sched, 3);
+  std::vector<Time> released;
+  auto party = [](Scheduler& s, Barrier& b, Time arrive,
+                  std::vector<Time>& log) -> Process {
+    co_await s.delay(arrive);
+    co_await b.arrive_and_wait();
+    log.push_back(s.now());
+  };
+  sched.spawn(party(sched, barrier, 10, released));
+  sched.spawn(party(sched, barrier, 30, released));
+  sched.spawn(party(sched, barrier, 20, released));
+  sched.run();
+  ASSERT_EQ(released.size(), 3u);
+  for (const Time t : released) EXPECT_EQ(t, 30);
+}
+
+TEST(BarrierTest, IsReusableAcrossGenerations) {
+  Scheduler sched;
+  Barrier barrier(sched, 2);
+  std::vector<Time> released;
+  auto party = [](Scheduler& s, Barrier& b, Time step,
+                  std::vector<Time>& log) -> Process {
+    for (int round = 0; round < 3; ++round) {
+      co_await s.delay(step);
+      co_await b.arrive_and_wait();
+      log.push_back(s.now());
+    }
+  };
+  sched.spawn(party(sched, barrier, 10, released));
+  sched.spawn(party(sched, barrier, 25, released));
+  sched.run();
+  ASSERT_EQ(released.size(), 6u);
+  EXPECT_EQ(barrier.generation(), 3u);
+  // Rounds complete at the pace of the slower party: 25, 50, 75.
+  EXPECT_EQ(released[0], 25);
+  EXPECT_EQ(released[1], 25);
+  EXPECT_EQ(released[2], 50);
+  EXPECT_EQ(released[4], 75);
+}
+
+TEST(BarrierTest, SinglePartyNeverBlocks) {
+  Scheduler sched;
+  Barrier barrier(sched, 1);
+  Time done = -1;
+  auto party = [](Scheduler& s, Barrier& b, Time& out) -> Process {
+    co_await b.arrive_and_wait();
+    co_await b.arrive_and_wait();
+    out = s.now();
+  };
+  sched.spawn(party(sched, barrier, done));
+  sched.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(BarrierTest, ZeroPartiesRejected) {
+  Scheduler sched;
+  EXPECT_THROW(Barrier(sched, 0), std::invalid_argument);
+}
+
+TEST(BarrierTest, StragglerStallsEveryone) {
+  Scheduler sched;
+  Barrier barrier(sched, 4);
+  std::vector<Time> released;
+  auto party = [](Scheduler& s, Barrier& b, Time arrive,
+                  std::vector<Time>& log) -> Process {
+    co_await s.delay(arrive);
+    co_await b.arrive_and_wait();
+    log.push_back(s.now());
+  };
+  for (const Time arrive : {1, 2, 3, 1000}) sched.spawn(party(sched, barrier, arrive, released));
+  sched.run();
+  for (const Time t : released) EXPECT_EQ(t, 1000);
+}
+
+}  // namespace

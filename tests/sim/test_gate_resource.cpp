@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/gate.hpp"
+#include "sim/resource.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace s3asim::sim;
+
+TEST(GateTest, WaitersReleaseOnOpen) {
+  Scheduler sched;
+  Gate gate(sched);
+  std::vector<Time> woke;
+  auto waiter = [](Scheduler& s, Gate& g, std::vector<Time>& log) -> Process {
+    co_await g.wait();
+    log.push_back(s.now());
+  };
+  auto opener = [](Scheduler& s, Gate& g) -> Process {
+    co_await s.delay(500);
+    g.open();
+  };
+  sched.spawn(waiter(sched, gate, woke));
+  sched.spawn(waiter(sched, gate, woke));
+  sched.spawn(opener(sched, gate));
+  sched.run();
+  ASSERT_EQ(woke.size(), 2u);
+  EXPECT_EQ(woke[0], 500);
+  EXPECT_EQ(woke[1], 500);
+}
+
+TEST(GateTest, WaitAfterOpenDoesNotBlock) {
+  Scheduler sched;
+  Gate gate(sched);
+  gate.open();
+  Time woke = -1;
+  auto waiter = [](Scheduler& s, Gate& g, Time& out) -> Process {
+    co_await s.delay(100);
+    co_await g.wait();
+    out = s.now();
+  };
+  sched.spawn(waiter(sched, gate, woke));
+  sched.run();
+  EXPECT_EQ(woke, 100);
+}
+
+TEST(GateTest, OpenIsIdempotent) {
+  Scheduler sched;
+  Gate gate(sched);
+  gate.open();
+  gate.open();
+  EXPECT_TRUE(gate.is_open());
+}
+
+TEST(ResourceTest, CapacityOneSerializes) {
+  Scheduler sched;
+  Resource res(sched);
+  std::vector<Time> starts;
+  auto user = [](Scheduler& s, Resource& r, std::vector<Time>& log) -> Process {
+    co_await r.acquire();
+    log.push_back(s.now());
+    co_await s.delay(100);
+    r.release();
+  };
+  for (int i = 0; i < 3; ++i) sched.spawn(user(sched, res, starts));
+  sched.run();
+  EXPECT_EQ(starts, (std::vector<Time>{0, 100, 200}));
+}
+
+TEST(ResourceTest, CapacityTwoAllowsPairs) {
+  Scheduler sched;
+  Resource res(sched, 2);
+  std::vector<Time> starts;
+  auto user = [](Scheduler& s, Resource& r, std::vector<Time>& log) -> Process {
+    co_await r.acquire();
+    log.push_back(s.now());
+    co_await s.delay(100);
+    r.release();
+  };
+  for (int i = 0; i < 4; ++i) sched.spawn(user(sched, res, starts));
+  sched.run();
+  EXPECT_EQ(starts, (std::vector<Time>{0, 0, 100, 100}));
+}
+
+TEST(ResourceTest, FifoGrantOrder) {
+  Scheduler sched;
+  Resource res(sched);
+  std::vector<int> grant_order;
+  auto user = [](Scheduler& s, Resource& r, int id, Time arrive,
+                 std::vector<int>& log) -> Process {
+    co_await s.delay(arrive);
+    co_await r.acquire();
+    log.push_back(id);
+    co_await s.delay(50);
+    r.release();
+  };
+  sched.spawn(user(sched, res, 0, 0, grant_order));
+  sched.spawn(user(sched, res, 1, 10, grant_order));
+  sched.spawn(user(sched, res, 2, 5, grant_order));
+  sched.run();
+  EXPECT_EQ(grant_order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(ResourceTest, ReleaseWithoutAcquireThrows) {
+  Scheduler sched;
+  Resource res(sched);
+  EXPECT_THROW(res.release(), std::logic_error);
+}
+
+TEST(ResourceTest, ZeroCapacityRejected) {
+  Scheduler sched;
+  EXPECT_THROW(Resource(sched, 0), std::invalid_argument);
+}
+
+TEST(ResourceTest, HoldReleasesOnScopeExit) {
+  Scheduler sched;
+  Resource res(sched);
+  std::vector<Time> starts;
+  auto user = [](Scheduler& s, Resource& r, std::vector<Time>& log) -> Process {
+    co_await r.acquire();
+    {
+      ResourceHold hold(r);
+      log.push_back(s.now());
+      co_await s.delay(100);
+    }
+    co_await s.delay(1000);  // after release: must not block the next user
+  };
+  sched.spawn(user(sched, res, starts));
+  sched.spawn(user(sched, res, starts));
+  sched.run();
+  EXPECT_EQ(starts, (std::vector<Time>{0, 100}));
+}
+
+TEST(ResourceTest, QueueLengthReflectsWaiters) {
+  Scheduler sched;
+  Resource res(sched);
+  auto holder = [](Scheduler& s, Resource& r) -> Process {
+    co_await r.acquire();
+    co_await s.delay(1000);
+    r.release();
+  };
+  auto waiter = [](Scheduler& s, Resource& r) -> Process {
+    co_await s.delay(1);
+    co_await r.acquire();
+    r.release();
+    (void)s;
+  };
+  sched.spawn(holder(sched, res));
+  sched.spawn(waiter(sched, res));
+  sched.run_until(500);
+  EXPECT_EQ(res.in_use(), 1u);
+  EXPECT_EQ(res.queue_length(), 1u);
+  sched.run();
+  EXPECT_EQ(res.in_use(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace s3asim::sim;
+
+Process record_after(Scheduler& sched, Time delay_ns, std::vector<Time>& log) {
+  co_await sched.delay(delay_ns);
+  log.push_back(sched.now());
+}
+
+TEST(SchedulerTest, StartsAtTimeZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), 0);
+  EXPECT_FALSE(sched.has_pending());
+}
+
+TEST(SchedulerTest, DelayAdvancesTime) {
+  Scheduler sched;
+  std::vector<Time> log;
+  sched.spawn(record_after(sched, seconds(1.5), log));
+  sched.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], seconds(1.5));
+  EXPECT_EQ(sched.now(), seconds(1.5));
+}
+
+TEST(SchedulerTest, EventsFireInTimeOrder) {
+  Scheduler sched;
+  std::vector<Time> log;
+  sched.spawn(record_after(sched, 300, log));
+  sched.spawn(record_after(sched, 100, log));
+  sched.spawn(record_after(sched, 200, log));
+  sched.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log, (std::vector<Time>{100, 200, 300}));
+}
+
+TEST(SchedulerTest, SimultaneousEventsAreFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  auto tagged = [](Scheduler& s, int tag, std::vector<int>& log) -> Process {
+    co_await s.delay(50);
+    log.push_back(tag);
+  };
+  for (int i = 0; i < 5; ++i) sched.spawn(tagged(sched, i, order));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, ZeroDelayDoesNotSuspend) {
+  Scheduler sched;
+  std::vector<Time> log;
+  sched.spawn(record_after(sched, 0, log));
+  sched.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 0);
+}
+
+TEST(SchedulerTest, ProcessAccounting) {
+  Scheduler sched;
+  std::vector<Time> log;
+  sched.spawn(record_after(sched, 10, log));
+  sched.spawn(record_after(sched, 20, log));
+  EXPECT_EQ(sched.live_processes(), 2u);
+  sched.run();
+  EXPECT_EQ(sched.live_processes(), 0u);
+  EXPECT_EQ(sched.finished_processes(), 2u);
+}
+
+TEST(SchedulerTest, RunReturnsResumptionCount) {
+  Scheduler sched;
+  std::vector<Time> log;
+  sched.spawn(record_after(sched, 10, log));
+  EXPECT_GE(sched.run(), 1u);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  std::vector<Time> log;
+  sched.spawn(record_after(sched, 100, log));
+  sched.spawn(record_after(sched, 5'000, log));
+  sched.run_until(1'000);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(sched.now(), 1'000);
+  EXPECT_TRUE(sched.has_pending());
+  sched.run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(SchedulerTest, ExceptionInProcessPropagatesFromRun) {
+  Scheduler sched;
+  auto thrower = [](Scheduler& s) -> Process {
+    co_await s.delay(5);
+    throw std::runtime_error("boom");
+  };
+  sched.spawn(thrower(sched));
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+TEST(SchedulerTest, SequentialDelaysAccumulate) {
+  Scheduler sched;
+  Time finished = -1;
+  auto proc = [](Scheduler& s, Time& out) -> Process {
+    co_await s.delay(100);
+    co_await s.delay(200);
+    co_await s.delay(300);
+    out = s.now();
+  };
+  sched.spawn(proc(sched, finished));
+  sched.run();
+  EXPECT_EQ(finished, 600);
+}
+
+TEST(SchedulerTest, YieldPreservesRelativeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  auto yielding = [](Scheduler& s, std::vector<int>& log) -> Process {
+    log.push_back(1);
+    co_await s.yield();
+    log.push_back(3);
+  };
+  auto plain = [](Scheduler& s, std::vector<int>& log) -> Process {
+    co_await s.delay(0);
+    log.push_back(2);
+  };
+  sched.spawn(yielding(sched, order));
+  sched.spawn(plain(sched, order));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(seconds(1.0), 1'000'000'000);
+  EXPECT_EQ(milliseconds(1.5), 1'500'000);
+  EXPECT_EQ(microseconds(2.0), 2'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7.0)), 7.0);
+}
+
+TEST(TimeTest, TransferTime) {
+  // 1 MiB at 1 MiB/s = 1 s.
+  EXPECT_EQ(transfer_time(1 << 20, static_cast<double>(1 << 20)), seconds(1.0));
+  EXPECT_EQ(transfer_time(0, 100.0), 0);
+  EXPECT_EQ(transfer_time(100, 0.0), 0);
+}
+
+}  // namespace

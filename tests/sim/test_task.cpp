@@ -1,0 +1,160 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace s3asim::sim;
+
+Task<int> answer(Scheduler& sched) {
+  co_await sched.delay(10);
+  co_return 42;
+}
+
+TEST(TaskTest, ChildTaskReturnsValue) {
+  Scheduler sched;
+  int got = 0;
+  auto parent = [](Scheduler& s, int& out) -> Process {
+    out = co_await answer(s);
+  };
+  sched.spawn(parent(sched, got));
+  sched.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(sched.now(), 10);
+}
+
+TEST(TaskTest, VoidTaskCompletes) {
+  Scheduler sched;
+  bool done = false;
+  auto child = [](Scheduler& s) -> Task<void> { co_await s.delay(5); };
+  auto parent = [&child](Scheduler& s, bool& flag) -> Process {
+    co_await child(s);
+    flag = true;
+  };
+  sched.spawn(parent(sched, done));
+  sched.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(TaskTest, NestedTasksComposeDelays) {
+  Scheduler sched;
+  Time finish = -1;
+  auto inner = [](Scheduler& s) -> Task<int> {
+    co_await s.delay(100);
+    co_return 1;
+  };
+  auto middle = [&inner](Scheduler& s) -> Task<int> {
+    const int a = co_await inner(s);
+    co_await s.delay(50);
+    co_return a + 1;
+  };
+  auto parent = [&middle](Scheduler& s, Time& out) -> Process {
+    const int v = co_await middle(s);
+    EXPECT_EQ(v, 2);
+    out = s.now();
+  };
+  sched.spawn(parent(sched, finish));
+  sched.run();
+  EXPECT_EQ(finish, 150);
+}
+
+TEST(TaskTest, DeepRecursionIsStackSafe) {
+  // 20k-deep chain of child tasks: symmetric transfer must keep the native
+  // stack flat.
+  Scheduler sched;
+  std::function<Task<int>(Scheduler&, int)> chain =
+      [&chain](Scheduler& s, int depth) -> Task<int> {
+    if (depth == 0) co_return 0;
+    const int below = co_await chain(s, depth - 1);
+    co_return below + 1;
+  };
+  int result = -1;
+  auto parent = [&chain](Scheduler& s, int& out) -> Process {
+    out = co_await chain(s, 20'000);
+  };
+  sched.spawn(parent(sched, result));
+  sched.run();
+  EXPECT_EQ(result, 20'000);
+}
+
+TEST(TaskTest, ExceptionPropagatesToAwaiter) {
+  Scheduler sched;
+  auto failing = [](Scheduler& s) -> Task<int> {
+    co_await s.delay(1);
+    throw std::runtime_error("child failed");
+  };
+  bool caught = false;
+  auto parent = [&failing](Scheduler& s, bool& flag) -> Process {
+    try {
+      (void)co_await failing(s);
+    } catch (const std::runtime_error& e) {
+      flag = std::string(e.what()) == "child failed";
+    }
+  };
+  sched.spawn(parent(sched, caught));
+  sched.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskTest, UncaughtChildExceptionEscapesViaProcess) {
+  Scheduler sched;
+  auto failing = [](Scheduler& s) -> Task<void> {
+    co_await s.delay(1);
+    throw std::logic_error("unhandled");
+  };
+  auto parent = [&failing](Scheduler& s) -> Process { co_await failing(s); };
+  sched.spawn(parent(sched));
+  EXPECT_THROW(sched.run(), std::logic_error);
+}
+
+TEST(TaskTest, MoveOnlyResultType) {
+  Scheduler sched;
+  auto produce = [](Scheduler& s) -> Task<std::unique_ptr<int>> {
+    co_await s.delay(1);
+    co_return std::make_unique<int>(7);
+  };
+  int got = 0;
+  auto parent = [&produce](Scheduler& s, int& out) -> Process {
+    auto p = co_await produce(s);
+    out = *p;
+  };
+  sched.spawn(parent(sched, got));
+  sched.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(TaskTest, ManyParallelProcessesInterleave) {
+  Scheduler sched;
+  std::vector<int> done;
+  auto worker = [](Scheduler& s, int id, std::vector<int>& log) -> Process {
+    co_await s.delay(100 - id);  // later ids finish earlier
+    log.push_back(id);
+  };
+  for (int i = 0; i < 10; ++i) sched.spawn(worker(sched, i, done));
+  sched.run();
+  ASSERT_EQ(done.size(), 10u);
+  EXPECT_EQ(done.front(), 9);
+  EXPECT_EQ(done.back(), 0);
+}
+
+TEST(TaskTest, UnspawnedProcessDoesNotLeakOrRun) {
+  Scheduler sched;
+  bool ran = false;
+  {
+    auto proc = [](Scheduler& s, bool& flag) -> Process {
+      flag = true;
+      co_await s.delay(1);
+    }(sched, ran);
+    // destroyed without spawn
+  }
+  sched.run();
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using s3asim::sim::seconds;
+using s3asim::trace::TraceLog;
+
+TEST(TraceLogTest, RecordsIntervals) {
+  TraceLog log;
+  log.record(0, "Compute", 100, 200);
+  log.record(1, "I/O", 150, 300);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.intervals()[0].duration(), 100);
+  EXPECT_EQ(log.intervals()[1].category, "I/O");
+}
+
+TEST(TraceLogTest, DropsNegativeDurations) {
+  TraceLog log;
+  log.record(0, "Bad", 200, 100);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceLogTest, TotalsPerRank) {
+  TraceLog log;
+  log.record(0, "Compute", 0, 100);
+  log.record(0, "Compute", 200, 350);
+  log.record(0, "I/O", 100, 200);
+  log.record(1, "Compute", 0, 999);
+  const auto totals = log.totals_for_rank(0);
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].first, "Compute");
+  EXPECT_EQ(totals[0].second, 250);
+  EXPECT_EQ(totals[1].second, 100);
+}
+
+TEST(TraceLogTest, GanttRendersLegendAndRows) {
+  TraceLog log;
+  log.record(0, "Compute", 0, seconds(1.0));
+  log.record(1, "I/O", seconds(0.5), seconds(2.0));
+  const std::string gantt = log.render_gantt(40);
+  EXPECT_NE(gantt.find("Compute"), std::string::npos);
+  EXPECT_NE(gantt.find("I/O"), std::string::npos);
+  EXPECT_NE(gantt.find("rank 0"), std::string::npos);
+  EXPECT_NE(gantt.find("rank 1"), std::string::npos);
+}
+
+TEST(TraceLogTest, GanttEmptyTrace) {
+  TraceLog log;
+  EXPECT_EQ(log.render_gantt(40), "(empty trace)\n");
+}
+
+TEST(TraceLogTest, GanttRejectsTinyWidth) {
+  TraceLog log;
+  log.record(0, "X", 0, 10);
+  EXPECT_THROW((void)log.render_gantt(2), std::invalid_argument);
+}
+
+TEST(TraceLogTest, GanttDominantCategoryWins) {
+  TraceLog log;
+  // Rank 0: 90% Compute, 10% I/O → most columns must show Compute's glyph.
+  log.record(0, "Compute", 0, 900);
+  log.record(0, "I/O", 900, 1000);
+  const std::string gantt = log.render_gantt(10);
+  // Glyphs derive from category initials: Compute='C', I/O='I'.
+  std::istringstream lines(gantt);
+  std::string line;
+  std::string row;
+  while (std::getline(lines, line))
+    if (line.rfind("rank 0", 0) == 0) row = line;
+  ASSERT_FALSE(row.empty());
+  const auto c_count = std::count(row.begin(), row.end(), 'C');
+  const auto i_count = std::count(row.begin(), row.end(), 'I');
+  EXPECT_GT(c_count, i_count);
+}
+
+TEST(TraceLogTest, CsvExport) {
+  TraceLog log;
+  log.record(3, "Sync", seconds(1.0), seconds(2.5));
+  const std::string path = ::testing::TempDir() + "/s3asim_trace_test.csv";
+  log.export_csv(path);
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "rank,category,start_s,end_s");
+  EXPECT_NE(row.find("3,Sync,1.0"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceLogTest, ClearEmptiesLog) {
+  TraceLog log;
+  log.record(0, "X", 0, 10);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+}  // namespace

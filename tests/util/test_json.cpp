@@ -1,0 +1,97 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using s3asim::util::JsonWriter;
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter json;
+  json.begin_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), "{}");
+}
+
+TEST(JsonWriterTest, SimpleObject) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name");
+  json.value("WW-List");
+  json.key("procs");
+  json.value(std::uint64_t{96});
+  json.key("ok");
+  json.value(true);
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"name":"WW-List","procs":96,"ok":true})");
+}
+
+TEST(JsonWriterTest, ArraysAndNesting) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("values");
+  json.begin_array();
+  json.value(std::int64_t{1});
+  json.value(std::int64_t{2});
+  json.begin_object();
+  json.key("x");
+  json.null();
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"values":[1,2,{"x":null}]})");
+}
+
+TEST(JsonWriterTest, DoublesAreLocaleIndependent) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(1.5);
+  json.value(0.001);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[1.5,0.001]");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01")), "\\u0001");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value("no key"), std::logic_error);
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("key in array"), std::logic_error);
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), std::logic_error);
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW((void)json.str(), std::logic_error);  // unbalanced
+  }
+}
+
+TEST(JsonWriterTest, TwoTopLevelValuesRejected) {
+  JsonWriter json;
+  json.value(std::int64_t{1});
+  EXPECT_THROW(json.value(std::int64_t{2}), std::logic_error);
+}
+
+}  // namespace

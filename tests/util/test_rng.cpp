@@ -1,0 +1,137 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace {
+
+using s3asim::util::SplitMix64;
+using s3asim::util::Xoshiro256;
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, UniformIsInHalfOpenUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, UniformMeanNearHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, UniformU64RespectsBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Xoshiro256Test, UniformU64SingleValueRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_u64(77, 77), 77u);
+}
+
+TEST(Xoshiro256Test, UniformU64CoversAllValuesOfSmallRange) {
+  Xoshiro256 rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256Test, UniformU64FullRangeDoesNotCrash) {
+  Xoshiro256 rng(17);
+  const auto v = rng.uniform_u64(0, std::numeric_limits<std::uint64_t>::max());
+  (void)v;  // any value is valid
+}
+
+TEST(Xoshiro256Test, UniformRealRespectsBounds) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Xoshiro256Test, ForkProducesIndependentStreams) {
+  Xoshiro256 parent(21);
+  Xoshiro256 childA = parent.fork(1);
+  Xoshiro256 childB = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (childA() == childB()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256Test, ForkIsDeterministicAndIndependentOfParentUse) {
+  Xoshiro256 parentA(33);
+  Xoshiro256 parentB(33);
+  // Advancing parentB's output stream must not change fork(k): forks key off
+  // state_[0] at fork time, so fork before any use.
+  Xoshiro256 c1 = parentA.fork(5);
+  Xoshiro256 c2 = parentB.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  using s3asim::util::hash_combine;
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombineTest, Deterministic) {
+  using s3asim::util::hash_combine;
+  EXPECT_EQ(hash_combine(123, 456), hash_combine(123, 456));
+}
+
+class XoshiroRangeTest : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(XoshiroRangeTest, SampleMeanNearRangeMidpoint) {
+  const auto [lo, hi] = GetParam();
+  Xoshiro256 rng(lo * 31 + hi);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i)
+    sum += static_cast<double>(rng.uniform_u64(lo, hi));
+  const double expected = (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+  const double span = static_cast<double>(hi - lo);
+  EXPECT_NEAR(sum / kSamples, expected, span * 0.01 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, XoshiroRangeTest,
+                         ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                                           std::pair<std::uint64_t, std::uint64_t>{0, 100},
+                                           std::pair<std::uint64_t, std::uint64_t>{1000, 1000000},
+                                           std::pair<std::uint64_t, std::uint64_t>{6, 43131105}));
+
+}  // namespace

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using s3asim::util::Align;
+using s3asim::util::CsvWriter;
+using s3asim::util::TextTable;
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable t({"Strategy", "Time (s)"});
+  t.add_row({"WW-List", "40.24"});
+  t.add_row({"MW", "186.71"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Strategy"), std::string::npos);
+  EXPECT_NE(out.find("WW-List"), std::string::npos);
+  EXPECT_NE(out.find("186.71"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(TextTableTest, LongRowsExtendColumns) {
+  TextTable t({"a"});
+  t.add_row({"1", "2", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowFormatting) {
+  TextTable t({"label", "x", "y"});
+  t.add_row_numeric("point", {1.23456, 2.0}, 3);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1.235"), std::string::npos);
+  EXPECT_NE(out.find("2.000"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable t({"name", "value"}, {Align::Left, Align::Right});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "100"});
+  const std::string out = t.render();
+  // Right-aligned numbers: the '1' of the first row must be padded out to
+  // the width of '100'.
+  EXPECT_NE(out.find("   1 |"), std::string::npos);
+}
+
+class CsvFixture : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/s3asim_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string slurp() {
+    std::ifstream in(path_);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(CsvFixture, WritesRows) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"procs", "mw", "ww_list"});
+    csv.write_row_numeric("96", {186.71, 40.24});
+  }
+  const std::string content = slurp();
+  EXPECT_NE(content.find("procs,mw,ww_list"), std::string::npos);
+  EXPECT_NE(content.find("96,186.71"), std::string::npos);
+}
+
+TEST_F(CsvFixture, EscapesSpecialCells) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"a,b", "say \"hi\"", "line\nbreak"});
+  }
+  const std::string content = slurp();
+  EXPECT_NE(content.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(content.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST_F(CsvFixture, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/zzz/file.csv"), std::runtime_error);
+}
+
+}  // namespace

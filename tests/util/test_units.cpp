@@ -1,0 +1,48 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace s3asim::util;
+
+TEST(FormatBytesTest, Bytes) { EXPECT_EQ(format_bytes(17), "17 B"); }
+TEST(FormatBytesTest, KiB) { EXPECT_EQ(format_bytes(64 * KiB), "64.00 KiB"); }
+TEST(FormatBytesTest, MiB) { EXPECT_EQ(format_bytes(1536 * KiB), "1.50 MiB"); }
+TEST(FormatBytesTest, GiB) { EXPECT_EQ(format_bytes(3 * GiB), "3.00 GiB"); }
+TEST(FormatBytesTest, Zero) { EXPECT_EQ(format_bytes(0), "0 B"); }
+
+TEST(ParseBytesTest, Plain) { EXPECT_EQ(parse_bytes("4096"), 4096u); }
+TEST(ParseBytesTest, KiBUnit) { EXPECT_EQ(parse_bytes("64KiB"), 64 * KiB); }
+TEST(ParseBytesTest, KiBWithSpace) { EXPECT_EQ(parse_bytes("64 KiB"), 64 * KiB); }
+TEST(ParseBytesTest, MiBFraction) { EXPECT_EQ(parse_bytes("1.5MiB"), 1536 * KiB); }
+TEST(ParseBytesTest, DecimalMB) { EXPECT_EQ(parse_bytes("208MB"), 208'000'000u); }
+TEST(ParseBytesTest, CaseInsensitive) { EXPECT_EQ(parse_bytes("2gib"), 2 * GiB); }
+TEST(ParseBytesTest, ShortSuffix) { EXPECT_EQ(parse_bytes("8k"), 8 * KiB); }
+
+TEST(ParseBytesTest, RejectsGarbage) {
+  EXPECT_THROW((void)parse_bytes("abc"), std::invalid_argument);
+}
+TEST(ParseBytesTest, RejectsUnknownUnit) {
+  EXPECT_THROW((void)parse_bytes("5 parsecs"), std::invalid_argument);
+}
+
+TEST(ParseFormatRoundTrip, PowerOfTwoSizes) {
+  for (const std::uint64_t size : {1ULL * KiB, 64ULL * KiB, 1ULL * MiB, 1ULL * GiB}) {
+    EXPECT_EQ(parse_bytes(format_bytes(size)), size);
+  }
+}
+
+TEST(FormatSecondsTest, Seconds) { EXPECT_EQ(format_seconds(12.345), "12.35 s"); }
+TEST(FormatSecondsTest, Millis) { EXPECT_EQ(format_seconds(0.0056), "5.60 ms"); }
+TEST(FormatSecondsTest, Micros) { EXPECT_EQ(format_seconds(780e-6), "780.00 us"); }
+TEST(FormatSecondsTest, Nanos) { EXPECT_EQ(format_seconds(3e-9), "3.00 ns"); }
+
+TEST(FormatFixedTest, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 3), "3.142");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
