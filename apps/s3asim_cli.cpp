@@ -11,6 +11,11 @@
 ///   --trace FILE.csv     export the phase timeline as CSV
 ///   --gantt              print an ASCII Gantt chart of the run
 ///   --groups G           hybrid query/database segmentation with G teams
+///   --fault SPEC         inject faults, e.g. "kill:worker=3,at=120s" (see
+///                        src/fault/fault.hpp for the clause grammar); a
+///                        "crash:at=T" clause reruns the remaining queries
+///                        from the last flushed batch (resume-from-flush)
+///   --fault-timeout T    failure-detector timeout (default 10s)
 ///   --set key=value      any config-file key (repeatable)
 ///   --print-config       show the effective configuration and exit
 ///   --help
@@ -27,6 +32,7 @@
 
 #include "core/config_loader.hpp"
 #include "core/simulation.hpp"
+#include "fault/fault.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
 #include "util/units.hpp"
@@ -43,6 +49,9 @@ void print_usage() {
       "  --trace FILE.csv   export phase timeline CSV\n"
       "  --gantt            print an ASCII timeline\n"
       "  --groups G         hybrid segmentation with G master/worker teams\n"
+      "  --fault SPEC       inject faults (kill/slow/delay/drop/server/crash\n"
+      "                     clauses, ';'-separated; crash => resume-from-flush)\n"
+      "  --fault-timeout T  failure-detector timeout (default 10s)\n"
       "  --json FILE.json   export full run statistics as JSON\n"
       "  --set key=value    override any config key (repeatable)\n"
       "  --print-config     show effective configuration and exit\n"
@@ -83,6 +92,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> overrides;
   std::string trace_path;
   std::string json_path;
+  std::string fault_spec;
+  std::string fault_timeout;
   bool want_gantt = false;
   bool print_config_only = false;
   std::uint32_t groups = 1;
@@ -113,6 +124,10 @@ int main(int argc, char** argv) {
       want_gantt = true;
     } else if (arg == "--groups") {
       groups = static_cast<std::uint32_t>(std::atoi(next_value("--groups").c_str()));
+    } else if (arg == "--fault") {
+      fault_spec = next_value("--fault");
+    } else if (arg == "--fault-timeout") {
+      fault_timeout = next_value("--fault-timeout");
     } else if (arg == "--json") {
       json_path = next_value("--json");
     } else if (arg == "--set") {
@@ -173,6 +188,9 @@ int main(int argc, char** argv) {
   core::SimConfig config;
   try {
     config = core::load_config(text);
+    if (!fault_spec.empty()) config.fault = fault::parse_fault_plan(fault_spec);
+    if (!fault_timeout.empty())
+      config.fault_detection_timeout = fault::parse_time(fault_timeout);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
@@ -186,10 +204,38 @@ int main(int argc, char** argv) {
   trace::TraceLog trace;
   const bool want_trace = want_gantt || !trace_path.empty();
   trace::TraceLog* trace_ptr = want_trace ? &trace : nullptr;
+  if (!config.fault.empty())
+    std::printf("fault plan            : %s\n", config.fault.describe().c_str());
   core::RunStats stats;
   try {
-    stats = groups > 1 ? core::run_hybrid_simulation(config, groups, trace_ptr)
-                       : core::run_simulation(config, trace_ptr);
+    if (config.fault.crash_at != fault::kNever) {
+      // Whole-run crash: rerun from the last durably flushed query batch.
+      if (groups > 1) {
+        std::fprintf(stderr,
+                     "error: crash/resume is not supported with --groups\n");
+        return 1;
+      }
+      const core::ResumeOutcome outcome =
+          core::run_with_resume(config, trace_ptr);
+      if (outcome.crashed) {
+        std::printf(
+            "crashed at %.3f s; resumed from query %u "
+            "(%.3f s lost + %.3f s rerun = %.3f s total)\n",
+            outcome.crashed_seconds, outcome.resume_query,
+            outcome.crashed_seconds, outcome.resumed_seconds,
+            outcome.total_seconds);
+        stats = outcome.resume_query < config.workload.query_count
+                    ? outcome.resumed
+                    : outcome.full;
+      } else {
+        std::printf("crash time is past the end of the run; nothing lost\n");
+        stats = outcome.full;
+      }
+    } else {
+      stats = groups > 1
+                  ? core::run_hybrid_simulation(config, groups, trace_ptr)
+                  : core::run_simulation(config, trace_ptr);
+    }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
@@ -200,6 +246,21 @@ int main(int argc, char** argv) {
   if (stats.db_bytes_read > 0)
     std::printf("database streamed     : %s\n",
                 util::format_bytes(stats.db_bytes_read).c_str());
+  const core::FaultStats& faults = stats.faults;
+  if (faults.workers_died + faults.workers_retired + faults.tasks_reassigned +
+          faults.scores_dropped + faults.duplicate_completions +
+          faults.repaired_bytes >
+      0) {
+    std::printf(
+        "faults                : %llu died, %llu retired, %llu reassigned, "
+        "%llu dropped, %llu duplicates, %s repaired\n",
+        static_cast<unsigned long long>(faults.workers_died),
+        static_cast<unsigned long long>(faults.workers_retired),
+        static_cast<unsigned long long>(faults.tasks_reassigned),
+        static_cast<unsigned long long>(faults.scores_dropped),
+        static_cast<unsigned long long>(faults.duplicate_completions),
+        util::format_bytes(faults.repaired_bytes).c_str());
+  }
 
   if (want_gantt) std::printf("\n%s", trace.render_gantt(110).c_str());
   if (!trace_path.empty()) {

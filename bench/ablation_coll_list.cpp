@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   util::TextTable table({"Processes", "WW-Coll (two-phase)",
                          "WW-CollList (list+sync)", "WW-List + query sync"});
-  util::CsvWriter csv("ablation_coll_list.csv");
+  util::CsvWriter csv(csv_path("ablation_coll_list.csv"));
   csv.write_row({"procs", "ww_coll", "ww_coll_list", "ww_list_sync"});
 
   for (const auto nprocs : procs) {
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                            list_sync.wall_seconds});
   }
   std::printf("%s", table.render().c_str());
-  std::printf("(csv: ablation_coll_list.csv)\n");
+  std::printf("(csv: results/ablation_coll_list.csv)\n");
   std::printf("\nPaper evidence at 96 procs: WW-List+sync 40.24 s vs WW-Coll"
               "+sync 45.54 s — the list-based collective wins.\n");
   return 0;

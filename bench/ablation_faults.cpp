@@ -1,0 +1,100 @@
+/// Ablation I — failure time × I/O strategy: the cost of losing a worker.
+///
+/// The paper motivates per-query flushing with resumability (§2); this
+/// bench exercises the complementary in-run recovery path: a worker dies
+/// mid-run, the master's failure detector retires it, and its outstanding
+/// (query, fragment) tasks are recomputed by the survivors.  For each
+/// strategy we kill one worker at a fraction of the failure-free wall and
+/// report the slowdown over the baseline plus the recovery counters.  Every
+/// run must still produce an exactly-covered output file — recovery that
+/// corrupts the layout would be worse than the failure.
+///
+/// Quick mode: death at 50% only.  Full mode sweeps 25% / 50% / 75%.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fault/fault.hpp"
+#include "sim/time.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const std::uint32_t procs = quick ? 16 : 32;
+  const std::vector<double> fractions =
+      quick ? std::vector<double>{0.5} : std::vector<double>{0.25, 0.5, 0.75};
+
+  std::printf(
+      "S3aSim Ablation I: worker death vs. I/O strategy (%u procs, "
+      "detector timeout 15s)\n",
+      procs);
+
+  util::TextTable table({"Strategy", "Death at", "Baseline (s)", "Faulted (s)",
+                         "Slowdown", "Died", "Retired", "Reassigned",
+                         "Repaired"});
+  util::CsvWriter csv(csv_path("ablation_faults.csv"));
+  csv.write_row({"strategy", "death_fraction", "baseline_s", "faulted_s",
+                 "slowdown", "workers_died", "workers_retired",
+                 "tasks_reassigned", "repaired_bytes"});
+
+  for (const auto strategy : paper_strategies()) {
+    auto config = core::paper_config();
+    config.strategy = strategy;
+    config.nprocs = procs;
+    // The detector timeout must exceed the worst-case healthy search+flush
+    // cycle at this scale or silence gets misread as death (WW-POSIX's
+    // per-extent flushes are the long pole; 10s is marginal at 16 procs).
+    config.fault_detection_timeout = sim::seconds(15);
+
+    // Baseline with a benign plan (slow factor 1 changes nothing) so both
+    // runs use the recovery-capable master loop; the legacy MW loop
+    // head-of-line blocks on requests and is measurably slower, which
+    // would masquerade as negative death cost.
+    auto benign = config;
+    benign.fault.slowdowns.push_back(fault::WorkerSlow{1, 0, 1.0});
+    const auto baseline = core::run_simulation(benign);
+    require_exact(baseline);
+
+    for (const double fraction : fractions) {
+      auto faulted = config;
+      faulted.fault.kills.push_back(
+          fault::WorkerKill{1, sim::seconds(baseline.wall_seconds * fraction)});
+      const auto stats = core::run_simulation(faulted);
+      require_exact(stats);
+      const double slowdown = stats.wall_seconds / baseline.wall_seconds;
+      table.add_row(
+          {core::strategy_name(strategy),
+           util::format_fixed(fraction * 100.0, 0) + "%",
+           util::format_fixed(baseline.wall_seconds),
+           util::format_fixed(stats.wall_seconds),
+           util::format_fixed(slowdown, 2) + "x",
+           std::to_string(stats.faults.workers_died),
+           std::to_string(stats.faults.workers_retired),
+           std::to_string(stats.faults.tasks_reassigned),
+           util::format_bytes(stats.faults.repaired_bytes)});
+      csv.write_row_numeric(
+          std::string(core::strategy_name(strategy)),
+          {fraction, baseline.wall_seconds, stats.wall_seconds, slowdown,
+           static_cast<double>(stats.faults.workers_died),
+           static_cast<double>(stats.faults.workers_retired),
+           static_cast<double>(stats.faults.tasks_reassigned),
+           static_cast<double>(stats.faults.repaired_bytes)});
+    }
+  }
+  std::printf("%s(csv: results/ablation_faults.csv)\n", table.render().c_str());
+  std::printf(
+      "\nEvery strategy recovers to an exactly-verified output file.  The "
+      "worker-write strategies pay the detector timeout plus recomputation "
+      "of the dead worker's outstanding tasks; MW can absorb a mid-run "
+      "death for free (its master-side write drain is the critical path, "
+      "so the search phase has slack — a died-but-never-retired worker "
+      "simply had nothing outstanding).\n");
+  return 0;
+}

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
               : std::vector<std::uint32_t>{4, 8, 16, 32, 64};
     util::TextTable table({"Servers", "WW-List (s)", "WW-POSIX (s)",
                            "WW-Coll (s)"});
-    util::CsvWriter csv("ablation_fs_servers.csv");
+    util::CsvWriter csv(csv_path("ablation_fs_servers.csv"));
     csv.write_row({"servers", "ww_list", "ww_posix", "ww_coll"});
     for (const auto count : servers) {
       const auto list = run_fs(core::Strategy::WWList, count, 64 * util::KiB);
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n== Server-count sweep (strip 64 KiB) ==\n%s",
                 table.render().c_str());
-    std::printf("(csv: ablation_fs_servers.csv)\n");
+    std::printf("(csv: results/ablation_fs_servers.csv)\n");
   }
 
   // Strip-size sweep at the paper's 16 servers.
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
                                            64 * util::KiB, 256 * util::KiB,
                                            1 * util::MiB};
     util::TextTable table({"Strip", "WW-List (s)", "WW-POSIX (s)"});
-    util::CsvWriter csv("ablation_fs_strips.csv");
+    util::CsvWriter csv(csv_path("ablation_fs_strips.csv"));
     csv.write_row({"strip_bytes", "ww_list", "ww_posix"});
     for (const auto strip : strips) {
       const auto list = run_fs(core::Strategy::WWList, 16, strip);
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n== Strip-size sweep (16 servers) ==\n%s",
                 table.render().c_str());
-    std::printf("(csv: ablation_fs_strips.csv)\n");
+    std::printf("(csv: results/ablation_fs_strips.csv)\n");
   }
   return 0;
 }

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   // --- Group sweep per strategy (no database-memory pressure). ------------
   {
     util::TextTable table({"Groups", "MW (s)", "WW-List (s)", "WW-Coll (s)"});
-    util::CsvWriter csv("ablation_hybrid_groups.csv");
+    util::CsvWriter csv(csv_path("ablation_hybrid_groups.csv"));
     csv.write_row({"groups", "mw", "ww_list", "ww_coll"});
     for (const auto groups : group_counts) {
       const auto mw = run_groups(core::Strategy::MW, nprocs, groups);
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
                              coll.wall_seconds});
     }
     std::printf("\n== Group-count sweep ==\n%s", table.render().c_str());
-    std::printf("(csv: ablation_hybrid_groups.csv)\n");
+    std::printf("(csv: results/ablation_hybrid_groups.csv)\n");
     std::printf("Hybrid grouping divides the MW master bottleneck and the\n"
                 "collective synchronization domain; individual worker-writing"
                 " gains little.\n");
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   // --- The memory trade-off (8 GiB database, 1 GiB nodes). -----------------
   {
     util::TextTable table({"Groups", "Wall (s)", "DB read", "Hit rate"});
-    util::CsvWriter csv("ablation_hybrid_memory.csv");
+    util::CsvWriter csv(csv_path("ablation_hybrid_memory.csv"));
     csv.write_row({"groups", "wall_s", "db_read_bytes", "hit_rate"});
     for (const auto groups : group_counts) {
       const auto stats =
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n== With an 8 GiB database on 1 GiB nodes (WW-List) ==\n%s",
                 table.render().c_str());
-    std::printf("(csv: ablation_hybrid_memory.csv)\n");
+    std::printf("(csv: results/ablation_hybrid_memory.csv)\n");
     std::printf("More groups shrink each team, so each worker must hold more "
                 "of the database — the §1 query-segmentation penalty "
                 "returns.\n");

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
                              : std::vector<std::uint32_t>{2, 4, 8, 16, 32, 64};
     util::TextTable table({"Procs", "Wall (s)", "Speedup", "Ideal",
                            "DB read", "Frag hit rate"});
-    util::CsvWriter csv("ablation_memory_scaling.csv");
+    util::CsvWriter csv(csv_path("ablation_memory_scaling.csv"));
     csv.write_row({"procs", "wall_s", "speedup", "ideal", "db_read_bytes",
                    "hit_rate"});
     double base_wall = 0.0;
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
                              static_cast<double>(stats.db_bytes_read),
                              hit_rate});
     }
-    std::printf("%s(csv: ablation_memory_scaling.csv)\n", table.render().c_str());
+    std::printf("%s(csv: results/ablation_memory_scaling.csv)\n", table.render().c_str());
   }
 
   // --- Affinity on/off. -----------------------------------------------------

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
   util::TextTable table({"Procs", "MW blocking (s)", "MW nonblocking (s)",
                          "Improvement", "WW-List (s)"});
-  util::CsvWriter csv("ablation_mw_nonblocking.csv");
+  util::CsvWriter csv(csv_path("ablation_mw_nonblocking.csv"));
   csv.write_row({"procs", "mw_blocking", "mw_nonblocking", "ww_list"});
 
   for (const auto nprocs : procs) {
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
                           {blocking.wall_seconds, nonblocking.wall_seconds,
                            list.wall_seconds});
   }
-  std::printf("%s(csv: ablation_mw_nonblocking.csv)\n", table.render().c_str());
+  std::printf("%s(csv: results/ablation_mw_nonblocking.csv)\n", table.render().c_str());
   std::printf("\nNonblocking writes hide the master's I/O but not its "
               "result-gathering centralization — MW still trails WW-List.\n");
   return 0;

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
 
   util::TextTable table({"Procs", "WW-FilePerProc (s)", "  of which merge (s)",
                          "WW-List (s)", "MW (s)"});
-  util::CsvWriter csv("ablation_nn_files.csv");
+  util::CsvWriter csv(csv_path("ablation_nn_files.csv"));
   csv.write_row({"procs", "nn_total", "nn_merge", "ww_list", "mw"});
 
   for (const auto nprocs : procs) {
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
                           {nn.wall_seconds, merge, list.wall_seconds,
                            mw.wall_seconds});
   }
-  std::printf("%s(csv: ablation_nn_files.csv)\n", table.render().c_str());
+  std::printf("%s(csv: results/ablation_nn_files.csv)\n", table.render().c_str());
   std::printf("\nN-N makes the workers' write path trivial (contiguous "
               "appends) but moves every byte twice and serializes the merge "
               "on one rank — at scale the merge dominates, which is why the "

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
 
   util::TextTable table({"Flush every", "Wall (s)", "FS requests",
                          "E[lost work] (s)", "Wall + E[lost] (s)"});
-  util::CsvWriter csv("ablation_resume.csv");
+  util::CsvWriter csv(csv_path("ablation_resume.csv"));
   csv.write_row({"queries_per_flush", "wall_s", "fs_requests",
                  "expected_lost_s", "total_s"});
 
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
                            static_cast<double>(stats.fs.server_requests), lost,
                            stats.wall_seconds + lost});
   }
-  std::printf("%s(csv: ablation_resume.csv)\n", table.render().c_str());
+  std::printf("%s(csv: results/ablation_resume.csv)\n", table.render().c_str());
   std::printf("\nWriting after every query costs a little wall time but "
               "bounds the expected recomputation after a failure to half a "
               "query's span — the mpiBLAST 1.4 design point (§2).\n");

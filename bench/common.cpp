@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 
 #include "util/csv.hpp"
@@ -63,14 +64,15 @@ void print_overall_table(const std::string& title, const std::string& x_label,
   std::cout << table;
 
   if (!csv_prefix.empty()) {
-    util::CsvWriter csv(csv_prefix + ".csv");
+    const std::string path = csv_path(csv_prefix + ".csv");
+    util::CsvWriter csv(path);
     std::vector<std::string> csv_header{x_label};
     for (const auto strategy : strategies)
       csv_header.emplace_back(core::strategy_name(strategy));
     csv.write_row(csv_header);
     for (std::size_t i = 0; i < x_values.size(); ++i)
       csv.write_row_numeric(x_values[i], seconds[i]);
-    std::printf("(csv: %s.csv)\n", csv_prefix.c_str());
+    std::printf("(csv: %s)\n", path.c_str());
   }
 }
 
@@ -96,7 +98,8 @@ void print_phase_breakdown(const std::string& title, const std::string& x_label,
   std::cout << table;
 
   if (!csv_prefix.empty()) {
-    util::CsvWriter csv(csv_prefix + ".csv");
+    const std::string path = csv_path(csv_prefix + ".csv");
+    util::CsvWriter csv(path);
     std::vector<std::string> csv_header{"phase"};
     for (const auto& x : x_values) csv_header.push_back(x);
     csv.write_row(csv_header);
@@ -107,7 +110,7 @@ void print_phase_breakdown(const std::string& title, const std::string& x_label,
       csv.write_row_numeric(core::phase_name(phase), row);
     }
     csv.write_row_numeric("overall", walls);
-    std::printf("(csv: %s.csv)\n", csv_prefix.c_str());
+    std::printf("(csv: %s)\n", path.c_str());
   }
 }
 
@@ -133,6 +136,17 @@ void print_headline_ratios(const std::string& context,
                    util::format_fixed(paper_percent[i], 0) + "%"});
   }
   std::cout << table;
+}
+
+std::string csv_path(const std::string& name) {
+  const char* override_dir = std::getenv("S3ASIM_RESULTS_DIR");
+  const std::filesystem::path dir = override_dir != nullptr &&
+                                            override_dir[0] != '\0'
+                                        ? std::filesystem::path(override_dir)
+                                        : std::filesystem::path("results");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; open reports
+  return (dir / name).string();
 }
 
 bool quick_mode(int argc, char** argv) {

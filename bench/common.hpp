@@ -57,6 +57,10 @@ void print_headline_ratios(const std::string& context,
 /// True when "--quick" is among the args (reduced grid for smoke runs).
 [[nodiscard]] bool quick_mode(int argc, char** argv);
 
+/// Where bench CSVs go: `results/<name>` (the directory is created on
+/// first use; S3ASIM_RESULTS_DIR overrides the location).
+[[nodiscard]] std::string csv_path(const std::string& name);
+
 /// Verifies a run's output file and aborts loudly if broken.
 void require_exact(const core::RunStats& stats);
 

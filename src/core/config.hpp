@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "core/strategy.hpp"
+#include "fault/fault.hpp"
 #include "mpiio/hints.hpp"
 #include "net/model.hpp"
 #include "pfs/pfs.hpp"
@@ -101,6 +102,16 @@ struct SimConfig {
   /// serving work requests (§2.1: "While nonblocking I/O could reduce this
   /// overhead, blocking I/O is commonly used in a MW strategy").
   bool mw_nonblocking_io = false;
+  /// Injected faults (empty = the paper's failure-free runs).  Worker faults
+  /// switch the master to its recovery-capable scheduling loop; server
+  /// faults translate to pfs::ServerDegradation; `crash_at` drives
+  /// run_with_resume.
+  fault::FaultPlan fault{};
+  /// Failure detector: a worker with outstanding work and no sign of life
+  /// (no score received) for this long is declared dead and its outstanding
+  /// (query, fragment) tasks are reassigned.  Only consulted when the fault
+  /// plan perturbs workers.
+  sim::Time fault_detection_timeout = sim::seconds(10);
   WorkloadConfig workload{};
   ModelParams model{};
   mpiio::Hints hints{};

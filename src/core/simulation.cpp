@@ -10,6 +10,7 @@
 #include <tuple>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mpi/comm.hpp"
 #include "mpiio/file.hpp"
 #include "pfs/pfs.hpp"
@@ -17,6 +18,7 @@
 #include "sim/channel.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
+#include "sim/timer.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/require.hpp"
@@ -37,6 +39,11 @@ constexpr mpi::Tag kTagMasterToWorker = 2;
 constexpr mpi::Tag kTagScores = 3;
 /// master → worker: setup variables (Algorithm 1/2, step 1).
 constexpr mpi::Tag kTagSetup = 4;
+/// Synthetic local event (never on the wire): reaper → worker, "die now".
+constexpr mpi::Tag kTagDeath = 98;
+/// Synthetic local event (never on the wire): failure detector → master,
+/// "this worker's result timeout expired".
+constexpr mpi::Tag kTagFailure = 99;
 
 /// Payload of a master→worker message.  Queries are identified both by
 /// their global id (indexes the WorkloadModel) and their local position in
@@ -98,6 +105,17 @@ class FragmentCache {
 // Shared world + per-group application state
 // ---------------------------------------------------------------------------
 
+/// The cost-model PFS parameters with the fault plan's server faults
+/// appended as degradations (the fault module is pfs-agnostic; the
+/// translation happens at world construction).
+pfs::PfsParams faulted_pfs(const SimConfig& cfg) {
+  pfs::PfsParams params = cfg.model.pfs;
+  for (const fault::ServerFault& f : cfg.fault.servers)
+    params.degradations.push_back(
+        pfs::ServerDegradation{f.server, f.from, f.service_factor, f.stall});
+  return params;
+}
+
 /// Everything shared by all groups: the cluster, the file system, the
 /// deterministic workload, and the per-rank statistics.
 struct World {
@@ -108,7 +126,7 @@ struct World {
         network(scheduler, ranks + cfg.model.pfs.layout.server_count(),
                 cfg.model.network),
         comm(scheduler, network, ranks),
-        fs(scheduler, network, /*server_endpoint_base=*/ranks, cfg.model.pfs),
+        fs(scheduler, network, /*server_endpoint_base=*/ranks, faulted_pfs(cfg)),
         rank_stats(ranks) {
     S3A_REQUIRE(cfg.compute_speed > 0.0);
     S3A_REQUIRE(cfg.queries_per_flush >= 1);
@@ -150,6 +168,15 @@ struct App {
                      std::make_unique<sim::Channel<mpi::Message>>(scheduler));
     request_wake = std::make_unique<sim::Channel<int>>(scheduler);
     scores_wake = std::make_unique<sim::Channel<int>>(scheduler);
+    recovery_mode = config.fault.perturbs_workers();
+    if (recovery_mode) {
+      for (const mpi::Rank rank : workers) {
+        auto probe = std::make_unique<ProbeCtl>();
+        probe->timer = std::make_unique<sim::Timer>(scheduler);
+        probe->armed = std::make_unique<sim::Channel<int>>(scheduler);
+        probes.emplace(rank, std::move(probe));
+      }
+    }
     // Group-local file layout: the group's queries packed back to back.
     region_bases.reserve(queries.size());
     std::uint64_t cursor = 0;
@@ -188,6 +215,30 @@ struct App {
   std::deque<mpi::Message> master_scores;
   std::unique_ptr<sim::Channel<int>> request_wake;
   std::unique_ptr<sim::Channel<int>> scores_wake;
+
+  // ---- Fault-injection / recovery state (inert on failure-free runs). ----
+  /// True when the plan perturbs workers: the master runs its
+  /// recovery-capable loop and arms per-worker failure detectors.
+  bool recovery_mode = false;
+  /// Per-worker failure detector: the master arms `timer` whenever the
+  /// worker owes results and pushes a token into `armed`; the probe process
+  /// pops the token, waits out the timer, and on expiry injects a synthetic
+  /// kTagFailure message into the master's request queue.
+  struct ProbeCtl {
+    std::unique_ptr<sim::Timer> timer;
+    std::unique_ptr<sim::Channel<int>> armed;
+  };
+  std::map<mpi::Rank, std::unique_ptr<ProbeCtl>> probes;
+  /// One cancellable timer per planned kill (owned here so the master can
+  /// disarm stragglers at teardown without inflating the wall clock).
+  std::vector<std::unique_ptr<sim::Timer>> reaper_timers;
+  std::set<mpi::Rank> dead;                 ///< workers that fail-stopped
+  std::map<mpi::Rank, sim::Time> death_times;
+  FaultStats faults;
+  /// Simulated instant each flushed batch was retired by the master (MW:
+  /// after the durable region write; WW: when the offset lists were
+  /// dispatched — workers flush immediately after).  Feeds resume-from-flush.
+  std::vector<sim::Time> batch_complete_times;
 
   std::unique_ptr<mpiio::File> file;
   /// The on-disk database, present when workload.database_bytes > 0.
@@ -249,7 +300,10 @@ struct App {
     const double nanos =
         static_cast<double>(config.model.compute_startup) +
         static_cast<double>(bytes) * config.model.compute_ns_per_result_byte;
-    return static_cast<sim::Time>(std::llround(nanos / worker_speed(rank)));
+    // Injected stragglers: active slowdowns multiply the search time.
+    const double slow = config.fault.slow_factor(rank, scheduler.now());
+    return static_cast<sim::Time>(
+        std::llround(nanos * slow / worker_speed(rank)));
   }
 
   void record_phase(mpi::Rank rank, Phase phase, sim::Time start, sim::Time end) {
@@ -276,6 +330,7 @@ sim::Process worker_stream_pump(App& app, mpi::Rank rank) {
   while (true) {
     mpi::Message message =
         co_await app.comm.recv(rank, app.master, kTagMasterToWorker);
+    if (message.cancelled) break;  // torn down at teardown (dead worker)
     const bool finish =
         message.as<MasterMsg>().kind == MasterMsg::Kind::Finish;
     app.events.at(rank)->push(std::move(message));
@@ -284,35 +339,75 @@ sim::Process worker_stream_pump(App& app, mpi::Rank rank) {
   app.events.at(rank)->close();
 }
 
+/// With faults the message counts are not known up front (reassignment,
+/// drops, retirements), so both master pumps run until the master cancels
+/// their posted receives at teardown (MPI_Cancel).
 sim::Process master_request_pump(App& app) {
-  // Every worker sends one request per assignment plus the final one that
-  // is answered with Done.
-  const std::uint64_t total =
-      static_cast<std::uint64_t>(app.query_count()) *
-          app.config.workload.fragment_count +
-      app.nworkers();
-  for (std::uint64_t i = 0; i < total; ++i) {
+  while (true) {
     mpi::Message message =
         co_await app.comm.recv(app.master, mpi::kAnySource, kTagRequest);
+    if (message.cancelled) break;
     app.master_requests.push_back(std::move(message));
     app.request_wake->push(0);
   }
 }
 
 sim::Process master_scores_pump(App& app) {
-  const std::uint64_t total = static_cast<std::uint64_t>(app.query_count()) *
-                              app.config.workload.fragment_count;
-  for (std::uint64_t i = 0; i < total; ++i) {
+  while (true) {
     mpi::Message message =
         co_await app.comm.recv(app.master, mpi::kAnySource, kTagScores);
+    if (message.cancelled) break;
     app.master_scores.push_back(std::move(message));
     app.scores_wake->push(0);
+    // The recovery loop blocks on a single wake stream; mirror the token.
+    if (app.recovery_mode) app.request_wake->push(0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault processes: reapers (planned kills) and probes (failure detectors)
+// ---------------------------------------------------------------------------
+
+/// Sleeps until the planned kill time and injects a death event into the
+/// worker's stream.  The worker acts on it at its next event-loop visit;
+/// deaths landing mid-search are handled by the worker itself (partial
+/// compute, no score).  Cancelled at teardown if the run ends first.
+sim::Process worker_reaper(App& app, mpi::Rank rank, sim::Time kill_at,
+                           sim::Timer& timer) {
+  timer.arm_at(kill_at);
+  if (co_await timer.wait()) {
+    sim::Channel<mpi::Message>& events = *app.events.at(rank);
+    if (!events.closed())
+      events.push(mpi::Message{.source = rank, .tag = kTagDeath});
+  }
+}
+
+/// Failure detector for one worker: every token in `armed` covers one timer
+/// arming by the master.  Expiry injects a synthetic failure notice into
+/// the master's request queue (a local decision — no simulated traffic).
+sim::Process worker_probe(App& app, mpi::Rank rank) {
+  App::ProbeCtl& probe = *app.probes.at(rank);
+  while (true) {
+    const auto token = co_await probe.armed->pop();
+    if (!token) break;  // closed at teardown
+    const bool fired = co_await probe.timer->wait();
+    if (!fired) continue;  // sign of life (or re-arm) cancelled the wait
+    app.master_requests.push_back(
+        mpi::Message{.source = rank, .tag = kTagFailure});
+    app.request_wake->push(0);
   }
 }
 
 // ---------------------------------------------------------------------------
 // Master process (Algorithm 1)
 // ---------------------------------------------------------------------------
+
+/// One assigned-but-unacknowledged (query, fragment) task.
+struct Outstanding {
+  std::uint32_t local = 0;     ///< group-local query index
+  std::uint32_t query = 0;     ///< global query id
+  std::uint32_t fragment = 0;
+};
 
 struct MasterState {
   std::uint32_t next_query = 0;  ///< local index of the query being assigned
@@ -333,6 +428,22 @@ struct MasterState {
   std::uint32_t next_inorder = 0;
   /// Local queries completed but blocked behind an earlier incomplete one.
   std::set<std::uint32_t> completed_out_of_order;
+
+  // ---- Recovery bookkeeping (recovery_mode only). ------------------------
+  /// Tasks each worker has been assigned and not yet returned scores for.
+  std::map<mpi::Rank, std::vector<Outstanding>> outstanding;
+  /// Workers the failure detector declared dead; they get Done on any
+  /// further request and are never assigned again.
+  std::set<mpi::Rank> retired;
+  /// Live workers with an unanswered work request (nothing to hand out when
+  /// they asked); unparked when reassigned work appears.
+  std::deque<mpi::Rank> parked;
+  /// Tasks reclaimed from retired workers, re-issued FIFO before fresh work.
+  std::deque<Outstanding> reassign;
+  /// Per local query: fragments whose scores were accepted (first-wins
+  /// dedup — a reassigned task may complete twice but only one completion
+  /// contributes, keeping the output layout overlap-free).
+  std::vector<std::set<std::uint32_t>> done_frags;
 };
 
 /// Extents (in the group file) of local query `local`'s results produced by
@@ -438,6 +549,7 @@ sim::Process master_process(App& app) {
       static_cast<std::uint64_t>(queries) * fragments;
   state.fragments_done.assign(queries, 0);
   state.contributors.assign(queries, {});
+  state.done_frags.assign(queries, {});
   for (const mpi::Rank worker : app.workers)
     state.worker_caches.emplace(worker, FragmentCache(app.cache_capacity()));
 
@@ -482,15 +594,77 @@ sim::Process master_process(App& app) {
   const bool sync_mode = app.config.query_sync;
   const Strategy strategy = app.config.strategy;
 
+  // ---- Task source shared by the failure-free and recovery loops. --------
+  // Picks the next fresh (query, fragment) for `worker` (with fragment
+  // affinity), updating assignment bookkeeping; nullopt when the workload
+  // is fully assigned.
+  auto fresh_task = [&app, &state, fragments,
+                     total_tasks](mpi::Rank worker) -> std::optional<Outstanding> {
+    if (state.tasks_assigned >= total_tasks) return std::nullopt;
+    if (state.pending_fragments.empty()) {
+      state.pending_fragments.resize(fragments);
+      for (std::uint32_t f = 0; f < fragments; ++f)
+        state.pending_fragments[f] = f;
+    }
+    // mpiBLAST-style fragment affinity: within the current query, prefer a
+    // fragment the requesting worker already has in memory.
+    std::size_t pick = 0;
+    if (app.config.fragment_affinity && app.models_database_io()) {
+      for (std::size_t i = 0; i < state.pending_fragments.size(); ++i) {
+        if (state.worker_caches.at(worker).contains(
+                state.pending_fragments[i])) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    Outstanding task;
+    task.local = state.next_query;
+    task.query = app.queries[state.next_query];
+    task.fragment = state.pending_fragments[pick];
+    state.pending_fragments.erase(state.pending_fragments.begin() +
+                                  static_cast<std::ptrdiff_t>(pick));
+    if (app.models_database_io())
+      (void)state.worker_caches.at(worker).touch(task.fragment);
+    if (state.pending_fragments.empty()) ++state.next_query;
+    ++state.tasks_assigned;
+    return task;
+  };
+
+  // ---- Failure-detector helpers (recovery_mode only). --------------------
+  auto arm_probe = [&app](mpi::Rank worker) {
+    App::ProbeCtl& probe = *app.probes.at(worker);
+    probe.timer->arm_in(app.config.fault_detection_timeout);
+    probe.armed->push(0);
+  };
+  auto disarm_probe = [&app](mpi::Rank worker) {
+    app.probes.at(worker)->timer->cancel();
+  };
+
   // Algorithm 1, step 10: process one completed score receive — merge it
   // (for MW including the full result payload), then handle any queries
   // that completed, in query order (steps 14–18).
-  auto handle_score = [&app, &state, fragments, sync_mode,
-                       strategy]() -> sim::Task<void> {
+  auto handle_score = [&app, &state, fragments, sync_mode, strategy,
+                       &arm_probe, &disarm_probe]() -> sim::Task<void> {
     mpi::Message event = std::move(app.master_scores.front());
     app.master_scores.pop_front();
     S3A_CHECK(event.tag == kTagScores);
     const auto& scores = event.as<ScoresMsg>();
+    if (app.recovery_mode) {
+      // Sign of life: the worker returned results — clear the matching
+      // outstanding entry and re-arm (or disarm) its failure detector.
+      auto& owed = state.outstanding[scores.worker];
+      const auto it = std::find_if(
+          owed.begin(), owed.end(), [&scores](const Outstanding& task) {
+            return task.local == scores.local_query &&
+                   task.fragment == scores.fragment;
+          });
+      if (it != owed.end()) owed.erase(it);
+      if (!state.retired.contains(scores.worker)) {
+        disarm_probe(scores.worker);
+        if (!owed.empty()) arm_probe(scores.worker);
+      }
+    }
     {
       const sim::Time merge_start = app.scheduler.now();
       const auto count = static_cast<sim::Time>(
@@ -506,6 +680,14 @@ sim::Process master_process(App& app) {
       co_await app.scheduler.delay(merge_time);
       app.record_phase(app.master, Phase::GatherResults, merge_start,
                        app.scheduler.now());
+    }
+    if (app.recovery_mode &&
+        !state.done_frags[scores.local_query].insert(scores.fragment).second) {
+      // A reassigned task completed twice (the original owner was slow, not
+      // dead).  The master already paid the merge; the late copy must not
+      // contribute — its extents would overlap the first completion's.
+      ++app.faults.duplicate_completions;
+      co_return;
     }
     state.contributors[scores.local_query].emplace_back(scores.worker,
                                                         scores.fragment);
@@ -544,83 +726,242 @@ sim::Process master_process(App& app) {
         }
         // §3.3: the query-sync barrier is among the *worker* nodes; the
         // master keeps distributing work.
+        app.batch_complete_times.push_back(app.scheduler.now());
       }
     }
   };
 
-  while (true) {
-    const bool everything_done = state.tasks_completed == total_tasks &&
-                                 state.done_sent == app.nworkers() &&
-                                 state.next_inorder == queries;
-    if (everything_done) break;
+  if (!app.recovery_mode) {
+    // ---- Failure-free master loop (Algorithm 1, byte-identical to the
+    //      pre-fault-subsystem behavior). --------------------------------
+    while (true) {
+      const bool everything_done = state.tasks_completed == total_tasks &&
+                                   state.done_sent == app.nworkers() &&
+                                   state.next_inorder == queries;
+      if (everything_done) break;
 
-    // ---- Step 3: the master *blocks* receiving work requests and only
-    // *tests* score receives — requests are answered first, and the score
-    // backlog is drained after each reply (steps 8, 10).
-    const bool requests_exhausted = state.done_sent == app.nworkers();
-    if (!requests_exhausted) {
-      const sim::Time wait_start = app.scheduler.now();
-      auto token = co_await app.request_wake->pop();
-      S3A_CHECK_MSG(token.has_value(), "master request stream closed early");
-      app.record_phase(app.master, Phase::DataDistribution, wait_start,
-                       app.scheduler.now());
+      // ---- Step 3: the master *blocks* receiving work requests and only
+      // *tests* score receives — requests are answered first, and the score
+      // backlog is drained after each reply (steps 8, 10).
+      const bool requests_exhausted = state.done_sent == app.nworkers();
+      if (!requests_exhausted) {
+        const sim::Time wait_start = app.scheduler.now();
+        auto token = co_await app.request_wake->pop();
+        S3A_CHECK_MSG(token.has_value(), "master request stream closed early");
+        app.record_phase(app.master, Phase::DataDistribution, wait_start,
+                         app.scheduler.now());
 
-      // ---- Steps 4-9: assign work or notify completion. ----------------
-      S3A_CHECK(!app.master_requests.empty());
-      mpi::Message event = std::move(app.master_requests.front());
-      app.master_requests.pop_front();
-      const mpi::Rank worker = event.source;
-      const sim::Time send_start = app.scheduler.now();
-      MasterMsg reply;
-      if (state.tasks_assigned < total_tasks) {
-        if (state.pending_fragments.empty()) {
-          state.pending_fragments.resize(fragments);
-          for (std::uint32_t f = 0; f < fragments; ++f)
-            state.pending_fragments[f] = f;
+        // ---- Steps 4-9: assign work or notify completion. ----------------
+        S3A_CHECK(!app.master_requests.empty());
+        mpi::Message event = std::move(app.master_requests.front());
+        app.master_requests.pop_front();
+        const mpi::Rank worker = event.source;
+        const sim::Time send_start = app.scheduler.now();
+        MasterMsg reply;
+        if (const auto task = fresh_task(worker)) {
+          reply.kind = MasterMsg::Kind::Assign;
+          reply.query = task->query;
+          reply.local_query = task->local;
+          reply.fragment = task->fragment;
+        } else {
+          reply.kind = MasterMsg::Kind::Done;
+          ++state.done_sent;
         }
-        // mpiBLAST-style fragment affinity: within the current query,
-        // prefer a fragment the requesting worker already has in memory.
-        std::size_t pick = 0;
-        if (app.config.fragment_affinity && app.models_database_io()) {
-          for (std::size_t i = 0; i < state.pending_fragments.size(); ++i) {
-            if (state.worker_caches.at(worker).contains(
-                    state.pending_fragments[i])) {
-              pick = i;
-              break;
-            }
-          }
-        }
-        reply.kind = MasterMsg::Kind::Assign;
-        reply.query = app.queries[state.next_query];
-        reply.local_query = state.next_query;
-        reply.fragment = state.pending_fragments[pick];
-        state.pending_fragments.erase(
-            state.pending_fragments.begin() +
-            static_cast<std::ptrdiff_t>(pick));
-        if (app.models_database_io())
-          (void)state.worker_caches.at(worker).touch(reply.fragment);
-        if (state.pending_fragments.empty()) ++state.next_query;
-        ++state.tasks_assigned;
+        co_await app.comm.send(app.master, worker, kTagMasterToWorker,
+                               app.config.model.control_message_bytes, reply);
+        app.record_phase(app.master, Phase::DataDistribution, send_start,
+                         app.scheduler.now());
+        // Step 10: after serving the request, drain the completed receives.
+        while (!app.master_scores.empty()) co_await handle_score();
       } else {
-        reply.kind = MasterMsg::Kind::Done;
-        ++state.done_sent;
+        // No more requests will come; block on the remaining score receives.
+        const sim::Time wait_start = app.scheduler.now();
+        auto token = co_await app.scores_wake->pop();
+        S3A_CHECK_MSG(token.has_value(), "master score stream closed early");
+        app.record_phase(app.master, Phase::GatherResults, wait_start,
+                         app.scheduler.now());
+        // The token may be stale if an earlier drain already consumed the
+        // message; every queued message is guaranteed a token, so just skip.
+        if (!app.master_scores.empty()) co_await handle_score();
       }
+    }
+  } else {
+    // ---- Recovery-capable master loop. ---------------------------------
+    // Same protocol, plus: every assignment arms the worker's failure
+    // detector; timeouts retire the worker and requeue its outstanding
+    // tasks; late duplicate completions are discarded (handle_score).
+    // Completion is judged by results, not by Done handshakes — retired
+    // workers may never request again.
+
+    // Next task for `worker`: reclaimed tasks first (FIFO), then fresh.
+    auto pop_task = [&app, &state,
+                     &fresh_task](mpi::Rank worker) -> std::optional<Outstanding> {
+      if (!state.reassign.empty()) {
+        const Outstanding task = state.reassign.front();
+        state.reassign.pop_front();
+        if (app.models_database_io())
+          (void)state.worker_caches.at(worker).touch(task.fragment);
+        return task;
+      }
+      return fresh_task(worker);
+    };
+
+    auto assign_task = [&app, &state, &arm_probe](
+                           mpi::Rank worker,
+                           Outstanding task) -> sim::Task<void> {
+      state.outstanding[worker].push_back(task);
+      arm_probe(worker);  // arming cancels any previous deadline
+      MasterMsg reply;
+      reply.kind = MasterMsg::Kind::Assign;
+      reply.query = task.query;
+      reply.local_query = task.local;
+      reply.fragment = task.fragment;
+      const sim::Time send_start = app.scheduler.now();
       co_await app.comm.send(app.master, worker, kTagMasterToWorker,
                              app.config.model.control_message_bytes, reply);
       app.record_phase(app.master, Phase::DataDistribution, send_start,
                        app.scheduler.now());
-      // Step 10: after serving the request, drain the completed receives.
-      while (!app.master_scores.empty()) co_await handle_score();
-    } else {
-      // No more requests will come; block on the remaining score receives.
+    };
+
+    auto serve_request = [&app, &state, &pop_task,
+                          &assign_task](mpi::Rank worker) -> sim::Task<void> {
+      if (state.retired.contains(worker)) {
+        // A worker retired by timeout that turns out to be alive (e.g. its
+        // scores were dropped): wave it off.
+        MasterMsg reply;
+        reply.kind = MasterMsg::Kind::Done;
+        const sim::Time send_start = app.scheduler.now();
+        co_await app.comm.send(app.master, worker, kTagMasterToWorker,
+                               app.config.model.control_message_bytes, reply);
+        app.record_phase(app.master, Phase::DataDistribution, send_start,
+                         app.scheduler.now());
+        co_return;
+      }
+      if (const auto task = pop_task(worker)) {
+        co_await assign_task(worker, *task);
+      } else {
+        // Nothing to hand out right now; the request stays unanswered until
+        // reassigned work appears or the run finishes (Finish releases it).
+        state.parked.push_back(worker);
+      }
+    };
+
+    auto handle_failure = [&app, &state, &arm_probe, &pop_task,
+                           &assign_task](mpi::Rank worker) -> sim::Task<void> {
+      if (state.retired.contains(worker)) co_return;
+      auto& owed = state.outstanding[worker];
+      if (owed.empty()) co_return;  // everything accounted for; stale expiry
+      // A score from this worker may already be queued (in-flight when the
+      // timer expired): treat it as a sign of life and give it another
+      // detection window instead of retiring.
+      for (const mpi::Message& queued : app.master_scores) {
+        if (queued.as<ScoresMsg>().worker == worker) {
+          arm_probe(worker);
+          co_return;
+        }
+      }
+      // Collective strategies (§2.3): a worker whose owed tasks all belong
+      // to batches past the flush frontier is defer-blocked behind the
+      // pending collective write — it cannot produce a score no matter how
+      // healthy it is.  Silence is not evidence of death there; keep
+      // polling until its work reaches the frontier.
+      if (is_collective(app.config.strategy) &&
+          state.next_inorder < app.query_count()) {
+        const std::uint32_t frontier = app.batch_of(state.next_inorder);
+        const bool frontier_work =
+            std::any_of(owed.begin(), owed.end(),
+                        [&app, frontier](const Outstanding& task) {
+                          return app.batch_of(task.local) <= frontier;
+                        });
+        if (!frontier_work) {
+          arm_probe(worker);
+          co_return;
+        }
+      }
+      // Retire the worker and reclaim everything it still owes.
+      state.retired.insert(worker);
+      ++app.faults.workers_retired;
+      if (app.trace_log != nullptr)
+        app.trace_log->event(app.master, "Retire", app.scheduler.now());
+      app.faults.tasks_reassigned += owed.size();
+      for (const Outstanding& task : owed) state.reassign.push_back(task);
+      owed.clear();
+      S3A_REQUIRE_MSG(state.retired.size() < app.workers.size(),
+                      "unrecoverable: every worker of a group failed");
+      // If the retiree was parked (scores dropped, then asked for work we
+      // did not have), release it so it can reach the final barrier.
+      const auto parked_it =
+          std::find(state.parked.begin(), state.parked.end(), worker);
+      if (parked_it != state.parked.end()) {
+        state.parked.erase(parked_it);
+        MasterMsg reply;
+        reply.kind = MasterMsg::Kind::Done;
+        co_await app.comm.send(app.master, worker, kTagMasterToWorker,
+                               app.config.model.control_message_bytes, reply);
+      }
+      // Feed the reclaimed tasks to survivors that are waiting for work.
+      while (!state.reassign.empty() && !state.parked.empty()) {
+        const mpi::Rank survivor = state.parked.front();
+        state.parked.pop_front();
+        const auto task = pop_task(survivor);
+        S3A_CHECK(task.has_value());
+        co_await assign_task(survivor, *task);
+      }
+      // Collective strategies: the survivors may all be defer-blocked (no
+      // parked requests, and none coming — a deferred worker only requests
+      // again once the stuck collective completes).  Push the reclaimed
+      // frontier tasks to them unsolicited; they are executable immediately
+      // and their scores unstick the batch.  Reclaimed tasks for later
+      // batches stay queued for the request path — delivering those
+      // unsolicited would just defer at the receiver too.
+      if (is_collective(app.config.strategy) && !state.reassign.empty() &&
+          state.next_inorder < app.query_count()) {
+        const std::uint32_t frontier = app.batch_of(state.next_inorder);
+        std::vector<Outstanding> urgent;
+        for (auto it = state.reassign.begin(); it != state.reassign.end();) {
+          if (app.batch_of(it->local) <= frontier) {
+            urgent.push_back(*it);
+            it = state.reassign.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        std::size_t cursor = 0;
+        for (const Outstanding& task : urgent) {
+          mpi::Rank survivor;  // round-robin over non-retired workers; the
+          do {                 // REQUIRE above guarantees one exists
+            survivor = app.workers[cursor % app.workers.size()];
+            ++cursor;
+          } while (state.retired.contains(survivor));
+          if (app.models_database_io())
+            (void)state.worker_caches.at(survivor).touch(task.fragment);
+          co_await assign_task(survivor, task);
+        }
+      }
+    };
+
+    while (!(state.tasks_completed == total_tasks &&
+             state.next_inorder == queries)) {
       const sim::Time wait_start = app.scheduler.now();
-      auto token = co_await app.scores_wake->pop();
-      S3A_CHECK_MSG(token.has_value(), "master score stream closed early");
-      app.record_phase(app.master, Phase::GatherResults, wait_start,
+      auto token = co_await app.request_wake->pop();
+      S3A_CHECK_MSG(token.has_value(), "master wake stream closed early");
+      app.record_phase(app.master, Phase::DataDistribution, wait_start,
                        app.scheduler.now());
-      // The token may be stale if an earlier drain already consumed the
-      // message; every queued message is guaranteed a token, so just skip.
-      if (!app.master_scores.empty()) co_await handle_score();
+      // Requests (and failure notices) before scores, as in Algorithm 1.
+      while (!app.master_requests.empty()) {
+        mpi::Message event = std::move(app.master_requests.front());
+        app.master_requests.pop_front();
+        if (event.tag == kTagFailure) {
+          co_await handle_failure(event.source);
+        } else {
+          S3A_CHECK(event.tag == kTagRequest);
+          co_await serve_request(event.source);
+        }
+      }
+      while (!app.master_scores.empty()) {
+        co_await handle_score();
+        if (!app.master_requests.empty()) break;  // requests take priority
+      }
     }
   }
 
@@ -670,6 +1011,47 @@ sim::Process master_process(App& app) {
     app.record_phase(app.master, Phase::Sync, barrier_start,
                      app.scheduler.now());
   }
+  if (app.recovery_mode) {
+    // ---- Gap repair: workers that died after being sent offset lists but
+    // before writing leave holes in the group file.  Every surviving
+    // writer has flushed by now (the barrier above), so whatever is still
+    // uncovered is genuinely lost — the master regenerates it from the
+    // gathered scores and list-writes it into place.  This runs after the
+    // barrier precisely so it cannot overlap a late survivor flush.
+    const std::vector<pfs::Extent> holes =
+        app.fs.image(app.file->handle()).gaps(app.group_output_bytes);
+    if (!holes.empty()) {
+      const sim::Time repair_start = app.scheduler.now();
+      std::uint64_t bytes = 0;
+      for (const pfs::Extent& hole : holes) bytes += hole.length;
+      // Reformatting the lost results costs the same per-byte handling as
+      // MW's centralized result processing.
+      co_await app.scheduler.delay(static_cast<sim::Time>(
+          std::llround(static_cast<double>(bytes) *
+                       app.config.model.master_result_ns_per_byte)));
+      co_await app.file->write_noncontig(app.master, holes,
+                                         mpiio::NoncontigMethod::ListIo);
+      if (app.config.sync_after_write) co_await app.file->sync(app.master);
+      app.record_phase(app.master, Phase::Io, repair_start,
+                       app.scheduler.now());
+      if (app.trace_log != nullptr)
+        app.trace_log->record(app.master, "Recovery", repair_start,
+                              app.scheduler.now());
+      app.faults.repaired_bytes += bytes;
+      app.rank_stats[app.master].bytes_written += bytes;
+      ++app.rank_stats[app.master].writes_issued;
+    }
+    // Disarm the failure detectors and any reapers that never fired, so
+    // their queued deadlines are discarded without advancing the clock.
+    for (auto& [rank, probe] : app.probes) {
+      probe->timer->cancel();
+      probe->armed->close();
+    }
+    for (const auto& timer : app.reaper_timers) timer->cancel();
+  }
+  // The pumps run open-ended; tear down their posted receives (MPI_Cancel)
+  // so the simulation can quiesce.
+  app.comm.cancel_posted(app.master);
   app.rank_stats[app.master].wall = app.scheduler.now();
   app.rank_stats[app.master].phases.finish(app.rank_stats[app.master].wall);
 }
@@ -687,13 +1069,26 @@ struct WorkerState {
   std::uint32_t current_batch = 0;  ///< next batch expected (per-query mode)
   std::set<std::uint32_t> merged_queries;  ///< queries with previous results
   std::uint64_t own_file_cursor = 0;  ///< append position (WW-FilePerProc)
-  /// WW-Coll only (§2.3): an assignment for an upcoming query that cannot
-  /// start until the pending collective I/O completes.  Stores
-  /// (local query, global query, fragment).
-  std::optional<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> deferred;
+  /// Score messages initiated so far (drives the deterministic per-send
+  /// drop hash; counts dropped sends too).
+  std::uint64_t scores_sent = 0;
+  /// WW-Coll only (§2.3): assignments for upcoming queries that cannot
+  /// start until the pending collective I/O completes.  Each entry stores
+  /// (local query, global query, fragment).  Usually at most one; the
+  /// master's recovery reassignment can push a frontier task unsolicited
+  /// while one is held, whose follow-up request may defer a second.
+  std::deque<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> deferred;
   /// Database fragments held in memory (when database I/O is modeled).
   FragmentCache cache{0};
 };
+
+/// Injected score-message latency: holds the payload back before it enters
+/// the network (the isend itself then models the transfer as usual).
+sim::Process delayed_score_send(App& app, mpi::Rank rank, sim::Time by,
+                                std::uint64_t bytes, ScoresMsg scores) {
+  co_await app.scheduler.delay(by);
+  (void)app.comm.isend(rank, app.master, kTagScores, bytes, scores);
+}
 
 /// Writes the worker's accumulated extents with the strategy's method.
 sim::Task<void> worker_flush(App& app, mpi::Rank rank, WorkerState& state,
@@ -730,12 +1125,31 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
   WorkerState state;
   state.cache = FragmentCache(app.cache_capacity());
   const ModelParams& model = app.config.model;
+  const sim::Time death_at = app.config.fault.kill_time(rank);
+
+  // Fail-stop: leave every synchronization structure so the survivors can
+  // proceed (ULFM-style shrink), then cease to exist.  Called either from
+  // the event loop (a reaper's death notice) or mid-search.
+  auto die = [&app, rank]() {
+    app.dead.insert(rank);
+    app.death_times[rank] = app.scheduler.now();
+    ++app.faults.workers_died;
+    app.query_barrier.leave();
+    app.comm.barrier_leave();
+    if (app.file != nullptr && is_collective(app.config.strategy))
+      app.file->deactivate(rank);
+    app.rank_stats[rank].wall = app.scheduler.now();
+    app.rank_stats[rank].phases.finish(app.rank_stats[rank].wall);
+  };
 
   // Steps 6-10 of Algorithm 2 for one (query, fragment) assignment:
   // search, merge, ship scores (and results for MW), request the next task.
+  // Returns true if the worker's planned death interrupted the search (the
+  // caller must then die() and stop).
   auto process_assignment =
-      [&app, &state, &model, rank](std::uint32_t local, std::uint32_t query,
-                                   std::uint32_t fragment) -> sim::Task<void> {
+      [&app, &state, &model, rank,
+       death_at](std::uint32_t local, std::uint32_t query,
+                 std::uint32_t fragment) -> sim::Task<bool> {
     // ---- Database staging: stream the fragment in unless cached. -------
     if (app.models_database_io()) {
       if (state.cache.touch(fragment)) {
@@ -751,9 +1165,19 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
     }
 
     // ---- Step 6: the search itself. ------------------------------------
+    const sim::Time search_time = app.compute_time(query, fragment, rank);
+    if (death_at != fault::kNever &&
+        app.scheduler.now() + search_time >= death_at) {
+      // The planned kill lands inside this search: burn the partial
+      // compute, produce nothing.  The master's timeout reclaims the task.
+      const sim::Time partial =
+          death_at > app.scheduler.now() ? death_at - app.scheduler.now() : 0;
+      S3A_PHASE(app, rank, Phase::Compute,
+                co_await app.scheduler.delay(partial));
+      co_return true;
+    }
     S3A_PHASE(app, rank, Phase::Compute,
-              co_await app.scheduler.delay(
-                  app.compute_time(query, fragment, rank)));
+              co_await app.scheduler.delay(search_time));
     ++app.rank_stats[rank].tasks_processed;
 
     const std::uint64_t result_bytes =
@@ -778,7 +1202,28 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
           model.control_message_bytes + count * model.bytes_per_score_entry;
       if (app.config.strategy == Strategy::MW) bytes += result_bytes;
       ScoresMsg scores{query, local, fragment, rank};
-      (void)app.comm.isend(rank, app.master, kTagScores, bytes, scores);
+      // Injected message faults: a deterministic per-send hash decides
+      // drops (same seed + same plan ⇒ same losses); delays hold the
+      // message back before it enters the network.
+      const double drop_p =
+          app.config.fault.drop_probability(rank, app.scheduler.now());
+      bool dropped = false;
+      if (drop_p > 0.0) {
+        util::Xoshiro256 rng(util::hash_combine(
+            util::hash_combine(app.config.workload.seed ^ 0x5c0fed70ULL, rank),
+            state.scores_sent));
+        dropped = rng.uniform() < drop_p;
+      }
+      ++state.scores_sent;
+      if (dropped) {
+        ++app.faults.scores_dropped;
+      } else if (const sim::Time hold =
+                     app.config.fault.score_delay(rank, app.scheduler.now());
+                 hold > 0) {
+        app.scheduler.spawn(delayed_score_send(app, rank, hold, bytes, scores));
+      } else {
+        (void)app.comm.isend(rank, app.master, kTagScores, bytes, scores);
+      }
       // MPI_Isend initiation cost; the transfer itself is asynchronous.
       co_await app.scheduler.delay(model.network.per_message_overhead);
       app.record_phase(rank, Phase::GatherResults, start, app.scheduler.now());
@@ -806,6 +1251,7 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
       app.record_phase(rank, Phase::DataDistribution, start,
                        app.scheduler.now());
     }
+    co_return false;
   };
 
   // ---- Step 1: receive input variables. ----------------------------------
@@ -829,6 +1275,10 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
     auto event = co_await app.events.at(rank)->pop();
     const sim::Time wait_end = app.scheduler.now();
     if (!event) break;  // stream closed right after Finish
+    if (event->tag == kTagDeath) {
+      die();
+      co_return;
+    }
     const auto& msg = event->as<MasterMsg>();
 
     switch (msg.kind) {
@@ -840,10 +1290,13 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
           // §2.3: collective I/O blocks the process, so an assignment for an
           // upcoming query cannot start until the pending collective write
           // completes.  Hold it; the flush handler resumes it.
-          S3A_CHECK(!state.deferred.has_value());
-          state.deferred.emplace(msg.local_query, msg.query, msg.fragment);
+          state.deferred.emplace_back(msg.local_query, msg.query, msg.fragment);
         } else {
-          co_await process_assignment(msg.local_query, msg.query, msg.fragment);
+          if (co_await process_assignment(msg.local_query, msg.query,
+                                          msg.fragment)) {
+            die();
+            co_return;
+          }
         }
         break;
       }
@@ -860,7 +1313,7 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
         // assignment is stalled behind a pending collective (§4: "wasting
         // time, which shows up in the data distribution time") — counts as
         // data distribution; afterwards it is unattributed (→ Other).
-        if (state.awaiting_response || state.deferred.has_value())
+        if (state.awaiting_response || !state.deferred.empty())
           app.record_phase(rank, Phase::DataDistribution, wait_start, wait_end);
 
         if (app.per_query_msgs_to_all()) {
@@ -889,13 +1342,26 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
             } else {
               co_await worker_flush(app, rank, state, msg.local_query);
             }
-            // Resume an assignment that was blocked on this collective.
-            if (state.deferred.has_value() &&
-                app.batch_of(std::get<0>(*state.deferred)) <=
-                    state.current_batch) {
-              const auto [local, query, fragment] = *state.deferred;
-              state.deferred.reset();
-              co_await process_assignment(local, query, fragment);
+            // Resume assignments that were blocked on this collective.
+            // Deferred entries are not necessarily batch-ordered (a
+            // reclaimed task for an earlier query can arrive after a fresh
+            // one for a later query), so scan rather than pop the front.
+            bool progressed = true;
+            while (progressed) {
+              progressed = false;
+              for (auto it = state.deferred.begin(); it != state.deferred.end();
+                   ++it) {
+                if (app.batch_of(std::get<0>(*it)) > state.current_batch)
+                  continue;
+                const auto [local, query, fragment] = *it;
+                state.deferred.erase(it);
+                if (co_await process_assignment(local, query, fragment)) {
+                  die();
+                  co_return;
+                }
+                progressed = true;
+                break;  // the erase invalidated the iterator; rescan
+              }
             }
           }
         } else {
@@ -931,7 +1397,8 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
   app.rank_stats[rank].phases.finish(app.rank_stats[rank].wall);
 }
 
-/// Spawns one group's master, workers, and pumps.
+/// Spawns one group's master, workers, pumps, and (under a fault plan) the
+/// per-worker reapers and failure detectors.
 void launch_group(App& app) {
   app.scheduler.spawn(master_process(app));
   app.scheduler.spawn(master_request_pump(app));
@@ -939,7 +1406,34 @@ void launch_group(App& app) {
   for (const mpi::Rank rank : app.workers) {
     app.scheduler.spawn(worker_process(app, rank));
     app.scheduler.spawn(worker_stream_pump(app, rank));
+    if (app.recovery_mode) {
+      app.scheduler.spawn(worker_probe(app, rank));
+      const sim::Time kill_at = app.config.fault.kill_time(rank);
+      if (kill_at != fault::kNever) {
+        app.reaper_timers.push_back(
+            std::make_unique<sim::Timer>(app.scheduler));
+        app.scheduler.spawn(
+            worker_reaper(app, rank, kill_at, *app.reaper_timers.back()));
+      }
+    }
   }
+}
+
+/// Rejects fault plans that name ranks outside the worker set: masters are
+/// single points of failure by design (the paper's model), and a fault
+/// against a nonexistent rank is a spec typo the user should hear about.
+/// Called before the World is built — spawned server processes would
+/// outlive a throwing constructor path.
+void validate_fault_plan(const SimConfig& config,
+                         const std::set<mpi::Rank>& valid) {
+  const auto check = [&valid](std::uint32_t rank) {
+    S3A_REQUIRE_MSG(valid.contains(rank),
+                    "fault plan names a rank that is not a worker");
+  };
+  for (const fault::WorkerKill& kill : config.fault.kills) check(kill.rank);
+  for (const fault::WorkerSlow& slow : config.fault.slowdowns) check(slow.rank);
+  for (const fault::ScoreDelay& delay : config.fault.delays) check(delay.rank);
+  for (const fault::ScoreDrop& drop : config.fault.drops) check(drop.rank);
 }
 
 /// Collects run-wide statistics after the scheduler has drained.
@@ -953,16 +1447,34 @@ RunStats collect_stats(World& world, const std::vector<std::unique_ptr<App>>& gr
   stats.wall_seconds = sim::to_seconds(world.scheduler.now());
   stats.ranks = std::move(world.rank_stats);
 
-  stats.output_bytes = world.workload.total_output_bytes();
+  // Expected output = the sum of the groups' regions (equals the workload
+  // total for full runs; smaller for a resumed tail over a query subset).
+  stats.output_bytes = 0;
   stats.file_exact = true;
   for (const auto& app : groups) {
+    stats.output_bytes += app->group_output_bytes;
     const pfs::FileImage& image = world.fs.image(app->file->handle());
     stats.bytes_covered += image.covered_bytes();
     stats.overlap_count += image.overlap_count();
     if (!image.covers_exactly(app->group_output_bytes)) stats.file_exact = false;
     if (app->database_file)
       stats.db_bytes_read += world.fs.bytes_read(app->database_file->handle());
+
+    stats.faults.workers_died += app->faults.workers_died;
+    stats.faults.workers_retired += app->faults.workers_retired;
+    stats.faults.tasks_reassigned += app->faults.tasks_reassigned;
+    stats.faults.duplicate_completions += app->faults.duplicate_completions;
+    stats.faults.scores_dropped += app->faults.scores_dropped;
+    stats.faults.repaired_bytes += app->faults.repaired_bytes;
+    for (const sim::Time at : app->batch_complete_times)
+      stats.batch_complete_seconds.push_back(sim::to_seconds(at));
+    if (world.trace_log != nullptr) {
+      for (const auto& [rank, at] : app->death_times)
+        world.trace_log->record(rank, "Dead", at, world.scheduler.now());
+    }
   }
+  std::sort(stats.batch_complete_seconds.begin(),
+            stats.batch_complete_seconds.end());
   if (stats.bytes_covered != stats.output_bytes) stats.file_exact = false;
 
   const pfs::ServerStats fs_total = world.fs.aggregate_stats();
@@ -984,12 +1496,13 @@ RunStats collect_stats(World& world, const std::vector<std::unique_ptr<App>>& gr
 
 RunStats run_simulation(const SimConfig& config, trace::TraceLog* trace_log) {
   S3A_REQUIRE_MSG(config.nprocs >= 2, "need a master and at least one worker");
-  World world(config, config.nprocs);
-  world.trace_log = trace_log;
-
   std::vector<mpi::Rank> workers;
   for (mpi::Rank rank = 1; rank < config.nprocs; ++rank)
     workers.push_back(rank);
+  validate_fault_plan(config, {workers.begin(), workers.end()});
+
+  World world(config, config.nprocs);
+  world.trace_log = trace_log;
   std::vector<std::uint32_t> queries;
   for (std::uint32_t q = 0; q < config.workload.query_count; ++q)
     queries.push_back(q);
@@ -1008,6 +1521,70 @@ RunStats run_simulation(const SimConfig& config, trace::TraceLog* trace_log) {
   return collect_stats(world, groups);
 }
 
+ResumeOutcome run_with_resume(const SimConfig& config,
+                              trace::TraceLog* trace_log) {
+  ResumeOutcome outcome;
+
+  // The run that (possibly) crashes: the configured plan minus the crash
+  // itself — replaying it failure-free-to-completion yields both the
+  // no-crash baseline and the batch-durability timeline the resume logic
+  // needs.
+  SimConfig base = config;
+  const sim::Time crash_at = config.fault.crash_at;
+  base.fault.crash_at = fault::kNever;
+  outcome.full = run_simulation(base, trace_log);
+
+  if (crash_at == fault::kNever ||
+      sim::to_seconds(crash_at) >= outcome.full.wall_seconds) {
+    // No crash, or the crash lands after the run already finished.
+    outcome.total_seconds = outcome.full.wall_seconds;
+    return outcome;
+  }
+  outcome.crashed = true;
+  outcome.crashed_seconds = sim::to_seconds(crash_at);
+
+  // Resume from the last flushed query boundary: batches whose results were
+  // durable before the crash are never recomputed (§2's rationale for
+  // flushing after every query).
+  std::uint32_t flushed_batches = 0;
+  for (const double at : outcome.full.batch_complete_seconds)
+    if (at <= outcome.crashed_seconds) ++flushed_batches;
+  const std::uint32_t flushed_queries =
+      std::min(config.workload.query_count,
+               flushed_batches * config.queries_per_flush);
+  outcome.resume_query = flushed_queries;
+
+  if (flushed_queries < config.workload.query_count) {
+    // Tail run over the surviving query subset.  The restart is clean: the
+    // original fault plan's injected failures already happened in the
+    // crashed attempt and are not replayed.
+    SimConfig tail = config;
+    tail.fault = fault::FaultPlan{};
+
+    World world(tail, tail.nprocs);
+    std::vector<mpi::Rank> workers;
+    for (mpi::Rank rank = 1; rank < tail.nprocs; ++rank)
+      workers.push_back(rank);
+    std::vector<std::uint32_t> queries;
+    for (std::uint32_t q = flushed_queries; q < tail.workload.query_count; ++q)
+      queries.push_back(q);
+
+    std::vector<std::unique_ptr<App>> groups;
+    groups.push_back(std::make_unique<App>(world, 0, std::move(workers),
+                                           std::move(queries)));
+    launch_group(*groups.back());
+    world.scheduler.run();
+    world.fs.shutdown();
+    world.scheduler.run();
+    S3A_CHECK_MSG(world.scheduler.live_processes() == 0,
+                  "resumed simulation did not quiesce");
+    outcome.resumed = collect_stats(world, groups);
+    outcome.resumed_seconds = outcome.resumed.wall_seconds;
+  }
+  outcome.total_seconds = outcome.crashed_seconds + outcome.resumed_seconds;
+  return outcome;
+}
+
 RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
                                trace::TraceLog* trace_log) {
   S3A_REQUIRE_MSG(groups >= 1, "need at least one group");
@@ -1018,6 +1595,10 @@ RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
                   "each group needs a master and at least one worker");
   S3A_REQUIRE_MSG(groups <= config.workload.query_count,
                   "more groups than queries");
+  std::set<mpi::Rank> all_workers;
+  for (mpi::Rank rank = 0; rank < config.nprocs; ++rank)
+    if (rank % per_group != 0) all_workers.insert(rank);
+  validate_fault_plan(config, all_workers);
 
   World world(config, config.nprocs);
   world.trace_log = trace_log;
@@ -1035,8 +1616,8 @@ RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
     apps.push_back(std::make_unique<App>(world, base, std::move(workers),
                                          std::move(queries)));
     apps.back()->trace_log = trace_log;
-    launch_group(*apps.back());
   }
+  for (const auto& app : apps) launch_group(*app);
 
   world.scheduler.run();
   world.fs.shutdown();

@@ -36,4 +36,24 @@ namespace s3asim::core {
                                              std::uint32_t groups,
                                              trace::TraceLog* trace_log = nullptr);
 
+/// Result of a crash/resume experiment (`config.fault.crash_at`).
+struct ResumeOutcome {
+  bool crashed = false;          ///< the crash landed before completion
+  std::uint32_t resume_query = 0;  ///< first query recomputed after restart
+  double crashed_seconds = 0.0;  ///< simulated time lost to the failed run
+  double resumed_seconds = 0.0;  ///< wall time of the resumed tail run
+  double total_seconds = 0.0;    ///< crashed + resumed (or full wall if no crash)
+  RunStats full;     ///< the run replayed without the crash (baseline + batch timeline)
+  RunStats resumed;  ///< the tail run (valid only when crashed and work remained)
+};
+
+/// Driver-level resume-from-flush (the fault plan's `crash:at=T` clause):
+/// runs the workload, and if the crash time precedes completion, restarts
+/// from the last query batch whose results were durably flushed before the
+/// crash, re-running only the remaining queries (single-group runs only).
+/// Injected worker/server faults apply to the crashed attempt, not the
+/// clean restart.
+[[nodiscard]] ResumeOutcome run_with_resume(const SimConfig& config,
+                                            trace::TraceLog* trace_log = nullptr);
+
 }  // namespace s3asim::core

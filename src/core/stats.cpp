@@ -62,6 +62,27 @@ std::string RunStats::to_json() const {
   json.value(db_bytes_read);
   json.end_object();
 
+  json.key("faults");
+  json.begin_object();
+  json.key("workers_died");
+  json.value(faults.workers_died);
+  json.key("workers_retired");
+  json.value(faults.workers_retired);
+  json.key("tasks_reassigned");
+  json.value(faults.tasks_reassigned);
+  json.key("duplicate_completions");
+  json.value(faults.duplicate_completions);
+  json.key("scores_dropped");
+  json.value(faults.scores_dropped);
+  json.key("repaired_bytes");
+  json.value(faults.repaired_bytes);
+  json.end_object();
+
+  json.key("batch_complete_seconds");
+  json.begin_array();
+  for (const double at : batch_complete_seconds) json.value(at);
+  json.end_array();
+
   json.key("file_system");
   json.begin_object();
   json.key("requests");

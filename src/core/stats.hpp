@@ -32,6 +32,17 @@ struct FsStats {
   double server_busy_seconds = 0.0;
 };
 
+/// Counters of the fault-injection / recovery machinery (all zero on
+/// failure-free runs).
+struct FaultStats {
+  std::uint64_t workers_died = 0;       ///< workers killed by the fault plan
+  std::uint64_t workers_retired = 0;    ///< workers the detector declared dead
+  std::uint64_t tasks_reassigned = 0;   ///< (query, fragment) pairs re-run
+  std::uint64_t duplicate_completions = 0;  ///< late results discarded
+  std::uint64_t scores_dropped = 0;     ///< score messages lost in transit
+  std::uint64_t repaired_bytes = 0;     ///< file gaps rewritten by the master
+};
+
 struct RunStats {
   Strategy strategy = Strategy::MW;
   std::uint32_t nprocs = 0;
@@ -54,6 +65,12 @@ struct RunStats {
   std::uint64_t db_bytes_read = 0;
 
   FsStats fs;
+  FaultStats faults;
+
+  /// Simulated second at which each flushed batch of queries became durable
+  /// (in query order).  run_with_resume uses this to find the last flushed
+  /// query boundary before a crash.
+  std::vector<double> batch_complete_seconds;
 
   /// Mean over worker ranks of a phase's time, in seconds (the worker-
   /// process view the paper's breakdown figures use).

@@ -1,0 +1,237 @@
+#include "fault/fault.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace s3asim::fault {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+[[noreturn]] void fail(std::string_view clause, std::string_view why) {
+  throw std::invalid_argument("bad fault clause '" + std::string(clause) +
+                              "': " + std::string(why));
+}
+
+[[nodiscard]] double parse_number(std::string_view text,
+                                  std::string_view clause) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(std::string(text), &used);
+    if (used != text.size()) fail(clause, "trailing junk in number");
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail(clause, "expected a number, got '" + std::string(text) + "'");
+  } catch (const std::out_of_range&) {
+    fail(clause, "number out of range: '" + std::string(text) + "'");
+  }
+}
+
+/// key=value pairs of one clause body, order-insensitive, duplicates
+/// rejected.
+class Fields {
+ public:
+  Fields(std::string_view body, std::string_view clause) : clause_(clause) {
+    while (!body.empty()) {
+      const std::size_t comma = body.find(',');
+      const std::string_view pair =
+          trim(body.substr(0, comma));
+      body = comma == std::string_view::npos ? std::string_view{}
+                                             : body.substr(comma + 1);
+      if (pair.empty()) continue;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) fail(clause_, "expected key=value");
+      const std::string key{trim(pair.substr(0, eq))};
+      if (!fields_.emplace(key, trim(pair.substr(eq + 1))).second)
+        fail(clause_, "duplicate key '" + key + "'");
+    }
+  }
+
+  /// Consumes a required field.
+  [[nodiscard]] std::string_view take(std::string_view key) {
+    const auto it = fields_.find(std::string(key));
+    if (it == fields_.end())
+      fail(clause_, "missing required key '" + std::string(key) + "'");
+    const std::string_view value = it->second;
+    fields_.erase(it);
+    return value;
+  }
+
+  /// Consumes an optional field.
+  [[nodiscard]] std::string_view take_or(std::string_view key,
+                                         std::string_view fallback) {
+    const auto it = fields_.find(std::string(key));
+    if (it == fields_.end()) return fallback;
+    const std::string_view value = it->second;
+    fields_.erase(it);
+    return value;
+  }
+
+  void expect_exhausted() const {
+    if (fields_.empty()) return;
+    fail(clause_, "unknown key '" + fields_.begin()->first + "'");
+  }
+
+ private:
+  std::string_view clause_;
+  std::map<std::string, std::string_view> fields_;
+};
+
+[[nodiscard]] std::uint32_t parse_index(std::string_view text,
+                                        std::string_view clause) {
+  const double value = parse_number(text, clause);
+  if (value < 0 || value != std::floor(value))
+    fail(clause, "expected a non-negative integer, got '" + std::string(text) +
+                     "'");
+  return static_cast<std::uint32_t>(value);
+}
+
+[[nodiscard]] std::string format_time(sim::Time t) {
+  std::ostringstream out;
+  out << sim::to_seconds(t) << "s";
+  return out.str();
+}
+
+}  // namespace
+
+sim::Time parse_time(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  double scale = 1e9;  // seconds by default
+  std::string_view digits = trimmed;
+  const auto ends_with = [&](std::string_view suffix) {
+    return trimmed.size() > suffix.size() &&
+           trimmed.substr(trimmed.size() - suffix.size()) == suffix;
+  };
+  if (ends_with("ns")) {
+    scale = 1.0;
+    digits = trimmed.substr(0, trimmed.size() - 2);
+  } else if (ends_with("us")) {
+    scale = 1e3;
+    digits = trimmed.substr(0, trimmed.size() - 2);
+  } else if (ends_with("ms")) {
+    scale = 1e6;
+    digits = trimmed.substr(0, trimmed.size() - 2);
+  } else if (ends_with("s")) {
+    scale = 1e9;
+    digits = trimmed.substr(0, trimmed.size() - 1);
+  }
+  const double value = parse_number(trim(digits), trimmed);
+  if (value < 0) throw std::invalid_argument("negative time: '" +
+                                             std::string(text) + "'");
+  return static_cast<sim::Time>(std::llround(value * scale));
+}
+
+FaultPlan parse_fault_plan(std::string_view spec) {
+  FaultPlan plan;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view clause = trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (clause.empty()) continue;
+
+    const std::size_t colon = clause.find(':');
+    const std::string_view kind = trim(clause.substr(0, colon));
+    const std::string_view body =
+        colon == std::string_view::npos ? std::string_view{}
+                                        : clause.substr(colon + 1);
+    Fields fields(body, clause);
+
+    if (kind == "kill") {
+      WorkerKill kill;
+      kill.rank = parse_index(fields.take("worker"), clause);
+      kill.at = parse_time(fields.take("at"));
+      plan.kills.push_back(kill);
+    } else if (kind == "slow") {
+      WorkerSlow slow;
+      slow.rank = parse_index(fields.take("worker"), clause);
+      slow.from = parse_time(fields.take_or("from", "0"));
+      slow.factor = parse_number(fields.take("factor"), clause);
+      if (slow.factor < 1.0) fail(clause, "slowdown factor must be >= 1");
+      plan.slowdowns.push_back(slow);
+    } else if (kind == "delay") {
+      ScoreDelay delay;
+      delay.rank = parse_index(fields.take("worker"), clause);
+      delay.from = parse_time(fields.take_or("from", "0"));
+      delay.by = parse_time(fields.take("by"));
+      plan.delays.push_back(delay);
+    } else if (kind == "drop") {
+      ScoreDrop drop;
+      drop.rank = parse_index(fields.take("worker"), clause);
+      drop.from = parse_time(fields.take_or("from", "0"));
+      drop.probability = parse_number(fields.take("prob"), clause);
+      if (drop.probability < 0.0 || drop.probability > 1.0)
+        fail(clause, "drop probability must be in [0, 1]");
+      plan.drops.push_back(drop);
+    } else if (kind == "server") {
+      ServerFault server;
+      server.server = parse_index(fields.take("id"), clause);
+      server.from = parse_time(fields.take_or("from", "0"));
+      server.service_factor =
+          parse_number(fields.take_or("factor", "1"), clause);
+      if (server.service_factor < 1.0)
+        fail(clause, "server service factor must be >= 1");
+      server.stall = parse_time(fields.take_or("stall", "0"));
+      if (server.service_factor == 1.0 && server.stall == 0)
+        fail(clause, "server fault needs factor>1 and/or stall>0");
+      plan.servers.push_back(server);
+    } else if (kind == "crash") {
+      if (plan.crash_at != kNever) fail(clause, "only one crash clause allowed");
+      plan.crash_at = parse_time(fields.take("at"));
+    } else {
+      fail(clause, "unknown fault kind '" + std::string(kind) + "'");
+    }
+    fields.expect_exhausted();
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (empty()) return "no faults";
+  std::ostringstream out;
+  const char* sep = "";
+  for (const WorkerKill& kill : kills) {
+    out << sep << "kill worker " << kill.rank << " at "
+        << format_time(kill.at);
+    sep = "; ";
+  }
+  for (const WorkerSlow& slow : slowdowns) {
+    out << sep << "slow worker " << slow.rank << " x" << slow.factor
+        << " from " << format_time(slow.from);
+    sep = "; ";
+  }
+  for (const ScoreDelay& delay : delays) {
+    out << sep << "delay worker " << delay.rank << " scores by "
+        << format_time(delay.by) << " from " << format_time(delay.from);
+    sep = "; ";
+  }
+  for (const ScoreDrop& drop : drops) {
+    out << sep << "drop worker " << drop.rank << " scores p=" << drop.probability
+        << " from " << format_time(drop.from);
+    sep = "; ";
+  }
+  for (const ServerFault& server : servers) {
+    out << sep << "degrade server " << server.server << " x"
+        << server.service_factor << " stall " << format_time(server.stall)
+        << " from " << format_time(server.from);
+    sep = "; ";
+  }
+  if (crash_at != kNever) {
+    out << sep << "crash run at " << format_time(crash_at);
+  }
+  return out.str();
+}
+
+}  // namespace s3asim::fault

@@ -111,6 +111,25 @@ class Comm {
     co_await scheduler_->delay(barrier_cost());
   }
 
+  /// Fail-stop support: removes one rank from barrier membership so the
+  /// survivors' barrier() completes without it (ULFM-style shrink).
+  void barrier_leave() { barrier_.leave(); }
+
+  /// MPI_Cancel analog, used at teardown: every receive still posted at
+  /// `rank` completes immediately (zero simulated cost) with a message
+  /// marked `cancelled`, so progress loops can exit instead of staying
+  /// suspended forever.
+  void cancel_posted(Rank rank) {
+    S3A_REQUIRE(rank < size_);
+    auto posted = std::move(mailboxes_[rank].posted);
+    mailboxes_[rank].posted.clear();
+    for (PostedRecv& recv : posted) {
+      recv.request->message = Message{};
+      recv.request->message.cancelled = true;
+      recv.request->mark_complete();
+    }
+  }
+
   /// Number of messages sitting unmatched in a rank's unexpected queue.
   [[nodiscard]] std::size_t unexpected_count(Rank rank) const {
     S3A_REQUIRE(rank < size_);
@@ -154,7 +173,8 @@ class Comm {
   sim::Process deliver(Rank src, Rank dst, Tag tag, std::uint64_t bytes,
                        std::any payload, Request request) {
     co_await network_->transfer(endpoint_of(src), endpoint_of(dst), bytes);
-    Message message{src, tag, bytes, std::move(payload)};
+    Message message{.source = src, .tag = tag, .bytes = bytes,
+                    .payload = std::move(payload)};
     Mailbox& box = mailboxes_[dst];
     bool matched = false;
     for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {

@@ -28,6 +28,9 @@ struct Message {
   Rank source = 0;
   Tag tag = 0;
   std::uint64_t bytes = 0;
+  /// Set when the matching receive was torn down via Comm::cancel_posted
+  /// (MPI_Cancel): no data arrived; receivers must check before `as<T>()`.
+  bool cancelled = false;
   std::any payload{};
 
   /// Typed payload access; throws std::bad_any_cast on mismatch.

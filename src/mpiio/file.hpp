@@ -58,6 +58,7 @@ class File {
     }
     wait_time_.resize(participants_.size(), 0);
     next_collective_.resize(participants_.size(), 0);
+    inactive_.resize(participants_.size(), false);
   }
   File(const File&) = delete;
   File& operator=(const File&) = delete;
@@ -116,12 +117,9 @@ class File {
     // ---- Phase 0: arrival (the inherent synchronization). -----------------
     ctx.extents_by_slot[slot] = std::move(extents);
     const sim::Time before_arrive = scheduler_->now();
-    if (++ctx.arrived == participants_.size()) {
-      plan(ctx);
-      ctx.all_arrived.open();
-    } else {
-      co_await ctx.all_arrived.wait();
-    }
+    ++ctx.arrived;
+    maybe_open(ctx);
+    if (!ctx.all_arrived.is_open()) co_await ctx.all_arrived.wait();
     wait_time_[slot] += scheduler_->now() - before_arrive;
     // Extent/offset allgather cost.
     co_await scheduler_->delay(allgather_cost());
@@ -137,14 +135,29 @@ class File {
 
     // ---- Final phase: leave together. --------------------------------------
     const sim::Time before_exit = scheduler_->now();
-    if (++ctx.finished == participants_.size()) {
+    if (++ctx.finished == ctx.participant_count) {
       ctx.all_finished.open();
     } else {
       co_await ctx.all_finished.wait();
     }
     wait_time_[slot] += scheduler_->now() - before_exit;
 
-    if (++ctx.departed == participants_.size()) contexts_.erase(id);
+    if (++ctx.departed == ctx.participant_count) contexts_.erase(id);
+  }
+
+  /// Fail-stop support: removes `rank` from collective participation.  The
+  /// current and all future collective rounds complete once every *surviving*
+  /// participant has arrived — peers blocked waiting for a dead rank are
+  /// released (the two-phase plan is computed over survivors only).
+  /// Independent operations are unaffected.  Idempotent.
+  void deactivate(mpi::Rank rank) {
+    const std::size_t slot = slot_of(rank);
+    if (inactive_[slot]) return;
+    inactive_[slot] = true;
+    ++inactive_count_;
+    S3A_REQUIRE_MSG(inactive_count_ < participants_.size(),
+                    "every file participant failed");
+    for (auto& [id, ctx] : contexts_) maybe_open(*ctx);
   }
 
   /// Cumulative time `rank` has spent stalled inside collective calls
@@ -170,8 +183,13 @@ class File {
     std::size_t exchanged = 0;
     std::size_t finished = 0;
     std::size_t departed = 0;
-    // Two-phase plan, computed by the last arriver:
+    /// Number of ranks in this round, snapshotted when the arrival gate
+    /// opens (participants that were deactivated before arriving are not in
+    /// the round; later phases count against this fixed membership).
+    std::size_t participant_count = 0;
+    // Two-phase plan, computed when the round opens:
     std::uint32_t aggregator_count = 0;
+    std::vector<std::size_t> aggregator_slots; // active slots acting as aggs
     std::vector<Extent> domains;               // per-aggregator [offset,len)
     std::vector<std::vector<Extent>> to_write; // merged extents per aggregator
   };
@@ -191,6 +209,20 @@ class File {
                .first;
     }
     return *it->second;
+  }
+
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    return participants_.size() - inactive_count_;
+  }
+
+  /// Opens a round's arrival gate once every active participant has arrived
+  /// — triggered both by arrivals and by deactivations.
+  void maybe_open(Context& ctx) {
+    if (ctx.all_arrived.is_open()) return;
+    if (ctx.arrived == 0 || ctx.arrived < active_count()) return;
+    ctx.participant_count = ctx.arrived;
+    plan(ctx);
+    ctx.all_arrived.open();
   }
 
   [[nodiscard]] sim::Time allgather_cost() const noexcept {
@@ -215,10 +247,16 @@ class File {
         all.push_back(extent);
       }
     }
-    const std::uint32_t parties =
-        static_cast<std::uint32_t>(participants_.size());
+    // Aggregators are drawn from the *active* slots so a deactivated (dead)
+    // participant is never given a file domain it can no longer write.
+    std::vector<std::size_t> active_slots;
+    for (std::size_t slot = 0; slot < participants_.size(); ++slot)
+      if (!inactive_[slot]) active_slots.push_back(slot);
+    const auto parties = static_cast<std::uint32_t>(active_slots.size());
     ctx.aggregator_count =
         hints_.cb_nodes == 0 ? parties : std::min(hints_.cb_nodes, parties);
+    ctx.aggregator_slots.assign(active_slots.begin(),
+                                active_slots.begin() + ctx.aggregator_count);
     ctx.domains.assign(ctx.aggregator_count, Extent{});
     ctx.to_write.assign(ctx.aggregator_count, {});
     if (all.empty()) return;
@@ -290,11 +328,12 @@ class File {
       const std::uint64_t bytes = bytes_in_domain(mine, ctx.domains[a]);
       if (bytes == 0) continue;
       auto gate = std::make_unique<sim::Gate>(*scheduler_);
-      scheduler_->spawn(exchange_to(rank, participants_[a], bytes, *gate));
+      scheduler_->spawn(exchange_to(
+          rank, participants_[ctx.aggregator_slots[a]], bytes, *gate));
       sends.push_back(std::move(gate));
     }
     for (const auto& gate : sends) co_await gate->wait();
-    if (++ctx.exchanged == participants_.size()) {
+    if (++ctx.exchanged == ctx.participant_count) {
       ctx.all_exchanged.open();
     } else {
       co_await ctx.all_exchanged.wait();
@@ -302,12 +341,16 @@ class File {
 
     // ---- Phase 2: aggregators write their domains in cb_buffer_size
     //      rounds of (mostly) contiguous data. -------------------------------
-    if (slot < ctx.aggregator_count && !ctx.to_write[slot].empty()) {
+    const auto agg_it = std::find(ctx.aggregator_slots.begin(),
+                                  ctx.aggregator_slots.end(), slot);
+    const auto agg =
+        static_cast<std::size_t>(agg_it - ctx.aggregator_slots.begin());
+    if (agg_it != ctx.aggregator_slots.end() && !ctx.to_write[agg].empty()) {
       const std::uint64_t round_bytes = std::max<std::uint64_t>(
           hints_.cb_buffer_size, fs_->layout().strip_size());
       std::vector<Extent> round;
       std::uint64_t filled = 0;
-      for (const Extent& extent : ctx.to_write[slot]) {
+      for (const Extent& extent : ctx.to_write[agg]) {
         std::uint64_t offset = extent.offset;
         std::uint64_t remaining = extent.length;
         while (remaining > 0) {
@@ -340,6 +383,8 @@ class File {
   std::map<mpi::Rank, std::size_t> slot_of_;
   std::vector<sim::Time> wait_time_;
   std::vector<std::uint64_t> next_collective_;
+  std::vector<bool> inactive_;  ///< deactivated (failed) participants
+  std::size_t inactive_count_ = 0;
   std::map<std::uint64_t, std::unique_ptr<Context>> contexts_;
 };
 

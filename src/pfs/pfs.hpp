@@ -14,6 +14,7 @@
 ///  * server-side costs: per-request overhead, per-OL-pair overhead, byte
 ///    bandwidth, and an explicit sync (flush) request.
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -30,6 +31,18 @@
 
 namespace s3asim::pfs {
 
+/// Server-side fault injection: from `from` onwards the server's per-request
+/// service time is multiplied by `service_factor` (a failing disk, a
+/// rebuilding RAID set), and the first request serviced at or after `from`
+/// additionally waits out a one-shot `stall` (a controller reset).  The
+/// fault module translates `FaultPlan` entries into these.
+struct ServerDegradation {
+  std::uint32_t server = 0;
+  sim::Time from = 0;
+  double service_factor = 1.0;
+  sim::Time stall = 0;
+};
+
 struct PfsParams {
   Layout layout = Layout::paper_default();
   DiskModel disk{};
@@ -40,6 +53,8 @@ struct PfsParams {
   std::uint64_t pair_header_bytes = 16;
   /// Wire size of a server acknowledgement.
   std::uint64_t ack_bytes = 32;
+  /// Injected server degradations (empty = healthy file system).
+  std::vector<ServerDegradation> degradations;
 };
 
 using FileHandle = std::uint32_t;
@@ -72,6 +87,13 @@ class Pfs {
     for (std::uint32_t s = 0; s < count; ++s) {
       servers_.push_back(std::make_unique<Server>(scheduler));
       scheduler_->spawn(server_loop(s));
+    }
+    for (const ServerDegradation& degradation : params_.degradations) {
+      S3A_REQUIRE_MSG(degradation.server < count,
+                      "degraded server id out of range");
+      S3A_REQUIRE(degradation.service_factor >= 1.0);
+      servers_[degradation.server]->faults.push_back(
+          ActiveFault{degradation, false});
     }
   }
   Pfs(const Pfs&) = delete;
@@ -226,11 +248,16 @@ class Pfs {
     net::EndpointId client = 0;
     sim::Gate* done = nullptr;
   };
+  struct ActiveFault {
+    ServerDegradation spec;
+    bool stalled = false;  ///< one-shot stall already taken
+  };
   struct Server {
     explicit Server(sim::Scheduler& scheduler) : queue(scheduler) {}
     sim::Channel<ServerRequest> queue;
     ServerStats stats;
     std::uint64_t dirty_bytes = 0;  ///< written since the last sync
+    std::vector<ActiveFault> faults;
   };
   struct FileState {
     explicit FileState(std::string file_name) : name(std::move(file_name)) {}
@@ -299,28 +326,56 @@ class Pfs {
     done.open();
   }
 
+  /// Degradation active at `now`: one-shot stall (taken on the first request
+  /// serviced at/after the fault start) plus a combined service multiplier.
+  sim::Task<double> apply_degradations(Server& server) {
+    double factor = 1.0;
+    for (ActiveFault& fault : server.faults) {
+      if (scheduler_->now() < fault.spec.from) continue;
+      if (!fault.stalled) {
+        fault.stalled = true;
+        if (fault.spec.stall > 0) {
+          co_await scheduler_->delay(fault.spec.stall);
+          server.stats.busy += fault.spec.stall;
+        }
+      }
+      factor *= fault.spec.service_factor;
+    }
+    co_return factor;
+  }
+
+  [[nodiscard]] static sim::Time degrade(sim::Time service,
+                                         double factor) noexcept {
+    if (factor == 1.0) return service;
+    return static_cast<sim::Time>(
+        std::llround(static_cast<double>(service) * factor));
+  }
+
   /// Server process: FIFO service of queued requests.
   sim::Process server_loop(std::uint32_t index) {
     Server& server = *servers_[index];
     while (auto request = co_await server.queue.pop()) {
+      const double factor = co_await apply_degradations(server);
       if (request->is_sync) {
-        const sim::Time service =
-            params_.disk.sync_service_time(server.dirty_bytes);
+        const sim::Time service = degrade(
+            params_.disk.sync_service_time(server.dirty_bytes), factor);
         server.dirty_bytes = 0;
         co_await scheduler_->delay(service);
         ++server.stats.syncs;
         server.stats.busy += service;
       } else if (request->is_read) {
         // Reads use the same mechanical cost model but leave no dirty data.
-        const sim::Time service =
-            params_.disk.write_service_time(request->pairs, request->bytes);
+        const sim::Time service = degrade(
+            params_.disk.write_service_time(request->pairs, request->bytes),
+            factor);
         co_await scheduler_->delay(service);
         ++server.stats.reads;
         server.stats.read_bytes += request->bytes;
         server.stats.busy += service;
       } else {
-        const sim::Time service =
-            params_.disk.write_service_time(request->pairs, request->bytes);
+        const sim::Time service = degrade(
+            params_.disk.write_service_time(request->pairs, request->bytes),
+            factor);
         server.dirty_bytes += request->bytes;
         co_await scheduler_->delay(service);
         ++server.stats.requests;

@@ -25,11 +25,7 @@ class Barrier {
     Barrier& barrier;
     [[nodiscard]] bool await_ready() {
       if (++barrier.arrived_ == barrier.parties_) {
-        barrier.arrived_ = 0;
-        ++barrier.generation_;
-        for (const auto handle : barrier.waiters_)
-          barrier.scheduler_->schedule_now(handle);
-        barrier.waiters_.clear();
+        barrier.release();
         return true;  // last arriver proceeds immediately
       }
       return false;
@@ -46,11 +42,29 @@ class Barrier {
     return ArriveAwaiter{*this};
   }
 
+  /// Permanently removes one party (fail-stop departure): every cycle from
+  /// now on completes with one fewer arrival.  If the arrivals already
+  /// present satisfy the reduced count, the current cycle completes
+  /// immediately — survivors blocked on a dead peer are released.
+  void leave() {
+    S3A_REQUIRE_MSG(parties_ >= 1, "leave() on an empty barrier");
+    --parties_;
+    if (parties_ > 0 && arrived_ == parties_) release();
+  }
+
   [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
   [[nodiscard]] std::size_t arrived() const noexcept { return arrived_; }
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
 
  private:
+  /// Completes the current cycle: wakes all waiters, resets for the next.
+  void release() {
+    arrived_ = 0;
+    ++generation_;
+    for (const auto handle : waiters_) scheduler_->schedule_now(handle);
+    waiters_.clear();
+  }
+
   Scheduler* scheduler_;
   std::size_t parties_;
   std::size_t arrived_ = 0;

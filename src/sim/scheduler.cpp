@@ -9,6 +9,7 @@ std::size_t Scheduler::run() {
   while (!queue_.empty()) {
     const Entry entry = queue_.top();
     queue_.pop();
+    if (entry.token && entry.token->cancelled) continue;  // dead timer entry
     now_ = entry.at;
     entry.handle.resume();
     ++resumed;
@@ -25,6 +26,7 @@ std::size_t Scheduler::run_until(Time deadline) {
   while (!queue_.empty() && queue_.top().at <= deadline) {
     const Entry entry = queue_.top();
     queue_.pop();
+    if (entry.token && entry.token->cancelled) continue;  // dead timer entry
     now_ = entry.at;
     entry.handle.resume();
     ++resumed;

@@ -9,6 +9,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -18,6 +19,14 @@
 namespace s3asim::sim {
 
 class Process;
+
+/// Shared cancellation flag for cancellable queue entries (see Timer).
+/// A cancelled entry is discarded when it reaches the head of the queue
+/// *without* advancing simulated time — a cancelled timeout must not
+/// extend the run.
+struct CancelToken {
+  bool cancelled = false;
+};
 
 /// Single-threaded discrete-event scheduler.
 ///
@@ -45,6 +54,14 @@ class Scheduler {
   /// Enqueues a coroutine to resume at the current time, after all events
   /// already enqueued for this instant (FIFO fairness).
   void schedule_now(std::coroutine_handle<> handle) { schedule_at(handle, now_); }
+
+  /// Like schedule_at, but the entry is skipped (and time is *not* advanced
+  /// to it) if `token->cancelled` is set by the time it would fire.
+  void schedule_cancellable_at(std::coroutine_handle<> handle, Time at,
+                               std::shared_ptr<CancelToken> token) {
+    S3A_CHECK_MSG(at >= now_, "cannot schedule into the past");
+    queue_.push(Entry{at, next_seq_++, handle, std::move(token)});
+  }
 
   /// Starts a top-level detached process at the current time.
   void spawn(Process process);
@@ -94,6 +111,7 @@ class Scheduler {
     Time at;
     std::uint64_t seq;
     std::coroutine_handle<> handle;
+    std::shared_ptr<CancelToken> token{};  ///< null for plain entries
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file timer.hpp
+/// Cancellable one-shot timer — the primitive behind result timeouts and
+/// fault-injection triggers.
+///
+/// A `Timer` is armed for an absolute deadline and awaited by at most one
+/// process: `bool fired = co_await timer.wait()`.  The awaiter resumes
+/// either when simulated time reaches the deadline (`fired == true`) or
+/// when `cancel()` is called (`fired == false`, resumed immediately at the
+/// current time).  Cancellation never advances the clock: the stale queue
+/// entry is discarded by the scheduler without becoming the "next event",
+/// so an unexpired timeout cannot extend a run's wall time.  Waking the
+/// waiter on cancel (rather than abandoning it) keeps the simulation
+/// quiescent — no coroutine frame is ever left suspended on a dead timer.
+
+#include <coroutine>
+#include <memory>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::sim {
+
+class Timer {
+ public:
+  explicit Timer(Scheduler& scheduler) noexcept : scheduler_(&scheduler) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms (or re-arms) the timer for absolute time `deadline` (>= now).
+  /// Re-arming an armed timer cancels the previous deadline first: a
+  /// process already waiting resumes with `fired == false`.
+  void arm_at(Time deadline) {
+    if (armed_) cancel();
+    S3A_CHECK_MSG(deadline >= scheduler_->now(),
+                  "cannot arm a timer in the past");
+    armed_ = true;
+    deadline_ = deadline;
+    token_ = std::make_shared<CancelToken>();
+  }
+
+  /// Arms the timer `duration` from the current time.
+  void arm_in(Time duration) { arm_at(scheduler_->now() + duration); }
+
+  /// Disarms the timer.  A waiting process resumes with `fired == false` at
+  /// the current instant; the queued deadline entry is discarded without
+  /// advancing time.  No-op if the timer is not armed.
+  void cancel() {
+    if (!armed_) return;
+    armed_ = false;
+    token_->cancelled = true;
+    token_.reset();
+    if (waiter_) {
+      const auto handle = waiter_;
+      waiter_ = nullptr;
+      scheduler_->schedule_now(handle);
+    }
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] Time deadline() const noexcept { return deadline_; }
+
+  struct WaitAwaiter {
+    Timer& timer;
+    std::shared_ptr<CancelToken> token{};
+
+    [[nodiscard]] bool await_ready() const noexcept { return !timer.armed_; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      S3A_CHECK_MSG(timer.waiter_ == nullptr,
+                    "a timer supports a single waiter");
+      token = timer.token_;
+      timer.waiter_ = handle;
+      timer.scheduler_->schedule_cancellable_at(handle, timer.deadline_,
+                                                timer.token_);
+    }
+    [[nodiscard]] bool await_resume() const noexcept {
+      // Resumed by cancel(): report "not fired".  (The timer object may have
+      // been re-armed in the meantime; only our captured token is inspected.)
+      if (token == nullptr || token->cancelled) return false;
+      // Deadline reached: the timer is spent.
+      timer.armed_ = false;
+      timer.waiter_ = nullptr;
+      timer.token_.reset();
+      return true;
+    }
+  };
+
+  /// Awaitable: true if the deadline was reached, false if cancelled (or if
+  /// the timer was not armed at all).
+  [[nodiscard]] WaitAwaiter wait() noexcept { return WaitAwaiter{*this}; }
+
+ private:
+  Scheduler* scheduler_;
+  bool armed_ = false;
+  Time deadline_ = 0;
+  std::shared_ptr<CancelToken> token_{};
+  std::coroutine_handle<> waiter_{};
+};
+
+}  // namespace s3asim::sim

@@ -31,6 +31,11 @@ class TraceLog {
     intervals_.push_back(Interval{rank, std::move(category), start, end});
   }
 
+  /// Zero-length marker (e.g. a worker death or a retirement decision).
+  void event(std::uint32_t rank, std::string category, sim::Time at) {
+    record(rank, std::move(category), at, at);
+  }
+
   [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
     return intervals_;
   }

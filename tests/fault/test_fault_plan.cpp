@@ -1,0 +1,109 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace s3asim::fault;
+namespace sim = s3asim::sim;
+
+TEST(ParseTimeTest, SuffixesAndDefaults) {
+  EXPECT_EQ(parse_time("1"), sim::seconds(1));
+  EXPECT_EQ(parse_time("2s"), sim::seconds(2));
+  EXPECT_EQ(parse_time("1.5s"), sim::milliseconds(1500));
+  EXPECT_EQ(parse_time("250ms"), sim::milliseconds(250));
+  EXPECT_EQ(parse_time("3us"), sim::microseconds(3));
+  EXPECT_EQ(parse_time("42ns"), 42);
+  EXPECT_EQ(parse_time(" 10 "), sim::seconds(10));
+}
+
+TEST(ParseTimeTest, RejectsGarbage) {
+  EXPECT_THROW((void)parse_time("fast"), std::invalid_argument);
+  EXPECT_THROW((void)parse_time("-1s"), std::invalid_argument);
+  EXPECT_THROW((void)parse_time("1x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_time(""), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, EmptySpecYieldsEmptyPlan) {
+  const FaultPlan plan = parse_fault_plan("");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.perturbs_workers());
+  EXPECT_EQ(plan.describe(), "no faults");
+  const FaultPlan spaces = parse_fault_plan("  ;  ; ");
+  EXPECT_TRUE(spaces.empty());
+}
+
+TEST(FaultPlanTest, ParsesEveryClauseKind) {
+  const FaultPlan plan = parse_fault_plan(
+      "kill:worker=3,at=120s; slow:worker=2,from=10s,factor=4;"
+      "delay:worker=1,by=5ms; drop:worker=4,prob=0.25;"
+      "server:id=0,from=30s,factor=8,stall=2s; crash:at=200s");
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_EQ(plan.kills[0].rank, 3u);
+  EXPECT_EQ(plan.kills[0].at, sim::seconds(120));
+  ASSERT_EQ(plan.slowdowns.size(), 1u);
+  EXPECT_EQ(plan.slowdowns[0].rank, 2u);
+  EXPECT_EQ(plan.slowdowns[0].from, sim::seconds(10));
+  EXPECT_DOUBLE_EQ(plan.slowdowns[0].factor, 4.0);
+  ASSERT_EQ(plan.delays.size(), 1u);
+  EXPECT_EQ(plan.delays[0].from, 0);  // default
+  EXPECT_EQ(plan.delays[0].by, sim::milliseconds(5));
+  ASSERT_EQ(plan.drops.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.drops[0].probability, 0.25);
+  ASSERT_EQ(plan.servers.size(), 1u);
+  EXPECT_EQ(plan.servers[0].server, 0u);
+  EXPECT_DOUBLE_EQ(plan.servers[0].service_factor, 8.0);
+  EXPECT_EQ(plan.servers[0].stall, sim::seconds(2));
+  EXPECT_EQ(plan.crash_at, sim::seconds(200));
+  EXPECT_TRUE(plan.perturbs_workers());
+  EXPECT_NE(plan.describe(), "no faults");
+}
+
+TEST(FaultPlanTest, FieldOrderIsFree) {
+  const FaultPlan plan = parse_fault_plan("kill:at=5s,worker=1");
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_EQ(plan.kills[0].rank, 1u);
+  EXPECT_EQ(plan.kills[0].at, sim::seconds(5));
+}
+
+TEST(FaultPlanTest, RejectsMalformedClauses) {
+  EXPECT_THROW(parse_fault_plan("explode:worker=1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("kill:worker=1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("kill:at=5s"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("kill:worker=1,at=5s,at=6s"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("kill:worker=1,at=5s,color=red"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("kill:worker=-1,at=5s"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("kill:worker=1.5,at=5s"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("slow:worker=1,factor=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("drop:worker=1,prob=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("server:id=0"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("crash:at=1s;crash:at=2s"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("kill worker=1"), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, QueryHelpers) {
+  const FaultPlan plan = parse_fault_plan(
+      "kill:worker=3,at=120s; kill:worker=3,at=60s;"
+      "slow:worker=2,from=10s,factor=4; slow:worker=2,from=20s,factor=2;"
+      "delay:worker=1,from=5s,by=5ms; drop:worker=4,from=1s,prob=0.25");
+  EXPECT_EQ(plan.kill_time(3), sim::seconds(60));  // earliest wins
+  EXPECT_EQ(plan.kill_time(2), kNever);
+  EXPECT_DOUBLE_EQ(plan.slow_factor(2, sim::seconds(5)), 1.0);
+  EXPECT_DOUBLE_EQ(plan.slow_factor(2, sim::seconds(15)), 4.0);
+  EXPECT_DOUBLE_EQ(plan.slow_factor(2, sim::seconds(25)), 8.0);  // stacks
+  EXPECT_EQ(plan.score_delay(1, sim::seconds(4)), 0);
+  EXPECT_EQ(plan.score_delay(1, sim::seconds(6)), sim::milliseconds(5));
+  EXPECT_DOUBLE_EQ(plan.drop_probability(4, 0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.drop_probability(4, sim::seconds(2)), 0.25);
+}
+
+}  // namespace

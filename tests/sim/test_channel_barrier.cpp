@@ -190,6 +190,48 @@ TEST(BarrierTest, ZeroPartiesRejected) {
   EXPECT_THROW(Barrier(sched, 0), std::invalid_argument);
 }
 
+TEST(BarrierTest, LeaveReducesPartiesForFutureCycles) {
+  Scheduler sched;
+  Barrier barrier(sched, 3);
+  std::vector<Time> released;
+  auto party = [](Scheduler& s, Barrier& b, Time arrive,
+                  std::vector<Time>& log) -> Process {
+    co_await s.delay(arrive);
+    co_await b.arrive_and_wait();
+    log.push_back(s.now());
+  };
+  barrier.leave();  // a party fail-stops before anyone arrives
+  sched.spawn(party(sched, barrier, 10, released));
+  sched.spawn(party(sched, barrier, 20, released));
+  sched.run();
+  ASSERT_EQ(released.size(), 2u);
+  for (const Time t : released) EXPECT_EQ(t, 20);
+}
+
+TEST(BarrierTest, LeaveReleasesCurrentCycleIfSatisfied) {
+  Scheduler sched;
+  Barrier barrier(sched, 3);
+  std::vector<Time> released;
+  auto party = [](Scheduler& s, Barrier& b, Time arrive,
+                  std::vector<Time>& log) -> Process {
+    co_await s.delay(arrive);
+    co_await b.arrive_and_wait();
+    log.push_back(s.now());
+  };
+  auto leaver = [](Scheduler& s, Barrier& b) -> Process {
+    // Two parties are already waiting when the third dies: the cycle must
+    // release them rather than hang.
+    co_await s.delay(50);
+    b.leave();
+  };
+  sched.spawn(party(sched, barrier, 10, released));
+  sched.spawn(party(sched, barrier, 20, released));
+  sched.spawn(leaver(sched, barrier));
+  sched.run();
+  ASSERT_EQ(released.size(), 2u);
+  for (const Time t : released) EXPECT_EQ(t, 50);
+}
+
 TEST(BarrierTest, StragglerStallsEveryone) {
   Scheduler sched;
   Barrier barrier(sched, 4);

@@ -1,0 +1,120 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace s3asim::sim;
+
+TEST(TimerTest, FiresAtDeadline) {
+  Scheduler sched;
+  Timer timer(sched);
+  Time fired_at = -1;
+  bool fired = false;
+  auto waiter = [](Scheduler& s, Timer& t, bool& flag, Time& at) -> Process {
+    t.arm_at(250);
+    flag = co_await t.wait();
+    at = s.now();
+  };
+  sched.spawn(waiter(sched, timer, fired, fired_at));
+  sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(fired_at, 250);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(TimerTest, CancelResumesWaiterWithoutAdvancingTime) {
+  Scheduler sched;
+  Timer timer(sched);
+  Time resumed_at = -1;
+  bool fired = true;
+  auto waiter = [](Scheduler& s, Timer& t, bool& flag, Time& at) -> Process {
+    t.arm_at(1'000'000);
+    flag = co_await t.wait();
+    at = s.now();
+  };
+  auto canceller = [](Scheduler& s, Timer& t) -> Process {
+    co_await s.delay(40);
+    t.cancel();
+  };
+  sched.spawn(waiter(sched, timer, fired, resumed_at));
+  sched.spawn(canceller(sched, timer));
+  sched.run();
+  EXPECT_FALSE(fired);
+  // The waiter resumes at the cancel instant, and crucially the discarded
+  // deadline never becomes the "next event": the clock stays at 40.
+  EXPECT_EQ(resumed_at, 40);
+  EXPECT_EQ(sched.now(), 40);
+}
+
+TEST(TimerTest, WaitOnUnarmedTimerReturnsFalseImmediately) {
+  Scheduler sched;
+  Timer timer(sched);
+  bool fired = true;
+  auto waiter = [](Scheduler& s, Timer& t, bool& flag) -> Process {
+    flag = co_await t.wait();
+    EXPECT_EQ(s.now(), 0);
+  };
+  sched.spawn(waiter(sched, timer, fired));
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerTest, RearmingCancelsThePreviousDeadline) {
+  Scheduler sched;
+  Timer timer(sched);
+  std::vector<std::pair<bool, Time>> resumes;
+  auto waiter = [](Scheduler& s, Timer& t,
+                   std::vector<std::pair<bool, Time>>& log) -> Process {
+    t.arm_at(100);
+    // First wait is cancelled by the re-arm below; the second sees it fire.
+    log.emplace_back(co_await t.wait(), s.now());
+    log.emplace_back(co_await t.wait(), s.now());
+  };
+  auto rearmer = [](Scheduler& s, Timer& t) -> Process {
+    co_await s.delay(10);
+    t.arm_at(60);
+  };
+  sched.spawn(waiter(sched, timer, resumes));
+  sched.spawn(rearmer(sched, timer));
+  sched.run();
+  ASSERT_EQ(resumes.size(), 2u);
+  EXPECT_EQ(resumes[0], (std::pair<bool, Time>{false, 10}));
+  EXPECT_EQ(resumes[1], (std::pair<bool, Time>{true, 60}));
+  // The abandoned deadline (100) must not extend the run.
+  EXPECT_EQ(sched.now(), 60);
+}
+
+TEST(TimerTest, ReusableAfterFiring) {
+  Scheduler sched;
+  Timer timer(sched);
+  std::vector<Time> fired_at;
+  auto waiter = [](Scheduler& s, Timer& t, std::vector<Time>& log) -> Process {
+    for (int round = 0; round < 3; ++round) {
+      t.arm_in(7);
+      EXPECT_TRUE(co_await t.wait());
+      log.push_back(s.now());
+    }
+  };
+  sched.spawn(waiter(sched, timer, fired_at));
+  sched.run();
+  EXPECT_EQ(fired_at, (std::vector<Time>{7, 14, 21}));
+}
+
+TEST(TimerTest, CancelWithoutWaiterIsHarmless) {
+  Scheduler sched;
+  Timer timer(sched);
+  timer.arm_at(500);
+  timer.cancel();
+  timer.cancel();  // idempotent
+  EXPECT_FALSE(timer.armed());
+  sched.run();
+  EXPECT_EQ(sched.now(), 0);  // the queued deadline was discarded
+}
+
+}  // namespace
