@@ -22,6 +22,7 @@
 ///
 /// Exit status: 0 on success with a verified output file, 1 otherwise.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -207,6 +208,7 @@ int main(int argc, char** argv) {
   if (!config.fault.empty())
     std::printf("fault plan            : %s\n", config.fault.describe().c_str());
   core::RunStats stats;
+  const auto host_start = std::chrono::steady_clock::now();
   try {
     if (config.fault.crash_at != fault::kNever) {
       // Whole-run crash: rerun from the last durably flushed query batch.
@@ -241,8 +243,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const double host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
+
   std::printf("%s\n", stats.phase_table().c_str());
   std::printf("%s\n", stats.summary().c_str());
+  std::printf("scheduler events      : %llu (%.2f M events/s host)\n",
+              static_cast<unsigned long long>(stats.events),
+              host_seconds > 0.0
+                  ? static_cast<double>(stats.events) / host_seconds / 1e6
+                  : 0.0);
   if (stats.db_bytes_read > 0)
     std::printf("database streamed     : %s\n",
                 util::format_bytes(stats.db_bytes_read).c_str());

@@ -11,11 +11,13 @@
 ///
 /// Quick mode: death at 50% only.  Full mode sweeps 25% / 50% / 75%.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "fault/fault.hpp"
 #include "sim/time.hpp"
 #include "util/csv.hpp"
@@ -25,8 +27,24 @@
 using namespace s3asim;
 using namespace s3asim::bench;
 
+namespace {
+
+core::SimConfig strategy_config(core::Strategy strategy, std::uint32_t procs) {
+  auto config = core::paper_config();
+  config.strategy = strategy;
+  config.nprocs = procs;
+  // The detector timeout must exceed the worst-case healthy search+flush
+  // cycle at this scale or silence gets misread as death (WW-POSIX's
+  // per-extent flushes are the long pole; 10s is marginal at 16 procs).
+  config.fault_detection_timeout = sim::seconds(15);
+  return config;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const std::uint32_t procs = quick ? 16 : 32;
   const std::vector<double> fractions =
       quick ? std::vector<double>{0.5} : std::vector<double>{0.25, 0.5, 0.75};
@@ -36,6 +54,50 @@ int main(int argc, char** argv) {
       "detector timeout 15s)\n",
       procs);
 
+  // Stage 1: failure-free baselines per strategy.  A benign plan (slow
+  // factor 1 changes nothing) keeps both runs on the recovery-capable
+  // master loop; the legacy MW loop head-of-line blocks on requests and is
+  // measurably slower, which would masquerade as negative death cost.
+  std::vector<SweepPoint> baseline_grid;
+  for (const auto strategy : paper_strategies()) {
+    baseline_grid.push_back(
+        {std::string(core::strategy_name(strategy)) + " baseline",
+         [strategy, procs] {
+           auto benign = strategy_config(strategy, procs);
+           benign.fault.slowdowns.push_back(fault::WorkerSlow{1, 0, 1.0});
+           auto stats = core::run_simulation(benign);
+           require_exact(stats);
+           return stats;
+         }});
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto baselines = run_sweep(std::move(baseline_grid), jobs);
+
+  // Stage 2: faulted runs, whose kill times derive from the baselines.
+  std::vector<SweepPoint> faulted_grid;
+  for (std::size_t s = 0; s < paper_strategies().size(); ++s) {
+    const auto strategy = paper_strategies()[s];
+    const double baseline_wall = baselines[s].stats.wall_seconds;
+    for (const double fraction : fractions) {
+      faulted_grid.push_back(
+          {std::string(core::strategy_name(strategy)) + " death@" +
+               util::format_fixed(fraction * 100.0, 0) + "%",
+           [strategy, procs, baseline_wall, fraction] {
+             auto faulted = strategy_config(strategy, procs);
+             faulted.fault.kills.push_back(
+                 fault::WorkerKill{1, sim::seconds(baseline_wall * fraction)});
+             auto stats = core::run_simulation(faulted);
+             require_exact(stats);
+             return stats;
+           }});
+    }
+  }
+  const auto faulted = run_sweep(std::move(faulted_grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
   util::TextTable table({"Strategy", "Death at", "Baseline (s)", "Faulted (s)",
                          "Slowdown", "Died", "Retired", "Reassigned",
                          "Repaired"});
@@ -44,30 +106,12 @@ int main(int argc, char** argv) {
                  "slowdown", "workers_died", "workers_retired",
                  "tasks_reassigned", "repaired_bytes"});
 
-  for (const auto strategy : paper_strategies()) {
-    auto config = core::paper_config();
-    config.strategy = strategy;
-    config.nprocs = procs;
-    // The detector timeout must exceed the worst-case healthy search+flush
-    // cycle at this scale or silence gets misread as death (WW-POSIX's
-    // per-extent flushes are the long pole; 10s is marginal at 16 procs).
-    config.fault_detection_timeout = sim::seconds(15);
-
-    // Baseline with a benign plan (slow factor 1 changes nothing) so both
-    // runs use the recovery-capable master loop; the legacy MW loop
-    // head-of-line blocks on requests and is measurably slower, which
-    // would masquerade as negative death cost.
-    auto benign = config;
-    benign.fault.slowdowns.push_back(fault::WorkerSlow{1, 0, 1.0});
-    const auto baseline = core::run_simulation(benign);
-    require_exact(baseline);
-
+  std::size_t index = 0;
+  for (std::size_t s = 0; s < paper_strategies().size(); ++s) {
+    const auto strategy = paper_strategies()[s];
+    const auto& baseline = baselines[s].stats;
     for (const double fraction : fractions) {
-      auto faulted = config;
-      faulted.fault.kills.push_back(
-          fault::WorkerKill{1, sim::seconds(baseline.wall_seconds * fraction)});
-      const auto stats = core::run_simulation(faulted);
-      require_exact(stats);
+      const auto& stats = faulted[index++].stats;
       const double slowdown = stats.wall_seconds / baseline.wall_seconds;
       table.add_row(
           {core::strategy_name(strategy),
@@ -96,5 +140,12 @@ int main(int argc, char** argv) {
       "death for free (its master-side write drain is the critical path, "
       "so the search phase has slack — a died-but-never-retired worker "
       "simply had nothing outstanding).\n");
+
+  // One combined report: baselines first, then the faulted grid.
+  auto all = baselines;
+  all.insert(all.end(), faulted.begin(), faulted.end());
+  const auto report = write_bench_json("ablation_faults", quick, jobs, all,
+                                       sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

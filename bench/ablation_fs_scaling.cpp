@@ -3,11 +3,13 @@
 /// PVFS2 server count and strip size for WW-List and WW-POSIX at 64
 /// processes.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -32,22 +34,60 @@ core::RunStats run_fs(core::Strategy strategy, std::uint32_t servers,
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
 
   std::printf("S3aSim Ablation C: file-system scaling (64 processes)\n");
 
-  // Server-count sweep at the paper's 64 KiB strips.
+  const std::vector<std::uint32_t> servers =
+      quick ? std::vector<std::uint32_t>{4, 16, 64}
+            : std::vector<std::uint32_t>{4, 8, 16, 32, 64};
+  const std::vector<std::uint64_t> strips =
+      quick ? std::vector<std::uint64_t>{16 * util::KiB, 64 * util::KiB,
+                                         1 * util::MiB}
+            : std::vector<std::uint64_t>{16 * util::KiB, 32 * util::KiB,
+                                         64 * util::KiB, 256 * util::KiB,
+                                         1 * util::MiB};
+
+  // Flat grid: the server sweep's three strategies per count, then the
+  // strip sweep's two strategies per size.
+  std::vector<SweepPoint> grid;
+  for (const auto count : servers) {
+    for (const auto strategy : {core::Strategy::WWList, core::Strategy::WWPosix,
+                                core::Strategy::WWColl}) {
+      grid.push_back({std::string(core::strategy_name(strategy)) +
+                          " servers=" + std::to_string(count),
+                      [strategy, count] {
+                        return run_fs(strategy, count, 64 * util::KiB);
+                      }});
+    }
+  }
+  for (const auto strip : strips) {
+    for (const auto strategy :
+         {core::Strategy::WWList, core::Strategy::WWPosix}) {
+      grid.push_back({std::string(core::strategy_name(strategy)) + " strip=" +
+                          util::format_bytes(strip),
+                      [strategy, strip] {
+                        return run_fs(strategy, 16, strip);
+                      }});
+    }
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::size_t index = 0;
   {
-    const std::vector<std::uint32_t> servers =
-        quick ? std::vector<std::uint32_t>{4, 16, 64}
-              : std::vector<std::uint32_t>{4, 8, 16, 32, 64};
     util::TextTable table({"Servers", "WW-List (s)", "WW-POSIX (s)",
                            "WW-Coll (s)"});
     util::CsvWriter csv(csv_path("ablation_fs_servers.csv"));
     csv.write_row({"servers", "ww_list", "ww_posix", "ww_coll"});
     for (const auto count : servers) {
-      const auto list = run_fs(core::Strategy::WWList, count, 64 * util::KiB);
-      const auto posix = run_fs(core::Strategy::WWPosix, count, 64 * util::KiB);
-      const auto coll = run_fs(core::Strategy::WWColl, count, 64 * util::KiB);
+      const auto& list = results[index++].stats;
+      const auto& posix = results[index++].stats;
+      const auto& coll = results[index++].stats;
       table.add_row_numeric(std::to_string(count),
                             {list.wall_seconds, posix.wall_seconds,
                              coll.wall_seconds});
@@ -60,20 +100,13 @@ int main(int argc, char** argv) {
     std::printf("(csv: results/ablation_fs_servers.csv)\n");
   }
 
-  // Strip-size sweep at the paper's 16 servers.
   {
-    const std::vector<std::uint64_t> strips =
-        quick ? std::vector<std::uint64_t>{16 * util::KiB, 64 * util::KiB,
-                                           1 * util::MiB}
-              : std::vector<std::uint64_t>{16 * util::KiB, 32 * util::KiB,
-                                           64 * util::KiB, 256 * util::KiB,
-                                           1 * util::MiB};
     util::TextTable table({"Strip", "WW-List (s)", "WW-POSIX (s)"});
     util::CsvWriter csv(csv_path("ablation_fs_strips.csv"));
     csv.write_row({"strip_bytes", "ww_list", "ww_posix"});
     for (const auto strip : strips) {
-      const auto list = run_fs(core::Strategy::WWList, 16, strip);
-      const auto posix = run_fs(core::Strategy::WWPosix, 16, strip);
+      const auto& list = results[index++].stats;
+      const auto& posix = results[index++].stats;
       table.add_row_numeric(util::format_bytes(strip),
                             {list.wall_seconds, posix.wall_seconds});
       csv.write_row_numeric(std::to_string(strip),
@@ -83,5 +116,9 @@ int main(int argc, char** argv) {
                 table.render().c_str());
     std::printf("(csv: results/ablation_fs_strips.csv)\n");
   }
+
+  const auto report = write_bench_json("ablation_fs_scaling", quick, jobs,
+                                       results, sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

@@ -5,11 +5,13 @@
 /// teams relieve the master/collective bottlenecks but raise per-worker
 /// database pressure when the database exceeds node memory.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -37,6 +39,7 @@ core::RunStats run_groups(core::Strategy strategy, std::uint32_t nprocs,
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const std::uint32_t nprocs = 96;  // divisible by 1, 2, 4, 8
   const auto group_counts = quick ? std::vector<std::uint32_t>{1, 4}
                                   : std::vector<std::uint32_t>{1, 2, 4, 8};
@@ -44,15 +47,41 @@ int main(int argc, char** argv) {
   std::printf("S3aSim Ablation G: hybrid query/database segmentation "
               "(%u ranks)\n", nprocs);
 
+  std::vector<SweepPoint> grid;
+  for (const auto groups : group_counts) {
+    for (const auto strategy : {core::Strategy::MW, core::Strategy::WWList,
+                                core::Strategy::WWColl}) {
+      grid.push_back({std::string(core::strategy_name(strategy)) +
+                          " groups=" + std::to_string(groups),
+                      [strategy, groups] {
+                        return run_groups(strategy, nprocs, groups);
+                      }});
+    }
+  }
+  for (const auto groups : group_counts) {
+    grid.push_back({"WW-List 8GiB-db groups=" + std::to_string(groups),
+                    [groups] {
+                      return run_groups(core::Strategy::WWList, nprocs, groups,
+                                        8 * GiB, GiB);
+                    }});
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::size_t index = 0;
   // --- Group sweep per strategy (no database-memory pressure). ------------
   {
     util::TextTable table({"Groups", "MW (s)", "WW-List (s)", "WW-Coll (s)"});
     util::CsvWriter csv(csv_path("ablation_hybrid_groups.csv"));
     csv.write_row({"groups", "mw", "ww_list", "ww_coll"});
     for (const auto groups : group_counts) {
-      const auto mw = run_groups(core::Strategy::MW, nprocs, groups);
-      const auto list = run_groups(core::Strategy::WWList, nprocs, groups);
-      const auto coll = run_groups(core::Strategy::WWColl, nprocs, groups);
+      const auto& mw = results[index++].stats;
+      const auto& list = results[index++].stats;
+      const auto& coll = results[index++].stats;
       table.add_row_numeric(std::to_string(groups),
                             {mw.wall_seconds, list.wall_seconds,
                              coll.wall_seconds});
@@ -73,8 +102,7 @@ int main(int argc, char** argv) {
     util::CsvWriter csv(csv_path("ablation_hybrid_memory.csv"));
     csv.write_row({"groups", "wall_s", "db_read_bytes", "hit_rate"});
     for (const auto groups : group_counts) {
-      const auto stats =
-          run_groups(core::Strategy::WWList, nprocs, groups, 8 * GiB, GiB);
+      const auto& stats = results[index++].stats;
       std::uint64_t loads = 0, hits = 0;
       for (const auto& rank : stats.ranks) {
         loads += rank.fragment_loads;
@@ -100,5 +128,9 @@ int main(int argc, char** argv) {
                 "of the database — the §1 query-segmentation penalty "
                 "returns.\n");
   }
+
+  const auto report = write_bench_json("ablation_hybrid", quick, jobs,
+                                       results, sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

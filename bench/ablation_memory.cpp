@@ -10,11 +10,13 @@
 /// affinity), the streaming disappears and speedup exceeds the worker
 /// ratio.  Also shows affinity on/off and a memory sweep.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -43,16 +45,50 @@ core::RunStats run_db(std::uint32_t nprocs, std::uint64_t db_bytes,
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const std::uint64_t kDb = 8 * GiB;
   const std::uint64_t kMemory = 1 * GiB;
 
   std::printf("S3aSim Ablation D: database vs. memory (8 GiB database, "
               "1 GiB/node, WW-List)\n");
 
+  const auto scaling_procs =
+      quick ? std::vector<std::uint32_t>{2, 8, 32}
+            : std::vector<std::uint32_t>{2, 4, 8, 16, 32, 64};
+  const auto affinity_procs = quick ? std::vector<std::uint32_t>{16}
+                                    : std::vector<std::uint32_t>{8, 16, 32};
+  const auto memories =
+      quick ? std::vector<std::uint64_t>{128 * MiB, 1 * GiB}
+            : std::vector<std::uint64_t>{64 * MiB, 256 * MiB, 512 * MiB,
+                                         1 * GiB, 4 * GiB, 8 * GiB};
+
+  std::vector<SweepPoint> grid;
+  for (const auto nprocs : scaling_procs)
+    grid.push_back({"scaling n=" + std::to_string(nprocs), [nprocs] {
+                      return run_db(nprocs, kDb, kMemory, true);
+                    }});
+  for (const auto nprocs : affinity_procs) {
+    grid.push_back({"affinity-on n=" + std::to_string(nprocs), [nprocs] {
+                      return run_db(nprocs, kDb, kMemory, true);
+                    }});
+    grid.push_back({"affinity-off n=" + std::to_string(nprocs), [nprocs] {
+                      return run_db(nprocs, kDb, kMemory, false);
+                    }});
+  }
+  for (const auto memory : memories)
+    grid.push_back({"memory=" + util::format_bytes(memory), [memory] {
+                      return run_db(16, kDb, memory, true);
+                    }});
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::size_t index = 0;
   // --- Worker scaling: the super-linear window. ----------------------------
   {
-    const auto procs = quick ? std::vector<std::uint32_t>{2, 8, 32}
-                             : std::vector<std::uint32_t>{2, 4, 8, 16, 32, 64};
     util::TextTable table({"Procs", "Wall (s)", "Speedup", "Ideal",
                            "DB read", "Frag hit rate"});
     util::CsvWriter csv(csv_path("ablation_memory_scaling.csv"));
@@ -60,8 +96,8 @@ int main(int argc, char** argv) {
                    "hit_rate"});
     double base_wall = 0.0;
     std::uint32_t base_procs = 0;
-    for (const auto nprocs : procs) {
-      const auto stats = run_db(nprocs, kDb, kMemory, true);
+    for (const auto nprocs : scaling_procs) {
+      const auto& stats = results[index++].stats;
       if (base_wall == 0.0) {
         base_wall = stats.wall_seconds;
         base_procs = nprocs - 1;
@@ -97,11 +133,9 @@ int main(int argc, char** argv) {
   {
     util::TextTable table({"Procs", "Affinity on (s)", "Affinity off (s)",
                            "DB read on", "DB read off"});
-    const auto procs = quick ? std::vector<std::uint32_t>{16}
-                             : std::vector<std::uint32_t>{8, 16, 32};
-    for (const auto nprocs : procs) {
-      const auto on = run_db(nprocs, kDb, kMemory, true);
-      const auto off = run_db(nprocs, kDb, kMemory, false);
+    for (const auto nprocs : affinity_procs) {
+      const auto& on = results[index++].stats;
+      const auto& off = results[index++].stats;
       table.add_row({std::to_string(nprocs),
                      util::format_fixed(on.wall_seconds),
                      util::format_fixed(off.wall_seconds),
@@ -114,18 +148,18 @@ int main(int argc, char** argv) {
 
   // --- Per-node memory sweep at 16 procs. -----------------------------------
   {
-    const auto memories =
-        quick ? std::vector<std::uint64_t>{128 * MiB, 1 * GiB}
-              : std::vector<std::uint64_t>{64 * MiB, 256 * MiB, 512 * MiB,
-                                           1 * GiB, 4 * GiB, 8 * GiB};
     util::TextTable table({"Memory/node", "Wall (s)", "DB read"});
     for (const auto memory : memories) {
-      const auto stats = run_db(16, kDb, memory, true);
+      const auto& stats = results[index++].stats;
       table.add_row({util::format_bytes(memory),
                      util::format_fixed(stats.wall_seconds),
                      util::format_bytes(stats.db_bytes_read)});
     }
     std::printf("\n== Memory sweep (16 procs) ==\n%s", table.render().c_str());
   }
+
+  const auto report = write_bench_json("ablation_memory", quick, jobs,
+                                       results, sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

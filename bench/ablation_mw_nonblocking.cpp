@@ -4,11 +4,13 @@
 /// master issues its batch writes asynchronously and keeps serving work
 /// requests — and how far that still is from worker-writing.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -32,20 +34,39 @@ core::RunStats run_mw(std::uint32_t nprocs, bool nonblocking) {
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const auto procs = paper_proc_counts(quick);
 
   std::printf("S3aSim Ablation E: MW with blocking vs. nonblocking master "
               "I/O\n");
+
+  std::vector<SweepPoint> grid;
+  for (const auto nprocs : procs) {
+    grid.push_back({"MW blocking n=" + std::to_string(nprocs),
+                    [nprocs] { return run_mw(nprocs, false); }});
+    grid.push_back({"MW nonblocking n=" + std::to_string(nprocs),
+                    [nprocs] { return run_mw(nprocs, true); }});
+    grid.push_back({"WW-List n=" + std::to_string(nprocs), [nprocs] {
+                      return run_point(core::Strategy::WWList, nprocs, false);
+                    }});
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
 
   util::TextTable table({"Procs", "MW blocking (s)", "MW nonblocking (s)",
                          "Improvement", "WW-List (s)"});
   util::CsvWriter csv(csv_path("ablation_mw_nonblocking.csv"));
   csv.write_row({"procs", "mw_blocking", "mw_nonblocking", "ww_list"});
 
+  std::size_t index = 0;
   for (const auto nprocs : procs) {
-    const auto blocking = run_mw(nprocs, false);
-    const auto nonblocking = run_mw(nprocs, true);
-    const auto list = run_point(core::Strategy::WWList, nprocs, false);
+    const auto& blocking = results[index++].stats;
+    const auto& nonblocking = results[index++].stats;
+    const auto& list = results[index++].stats;
     table.add_row(
         {std::to_string(nprocs), util::format_fixed(blocking.wall_seconds),
          util::format_fixed(nonblocking.wall_seconds),
@@ -59,5 +80,9 @@ int main(int argc, char** argv) {
   std::printf("%s(csv: results/ablation_mw_nonblocking.csv)\n", table.render().c_str());
   std::printf("\nNonblocking writes hide the master's I/O but not its "
               "result-gathering centralization — MW still trails WW-List.\n");
+
+  const auto report = write_bench_json("ablation_mw_nonblocking", quick, jobs,
+                                       results, sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

@@ -4,11 +4,13 @@
 /// and the master pays for it all at the end, reading every private file
 /// back and list-writing 208 MB into sorted order.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -18,20 +20,43 @@ using namespace s3asim::bench;
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const auto procs = paper_proc_counts(quick);
 
   std::printf("S3aSim Ablation H: file-per-process (N-N) vs shared-file "
               "strategies\n");
+
+  const std::vector<core::Strategy> variants{
+      core::Strategy::WWFilePerProcess, core::Strategy::WWList,
+      core::Strategy::MW};
+
+  std::vector<SweepPoint> grid;
+  for (const auto nprocs : procs) {
+    for (const auto strategy : variants) {
+      grid.push_back({std::string(core::strategy_name(strategy)) + " n=" +
+                          std::to_string(nprocs),
+                      [strategy, nprocs] {
+                        return run_point(strategy, nprocs, false);
+                      }});
+    }
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
 
   util::TextTable table({"Procs", "WW-FilePerProc (s)", "  of which merge (s)",
                          "WW-List (s)", "MW (s)"});
   util::CsvWriter csv(csv_path("ablation_nn_files.csv"));
   csv.write_row({"procs", "nn_total", "nn_merge", "ww_list", "mw"});
 
+  std::size_t index = 0;
   for (const auto nprocs : procs) {
-    const auto nn = run_point(core::Strategy::WWFilePerProcess, nprocs, false);
-    const auto list = run_point(core::Strategy::WWList, nprocs, false);
-    const auto mw = run_point(core::Strategy::MW, nprocs, false);
+    const auto& nn = results[index++].stats;
+    const auto& list = results[index++].stats;
+    const auto& mw = results[index++].stats;
     // The merge runs serially on the master at the end; its I/O phase is a
     // good proxy (the master does no other I/O in this strategy).
     const double merge = nn.master_seconds(core::Phase::Io);
@@ -48,5 +73,9 @@ int main(int argc, char** argv) {
               "on one rank — at scale the merge dominates, which is why the "
               "tools the paper studies write one shared, sorted file "
               "in-flight instead.\n");
+
+  const auto report = write_bench_json("ablation_nn_files", quick, jobs,
+                                       results, sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

@@ -9,11 +9,13 @@
 /// is lost.  The product of the two trade-offs is the paper's argument for
 /// per-query writes.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "trace/trace.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -38,15 +40,33 @@ double expected_lost_seconds(double wall, std::uint32_t batches) {
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const std::uint32_t procs = quick ? 16 : 64;
 
   std::printf("S3aSim Ablation F: flush frequency vs. failure resumability "
               "(WW-List, %u procs)\n", procs);
 
-  auto config = core::paper_config();
-  config.strategy = core::Strategy::WWList;
-  config.nprocs = procs;
-  const std::uint32_t queries = config.workload.query_count;
+  const std::uint32_t queries = core::paper_config().workload.query_count;
+  const std::vector<std::uint32_t> flushes{1u, 2u, 4u, 10u, queries};
+
+  std::vector<SweepPoint> grid;
+  for (const std::uint32_t flush : flushes) {
+    grid.push_back({"flush=" + std::to_string(flush), [flush, procs] {
+                      auto config = core::paper_config();
+                      config.strategy = core::Strategy::WWList;
+                      config.nprocs = procs;
+                      config.queries_per_flush = flush;
+                      auto stats = core::run_simulation(config);
+                      require_exact(stats);
+                      return stats;
+                    }});
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
 
   util::TextTable table({"Flush every", "Wall (s)", "FS requests",
                          "E[lost work] (s)", "Wall + E[lost] (s)"});
@@ -54,10 +74,9 @@ int main(int argc, char** argv) {
   csv.write_row({"queries_per_flush", "wall_s", "fs_requests",
                  "expected_lost_s", "total_s"});
 
-  for (const std::uint32_t flush : {1u, 2u, 4u, 10u, queries}) {
-    config.queries_per_flush = flush;
-    const auto stats = core::run_simulation(config);
-    require_exact(stats);
+  std::size_t index = 0;
+  for (const std::uint32_t flush : flushes) {
+    const auto& stats = results[index++].stats;
     const std::uint32_t batches = (queries + flush - 1) / flush;
     const double lost = expected_lost_seconds(stats.wall_seconds, batches);
     const std::string label =
@@ -76,5 +95,9 @@ int main(int argc, char** argv) {
   std::printf("\nWriting after every query costs a little wall time but "
               "bounds the expected recomputation after a failure to half a "
               "query's span — the mpiBLAST 1.4 design point (§2).\n");
+
+  const auto report = write_bench_json("ablation_resume", quick, jobs,
+                                       results, sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <mutex>
+#include <set>
 
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -144,8 +146,19 @@ std::string csv_path(const std::string& name) {
                                             override_dir[0] != '\0'
                                         ? std::filesystem::path(override_dir)
                                         : std::filesystem::path("results");
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);  // best-effort; open reports
+  // Parallel sweep workers resolve paths concurrently: serialize creation
+  // and only attempt each distinct directory once.  create_directories is
+  // already idempotent across processes (EEXIST is success); best-effort —
+  // a failure surfaces when the file is opened.
+  static std::mutex mutex;
+  static std::set<std::string> ensured;
+  {
+    const std::scoped_lock lock(mutex);
+    if (ensured.insert(dir.string()).second) {
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+    }
+  }
   return (dir / name).string();
 }
 

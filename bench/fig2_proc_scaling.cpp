@@ -3,17 +3,20 @@
 /// WW-List, WW-Coll over 2–96 processes, both query-sync modes, plus the
 /// §4 headline ratios at 96 processes.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 
 using namespace s3asim;
 using namespace s3asim::bench;
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const auto procs = paper_proc_counts(quick);
   const auto& strategies = paper_strategies();
 
@@ -21,6 +24,30 @@ int main(int argc, char** argv) {
   std::printf("workload: 20 queries x 128 fragments, NT histograms, ~208 MB "
               "output, flush per query, MPI_File_sync after every write\n");
 
+  // Flat grid in (sync, nprocs, strategy) order; the tables below index
+  // back into it, so serial and --jobs runs emit identical bytes.
+  std::vector<SweepPoint> grid;
+  for (const bool sync : {false, true}) {
+    for (const auto nprocs : procs) {
+      for (std::size_t s = 0; s < strategies.size(); ++s) {
+        const auto strategy = strategies[s];
+        grid.push_back({std::string(core::strategy_name(strategy)) + " n=" +
+                            std::to_string(nprocs) +
+                            (sync ? " sync" : " no-sync"),
+                        [strategy, nprocs, sync] {
+                          return run_point(strategy, nprocs, sync);
+                        }});
+      }
+    }
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::size_t index = 0;
   for (const bool sync : {false, true}) {
     std::vector<std::string> x_values;
     std::vector<std::vector<double>> seconds;
@@ -28,9 +55,8 @@ int main(int argc, char** argv) {
     for (const auto nprocs : procs) {
       std::vector<double> row;
       for (std::size_t s = 0; s < strategies.size(); ++s) {
-        const auto stats = run_point(strategies[s], nprocs, sync);
-        row.push_back(stats.wall_seconds);
-        at_max[s] = stats.wall_seconds;  // last proc count wins
+        row.push_back(results[index++].stats.wall_seconds);
+        at_max[s] = row.back();  // last proc count wins
       }
       x_values.push_back(std::to_string(nprocs));
       seconds.push_back(std::move(row));
@@ -50,5 +76,9 @@ int main(int argc, char** argv) {
       print_headline_ratios("at 96 processors", strategies, at_max, paper,
                             sync);
   }
+
+  const auto report = write_bench_json("fig2", quick, jobs, results,
+                                       sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

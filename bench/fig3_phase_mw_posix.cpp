@@ -2,28 +2,54 @@
 /// of processors with no-sync/sync query options for MW and WW-POSIX":
 /// per-phase worker-process breakdown across 2–96 processes.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 
 using namespace s3asim;
 using namespace s3asim::bench;
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const auto procs = paper_proc_counts(quick);
+  const std::vector<core::Strategy> strategies{core::Strategy::MW,
+                                               core::Strategy::WWPosix};
 
   std::printf("S3aSim Figure 3: phase breakdown vs. process count "
               "(MW and WW-POSIX)\n");
 
-  for (const auto strategy : {core::Strategy::MW, core::Strategy::WWPosix}) {
+  std::vector<SweepPoint> grid;
+  for (const auto strategy : strategies) {
+    for (const bool sync : {false, true}) {
+      for (const auto nprocs : procs) {
+        grid.push_back({std::string(core::strategy_name(strategy)) + " n=" +
+                            std::to_string(nprocs) +
+                            (sync ? " sync" : " no-sync"),
+                        [strategy, nprocs, sync] {
+                          return run_point(strategy, nprocs, sync);
+                        }});
+      }
+    }
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::size_t index = 0;
+  for (const auto strategy : strategies) {
     for (const bool sync : {false, true}) {
       std::vector<std::string> x_values;
       std::vector<core::RunStats> runs;
       for (const auto nprocs : procs) {
-        runs.push_back(run_point(strategy, nprocs, sync));
+        runs.push_back(results[index++].stats);
         x_values.push_back(std::to_string(nprocs));
       }
       const std::string mode = sync ? "sync" : "no-sync";
@@ -34,5 +60,9 @@ int main(int argc, char** argv) {
               (sync ? "sync" : "nosync"));
     }
   }
+
+  const auto report = write_bench_json("fig3", quick, jobs, results,
+                                       sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

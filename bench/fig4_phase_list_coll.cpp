@@ -1,28 +1,58 @@
 /// Figure 4 — "Individual phase timing results when scaling up the number
 /// of processors with no-sync/sync query options for WW-List and WW-Coll".
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 
 using namespace s3asim;
 using namespace s3asim::bench;
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const auto procs = paper_proc_counts(quick);
+  const std::vector<core::Strategy> strategies{core::Strategy::WWList,
+                                               core::Strategy::WWColl};
 
   std::printf("S3aSim Figure 4: phase breakdown vs. process count "
               "(WW-List and WW-Coll)\n");
 
-  for (const auto strategy : {core::Strategy::WWList, core::Strategy::WWColl}) {
+  std::vector<SweepPoint> grid;
+  for (const auto strategy : strategies) {
+    for (const bool sync : {false, true}) {
+      for (const auto nprocs : procs) {
+        grid.push_back({std::string(core::strategy_name(strategy)) + " n=" +
+                            std::to_string(nprocs) +
+                            (sync ? " sync" : " no-sync"),
+                        [strategy, nprocs, sync] {
+                          return run_point(strategy, nprocs, sync);
+                        }});
+      }
+    }
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::size_t index = 0;
+  const core::RunStats* list96[2] = {nullptr, nullptr};  // [sync]
+  for (const auto strategy : strategies) {
     for (const bool sync : {false, true}) {
       std::vector<std::string> x_values;
       std::vector<core::RunStats> runs;
       for (const auto nprocs : procs) {
-        runs.push_back(run_point(strategy, nprocs, sync));
+        const core::RunStats& stats = results[index++].stats;
+        if (strategy == core::Strategy::WWList && nprocs == 96)
+          list96[sync ? 1 : 0] = &stats;
+        runs.push_back(stats);
         x_values.push_back(std::to_string(nprocs));
       }
       const std::string mode = sync ? "sync" : "no-sync";
@@ -37,16 +67,18 @@ int main(int argc, char** argv) {
   // §4 checkpoints at 96 processors for WW-List:
   //   sync phase rises 0.41 s → 5.87 s and data distribution 4.47 → 18.47
   //   when turning query sync on.
-  if (procs.back() == 96) {
-    const auto nosync = run_point(core::Strategy::WWList, 96, false);
-    const auto sync = run_point(core::Strategy::WWList, 96, true);
+  if (list96[0] != nullptr && list96[1] != nullptr) {
     std::printf("\nWW-List at 96 procs, no-sync → sync (paper in brackets):\n"
                 "  sync phase   %.2f → %.2f s   [0.41 → 5.87]\n"
                 "  data distr.  %.2f → %.2f s   [4.47 → 18.47]\n",
-                nosync.worker_mean_seconds(core::Phase::Sync),
-                sync.worker_mean_seconds(core::Phase::Sync),
-                nosync.worker_mean_seconds(core::Phase::DataDistribution),
-                sync.worker_mean_seconds(core::Phase::DataDistribution));
+                list96[0]->worker_mean_seconds(core::Phase::Sync),
+                list96[1]->worker_mean_seconds(core::Phase::Sync),
+                list96[0]->worker_mean_seconds(core::Phase::DataDistribution),
+                list96[1]->worker_mean_seconds(core::Phase::DataDistribution));
   }
+
+  const auto report = write_bench_json("fig4", quick, jobs, results,
+                                       sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

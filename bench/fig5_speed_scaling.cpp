@@ -2,11 +2,13 @@
 /// query options": overall execution time at 64 processes over compute
 /// speeds 0.1–25.6, plus the §4 headline ratios at speed 25.6.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "util/units.hpp"
 
 using namespace s3asim;
@@ -14,6 +16,7 @@ using namespace s3asim::bench;
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const auto speeds = paper_compute_speeds(quick);
   const auto& strategies = paper_strategies();
   constexpr std::uint32_t kProcs = 64;
@@ -21,6 +24,28 @@ int main(int argc, char** argv) {
   std::printf("S3aSim Figure 5: overall execution time vs. compute speed "
               "(64 processes)\n");
 
+  std::vector<SweepPoint> grid;
+  for (const bool sync : {false, true}) {
+    for (const double speed : speeds) {
+      for (std::size_t s = 0; s < strategies.size(); ++s) {
+        const auto strategy = strategies[s];
+        grid.push_back({std::string(core::strategy_name(strategy)) +
+                            " speed=" + util::format_fixed(speed, 1) +
+                            (sync ? " sync" : " no-sync"),
+                        [strategy, sync, speed] {
+                          return run_point(strategy, kProcs, sync, speed);
+                        }});
+      }
+    }
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::size_t index = 0;
   for (const bool sync : {false, true}) {
     std::vector<std::string> x_values;
     std::vector<std::vector<double>> seconds;
@@ -28,9 +53,8 @@ int main(int argc, char** argv) {
     for (const double speed : speeds) {
       std::vector<double> row;
       for (std::size_t s = 0; s < strategies.size(); ++s) {
-        const auto stats = run_point(strategies[s], kProcs, sync, speed);
-        row.push_back(stats.wall_seconds);
-        at_max[s] = stats.wall_seconds;
+        row.push_back(results[index++].stats.wall_seconds);
+        at_max[s] = row.back();
       }
       x_values.push_back(util::format_fixed(speed, 1));
       seconds.push_back(std::move(row));
@@ -59,5 +83,9 @@ int main(int argc, char** argv) {
                 "(paper: <2%%)\n",
                 (mw_base / mw_fastest - 1.0) * 100.0);
   }
+
+  const auto report = write_bench_json("fig5", quick, jobs, results,
+                                       sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

@@ -1,11 +1,13 @@
 /// Figure 6 — "Individual phase timing results when scaling up the compute
 /// speed with no-sync/sync query options for MW and WW-POSIX" (64 procs).
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "util/units.hpp"
 
 using namespace s3asim;
@@ -13,18 +15,49 @@ using namespace s3asim::bench;
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const auto speeds = paper_compute_speeds(quick);
   constexpr std::uint32_t kProcs = 64;
+  const std::vector<core::Strategy> strategies{core::Strategy::MW,
+                                               core::Strategy::WWPosix};
 
   std::printf("S3aSim Figure 6: phase breakdown vs. compute speed "
               "(MW and WW-POSIX, 64 processes)\n");
 
-  for (const auto strategy : {core::Strategy::MW, core::Strategy::WWPosix}) {
+  std::vector<SweepPoint> grid;
+  for (const auto strategy : strategies) {
+    for (const bool sync : {false, true}) {
+      for (const double speed : speeds) {
+        grid.push_back({std::string(core::strategy_name(strategy)) +
+                            " speed=" + util::format_fixed(speed, 1) +
+                            (sync ? " sync" : " no-sync"),
+                        [strategy, sync, speed] {
+                          return run_point(strategy, kProcs, sync, speed);
+                        }});
+      }
+    }
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::size_t index = 0;
+  const core::RunStats* posix_nosync_slow = nullptr;
+  const core::RunStats* posix_nosync_fast = nullptr;
+  for (const auto strategy : strategies) {
     for (const bool sync : {false, true}) {
       std::vector<std::string> x_values;
       std::vector<core::RunStats> runs;
       for (const double speed : speeds) {
-        runs.push_back(run_point(strategy, kProcs, sync, speed));
+        const core::RunStats& stats = results[index++].stats;
+        if (strategy == core::Strategy::WWPosix && !sync) {
+          if (speed == 0.1) posix_nosync_slow = &stats;
+          if (speed == 25.6) posix_nosync_fast = &stats;
+        }
+        runs.push_back(stats);
         x_values.push_back(util::format_fixed(speed, 1));
       }
       const std::string mode = sync ? "sync" : "no-sync";
@@ -39,11 +72,15 @@ int main(int argc, char** argv) {
   // §4 checkpoint: "At compute speed = 0.1, workers spend close to an
   // average of 54 secs in the compute phase"; at 25.6, "slightly more than
   // 0.8 secs".
-  const auto slow = run_point(core::Strategy::WWPosix, kProcs, false, 0.1);
-  const auto fast = run_point(core::Strategy::WWPosix, kProcs, false, 25.6);
-  std::printf("\nWorker mean compute at speed 0.1: %.2f s [paper ~54],"
-              " at 25.6: %.2f s [paper ~0.8]\n",
-              slow.worker_mean_seconds(core::Phase::Compute),
-              fast.worker_mean_seconds(core::Phase::Compute));
+  if (posix_nosync_slow != nullptr && posix_nosync_fast != nullptr) {
+    std::printf("\nWorker mean compute at speed 0.1: %.2f s [paper ~54],"
+                " at 25.6: %.2f s [paper ~0.8]\n",
+                posix_nosync_slow->worker_mean_seconds(core::Phase::Compute),
+                posix_nosync_fast->worker_mean_seconds(core::Phase::Compute));
+  }
+
+  const auto report = write_bench_json("fig6", quick, jobs, results,
+                                       sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

@@ -2,11 +2,15 @@
 /// speed with no-sync/sync query options for WW-List and WW-Coll" (64
 /// procs).
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "util/units.hpp"
 
 using namespace s3asim;
@@ -14,18 +18,46 @@ using namespace s3asim::bench;
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
   const auto speeds = paper_compute_speeds(quick);
   constexpr std::uint32_t kProcs = 64;
+  const std::vector<core::Strategy> strategies{core::Strategy::WWList,
+                                               core::Strategy::WWColl};
 
   std::printf("S3aSim Figure 7: phase breakdown vs. compute speed "
               "(WW-List and WW-Coll, 64 processes)\n");
 
-  for (const auto strategy : {core::Strategy::WWList, core::Strategy::WWColl}) {
+  std::vector<SweepPoint> grid;
+  for (const auto strategy : strategies) {
+    for (const bool sync : {false, true}) {
+      for (const double speed : speeds) {
+        grid.push_back({std::string(core::strategy_name(strategy)) +
+                            " speed=" + util::format_fixed(speed, 1) +
+                            (sync ? " sync" : " no-sync"),
+                        [strategy, sync, speed] {
+                          return run_point(strategy, kProcs, sync, speed);
+                        }});
+      }
+    }
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  std::size_t index = 0;
+  std::vector<double> coll_walls[2];  // [sync], in speed order
+  for (const auto strategy : strategies) {
     for (const bool sync : {false, true}) {
       std::vector<std::string> x_values;
       std::vector<core::RunStats> runs;
       for (const double speed : speeds) {
-        runs.push_back(run_point(strategy, kProcs, sync, speed));
+        const core::RunStats& stats = results[index++].stats;
+        if (strategy == core::Strategy::WWColl)
+          coll_walls[sync ? 1 : 0].push_back(stats.wall_seconds);
+        runs.push_back(stats);
         x_values.push_back(util::format_fixed(speed, 1));
       }
       const std::string mode = sync ? "sync" : "no-sync";
@@ -40,14 +72,16 @@ int main(int argc, char** argv) {
   // §4: "WW-Coll is hardly affected when going from no-sync to sync (at
   // most 4%)" across the speed sweep.
   double worst = 0.0;
-  for (const double speed : speeds) {
-    const auto nosync = run_point(core::Strategy::WWColl, kProcs, false, speed);
-    const auto sync = run_point(core::Strategy::WWColl, kProcs, true, speed);
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
     const double delta =
-        (sync.wall_seconds / nosync.wall_seconds - 1.0) * 100.0;
+        (coll_walls[1][i] / coll_walls[0][i] - 1.0) * 100.0;
     worst = std::max(worst, std::abs(delta));
   }
   std::printf("\nWW-Coll worst |sync - no-sync| delta over the sweep: %.1f%% "
               "[paper: at most ~4%%]\n", worst);
+
+  const auto report = write_bench_json("fig7", quick, jobs, results,
+                                       sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

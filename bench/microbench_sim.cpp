@@ -13,12 +13,85 @@
 #include "sim/channel.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
+#include "sim/timer.hpp"
 
 namespace {
 
 using namespace s3asim;
 using sim::Process;
 using sim::Scheduler;
+
+// --- Kernel fast-path benchmarks (ISSUE 2 acceptance targets) ---------------
+// "Schedule/run churn": N interleaved processes each awaiting a child Task
+// per step — the dominant pattern in the simulator, where every MPI and I/O
+// operation is a Task.  Exercises the coroutine-frame allocator and the
+// event queue together with a live heap of ~N entries.
+void BM_ScheduleRunChurn(benchmark::State& state) {
+  const auto procs = static_cast<int>(state.range(0));
+  constexpr int kSteps = 64;
+  for (auto _ : state) {
+    Scheduler sched;
+    auto child = [](Scheduler& s, sim::Time d) -> sim::Task<int> {
+      co_await s.delay(d);
+      co_return 1;
+    };
+    auto proc = [&child](Scheduler& s, int id) -> Process {
+      for (int i = 0; i < kSteps; ++i)
+        (void)co_await child(s, 1 + static_cast<sim::Time>(id % 7));
+    };
+    for (int p = 0; p < procs; ++p) sched.spawn(proc(sched, p));
+    benchmark::DoNotOptimize(sched.run());
+  }
+  // Each step is one Task frame plus two queue events (child delay, parent
+  // resume is symmetric transfer); count the delay events as "items".
+  state.SetItemsProcessed(state.iterations() * procs * kSteps);
+}
+BENCHMARK(BM_ScheduleRunChurn)->Arg(64)->Arg(1'024);
+
+// Timer arm/cancel churn: the fault-detection pattern since PR 1 — one
+// timeout armed and cancelled per observed sign of life.  Exercises the
+// cancellable-entry path of the event queue.
+void BM_TimerArmCancelChurn(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    sim::Timer timer(sched);
+    auto proc = [](Scheduler& s, sim::Timer& t, int n) -> Process {
+      for (int i = 0; i < n; ++i) {
+        t.arm_in(1'000'000);  // far-future deadline, never reached
+        t.cancel();
+        co_await s.delay(1);
+      }
+    };
+    sched.spawn(proc(sched, timer, rounds));
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_TimerArmCancelChurn)->Arg(10'000);
+
+// Task spawn churn with deeper call chains: three nested Task frames per
+// step, stressing frame allocation/deallocation in LIFO order.
+void BM_TaskSpawnChurn(benchmark::State& state) {
+  const auto steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    auto leaf = [](Scheduler& s) -> sim::Task<int> {
+      co_await s.delay(1);
+      co_return 1;
+    };
+    auto mid = [&leaf](Scheduler& s) -> sim::Task<int> {
+      co_return co_await leaf(s) + 1;
+    };
+    auto proc = [&mid](Scheduler& s, int n) -> Process {
+      for (int i = 0; i < n; ++i) (void)co_await mid(s);
+    };
+    sched.spawn(proc(sched, steps));
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_TaskSpawnChurn)->Arg(10'000);
 
 void BM_SchedulerDelayEvents(benchmark::State& state) {
   const auto count = static_cast<int>(state.range(0));

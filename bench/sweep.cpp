@@ -1,0 +1,167 @@
+#include "bench/sweep.hpp"
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "core/strategy.hpp"
+#include "util/json.hpp"
+
+namespace s3asim::bench {
+namespace {
+
+std::int64_t peak_rss_kb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // KiB on Linux
+}
+
+unsigned parse_jobs(const char* text, const char* origin) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 1 || value > 1024)
+    throw std::runtime_error(std::string("invalid job count from ") + origin +
+                             ": \"" + text + "\"");
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace
+
+unsigned sweep_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      return parse_jobs(argv[i + 1], "--jobs");
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      return parse_jobs(argv[i] + 7, "--jobs");
+  }
+  const char* env = std::getenv("S3ASIM_BENCH_JOBS");
+  if (env != nullptr && env[0] != '\0')
+    return parse_jobs(env, "S3ASIM_BENCH_JOBS");
+  return 1;
+}
+
+std::vector<SweepResult> run_sweep(std::vector<SweepPoint> grid,
+                                   unsigned jobs) {
+  std::vector<SweepResult> results(grid.size());
+  std::vector<std::exception_ptr> errors(grid.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= grid.size() || failed.load(std::memory_order_relaxed))
+        return;
+      SweepResult& out = results[index];
+      out.label = grid[index].label;
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        out.stats = grid[index].run();
+      } catch (...) {
+        errors[index] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+      out.host_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      out.peak_rss_kb = peak_rss_kb();
+    }
+  };
+
+  const unsigned pool = jobs > 1 ? jobs : 1;
+  if (pool == 1 || grid.size() <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (unsigned t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (auto& thread : threads) thread.join();
+  }
+
+  for (const auto& error : errors)
+    if (error) std::rethrow_exception(error);
+  return results;
+}
+
+std::string write_bench_json(const std::string& name, bool quick,
+                             unsigned jobs,
+                             const std::vector<SweepResult>& results,
+                             double total_host_seconds) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench");
+  json.value(name);
+  json.key("quick");
+  json.value(quick);
+  json.key("jobs");
+  json.value(static_cast<std::uint64_t>(jobs));
+
+  double sim_total = 0.0;
+  std::uint64_t events_total = 0;
+  json.key("points");
+  json.begin_array();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& point = results[i];
+    json.begin_object();
+    json.key("index");
+    json.value(static_cast<std::uint64_t>(i));
+    json.key("label");
+    json.value(point.label);
+    json.key("strategy");
+    json.value(core::strategy_name(point.stats.strategy));
+    json.key("nprocs");
+    json.value(static_cast<std::uint64_t>(point.stats.nprocs));
+    json.key("query_sync");
+    json.value(point.stats.query_sync);
+    json.key("compute_speed");
+    json.value(point.stats.compute_speed);
+    json.key("sim_seconds");
+    json.value(point.stats.wall_seconds);
+    json.key("host_seconds");
+    json.value(point.host_seconds);
+    json.key("events");
+    json.value(point.stats.events);
+    json.key("events_per_sec");
+    json.value(point.host_seconds > 0.0
+                   ? static_cast<double>(point.stats.events) /
+                         point.host_seconds
+                   : 0.0);
+    json.key("peak_rss_kb");
+    json.value(static_cast<std::int64_t>(point.peak_rss_kb));
+    json.end_object();
+    sim_total += point.stats.wall_seconds;
+    events_total += point.stats.events;
+  }
+  json.end_array();
+
+  json.key("totals");
+  json.begin_object();
+  json.key("points");
+  json.value(static_cast<std::uint64_t>(results.size()));
+  json.key("sim_seconds");
+  json.value(sim_total);
+  json.key("host_seconds");
+  json.value(total_host_seconds);
+  json.key("events");
+  json.value(events_total);
+  json.key("peak_rss_kb");
+  json.value(peak_rss_kb());
+  json.end_object();
+  json.end_object();
+
+  const std::string path = csv_path("BENCH_" + name + ".json");
+  std::ofstream out(path, std::ios::trunc);
+  out << json.str() << '\n';
+  return path;
+}
+
+}  // namespace s3asim::bench

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Parallel experiment-sweep harness for the figure benches.
+///
+/// Every grid point is an independent, self-contained simulation, so the
+/// sweep parallelizes trivially: a small thread pool pulls point indices
+/// from an atomic counter (work stealing — long sync runs don't convoy
+/// behind short no-sync ones) and writes each result into a slot fixed by
+/// grid order.  Downstream tables/CSVs consume results in grid order, so
+/// any schedule — serial or `--jobs N` — produces byte-identical output.
+///
+/// Alongside the human-readable tables, each driver records a
+/// machine-readable `results/BENCH_<name>.json` with per-point simulated
+/// seconds, host wall-clock, scheduler events/sec, and peak RSS.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace s3asim::bench {
+
+/// One grid point: a display label plus the closure producing its stats.
+/// The closure runs on a pool thread; it must be self-contained (the
+/// simulations are — they share no mutable state).
+struct SweepPoint {
+  std::string label;
+  std::function<core::RunStats()> run;
+};
+
+/// A grid point's result, annotated with host-side measurements.
+struct SweepResult {
+  std::string label;
+  core::RunStats stats;
+  double host_seconds = 0.0;     ///< host wall-clock this point took
+  std::int64_t peak_rss_kb = 0;  ///< process peak RSS when the point finished
+};
+
+/// Worker-thread count for the sweep: `--jobs N` on the command line,
+/// else the S3ASIM_BENCH_JOBS environment variable, else 1 (serial).
+[[nodiscard]] unsigned sweep_jobs(int argc, char** argv);
+
+/// Runs every point across `jobs` threads and returns results in grid
+/// order.  The first exception (in grid order) is rethrown after all
+/// threads join; remaining queued points are abandoned.
+[[nodiscard]] std::vector<SweepResult> run_sweep(std::vector<SweepPoint> grid,
+                                                 unsigned jobs);
+
+/// Writes `results/BENCH_<name>.json`: run configuration (quick/jobs),
+/// per-point records (sim seconds, host seconds, events, events/sec, peak
+/// RSS), and totals.  Returns the path written.
+std::string write_bench_json(const std::string& name, bool quick,
+                             unsigned jobs,
+                             const std::vector<SweepResult>& results,
+                             double total_host_seconds);
+
+}  // namespace s3asim::bench

@@ -1445,6 +1445,7 @@ RunStats collect_stats(World& world, const std::vector<std::unique_ptr<App>>& gr
   stats.compute_speed = world.config.compute_speed;
   stats.groups = static_cast<std::uint32_t>(groups.size());
   stats.wall_seconds = sim::to_seconds(world.scheduler.now());
+  stats.events = world.scheduler.events_processed();
   stats.ranks = std::move(world.rank_stats);
 
   // Expected output = the sum of the groups' regions (equals the workload

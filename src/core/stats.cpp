@@ -47,6 +47,8 @@ std::string RunStats::to_json() const {
   json.value(compute_speed);
   json.key("wall_seconds");
   json.value(wall_seconds);
+  json.key("events");
+  json.value(events);
 
   json.key("output");
   json.begin_object();

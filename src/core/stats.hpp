@@ -53,6 +53,7 @@ struct RunStats {
   std::uint32_t groups = 1;
 
   double wall_seconds = 0.0;           ///< overall execution time (the paper's y-axis)
+  std::uint64_t events = 0;            ///< scheduler resumptions driving the run
   std::vector<RankStats> ranks;        ///< [0] = master, [1..] = workers
 
   // Output-file verification.

@@ -7,35 +7,39 @@ namespace s3asim::sim {
 std::size_t Scheduler::run() {
   std::size_t resumed = 0;
   while (!queue_.empty()) {
-    const Entry entry = queue_.top();
+    const Event event = queue_.top();
     queue_.pop();
-    if (entry.token && entry.token->cancelled) continue;  // dead timer entry
-    now_ = entry.at;
-    entry.handle.resume();
+    if (cancelled(event)) continue;  // dead timer entry
+    now_ = event.at;
+    event.handle.resume();
     ++resumed;
     if (first_error_) {
+      events_ += resumed;
       auto error = std::exchange(first_error_, nullptr);
       std::rethrow_exception(error);
     }
   }
+  events_ += resumed;
   return resumed;
 }
 
 std::size_t Scheduler::run_until(Time deadline) {
   std::size_t resumed = 0;
   while (!queue_.empty() && queue_.top().at <= deadline) {
-    const Entry entry = queue_.top();
+    const Event event = queue_.top();
     queue_.pop();
-    if (entry.token && entry.token->cancelled) continue;  // dead timer entry
-    now_ = entry.at;
-    entry.handle.resume();
+    if (cancelled(event)) continue;  // dead timer entry
+    now_ = event.at;
+    event.handle.resume();
     ++resumed;
     if (first_error_) {
+      events_ += resumed;
       auto error = std::exchange(first_error_, nullptr);
       std::rethrow_exception(error);
     }
   }
   if (now_ < deadline) now_ = deadline;
+  events_ += resumed;
   return resumed;
 }
 

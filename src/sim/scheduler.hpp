@@ -9,24 +9,15 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "util/require.hpp"
 
 namespace s3asim::sim {
 
 class Process;
-
-/// Shared cancellation flag for cancellable queue entries (see Timer).
-/// A cancelled entry is discarded when it reaches the head of the queue
-/// *without* advancing simulated time — a cancelled timeout must not
-/// extend the run.
-struct CancelToken {
-  bool cancelled = false;
-};
 
 /// Single-threaded discrete-event scheduler.
 ///
@@ -48,19 +39,68 @@ class Scheduler {
   /// Enqueues a coroutine to resume at absolute time `at` (>= now()).
   void schedule_at(std::coroutine_handle<> handle, Time at) {
     S3A_CHECK_MSG(at >= now_, "cannot schedule into the past");
-    queue_.push(Entry{at, next_seq_++, handle});
+    queue_.push(Event{at, next_seq_++, handle, kNoCancelSlot, 0});
   }
 
   /// Enqueues a coroutine to resume at the current time, after all events
   /// already enqueued for this instant (FIFO fairness).
   void schedule_now(std::coroutine_handle<> handle) { schedule_at(handle, now_); }
 
+  // --- Cancellable entries -------------------------------------------------
+  //
+  // A cancellable entry carries a reference to a generation-counted slot in
+  // the scheduler-owned token pool.  Bumping the slot's generation
+  // invalidates every outstanding entry that references it — arming and
+  // cancelling a timer is allocation-free, and a cancelled entry is
+  // discarded when it reaches the head of the queue *without* advancing
+  // simulated time (a cancelled timeout must not extend the run).
+
+  /// Reference to a pool slot at a specific generation.
+  struct CancelRef {
+    std::uint32_t slot = kNoCancelSlot;
+    std::uint32_t gen = 0;
+  };
+
+  /// Invalidates all entries scheduled under `ref` and returns a fresh
+  /// reference to the same slot (acquiring a slot on first use).  O(1),
+  /// allocation-free after the first call.
+  [[nodiscard]] CancelRef cancel_ref_renew(CancelRef ref) {
+    if (ref.slot == kNoCancelSlot) {
+      if (free_slots_.empty()) {
+        cancel_gens_.push_back(0);
+        return {static_cast<std::uint32_t>(cancel_gens_.size() - 1), 0};
+      }
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return {slot, cancel_gens_[slot]};
+    }
+    return {ref.slot, ++cancel_gens_[ref.slot]};
+  }
+
+  /// Returns the slot to the pool, invalidating outstanding entries.
+  void cancel_ref_release(CancelRef ref) {
+    if (ref.slot == kNoCancelSlot) return;
+    ++cancel_gens_[ref.slot];
+    free_slots_.push_back(ref.slot);
+  }
+
+  /// True while no renew/release has happened since `ref` was obtained —
+  /// i.e. entries scheduled under `ref` are still live.
+  [[nodiscard]] bool cancel_ref_current(CancelRef ref) const noexcept {
+    return ref.slot != kNoCancelSlot && cancel_gens_[ref.slot] == ref.gen;
+  }
+
+  /// Slots ever allocated (tests assert the pool stays small under churn).
+  [[nodiscard]] std::size_t cancel_slots_allocated() const noexcept {
+    return cancel_gens_.size();
+  }
+
   /// Like schedule_at, but the entry is skipped (and time is *not* advanced
-  /// to it) if `token->cancelled` is set by the time it would fire.
+  /// to it) if `ref`'s slot generation moved on by the time it would fire.
   void schedule_cancellable_at(std::coroutine_handle<> handle, Time at,
-                               std::shared_ptr<CancelToken> token) {
+                               CancelRef ref) {
     S3A_CHECK_MSG(at >= now_, "cannot schedule into the past");
-    queue_.push(Entry{at, next_seq_++, handle, std::move(token)});
+    queue_.push(Event{at, next_seq_++, handle, ref.slot, ref.gen});
   }
 
   /// Starts a top-level detached process at the current time.
@@ -77,6 +117,12 @@ class Scheduler {
   [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
   [[nodiscard]] std::size_t live_processes() const noexcept { return live_; }
   [[nodiscard]] std::size_t finished_processes() const noexcept { return finished_; }
+
+  /// Cumulative resumptions across all run()/run_until() calls — the
+  /// event-throughput numerator reported in RunStats and BENCH_*.json.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_;
+  }
 
   /// Awaitable: suspend the current coroutine for `duration` sim-time.
   struct DelayAwaiter {
@@ -107,25 +153,21 @@ class Scheduler {
   }
 
  private:
-  struct Entry {
-    Time at;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;
-    std::shared_ptr<CancelToken> token{};  ///< null for plain entries
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  /// True when the entry references a slot whose generation moved on.
+  [[nodiscard]] bool cancelled(const Event& event) const noexcept {
+    return event.cancel_slot != kNoCancelSlot &&
+           cancel_gens_[event.cancel_slot] != event.cancel_gen;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  EventQueue queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_ = 0;
   std::size_t live_ = 0;
   std::size_t finished_ = 0;
   std::exception_ptr first_error_{};
+  std::vector<std::uint32_t> cancel_gens_;   ///< slot -> current generation
+  std::vector<std::uint32_t> free_slots_;    ///< released slot indices
 };
 
 }  // namespace s3asim::sim

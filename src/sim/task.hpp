@@ -17,6 +17,7 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
 #include "sim/scheduler.hpp"
 #include "util/require.hpp"
 
@@ -26,7 +27,7 @@ namespace s3asim::sim {
 /// function returning `Process`, then hand it to `Scheduler::spawn`.
 class [[nodiscard]] Process {
  public:
-  struct promise_type {
+  struct promise_type : PooledFramePromise {
     Scheduler* scheduler = nullptr;
 
     Process get_return_object() {
@@ -79,7 +80,7 @@ inline void Scheduler::spawn(Process process) {
 template <class T>
 class [[nodiscard]] Task {
  public:
-  struct promise_type {
+  struct promise_type : PooledFramePromise {
     std::coroutine_handle<> continuation{};
     std::optional<T> value{};
     std::exception_ptr error{};
@@ -147,7 +148,7 @@ class [[nodiscard]] Task {
 template <>
 class [[nodiscard]] Task<void> {
  public:
-  struct promise_type {
+  struct promise_type : PooledFramePromise {
     std::coroutine_handle<> continuation{};
     std::exception_ptr error{};
 

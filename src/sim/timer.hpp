@@ -13,9 +13,13 @@
 /// so an unexpired timeout cannot extend a run's wall time.  Waking the
 /// waiter on cancel (rather than abandoning it) keeps the simulation
 /// quiescent — no coroutine frame is ever left suspended on a dead timer.
+///
+/// Arming and cancelling are allocation-free: the timer holds one
+/// generation-counted slot in the scheduler's token pool for its whole
+/// lifetime, and each arm/cancel bumps the slot's generation, invalidating
+/// any entry (or captured wait) from a previous arming.
 
 #include <coroutine>
-#include <memory>
 
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
@@ -28,6 +32,7 @@ class Timer {
   explicit Timer(Scheduler& scheduler) noexcept : scheduler_(&scheduler) {}
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
+  ~Timer() { scheduler_->cancel_ref_release(ref_); }
 
   /// Arms (or re-arms) the timer for absolute time `deadline` (>= now).
   /// Re-arming an armed timer cancels the previous deadline first: a
@@ -38,7 +43,7 @@ class Timer {
                   "cannot arm a timer in the past");
     armed_ = true;
     deadline_ = deadline;
-    token_ = std::make_shared<CancelToken>();
+    ref_ = scheduler_->cancel_ref_renew(ref_);
   }
 
   /// Arms the timer `duration` from the current time.
@@ -50,8 +55,7 @@ class Timer {
   void cancel() {
     if (!armed_) return;
     armed_ = false;
-    token_->cancelled = true;
-    token_.reset();
+    ref_ = scheduler_->cancel_ref_renew(ref_);
     if (waiter_) {
       const auto handle = waiter_;
       waiter_ = nullptr;
@@ -64,25 +68,24 @@ class Timer {
 
   struct WaitAwaiter {
     Timer& timer;
-    std::shared_ptr<CancelToken> token{};
+    Scheduler::CancelRef ref{};
 
     [[nodiscard]] bool await_ready() const noexcept { return !timer.armed_; }
     void await_suspend(std::coroutine_handle<> handle) {
       S3A_CHECK_MSG(timer.waiter_ == nullptr,
                     "a timer supports a single waiter");
-      token = timer.token_;
+      ref = timer.ref_;
       timer.waiter_ = handle;
-      timer.scheduler_->schedule_cancellable_at(handle, timer.deadline_,
-                                                timer.token_);
+      timer.scheduler_->schedule_cancellable_at(handle, timer.deadline_, ref);
     }
     [[nodiscard]] bool await_resume() const noexcept {
-      // Resumed by cancel(): report "not fired".  (The timer object may have
-      // been re-armed in the meantime; only our captured token is inspected.)
-      if (token == nullptr || token->cancelled) return false;
+      // Resumed by cancel() (or the timer was never armed): the captured
+      // generation is stale — report "not fired".  (The timer may have been
+      // re-armed in the meantime; only our captured ref is inspected.)
+      if (!timer.scheduler_->cancel_ref_current(ref)) return false;
       // Deadline reached: the timer is spent.
       timer.armed_ = false;
       timer.waiter_ = nullptr;
-      timer.token_.reset();
       return true;
     }
   };
@@ -95,7 +98,7 @@ class Timer {
   Scheduler* scheduler_;
   bool armed_ = false;
   Time deadline_ = 0;
-  std::shared_ptr<CancelToken> token_{};
+  Scheduler::CancelRef ref_{};
   std::coroutine_handle<> waiter_{};
 };
 

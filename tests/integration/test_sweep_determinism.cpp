@@ -1,0 +1,114 @@
+/// Determinism regression suite for the parallel sweep harness: a `--jobs N`
+/// sweep must be byte-identical to the serial sweep (DESIGN.md §5 — the
+/// paper's "results are always identical" seed-determinism invariant must
+/// survive host-side parallelism).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/sweep.hpp"
+#include "core/simulation.hpp"
+
+namespace {
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+std::vector<SweepPoint> quick_grid(const std::vector<std::uint32_t>& procs,
+                                   const std::vector<double>& speeds) {
+  std::vector<SweepPoint> grid;
+  for (const bool sync : {false, true}) {
+    for (const auto nprocs : procs) {
+      for (const auto strategy : paper_strategies()) {
+        for (const double speed : speeds) {
+          grid.push_back({"", [strategy, nprocs, sync, speed] {
+                            return run_point(strategy, nprocs, sync, speed);
+                          }});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<std::string> run_as_json(const std::vector<std::uint32_t>& procs,
+                                     const std::vector<double>& speeds,
+                                     unsigned jobs) {
+  const auto results = run_sweep(quick_grid(procs, speeds), jobs);
+  std::vector<std::string> json;
+  json.reserve(results.size());
+  for (const auto& point : results) json.push_back(point.stats.to_json());
+  return json;
+}
+
+TEST(SweepDeterminismTest, Fig2QuickGridParallelMatchesSerial) {
+  // The fig2 quick grid (proc scaling), serial vs. 4 workers: every point's
+  // full RunStats dump must match byte-for-byte, in grid order.
+  const std::vector<std::uint32_t> procs{2, 8};
+  const std::vector<double> speeds{1.0};
+  const auto serial = run_as_json(procs, speeds, 1);
+  const auto parallel = run_as_json(procs, speeds, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "grid point " << i;
+}
+
+TEST(SweepDeterminismTest, Fig5QuickGridParallelMatchesSerial) {
+  // The fig5 quick grid (compute-speed scaling at a fixed proc count).
+  const std::vector<std::uint32_t> procs{8};
+  const std::vector<double> speeds{0.1, 25.6};
+  const auto serial = run_as_json(procs, speeds, 1);
+  const auto parallel = run_as_json(procs, speeds, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "grid point " << i;
+}
+
+TEST(SweepDeterminismTest, RepeatedParallelRunsAreIdentical) {
+  // Two parallel executions of the same grid (different interleavings)
+  // must agree with each other, not just with a serial reference.
+  const std::vector<std::uint32_t> procs{2, 8};
+  const std::vector<double> speeds{1.0};
+  const auto first = run_as_json(procs, speeds, 4);
+  const auto second = run_as_json(procs, speeds, 4);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(first[i], second[i]) << "grid point " << i;
+}
+
+TEST(SweepDeterminismTest, ExceptionInOnePointPropagates) {
+  std::vector<SweepPoint> grid;
+  grid.push_back({"ok", [] {
+                    return run_point(core::Strategy::WWList, 2, false);
+                  }});
+  grid.push_back({"boom", []() -> core::RunStats {
+                    throw std::runtime_error("injected point failure");
+                  }});
+  EXPECT_THROW({ (void)run_sweep(std::move(grid), 2); }, std::runtime_error);
+}
+
+TEST(SweepDeterminismTest, JobsFlagParsing) {
+  {
+    const char* argv[] = {"bench", "--jobs", "4"};
+    EXPECT_EQ(sweep_jobs(3, const_cast<char**>(argv)), 4u);
+  }
+  {
+    const char* argv[] = {"bench", "--jobs=7"};
+    EXPECT_EQ(sweep_jobs(2, const_cast<char**>(argv)), 7u);
+  }
+  {
+    const char* argv[] = {"bench", "--quick"};
+    EXPECT_EQ(sweep_jobs(2, const_cast<char**>(argv)), 1u);
+  }
+  {
+    const char* argv[] = {"bench", "--jobs", "0"};
+    EXPECT_THROW((void)sweep_jobs(3, const_cast<char**>(argv)),
+                 std::runtime_error);
+  }
+}
+
+}  // namespace

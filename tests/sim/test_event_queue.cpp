@@ -1,0 +1,259 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/timer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace s3asim::sim;
+
+/// Reference model: the exact total order the old binary heap dispatched —
+/// stable (insertion) order within a timestamp, global (at, seq) order
+/// across timestamps.
+struct RefEntry {
+  Time at;
+  std::uint64_t seq;
+};
+
+/// Drains `queue` fully and checks the pop sequence equals `expected`
+/// sorted by (at, seq).
+void expect_fifo_order(EventQueue& queue, std::vector<RefEntry> expected) {
+  std::sort(expected.begin(), expected.end(),
+            [](const RefEntry& a, const RefEntry& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.seq < b.seq;
+            });
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_FALSE(queue.empty()) << "queue drained early at " << i;
+    const Event& event = queue.top();
+    EXPECT_EQ(event.at, expected[i].at) << "at index " << i;
+    EXPECT_EQ(event.seq, expected[i].seq) << "at index " << i;
+    queue.pop();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, SameTickDispatchesInInsertionOrder) {
+  EventQueue queue;
+  std::vector<RefEntry> expected;
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    queue.push({Time{42}, seq, {}, kNoCancelSlot, 0});
+    expected.push_back({Time{42}, seq});
+  }
+  expect_fifo_order(queue, std::move(expected));
+}
+
+TEST(EventQueueTest, MixedDeltasMatchHeapOrder) {
+  // Deltas spanning every tier: 0 (same tick), <64 (level 0), mid wheels,
+  // and beyond the 2^36-tick horizon (overflow heap).
+  EventQueue queue;
+  std::vector<RefEntry> expected;
+  s3asim::util::Xoshiro256 rng(1234);
+  const Time deltas[] = {0,     1,      63,        64,          4095,
+                         4096,  262143, 16777216,  EventQueue::kHorizon - 1,
+                         EventQueue::kHorizon, EventQueue::kHorizon * 2};
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Time at = static_cast<Time>(deltas[rng() % std::size(deltas)]);
+    queue.push({at, seq, {}, kNoCancelSlot, 0});
+    expected.push_back({at, seq});
+    ++seq;
+  }
+  expect_fifo_order(queue, std::move(expected));
+}
+
+TEST(EventQueueTest, RandomInterleavedPushPopKeepsTotalOrder) {
+  // Property test: interleave pushes (at >= current dispatch time, as the
+  // scheduler guarantees) with pops and compare every popped event against
+  // a stable-sorted reference.
+  s3asim::util::Xoshiro256 rng(99);
+  EventQueue queue;
+  std::vector<RefEntry> reference;  // not yet popped
+  Time now = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t popped = 0;
+  for (int round = 0; round < 20'000; ++round) {
+    const bool push = queue.empty() || (rng() % 3) != 0;
+    if (push) {
+      Time delta = 0;
+      switch (rng() % 5) {
+        case 0: delta = 0; break;
+        case 1: delta = static_cast<Time>(rng() % 64); break;
+        case 2: delta = static_cast<Time>(rng() % 100'000); break;
+        case 3: delta = static_cast<Time>(rng() % 10'000'000'000ULL); break;
+        default:
+          delta = static_cast<Time>(EventQueue::kHorizon +
+                                    static_cast<Time>(rng() % 1'000'000));
+      }
+      queue.push({now + delta, seq, {}, kNoCancelSlot, 0});
+      reference.push_back({now + delta, seq});
+      ++seq;
+    } else {
+      auto best = reference.begin();
+      for (auto it = reference.begin(); it != reference.end(); ++it)
+        if (it->at < best->at || (it->at == best->at && it->seq < best->seq))
+          best = it;
+      const Event& event = queue.top();
+      ASSERT_EQ(event.at, best->at) << "after " << popped << " pops";
+      ASSERT_EQ(event.seq, best->seq) << "after " << popped << " pops";
+      now = event.at;
+      queue.pop();
+      reference.erase(best);
+      ++popped;
+    }
+  }
+  // Drain the rest.
+  std::vector<RefEntry> rest(reference.begin(), reference.end());
+  expect_fifo_order(queue, std::move(rest));
+}
+
+TEST(EventQueueTest, FullRotationAliasAdvancesPastTheCursor) {
+  // Regression: a delta at the top of a level's range, pushed while the
+  // cursor sits inside a partial slot, lands a full wheel rotation ahead
+  // and its slot index aliases the cursor's own.  The cascade used to
+  // treat that slot's window as already reached and re-place the event
+  // into the same slot forever (livelock).  One case per wheel level,
+  // plus the top level spilling to overflow.
+  for (int level = 1; level < EventQueue::kLevels; ++level) {
+    EventQueue queue;
+    queue.push({Time{1}, 0, {}, kNoCancelSlot, 0});
+    (void)queue.top();
+    queue.pop();  // cursor now mid-slot at every level
+    const Time delta = (Time{1} << (EventQueue::kSlotBits * (level + 1))) - 1;
+    queue.push({Time{1} + delta, 1, {}, kNoCancelSlot, 0});
+    ASSERT_EQ(queue.top().at, Time{1} + delta) << "level " << level;
+    queue.pop();
+    EXPECT_TRUE(queue.empty());
+  }
+}
+
+TEST(EventQueueTest, SizeTracksPushesAndPops) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.push({10, 0, {}, kNoCancelSlot, 0});
+  queue.push({10, 1, {}, kNoCancelSlot, 0});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.pop();
+  EXPECT_EQ(queue.size(), 1u);
+  queue.pop();
+  EXPECT_TRUE(queue.empty());
+}
+
+// --- Scheduler-level determinism and cancellation ------------------------
+
+Process record_at(Scheduler& sched, Time delay_ns, int id,
+                  std::vector<std::pair<Time, int>>& log) {
+  co_await sched.delay(delay_ns);
+  log.emplace_back(sched.now(), id);
+}
+
+TEST(EventQueueTest, SchedulerFifoAmongSimultaneousEvents) {
+  // Spawn order must be completion order for equal deadlines, including
+  // deadlines that collide after different delay chains.
+  Scheduler sched;
+  std::vector<std::pair<Time, int>> log;
+  for (int id = 0; id < 50; ++id) sched.spawn(record_at(sched, 1000, id, log));
+  for (int id = 50; id < 100; ++id)
+    sched.spawn(record_at(sched, 500, id, log));
+  sched.run();
+  ASSERT_EQ(log.size(), 100u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(log[static_cast<std::size_t>(i)],
+              (std::pair<Time, int>{500, i + 50}));
+    EXPECT_EQ(log[static_cast<std::size_t>(i) + 50],
+              (std::pair<Time, int>{1000, i}));
+  }
+}
+
+TEST(EventQueueTest, CancelledEntriesAreSkippedWithoutAdvancingTime) {
+  // A waiter suspends on the timer (queueing a cancellable entry at the
+  // deadline); cancelling leaves that entry stale in the queue.  Draining
+  // must discard it without making the dead deadline the "current time".
+  Scheduler sched;
+  Timer timer(sched);
+  std::vector<std::pair<Time, bool>> log;
+  auto waiter = [](Scheduler& s, Timer& t,
+                   std::vector<std::pair<Time, bool>>& out) -> Process {
+    t.arm_in(seconds(100));
+    const bool fired = co_await t.wait();
+    out.emplace_back(s.now(), fired);
+  };
+  auto canceller = [](Scheduler& s, Timer& t) -> Process {
+    co_await s.delay(10);
+    t.cancel();
+  };
+  sched.spawn(waiter(sched, timer, log));
+  sched.spawn(canceller(sched, timer));
+  sched.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], (std::pair<Time, bool>{10, false}));
+  EXPECT_EQ(sched.now(), 10);  // never visited the cancelled deadline
+}
+
+TEST(EventQueueTest, TimerRearmReusesItsCancelSlot) {
+  // Satellite fix: a timer must not grow the token pool on every re-arm.
+  Scheduler sched;
+  auto proc = [](Scheduler& s) -> Process {
+    Timer timer(s);
+    for (int i = 0; i < 10'000; ++i) {
+      timer.arm_in(seconds(1));
+      timer.cancel();
+    }
+    co_await s.delay(1);
+  };
+  sched.spawn(proc(sched));
+  sched.run();
+  EXPECT_EQ(sched.cancel_slots_allocated(), 1u);
+}
+
+TEST(EventQueueTest, ManyTimersShareReleasedSlots) {
+  // Destroyed timers return their slot to the free list; sequential timer
+  // lifetimes should keep the pool at one slot.
+  Scheduler sched;
+  auto proc = [](Scheduler& s) -> Process {
+    for (int i = 0; i < 100; ++i) {
+      Timer timer(s);
+      timer.arm_in(50);
+      co_await timer.wait();
+    }
+  };
+  sched.spawn(proc(sched));
+  sched.run();
+  EXPECT_EQ(sched.cancel_slots_allocated(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilThenEarlierScheduleRebases) {
+  // run_until scans the cursor ahead of the last dispatched event; a
+  // subsequent spawn below the scanned position must still dispatch in
+  // order (exercises EventQueue::rebase).
+  Scheduler sched;
+  std::vector<std::pair<Time, int>> log;
+  sched.spawn(record_at(sched, seconds(10), 0, log));
+  sched.run_until(seconds(2));
+  EXPECT_EQ(sched.now(), seconds(2));
+  sched.spawn(record_at(sched, seconds(1), 1, log));  // below the far event
+  sched.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (std::pair<Time, int>{seconds(3), 1}));
+  EXPECT_EQ(log[1], (std::pair<Time, int>{seconds(10), 0}));
+}
+
+TEST(EventQueueTest, EventsProcessedCounterAdvances) {
+  Scheduler sched;
+  std::vector<std::pair<Time, int>> log;
+  for (int id = 0; id < 5; ++id) sched.spawn(record_at(sched, 100, id, log));
+  EXPECT_EQ(sched.events_processed(), 0u);
+  sched.run();
+  EXPECT_GE(sched.events_processed(), 5u);
+}
+
+}  // namespace
