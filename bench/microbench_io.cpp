@@ -4,10 +4,22 @@
 /// list I/O in pure I/O tests" — while in the *application* the ordering
 /// flips).  Google-benchmark over the mpiio layer without any application
 /// logic: N clients concurrently writing interleaved extents.
+///
+/// Also the host-side perf harness for the model-layer hot path (ISSUE 3):
+/// the high-extent-count shapes (1k–16k extents, 16–128 clients) measure
+/// the zero-allocation fan-out in `Pfs`/`Layout`/`FileImage`.  Results are
+/// mirrored to results/BENCH_io.json (same schema as BENCH_sim.json: plain
+/// google-benchmark JSON with per-run counters) unless the caller passes
+/// its own --benchmark_out.
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
+#include <cstring>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mpi/comm.hpp"
@@ -65,9 +77,19 @@ std::vector<pfs::Extent> client_extents(std::uint32_t client,
 
 enum class Method { Posix, List, TwoPhase };
 
-/// Runs one concurrent pure-I/O round; returns simulated seconds.
-double pure_io_seconds(Method method, std::uint32_t clients,
-                       std::uint32_t pieces, std::uint64_t piece_bytes) {
+/// One concurrent pure-I/O round's observables: simulated seconds plus the
+/// file-system-side aggregate counters (request/OL-pair/byte totals).
+struct IoRound {
+  double seconds = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t events = 0;
+};
+
+/// Runs one concurrent pure-I/O round.
+IoRound pure_io_round(Method method, std::uint32_t clients,
+                      std::uint32_t pieces, std::uint64_t piece_bytes) {
   IoWorld world(clients);
   auto writer = [](IoWorld& w, Method m, mpi::Rank rank, std::uint32_t nclients,
                    std::uint32_t npieces, std::uint64_t piece) -> sim::Process {
@@ -89,19 +111,43 @@ double pure_io_seconds(Method method, std::uint32_t clients,
   for (mpi::Rank r = 0; r < clients; ++r)
     world.sched.spawn(writer(world, method, r, clients, pieces, piece_bytes));
   world.sched.run();
-  return sim::to_seconds(world.sched.now());
+  IoRound round;
+  round.seconds = sim::to_seconds(world.sched.now());
+  const pfs::ServerStats totals = world.fs.aggregate_stats();
+  round.requests = totals.requests;
+  round.pairs = totals.pairs;
+  round.bytes = totals.bytes;
+  round.events = world.sched.events_processed();
+  return round;
+}
+
+/// Peak resident set of this process so far, in MiB (ru_maxrss is KiB on
+/// Linux) — recorded per benchmark so the quick-bench CI artifact tracks
+/// allocation regressions alongside throughput.
+double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }
 
 void BM_PureIo(benchmark::State& state, Method method) {
   const auto clients = static_cast<std::uint32_t>(state.range(0));
   const auto pieces = static_cast<std::uint32_t>(state.range(1));
   const auto piece_bytes = static_cast<std::uint64_t>(state.range(2));
-  double simulated = 0.0;
-  for (auto _ : state) simulated = pure_io_seconds(method, clients, pieces, piece_bytes);
-  state.counters["simulated_io_s"] = simulated;
+  IoRound round;
+  for (auto _ : state) round = pure_io_round(method, clients, pieces, piece_bytes);
+  state.counters["simulated_io_s"] = round.seconds;
   state.counters["aggregate_MBps"] =
       static_cast<double>(clients) * pieces * static_cast<double>(piece_bytes) /
-      simulated / 1e6;
+      round.seconds / 1e6;
+  state.counters["fs_requests"] = static_cast<double>(round.requests);
+  state.counters["fs_pairs"] = static_cast<double>(round.pairs);
+  state.counters["fs_bytes"] = static_cast<double>(round.bytes);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(round.events), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["peak_rss_mib"] = peak_rss_mib();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(clients) * pieces);
 }
 
 void IoArgs(benchmark::internal::Benchmark* bench) {
@@ -109,6 +155,15 @@ void IoArgs(benchmark::internal::Benchmark* bench) {
       ->Args({32, 16, 7 * 1024})
       ->Args({32, 64, 7 * 1024})
       ->Args({32, 16, 64 * 1024})
+      // Model-layer hot-path shapes (ISSUE 3): 1k–16k total extents across
+      // 16–128 clients — the WW fan-out regime the paper's §4 results live
+      // in (1000–2000 results per query, 128 fragments).
+      ->Args({16, 64, 7 * 1024})
+      ->Args({64, 16, 7 * 1024})
+      ->Args({64, 64, 7 * 1024})
+      ->Args({64, 256, 7 * 1024})
+      ->Args({64, 1024, 7 * 1024})
+      ->Args({128, 128, 7 * 1024})
       ->Unit(benchmark::kMillisecond);
 }
 
@@ -131,6 +186,7 @@ void BM_PureIoContiguous(benchmark::State& state) {
   }
   state.counters["simulated_io_s"] = simulated;
   state.counters["MBps"] = static_cast<double>(bytes) / simulated / 1e6;
+  state.counters["peak_rss_mib"] = peak_rss_mib();
 }
 BENCHMARK(BM_PureIoContiguous)
     ->Arg(1 << 20)
@@ -139,4 +195,31 @@ BENCHMARK(BM_PureIoContiguous)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Custom main: defaults --benchmark_out to results/BENCH_io.json
+/// (S3ASIM_RESULTS_DIR overrides the directory, matching the figure
+/// benches) so CI artifacts always carry the machine-readable run.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    const char* dir_env = std::getenv("S3ASIM_RESULTS_DIR");
+    const std::filesystem::path dir =
+        dir_env != nullptr && dir_env[0] != '\0' ? dir_env : "results";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    out_flag = "--benchmark_out=" + (dir / "BENCH_io.json").string();
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -87,6 +87,16 @@ SimConfig load_config(const std::string& config_text) {
       "disk_per_pair_ms", sim::to_milliseconds(model.pfs.disk.per_pair)));
   model.pfs.disk.sync_cost = sim::milliseconds(keyval.get_double(
       "sync_cost_ms", sim::to_milliseconds(model.pfs.disk.sync_cost)));
+  // Read-side knobs; zero (the default) inherits the write-side cost.
+  model.pfs.disk.read_bandwidth_bps =
+      keyval.get_double("disk_read_bandwidth_mbps",
+                        model.pfs.disk.read_bandwidth_bps / 1e6) * 1e6;
+  model.pfs.disk.read_per_request = sim::milliseconds(keyval.get_double(
+      "disk_read_per_request_ms",
+      sim::to_milliseconds(model.pfs.disk.read_per_request)));
+  model.pfs.disk.read_per_pair = sim::milliseconds(keyval.get_double(
+      "disk_read_per_pair_ms",
+      sim::to_milliseconds(model.pfs.disk.read_per_pair)));
   model.compute_startup = sim::milliseconds(keyval.get_double(
       "compute_startup_ms", sim::to_milliseconds(model.compute_startup)));
   model.compute_ns_per_result_byte = keyval.get_double(

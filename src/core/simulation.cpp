@@ -19,6 +19,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
 #include "sim/timer.hpp"
+#include "sim/wait_group.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/require.hpp"
@@ -410,6 +411,8 @@ struct Outstanding {
 };
 
 struct MasterState {
+  explicit MasterState(sim::Scheduler& scheduler) : pending_writes(scheduler) {}
+
   std::uint32_t next_query = 0;  ///< local index of the query being assigned
   /// Unassigned fragments of `next_query` (affinity scheduling may pick any).
   std::vector<std::uint32_t> pending_fragments;
@@ -418,8 +421,9 @@ struct MasterState {
   std::uint32_t done_sent = 0;
   /// Master's mirror of each worker's fragment cache (affinity scheduling).
   std::map<mpi::Rank, FragmentCache> worker_caches;
-  /// Outstanding nonblocking MW batch writes (mw_nonblocking_io).
-  std::vector<std::unique_ptr<sim::Gate>> pending_writes;
+  /// Outstanding nonblocking MW batch writes (mw_nonblocking_io): one
+  /// counting latch instead of one heap gate per batch.
+  sim::WaitGroup pending_writes;
 
   /// Per local query: fragments completed and (worker, fragment) pairs.
   std::vector<std::uint32_t> fragments_done;
@@ -542,7 +546,7 @@ void master_notify_batch(App& app, std::uint32_t first_local,
 }
 
 sim::Process master_process(App& app) {
-  MasterState state;
+  MasterState state{app.scheduler};
   const std::uint32_t queries = app.query_count();
   const std::uint32_t fragments = app.config.workload.fragment_count;
   const std::uint64_t total_tasks =
@@ -709,14 +713,13 @@ sim::Process master_process(App& app) {
           if (app.config.mw_nonblocking_io) {
             // §2.1 ablation: issue the write asynchronously and keep
             // serving requests; completion is collected at teardown.
-            auto gate = std::make_unique<sim::Gate>(app.scheduler);
             auto writer = [](App& a, std::uint32_t lo, std::uint32_t hi,
-                             sim::Gate& done) -> sim::Process {
+                             sim::WaitGroup& done) -> sim::Process {
               co_await master_write_batch(a, lo, hi, /*record_io_phase=*/false);
-              done.open();
+              done.done();
             };
-            app.scheduler.spawn(writer(app, first, local, *gate));
-            state.pending_writes.push_back(std::move(gate));
+            state.pending_writes.add();
+            app.scheduler.spawn(writer(app, first, local, state.pending_writes));
           } else {
             co_await master_write_batch(app, first, local);
           }
@@ -966,10 +969,12 @@ sim::Process master_process(App& app) {
   }
 
   // ---- Teardown: drain async writes, tell every worker the stream is
-  //      over, then sync. --------------------------------------------------
-  for (const auto& gate : state.pending_writes) {
+  //      over, then sync.  (The old per-gate drain recorded one Io span per
+  //      batch; those spans were contiguous, so the single WaitGroup span
+  //      charges the identical total.) --------------------------------------
+  if (state.pending_writes.pending() > 0) {
     const sim::Time io_start = app.scheduler.now();
-    co_await gate->wait();
+    co_await state.pending_writes.wait();
     app.record_phase(app.master, Phase::Io, io_start, app.scheduler.now());
   }
   if (strategy == Strategy::WWFilePerProcess) {

@@ -50,7 +50,7 @@ class Comm {
 
   /// Nonblocking send of `bytes` with a structured payload.
   Request isend(Rank src, Rank dst, Tag tag, std::uint64_t bytes,
-                std::any payload = {}) {
+                Payload payload = {}) {
     S3A_REQUIRE(src < size_ && dst < size_);
     S3A_REQUIRE_MSG(tag >= 0, "send tag must be non-negative");
     auto request = std::make_shared<RequestState>(*scheduler_);
@@ -61,7 +61,7 @@ class Comm {
 
   /// Blocking send (MPI_Send): returns when the message has been delivered.
   sim::Task<void> send(Rank src, Rank dst, Tag tag, std::uint64_t bytes,
-                       std::any payload = {}) {
+                       Payload payload = {}) {
     auto request = isend(src, dst, tag, bytes, std::move(payload));
     co_await request->gate().wait();
   }
@@ -152,6 +152,14 @@ class Comm {
     Request request;
   };
   struct Mailbox {
+    Mailbox() = default;
+    // Message (and so this) is move-only; spelling it out keeps vector
+    // growth on the move path instead of instantiating the deleted copy.
+    Mailbox(const Mailbox&) = delete;
+    Mailbox& operator=(const Mailbox&) = delete;
+    Mailbox(Mailbox&&) noexcept = default;
+    Mailbox& operator=(Mailbox&&) noexcept = default;
+
     std::vector<PostedRecv> posted;
     std::deque<Message> unexpected;
   };
@@ -171,7 +179,7 @@ class Comm {
   }
 
   sim::Process deliver(Rank src, Rank dst, Tag tag, std::uint64_t bytes,
-                       std::any payload, Request request) {
+                       Payload payload, Request request) {
     co_await network_->transfer(endpoint_of(src), endpoint_of(dst), bytes);
     Message message{.source = src, .tag = tag, .bytes = bytes,
                     .payload = std::move(payload)};

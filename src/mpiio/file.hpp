@@ -34,6 +34,7 @@
 #include "pfs/pfs.hpp"
 #include "sim/gate.hpp"
 #include "sim/task.hpp"
+#include "sim/wait_group.hpp"
 #include "util/require.hpp"
 
 namespace s3asim::mpiio {
@@ -309,10 +310,10 @@ class File {
   }
 
   sim::Process exchange_to(mpi::Rank from, mpi::Rank to, std::uint64_t bytes,
-                           sim::Gate& done) {
+                           sim::WaitGroup& done) {
     co_await network_->transfer(comm_->endpoint_of(from), comm_->endpoint_of(to),
                                 bytes);
-    done.open();
+    done.done();
   }
 
   sim::Task<void> two_phase_exchange_and_write(Context& ctx, mpi::Rank rank,
@@ -323,16 +324,15 @@ class File {
 
     // ---- Phase 1: data exchange to aggregators. ---------------------------
     const std::vector<Extent>& mine = ctx.extents_by_slot[slot];
-    std::vector<std::unique_ptr<sim::Gate>> sends;
+    sim::WaitGroup sends(*scheduler_);
     for (std::uint32_t a = 0; a < ctx.aggregator_count; ++a) {
       const std::uint64_t bytes = bytes_in_domain(mine, ctx.domains[a]);
       if (bytes == 0) continue;
-      auto gate = std::make_unique<sim::Gate>(*scheduler_);
+      sends.add();
       scheduler_->spawn(exchange_to(
-          rank, participants_[ctx.aggregator_slots[a]], bytes, *gate));
-      sends.push_back(std::move(gate));
+          rank, participants_[ctx.aggregator_slots[a]], bytes, sends));
     }
-    for (const auto& gate : sends) co_await gate->wait();
+    co_await sends.wait();
     if (++ctx.exchanged == ctx.participant_count) {
       ctx.all_exchanged.open();
     } else {

@@ -32,11 +32,30 @@ struct DiskModel {
   sim::Time sync_noop_cost = sim::microseconds(200);
   /// Rate at which dirty data drains to the platter during a sync.
   double sync_flush_bps = 24.0 * 1024 * 1024;
+  /// Read-side cost knobs.  Zero means "inherit the write-side value" —
+  /// the default keeps reads charged exactly like writes, as the simulator
+  /// always has, so existing figure CSVs are unchanged; configurations may
+  /// model cheaper reads (no write-back, read-ahead hits) explicitly.
+  sim::Time read_per_request = 0;
+  sim::Time read_per_pair = 0;
+  double read_bandwidth_bps = 0.0;
 
   [[nodiscard]] sim::Time write_service_time(std::uint64_t pairs,
                                              std::uint64_t bytes) const noexcept {
     return per_request + static_cast<sim::Time>(pairs) * per_pair +
            sim::transfer_time(bytes, bandwidth_bps);
+  }
+
+  /// Service time of a read request; falls back to the write cost model for
+  /// any knob left at zero.
+  [[nodiscard]] sim::Time read_service_time(std::uint64_t pairs,
+                                            std::uint64_t bytes) const noexcept {
+    const sim::Time req = read_per_request != 0 ? read_per_request : per_request;
+    const sim::Time pair = read_per_pair != 0 ? read_per_pair : per_pair;
+    const double bps =
+        read_bandwidth_bps != 0.0 ? read_bandwidth_bps : bandwidth_bps;
+    return req + static_cast<sim::Time>(pairs) * pair +
+           sim::transfer_time(bytes, bps);
   }
 
   /// Service time of an MPI_File_sync-induced flush given the dirty bytes

@@ -10,6 +10,7 @@
 /// which is why contiguous I/O is so much cheaper than noncontiguous I/O.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/require.hpp"
@@ -33,6 +34,14 @@ struct ServerPiece {
   std::uint64_t length = 0;
 
   friend bool operator==(const ServerPiece&, const ServerPiece&) = default;
+};
+
+/// Caller-owned scratch for `Layout::group_by_server`: the per-server OL
+/// lists keep their capacity across calls, so a client that decomposes
+/// thousands of extents (WW-POSIX: one call per extent per query) allocates
+/// only on its very first use.  `Pfs` pools these per in-flight operation.
+struct GroupScratch {
+  std::vector<std::vector<ServerPiece>> per_server;
 };
 
 class Layout {
@@ -90,24 +99,44 @@ class Layout {
     return pieces;
   }
 
-  /// Maps many extents and groups the pieces per server, coalescing adjacent
-  /// server-local ranges.  `per_server[s]` is the OL (offset-length) list
-  /// that a list-I/O request would carry to server `s`.
-  [[nodiscard]] std::vector<std::vector<ServerPiece>> group_by_server(
-      const std::vector<Extent>& extents) const {
-    std::vector<std::vector<ServerPiece>> per_server(server_count_);
+  /// Maps many extents and groups the pieces per server into caller-owned
+  /// scratch, coalescing adjacent server-local ranges.
+  /// `scratch.per_server[s]` is the OL (offset-length) list that a list-I/O
+  /// request would carry to server `s`.  Allocation-free once the scratch's
+  /// lists have grown to the working set: the strip walk appends directly to
+  /// the per-server lists instead of materialising intermediate piece
+  /// vectors.
+  void group_by_server(std::span<const Extent> extents,
+                       GroupScratch& scratch) const {
+    scratch.per_server.resize(server_count_);
+    for (auto& list : scratch.per_server) list.clear();
     for (const Extent& extent : extents) {
-      for (const ServerPiece& piece : map_extent(extent)) {
-        auto& list = per_server[piece.server];
+      std::uint64_t offset = extent.offset;
+      std::uint64_t remaining = extent.length;
+      while (remaining > 0) {
+        const std::uint64_t in_strip = offset % strip_size_;
+        const std::uint64_t chunk = std::min(remaining, strip_size_ - in_strip);
+        const std::uint32_t server = server_of(offset);
+        const std::uint64_t server_off = server_offset_of(offset);
+        auto& list = scratch.per_server[server];
         if (!list.empty() &&
-            list.back().server_offset + list.back().length == piece.server_offset) {
-          list.back().length += piece.length;
+            list.back().server_offset + list.back().length == server_off) {
+          list.back().length += chunk;
         } else {
-          list.push_back(piece);
+          list.push_back(ServerPiece{server, server_off, chunk});
         }
+        offset += chunk;
+        remaining -= chunk;
       }
     }
-    return per_server;
+  }
+
+  /// Convenience form returning fresh vectors (tests, cold paths).
+  [[nodiscard]] std::vector<std::vector<ServerPiece>> group_by_server(
+      const std::vector<Extent>& extents) const {
+    GroupScratch scratch;
+    group_by_server(std::span<const Extent>(extents), scratch);
+    return std::move(scratch.per_server);
   }
 
  private:

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "sim/channel.hpp"
 #include "sim/gate.hpp"
 #include "sim/task.hpp"
+#include "sim/wait_group.hpp"
 #include "util/require.hpp"
 
 namespace s3asim::pfs {
@@ -68,6 +70,19 @@ struct ServerStats {
   std::uint64_t reads = 0;
   std::uint64_t read_bytes = 0;
   sim::Time busy = 0;
+
+  /// Field-wise accumulation — `Pfs::aggregate_stats` sums through this, so
+  /// a counter added here is automatically part of the aggregate.
+  ServerStats& operator+=(const ServerStats& other) noexcept {
+    requests += other.requests;
+    pairs += other.pairs;
+    bytes += other.bytes;
+    syncs += other.syncs;
+    reads += other.reads;
+    read_bytes += other.read_bytes;
+    busy += other.busy;
+    return *this;
+  }
 };
 
 class Pfs {
@@ -125,32 +140,30 @@ class Pfs {
                                    std::uint64_t offset, std::uint64_t length,
                                    std::uint32_t writer = 0,
                                    std::uint64_t query = 0) {
-    std::vector<Extent> one{Extent{offset, length}};
-    co_await write_list(file, client, one, writer, query);
+    const Extent one{offset, length};
+    co_await write_list(file, client, std::span<const Extent>(&one, 1), writer,
+                        query);
   }
 
   /// Native list I/O: every extent decomposed and grouped per server; one
   /// request per touched server carrying that server's whole OL list; all
-  /// servers proceed in parallel.
+  /// servers proceed in parallel.  The extents may live anywhere that
+  /// outlives the call (vector, stack array); decomposition goes through a
+  /// pooled scratch and completion through one WaitGroup, so the whole
+  /// fan-out allocates nothing in steady state.
   sim::Task<void> write_list(FileHandle file, net::EndpointId client,
-                             const std::vector<Extent>& extents,
+                             std::span<const Extent> extents,
                              std::uint32_t writer = 0, std::uint64_t query = 0) {
     FileState& state = file_state(file);
-    const auto per_server = params_.layout.group_by_server(extents);
-
-    struct Pending {
-      sim::Gate gate;
-      explicit Pending(sim::Scheduler& s) : gate(s) {}
-    };
-    std::vector<std::unique_ptr<Pending>> pending;
-    for (std::uint32_t s = 0; s < per_server.size(); ++s) {
-      if (per_server[s].empty()) continue;
-      auto entry = std::make_unique<Pending>(*scheduler_);
-      scheduler_->spawn(
-          issue_write(s, client, per_server[s], entry->gate));
-      pending.push_back(std::move(entry));
+    ScratchLease scratch = acquire_scratch();
+    params_.layout.group_by_server(extents, *scratch);
+    sim::WaitGroup pending(*scheduler_);
+    for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
+      if (scratch->per_server[s].empty()) continue;
+      pending.add();
+      scheduler_->spawn(issue_write(s, client, scratch->per_server[s], pending));
     }
-    for (const auto& entry : pending) co_await entry->gate.wait();
+    co_await pending.wait();
 
     for (const Extent& extent : extents)
       state.image.record_write(extent.offset, extent.length, writer, query);
@@ -163,34 +176,60 @@ class Pfs {
                                   std::uint64_t offset, std::uint64_t length) {
     FileState& state = file_state(file);
     state.bytes_read += length;
-    const auto per_server =
-        params_.layout.group_by_server({Extent{offset, length}});
-    std::vector<std::unique_ptr<sim::Gate>> gates;
-    for (std::uint32_t s = 0; s < per_server.size(); ++s) {
-      if (per_server[s].empty()) continue;
-      auto gate = std::make_unique<sim::Gate>(*scheduler_);
-      scheduler_->spawn(issue_read(s, client, per_server[s], *gate));
-      gates.push_back(std::move(gate));
+    const Extent one{offset, length};
+    ScratchLease scratch = acquire_scratch();
+    params_.layout.group_by_server(std::span<const Extent>(&one, 1), *scratch);
+    sim::WaitGroup pending(*scheduler_);
+    for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
+      if (scratch->per_server[s].empty()) continue;
+      pending.add();
+      scheduler_->spawn(issue_read(s, client, scratch->per_server[s], pending));
     }
-    for (const auto& gate : gates) co_await gate->wait();
+    co_await pending.wait();
   }
 
   /// POSIX-style noncontiguous write: one fully-synchronous round trip per
-  /// extent, in order — "the MPI_Write() call without optimization".
+  /// extent, in order — "the MPI_Write() call without optimization".  One
+  /// scratch and one WaitGroup carry the whole extent loop.
   sim::Task<void> write_posix(FileHandle file, net::EndpointId client,
-                              const std::vector<Extent>& extents,
+                              std::span<const Extent> extents,
                               std::uint32_t writer = 0, std::uint64_t query = 0) {
     FileState& state = file_state(file);
+    const std::uint64_t strip = params_.layout.strip_size();
     for (const Extent& extent : extents) {
-      const auto per_server = params_.layout.group_by_server({extent});
-      std::vector<std::unique_ptr<sim::Gate>> gates;
-      for (std::uint32_t s = 0; s < per_server.size(); ++s) {
-        if (per_server[s].empty()) continue;
-        auto gate = std::make_unique<sim::Gate>(*scheduler_);
-        scheduler_->spawn(issue_write(s, client, per_server[s], *gate));
-        gates.push_back(std::move(gate));
+      // The common case — an extent inside one strip — is a strictly
+      // sequential round trip to one server carrying one OL pair, and is
+      // awaited directly: no decomposition scratch, no detached process, no
+      // completion latch.  Only a strip-crossing extent needs the general
+      // grouping (and, when it touches several servers, the parallel
+      // fan-out).
+      if (extent.length != 0 && extent.offset % strip + extent.length <= strip) {
+        co_await write_one(params_.layout.server_of(extent.offset), client,
+                           /*pairs=*/1, extent.length);
+      } else {
+        ScratchLease scratch = acquire_scratch();
+        params_.layout.group_by_server(std::span<const Extent>(&extent, 1),
+                                       *scratch);
+        std::uint32_t touched = 0;
+        std::uint32_t only = 0;
+        for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
+          if (scratch->per_server[s].empty()) continue;
+          ++touched;
+          only = s;
+        }
+        if (touched == 1) {
+          co_await write_one(only, client, scratch->per_server[only]);
+        } else {
+          sim::WaitGroup pending(*scheduler_);
+          for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
+            if (scratch->per_server[s].empty()) continue;
+            pending.add();
+            scheduler_->spawn(
+                issue_write(s, client, scratch->per_server[s], pending));
+          }
+          co_await pending.wait();
+        }
       }
-      for (const auto& gate : gates) co_await gate->wait();
       state.image.record_write(extent.offset, extent.length, writer, query);
     }
   }
@@ -198,13 +237,12 @@ class Pfs {
   /// MPI_File_sync: a flush request to every server, in parallel.
   sim::Task<void> sync(FileHandle file, net::EndpointId client) {
     (void)file;  // PVFS2 sync flushes the server-side streams
-    std::vector<std::unique_ptr<sim::Gate>> gates;
+    sim::WaitGroup pending(*scheduler_);
     for (std::uint32_t s = 0; s < servers_.size(); ++s) {
-      auto gate = std::make_unique<sim::Gate>(*scheduler_);
-      scheduler_->spawn(issue_sync(s, client, *gate));
-      gates.push_back(std::move(gate));
+      pending.add();
+      scheduler_->spawn(issue_sync(s, client, pending));
     }
-    for (const auto& gate : gates) co_await gate->wait();
+    co_await pending.wait();
   }
 
   [[nodiscard]] const FileImage& image(FileHandle file) const {
@@ -221,15 +259,7 @@ class Pfs {
   }
   [[nodiscard]] ServerStats aggregate_stats() const {
     ServerStats total;
-    for (const auto& server : servers_) {
-      total.requests += server->stats.requests;
-      total.pairs += server->stats.pairs;
-      total.bytes += server->stats.bytes;
-      total.syncs += server->stats.syncs;
-      total.reads += server->stats.reads;
-      total.read_bytes += server->stats.read_bytes;
-      total.busy += server->stats.busy;
-    }
+    for (const auto& server : servers_) total += server->stats;
     return total;
   }
 
@@ -271,50 +301,101 @@ class Pfs {
     return *files_[file];
   }
 
+  /// RAII lease on a pooled `GroupScratch`.  One scratch is checked out per
+  /// in-flight client operation (concurrent clients each hold their own)
+  /// and returned — capacity intact — when the operation's coroutine frame
+  /// is destroyed, after the fan-in completes.
+  class ScratchLease {
+   public:
+    ScratchLease(Pfs& fs, GroupScratch& scratch) noexcept
+        : fs_(&fs), scratch_(&scratch) {}
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    ~ScratchLease() { fs_->free_scratch_.push_back(scratch_); }
+
+    [[nodiscard]] GroupScratch& operator*() const noexcept { return *scratch_; }
+    [[nodiscard]] GroupScratch* operator->() const noexcept { return scratch_; }
+
+   private:
+    Pfs* fs_;
+    GroupScratch* scratch_;
+  };
+
+  [[nodiscard]] ScratchLease acquire_scratch() {
+    if (free_scratch_.empty()) {
+      scratch_pool_.push_back(std::make_unique<GroupScratch>());
+      free_scratch_.push_back(scratch_pool_.back().get());
+    }
+    GroupScratch* scratch = free_scratch_.back();
+    free_scratch_.pop_back();
+    return ScratchLease(*this, *scratch);
+  }
+
   [[nodiscard]] net::EndpointId server_endpoint(std::uint32_t server) const noexcept {
     return server_endpoint_base_ + server;
   }
 
-  /// Client side of one write request to one server: ship header + data,
-  /// enqueue for service, wait for the ack.
-  sim::Process issue_write(std::uint32_t server, net::EndpointId client,
-                           std::vector<ServerPiece> pieces, sim::Gate& done) {
-    std::uint64_t bytes = 0;
-    for (const ServerPiece& piece : pieces) bytes += piece.length;
+  /// One write round trip to one server: ship header + data, enqueue for
+  /// service, wait for the ack.  Awaited directly by strictly sequential
+  /// paths (POSIX per-extent writes) and wrapped in `issue_write` for
+  /// parallel fan-out.  Only the pair count and byte total cross the wire —
+  /// the server models cost, not content — so callers that already know the
+  /// request shape (a single-strip extent) skip decomposition entirely.
+  sim::Task<void> write_one(std::uint32_t server, net::EndpointId client,
+                            std::uint64_t pairs, std::uint64_t bytes) {
     const std::uint64_t wire_bytes =
-        params_.request_header_bytes +
-        params_.pair_header_bytes * pieces.size() + bytes;
+        params_.request_header_bytes + params_.pair_header_bytes * pairs + bytes;
     co_await network_->transfer(client, server_endpoint(server), wire_bytes);
     sim::Gate serviced(*scheduler_);
-    ServerRequest request{.pairs = pieces.size(), .bytes = bytes,
+    ServerRequest request{.pairs = pairs, .bytes = bytes,
                           .client = client, .done = &serviced};
     servers_[server]->queue.push(request);
     co_await serviced.wait();
     co_await network_->transfer(server_endpoint(server), client, params_.ack_bytes);
-    done.open();
+  }
+
+  /// Adapter summing a scratch OL list into the (pairs, bytes) shape the
+  /// round trip needs.  Not a coroutine: the sizes are latched here, so the
+  /// returned task no longer references `pieces`.
+  [[nodiscard]] sim::Task<void> write_one(std::uint32_t server,
+                                          net::EndpointId client,
+                                          const std::vector<ServerPiece>& pieces) {
+    std::uint64_t bytes = 0;
+    for (const ServerPiece& piece : pieces) bytes += piece.length;
+    return write_one(server, client, pieces.size(), bytes);
+  }
+
+  /// Detached fan-out wrapper around `write_one` for multi-server writes.
+  sim::Process issue_write(std::uint32_t server, net::EndpointId client,
+                           const std::vector<ServerPiece>& pieces,
+                           sim::WaitGroup& done) {
+    co_await write_one(server, client, pieces);
+    done.done();
   }
 
   /// Client side of one read request: headers out, service, data back.
   sim::Process issue_read(std::uint32_t server, net::EndpointId client,
-                          std::vector<ServerPiece> pieces, sim::Gate& done) {
+                          const std::vector<ServerPiece>& pieces,
+                          sim::WaitGroup& done) {
     std::uint64_t bytes = 0;
     for (const ServerPiece& piece : pieces) bytes += piece.length;
+    const std::uint64_t pairs = pieces.size();
     const std::uint64_t request_bytes =
-        params_.request_header_bytes + params_.pair_header_bytes * pieces.size();
+        params_.request_header_bytes + params_.pair_header_bytes * pairs;
     co_await network_->transfer(client, server_endpoint(server), request_bytes);
     sim::Gate serviced(*scheduler_);
-    ServerRequest request{.pairs = pieces.size(), .bytes = bytes,
+    ServerRequest request{.pairs = pairs, .bytes = bytes,
                           .client = client, .done = &serviced};
     request.is_read = true;
     servers_[server]->queue.push(request);
     co_await serviced.wait();
     co_await network_->transfer(server_endpoint(server), client,
                                 params_.ack_bytes + bytes);
-    done.open();
+    done.done();
   }
 
   sim::Process issue_sync(std::uint32_t server, net::EndpointId client,
-                          sim::Gate& done) {
+                          sim::WaitGroup& done) {
     co_await network_->transfer(client, server_endpoint(server),
                                 params_.request_header_bytes);
     sim::Gate serviced(*scheduler_);
@@ -323,7 +404,7 @@ class Pfs {
     servers_[server]->queue.push(request);
     co_await serviced.wait();
     co_await network_->transfer(server_endpoint(server), client, params_.ack_bytes);
-    done.open();
+    done.done();
   }
 
   /// Degradation active at `now`: one-shot stall (taken on the first request
@@ -351,38 +432,52 @@ class Pfs {
         std::llround(static_cast<double>(service) * factor));
   }
 
-  /// Server process: FIFO service of queued requests.
+  /// Bookkeeping shared by both service paths; returns the service time.
+  [[nodiscard]] sim::Time account_request(Server& server,
+                                          const ServerRequest& request,
+                                          double factor) {
+    if (request.is_sync) {
+      const sim::Time service =
+          degrade(params_.disk.sync_service_time(server.dirty_bytes), factor);
+      server.dirty_bytes = 0;
+      ++server.stats.syncs;
+      server.stats.busy += service;
+      return service;
+    }
+    if (request.is_read) {
+      // Reads have their own cost knobs (defaulting to the write model)
+      // and leave no dirty data.
+      const sim::Time service = degrade(
+          params_.disk.read_service_time(request.pairs, request.bytes), factor);
+      ++server.stats.reads;
+      server.stats.read_bytes += request.bytes;
+      server.stats.busy += service;
+      return service;
+    }
+    const sim::Time service = degrade(
+        params_.disk.write_service_time(request.pairs, request.bytes), factor);
+    server.dirty_bytes += request.bytes;
+    ++server.stats.requests;
+    server.stats.pairs += request.pairs;
+    server.stats.bytes += request.bytes;
+    server.stats.busy += service;
+    return service;
+  }
+
+  /// Server process: FIFO service of queued requests.  The server sleeps
+  /// through each service interval (an arithmetic busy-until clock would
+  /// assign wakeup sequence numbers at enqueue time instead of completion
+  /// time and flip same-instant tie-breaks, perturbing run results).  A
+  /// healthy server skips the degradation coroutine entirely: with no
+  /// faults it never suspends, so the fast path is observationally
+  /// identical and saves one frame per serviced request.
   sim::Process server_loop(std::uint32_t index) {
     Server& server = *servers_[index];
     while (auto request = co_await server.queue.pop()) {
-      const double factor = co_await apply_degradations(server);
-      if (request->is_sync) {
-        const sim::Time service = degrade(
-            params_.disk.sync_service_time(server.dirty_bytes), factor);
-        server.dirty_bytes = 0;
-        co_await scheduler_->delay(service);
-        ++server.stats.syncs;
-        server.stats.busy += service;
-      } else if (request->is_read) {
-        // Reads use the same mechanical cost model but leave no dirty data.
-        const sim::Time service = degrade(
-            params_.disk.write_service_time(request->pairs, request->bytes),
-            factor);
-        co_await scheduler_->delay(service);
-        ++server.stats.reads;
-        server.stats.read_bytes += request->bytes;
-        server.stats.busy += service;
-      } else {
-        const sim::Time service = degrade(
-            params_.disk.write_service_time(request->pairs, request->bytes),
-            factor);
-        server.dirty_bytes += request->bytes;
-        co_await scheduler_->delay(service);
-        ++server.stats.requests;
-        server.stats.pairs += request->pairs;
-        server.stats.bytes += request->bytes;
-        server.stats.busy += service;
-      }
+      const double factor =
+          server.faults.empty() ? 1.0 : co_await apply_degradations(server);
+      const sim::Time service = account_request(server, *request, factor);
+      co_await scheduler_->delay(service);
       request->done->open();
     }
   }
@@ -393,6 +488,11 @@ class Pfs {
   net::EndpointId server_endpoint_base_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<FileState>> files_;
+  /// Pool of extent-decomposition scratches (stable addresses; leases hand
+  /// out raw pointers).  Grows to the peak number of concurrent client
+  /// operations and is reused forever after.
+  std::vector<std::unique_ptr<GroupScratch>> scratch_pool_;
+  std::vector<GroupScratch*> free_scratch_;
 };
 
 }  // namespace s3asim::pfs

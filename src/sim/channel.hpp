@@ -8,10 +8,10 @@
 /// whole simulation reaches quiescence when drivers close their channels.
 
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
+#include "sim/fifo_ring.hpp"
 #include "sim/scheduler.hpp"
 #include "util/require.hpp"
 
@@ -28,8 +28,7 @@ class Channel {
   void push(T item) {
     S3A_REQUIRE_MSG(!closed_, "push to a closed channel");
     if (!poppers_.empty()) {
-      PopAwaiter* popper = poppers_.front();
-      poppers_.pop_front();
+      PopAwaiter* popper = poppers_.pop_front();
       popper->result.emplace(std::move(item));
       scheduler_->schedule_now(popper->waiter);
     } else {
@@ -42,7 +41,8 @@ class Channel {
   void close() {
     if (closed_) return;
     closed_ = true;
-    for (PopAwaiter* popper : poppers_) scheduler_->schedule_now(popper->waiter);
+    for (std::size_t i = 0; i < poppers_.size(); ++i)
+      scheduler_->schedule_now(poppers_[i]->waiter);
     poppers_.clear();
   }
 
@@ -56,8 +56,7 @@ class Channel {
 
     [[nodiscard]] bool await_ready() {
       if (!channel.items_.empty()) {
-        result.emplace(std::move(channel.items_.front()));
-        channel.items_.pop_front();
+        result.emplace(channel.items_.pop_front());
         return true;
       }
       return channel.closed_;
@@ -69,10 +68,8 @@ class Channel {
     std::optional<T> await_resume() {
       // A consumer woken by close() may still find late items absent;
       // a consumer woken by push() has its result deposited directly.
-      if (!result && !channel.items_.empty()) {
-        result.emplace(std::move(channel.items_.front()));
-        channel.items_.pop_front();
-      }
+      if (!result && !channel.items_.empty())
+        result.emplace(channel.items_.pop_front());
       return std::move(result);
     }
   };
@@ -82,8 +79,8 @@ class Channel {
 
  private:
   Scheduler* scheduler_;
-  std::deque<T> items_{};
-  std::deque<PopAwaiter*> poppers_{};
+  FifoRing<T> items_{};
+  FifoRing<PopAwaiter*> poppers_{};
   bool closed_ = false;
 };
 

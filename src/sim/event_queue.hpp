@@ -96,6 +96,21 @@ class EventQueue {
     }
   }
 
+  /// `top()` + `pop()` fused into a single cursor positioning — the
+  /// dispatch loop calls this once per event instead of paying the
+  /// position check twice.  Requires !empty().
+  [[nodiscard]] Event pop_next() {
+    position_cursor();
+    const Event event = (*drain_)[drain_idx_];
+    ++drain_idx_;
+    --count_;
+    if (drain_idx_ == drain_->size()) {
+      drain_->clear();
+      drain_idx_ = 0;
+    }
+    return event;
+  }
+
  private:
   struct Level {
     std::array<std::vector<Event>, kSlots> slot;

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file fifo_ring.hpp
+/// Grow-only power-of-two ring buffer with deque-style FIFO access.
+///
+/// Wait queues (resource grants, channel consumers) and channel mailboxes
+/// cycle on every simulated I/O operation.  `std::deque` serves that
+/// pattern with a sliding block window: steady-state traffic allocates a
+/// fresh block and frees the trailing one every `block / sizeof(T)`
+/// operations, forever.  The ring instead reaches its high-water capacity
+/// once and never touches the allocator again, and its storage is a single
+/// contiguous span that stays cache-resident.
+///
+/// Semantics match the deque subset the simulator uses: strict FIFO
+/// `push_back`/`pop_front`, front peek, and FIFO-ordered indexing for
+/// drain loops.  `T` must be default-constructible (slots are constructed
+/// up front) and movable; popped slots are left moved-from and are
+/// overwritten on reuse.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace s3asim::sim {
+
+template <class T>
+class FifoRing {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T& front() noexcept { return buf_[head_]; }
+  [[nodiscard]] const T& front() const noexcept { return buf_[head_]; }
+
+  /// Removes and returns the front element.
+  T pop_front() {
+    T value = std::move(buf_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return value;
+  }
+
+  /// FIFO-indexed access: `ring[0]` is the front, `ring[size() - 1]` the
+  /// most recently pushed element.
+  [[nodiscard]] T& operator[](std::size_t index) noexcept {
+    return buf_[(head_ + index) & mask_];
+  }
+  [[nodiscard]] const T& operator[](std::size_t index) const noexcept {
+    return buf_[(head_ + index) & mask_];
+  }
+
+  /// Drops every element (in FIFO order); capacity is retained.
+  void clear() {
+    while (size_ != 0) (void)pop_front();
+  }
+
+ private:
+  void grow() {
+    const std::size_t capacity = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> next(capacity);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = capacity - 1;
+  }
+
+  std::vector<T> buf_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace s3asim::sim

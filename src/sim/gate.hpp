@@ -23,8 +23,12 @@ class Gate {
   void open() {
     if (open_) return;
     open_ = true;
-    for (const auto handle : waiters_) scheduler_->schedule_now(handle);
-    waiters_.clear();
+    if (waiter0_) {
+      scheduler_->schedule_now(waiter0_);
+      waiter0_ = nullptr;
+    }
+    for (const auto handle : overflow_) scheduler_->schedule_now(handle);
+    overflow_.clear();
   }
 
   [[nodiscard]] bool is_open() const noexcept { return open_; }
@@ -33,7 +37,11 @@ class Gate {
     Gate& gate;
     [[nodiscard]] bool await_ready() const noexcept { return gate.open_; }
     void await_suspend(std::coroutine_handle<> handle) {
-      gate.waiters_.push_back(handle);
+      if (!gate.waiter0_) {
+        gate.waiter0_ = handle;
+      } else {
+        gate.overflow_.push_back(handle);
+      }
     }
     void await_resume() const noexcept {}
   };
@@ -43,7 +51,12 @@ class Gate {
  private:
   Scheduler* scheduler_;
   bool open_ = false;
-  std::vector<std::coroutine_handle<>> waiters_{};
+  /// First waiter stored inline (FIFO: it is released first).  Gates almost
+  /// always have exactly one waiter — the per-request `serviced` gate on
+  /// the PFS client path — and the inline slot keeps that path free of the
+  /// waiter-vector's first-push allocation.
+  std::coroutine_handle<> waiter0_ = nullptr;
+  std::vector<std::coroutine_handle<>> overflow_{};
 };
 
 }  // namespace s3asim::sim

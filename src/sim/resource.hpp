@@ -7,9 +7,9 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <utility>
 
+#include "sim/fifo_ring.hpp"
 #include "sim/scheduler.hpp"
 #include "util/require.hpp"
 
@@ -47,9 +47,7 @@ class Resource {
   void release() {
     S3A_CHECK_MSG(in_use_ > 0, "release without acquire");
     if (!waiters_.empty()) {
-      const auto handle = waiters_.front();
-      waiters_.pop_front();
-      scheduler_->schedule_now(handle);
+      scheduler_->schedule_now(waiters_.pop_front());
     } else {
       --in_use_;
     }
@@ -63,7 +61,7 @@ class Resource {
   Scheduler* scheduler_;
   std::uint32_t capacity_;
   std::uint32_t in_use_ = 0;
-  std::deque<std::coroutine_handle<>> waiters_{};
+  FifoRing<std::coroutine_handle<>> waiters_{};
 };
 
 /// RAII release for a slot that has already been acquired:

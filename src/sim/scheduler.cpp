@@ -7,8 +7,7 @@ namespace s3asim::sim {
 std::size_t Scheduler::run() {
   std::size_t resumed = 0;
   while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
+    const Event event = queue_.pop_next();
     if (cancelled(event)) continue;  // dead timer entry
     now_ = event.at;
     event.handle.resume();

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file wait_group.hpp
+/// Counting completion latch for fan-out/fan-in: a parent `add(n)`s before
+/// spawning n children, each child calls `done()` when finished, and the
+/// parent `co_await wait()`s until the count returns to zero.
+///
+/// This replaces the vector-of-`unique_ptr<Gate>` pattern (one heap
+/// allocation per child per operation) with a single stack object per
+/// fan-out.  Wakeups go through the scheduler queue, so release order is
+/// deterministic; unlike a Gate, a WaitGroup is reusable — after the count
+/// hits zero, a later `add()` starts a new cycle (the POSIX-write path
+/// reuses one WaitGroup across every extent's round trip).
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/require.hpp"
+
+namespace s3asim::sim {
+
+class WaitGroup {
+ public:
+  explicit WaitGroup(Scheduler& scheduler) noexcept : scheduler_(&scheduler) {}
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  /// Registers `n` future `done()` calls.  Must precede the spawn of the
+  /// work it accounts for, so a child completing synchronously cannot drop
+  /// the count to zero early.
+  void add(std::uint32_t n = 1) noexcept { count_ += n; }
+
+  /// Marks one unit complete; releases all waiters when the count reaches
+  /// zero (through the scheduler queue — FIFO at the same instant).
+  void done() {
+    S3A_REQUIRE_MSG(count_ > 0, "WaitGroup::done without matching add");
+    if (--count_ > 0) return;
+    if (waiter0_) {
+      scheduler_->schedule_now(waiter0_);
+      waiter0_ = nullptr;
+    }
+    for (const auto handle : overflow_) scheduler_->schedule_now(handle);
+    overflow_.clear();
+  }
+
+  /// Outstanding `done()` calls.
+  [[nodiscard]] std::uint32_t pending() const noexcept { return count_; }
+
+  struct WaitAwaiter {
+    WaitGroup& group;
+    [[nodiscard]] bool await_ready() const noexcept {
+      return group.count_ == 0;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      if (!group.waiter0_) {
+        group.waiter0_ = handle;
+      } else {
+        group.overflow_.push_back(handle);
+      }
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable: resumes once the count is zero (immediately if it already
+  /// is — a zero-count wait never suspends).
+  [[nodiscard]] WaitAwaiter wait() noexcept { return WaitAwaiter{*this}; }
+
+ private:
+  Scheduler* scheduler_;
+  std::uint32_t count_ = 0;
+  /// First waiter inline — the overwhelmingly common case is exactly one
+  /// parent waiting, and keeping it out of the vector keeps the whole
+  /// fan-in allocation-free.
+  std::coroutine_handle<> waiter0_ = nullptr;
+  std::vector<std::coroutine_handle<>> overflow_{};
+};
+
+}  // namespace s3asim::sim

@@ -113,6 +113,45 @@ TEST(PfsReadTest, LargeReadSlowerThanSmall) {
   EXPECT_GT(elapsed[1], elapsed[0]);
 }
 
+TEST(DiskModelReadTest, ReadKnobsDefaultToWriteCost) {
+  // Zero-valued read knobs inherit the write-side model, so a simulator
+  // configured the historical way charges reads exactly like writes.
+  const auto disk = pfs::DiskModel::test_model();
+  EXPECT_EQ(disk.read_service_time(1, 4096), disk.write_service_time(1, 4096));
+  EXPECT_EQ(disk.read_service_time(7, 0), disk.write_service_time(7, 0));
+}
+
+TEST(DiskModelReadTest, ReadKnobsOverrideIndependently) {
+  auto disk = pfs::DiskModel::test_model();
+  disk.read_per_request = 10;      // vs 1'000 write-side
+  disk.read_per_pair = 1;          // vs 100 write-side
+  disk.read_bandwidth_bps = 2e9;   // vs 1e9 write-side
+  EXPECT_EQ(disk.read_service_time(2, 2000), 10 + 2 * 1 + 1000);
+  // Write-side model is untouched.
+  EXPECT_EQ(disk.write_service_time(2, 2000), 1000 + 2 * 100 + 2000);
+}
+
+TEST(PfsReadTest, CheapReadKnobShortensServerBusyTime) {
+  PfsParams slow = read_params();
+  PfsParams fast = read_params();
+  fast.disk.read_per_request = 1;
+  fast.disk.read_per_pair = 1;
+  fast.disk.read_bandwidth_bps = 1e12;
+  Time slow_busy = 0;
+  Time fast_busy = 0;
+  for (auto* out : {&slow_busy, &fast_busy}) {
+    Fixture f(out == &slow_busy ? slow : fast);
+    auto prog = [](Fixture& fx) -> Process {
+      const auto file = co_await fx.fs.create_file(0, "db");
+      co_await fx.fs.read_contiguous(file, 0, 0, 4096);
+    };
+    f.sched.spawn(prog(f));
+    f.sched.run();
+    for (std::uint32_t s = 0; s < 4; ++s) *out += f.fs.server_stats(s).busy;
+  }
+  EXPECT_LT(fast_busy, slow_busy);
+}
+
 TEST(PfsReadTest, ZeroLengthReadIsHarmless) {
   Fixture f;
   auto prog = [](Fixture& fx) -> Process {

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/fifo_ring.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+#include "sim/wait_group.hpp"
+
+namespace {
+
+using namespace s3asim::sim;
+
+TEST(WaitGroupTest, ZeroCountWaitDoesNotSuspend) {
+  Scheduler sched;
+  WaitGroup group(sched);
+  Time woke = -1;
+  auto waiter = [](Scheduler& s, WaitGroup& g, Time& out) -> Process {
+    co_await g.wait();  // count is zero: must resume inline, at time 0
+    out = s.now();
+  };
+  sched.spawn(waiter(sched, group, woke));
+  sched.run();
+  EXPECT_EQ(woke, 0);
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(WaitGroupTest, WaitReleasesWhenLastChildFinishes) {
+  Scheduler sched;
+  WaitGroup group(sched);
+  Time woke = -1;
+  auto child = [](Scheduler& s, WaitGroup& g, Time finish) -> Process {
+    co_await s.delay(finish);
+    g.done();
+  };
+  auto parent = [](Scheduler& s, WaitGroup& g, Time& out) -> Process {
+    co_await g.wait();
+    out = s.now();
+  };
+  group.add(3);
+  sched.spawn(child(sched, group, 100));
+  sched.spawn(child(sched, group, 300));
+  sched.spawn(child(sched, group, 200));
+  sched.spawn(parent(sched, group, woke));
+  sched.run();
+  EXPECT_EQ(woke, 300);  // the slowest child gates completion
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(WaitGroupTest, PendingTracksOutstandingWork) {
+  Scheduler sched;
+  WaitGroup group(sched);
+  group.add(2);
+  EXPECT_EQ(group.pending(), 2u);
+  group.add();
+  EXPECT_EQ(group.pending(), 3u);
+  group.done();
+  EXPECT_EQ(group.pending(), 2u);
+  group.done();
+  group.done();
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(WaitGroupTest, ReusableAcrossCycles) {
+  // The POSIX write path reuses one WaitGroup for every extent round trip:
+  // each cycle must behave like a fresh latch.
+  Scheduler sched;
+  WaitGroup group(sched);
+  std::vector<Time> wokes;
+  auto cycle = [](Scheduler& s, WaitGroup& g, std::vector<Time>& log) -> Process {
+    for (int round = 0; round < 3; ++round) {
+      g.add(2);
+      auto child = [](Scheduler& sc, WaitGroup& wg, Time finish) -> Process {
+        co_await sc.delay(finish);
+        wg.done();
+      };
+      s.spawn(child(s, g, 10));
+      s.spawn(child(s, g, 20));
+      co_await g.wait();
+      log.push_back(s.now());
+    }
+  };
+  sched.spawn(cycle(sched, group, wokes));
+  sched.run();
+  EXPECT_EQ(wokes, (std::vector<Time>{20, 40, 60}));
+}
+
+TEST(WaitGroupTest, MultipleWaitersAllReleaseInFifoOrder) {
+  Scheduler sched;
+  WaitGroup group(sched);
+  std::vector<int> order;
+  auto waiter = [](WaitGroup& g, std::vector<int>& log, int id) -> Process {
+    co_await g.wait();
+    log.push_back(id);
+  };
+  auto finisher = [](Scheduler& s, WaitGroup& g) -> Process {
+    co_await s.delay(50);
+    g.done();
+  };
+  group.add();
+  sched.spawn(waiter(group, order, 1));
+  sched.spawn(waiter(group, order, 2));
+  sched.spawn(waiter(group, order, 3));
+  sched.spawn(finisher(sched, group));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(WaitGroupTest, DoneWithoutAddThrows) {
+  Scheduler sched;
+  WaitGroup group(sched);
+  EXPECT_THROW(group.done(), std::invalid_argument);
+}
+
+TEST(FifoRingTest, PushPopPreservesFifoOrder) {
+  FifoRing<int> ring;
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ring.pop_front(), i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(FifoRingTest, SteadyStateTrafficWrapsAround) {
+  // Interleaved push/pop drives the head around the ring many times at a
+  // size far below capacity — the sliding-window pattern of a wait queue.
+  FifoRing<int> ring;
+  int next_in = 0;
+  int next_out = 0;
+  for (int i = 0; i < 4; ++i) ring.push_back(next_in++);
+  for (int step = 0; step < 1000; ++step) {
+    ring.push_back(next_in++);
+    EXPECT_EQ(ring.front(), next_out);
+    EXPECT_EQ(ring.pop_front(), next_out++);
+    EXPECT_EQ(ring.size(), 4u);
+  }
+}
+
+TEST(FifoRingTest, GrowthPreservesOrderAcrossWrap) {
+  FifoRing<std::string> ring;
+  // Force the head off zero, then grow through several reallocations.
+  for (int i = 0; i < 8; ++i) ring.push_back("pre" + std::to_string(i));
+  for (int i = 0; i < 5; ++i) ring.pop_front();
+  for (int i = 0; i < 200; ++i) ring.push_back("post" + std::to_string(i));
+  EXPECT_EQ(ring.pop_front(), "pre5");
+  EXPECT_EQ(ring.pop_front(), "pre6");
+  EXPECT_EQ(ring.pop_front(), "pre7");
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(ring.pop_front(), "post" + std::to_string(i));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(FifoRingTest, IndexingIsFifoRelative) {
+  FifoRing<int> ring;
+  for (int i = 0; i < 10; ++i) ring.push_back(i);
+  ring.pop_front();
+  ring.pop_front();
+  EXPECT_EQ(ring[0], 2);
+  EXPECT_EQ(ring[7], 9);
+}
+
+TEST(FifoRingTest, ClearResetsToEmpty) {
+  FifoRing<int> ring;
+  for (int i = 0; i < 10; ++i) ring.push_back(i);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push_back(42);
+  EXPECT_EQ(ring.pop_front(), 42);
+}
+
+}  // namespace
