@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file cli_usage.hpp
+/// The s3asim CLI's --help text, factored out so the golden test
+/// (tests/core/test_cli_usage.cpp) can keep it in sync with the option
+/// parser: every flag the parser accepts must appear here with one line of
+/// help, and the test fails on drift in either direction.
+
+namespace s3asim::cli {
+
+inline constexpr char kUsageText[] =
+    "usage: s3asim [options] [config-file]\n"
+    "  --procs N           total ranks (master + workers)\n"
+    "  --strategy NAME     MW | WW-POSIX | WW-List | WW-Coll | WW-CollList\n"
+    "  --sync              per-query synchronization on\n"
+    "  --speed X           compute-speed multiplier\n"
+    "  --trace FILE.csv    export phase timeline CSV\n"
+    "  --trace-json FILE   export Chrome-trace-event JSON (open in Perfetto\n"
+    "                      or chrome://tracing; see docs/OBSERVABILITY.md)\n"
+    "  --metrics-json FILE export the per-run metrics manifest\n"
+    "                      (schema s3asim-metrics-v1: config echo + counters,\n"
+    "                      gauges, histograms, trace drop count)\n"
+    "  --gantt             print an ASCII timeline\n"
+    "  --groups G          hybrid segmentation with G master/worker teams\n"
+    "  --jobs N            run N concurrent replicas of the simulation and\n"
+    "                      fail unless their statistics are bit-identical\n"
+    "                      (determinism self-check; default 1 = off)\n"
+    "  --fault SPEC        inject faults (kill/slow/delay/drop/server/crash\n"
+    "                      clauses, ';'-separated; crash => resume-from-flush)\n"
+    "  --fault-timeout T   failure-detector timeout (default 10s)\n"
+    "  --json FILE.json    export full run statistics as JSON\n"
+    "  --set key=value     override any config key (repeatable)\n"
+    "  --print-config      show effective configuration and exit\n"
+    "  --help              show this message";
+
+}  // namespace s3asim::cli

@@ -1,0 +1,90 @@
+/// obs_validate — offline schema validator for the observability artifacts.
+///
+/// Usage:
+///   obs_validate [--trace FILE.json] [--metrics FILE.json]
+///
+/// Parses each file with util::parse_json and checks it against the
+/// corresponding schema (`obs::validate_chrome_trace` /
+/// `obs::validate_metrics_manifest`).  Prints one line per violation and
+/// exits nonzero if any file fails to parse or validate.  CI runs this over
+/// the quick-bench exports so a malformed trace or manifest fails the build
+/// instead of a Perfetto session.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/schema.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream input(path);
+  if (!input) return false;
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Validates one file; returns the number of problems found (0 = clean).
+int check(const std::string& path, const char* what,
+          std::vector<std::string> (*validate)(const s3asim::util::JsonValue&)) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "obs_validate: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  s3asim::util::JsonValue root;
+  try {
+    root = s3asim::util::parse_json(text);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "obs_validate: %s: parse error: %s\n", path.c_str(),
+                 error.what());
+    return 1;
+  }
+  const std::vector<std::string> problems = validate(root);
+  for (const std::string& problem : problems)
+    std::fprintf(stderr, "obs_validate: %s: %s\n", path.c_str(),
+                 problem.c_str());
+  if (problems.empty())
+    std::printf("obs_validate: %s: valid %s\n", path.c_str(), what);
+  return static_cast<int>(problems.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_validate [--trace FILE.json] "
+                   "[--metrics FILE.json]\n");
+      return 2;
+    }
+  }
+  if (trace_path.empty() && metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: obs_validate [--trace FILE.json] "
+                 "[--metrics FILE.json]\n");
+    return 2;
+  }
+  int problems = 0;
+  if (!trace_path.empty())
+    problems += check(trace_path, "chrome trace",
+                      &s3asim::obs::validate_chrome_trace);
+  if (!metrics_path.empty())
+    problems += check(metrics_path, "metrics manifest",
+                      &s3asim::obs::validate_metrics_manifest);
+  return problems == 0 ? 0 : 1;
+}

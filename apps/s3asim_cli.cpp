@@ -1,24 +1,11 @@
 /// s3asim — the command-line driver.
 ///
-/// Usage:
-///   s3asim [options] [config-file]
-///
-/// Options (override the config file):
-///   --procs N            total MPI ranks (1 master + N-1 workers)
-///   --strategy NAME      MW | WW-POSIX | WW-List | WW-Coll | WW-CollList
-///   --sync               enable the per-query synchronization option
-///   --speed X            compute-speed multiplier (paper: 0.1 ... 25.6)
-///   --trace FILE.csv     export the phase timeline as CSV
-///   --gantt              print an ASCII Gantt chart of the run
-///   --groups G           hybrid query/database segmentation with G teams
-///   --fault SPEC         inject faults, e.g. "kill:worker=3,at=120s" (see
-///                        src/fault/fault.hpp for the clause grammar); a
-///                        "crash:at=T" clause reruns the remaining queries
-///                        from the last flushed batch (resume-from-flush)
-///   --fault-timeout T    failure-detector timeout (default 10s)
-///   --set key=value      any config-file key (repeatable)
-///   --print-config       show the effective configuration and exit
-///   --help
+/// See apps/cli_usage.hpp for the full option list (kept in sync with the
+/// parser below by tests/core/test_cli_usage.cpp).  Highlights:
+///   --trace-json FILE    Chrome-trace-event JSON export (Perfetto)
+///   --metrics-json FILE  per-run metrics manifest (s3asim-metrics-v1)
+///   --jobs N             N concurrent replicas, bit-identity verified
+///   --fault SPEC         fault injection ("crash:at=T" => resume-from-flush)
 ///
 /// Exit status: 0 on success with a verified output file, 1 otherwise.
 
@@ -29,34 +16,65 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cli_usage.hpp"
 #include "core/config_loader.hpp"
 #include "core/simulation.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/schema.hpp"
 #include "trace/trace.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/units.hpp"
 
 namespace {
 
-void print_usage() {
-  std::puts(
-      "usage: s3asim [options] [config-file]\n"
-      "  --procs N          total ranks (master + workers)\n"
-      "  --strategy NAME    MW | WW-POSIX | WW-List | WW-Coll | WW-CollList\n"
-      "  --sync             per-query synchronization on\n"
-      "  --speed X          compute-speed multiplier\n"
-      "  --trace FILE.csv   export phase timeline CSV\n"
-      "  --gantt            print an ASCII timeline\n"
-      "  --groups G         hybrid segmentation with G master/worker teams\n"
-      "  --fault SPEC       inject faults (kill/slow/delay/drop/server/crash\n"
-      "                     clauses, ';'-separated; crash => resume-from-flush)\n"
-      "  --fault-timeout T  failure-detector timeout (default 10s)\n"
-      "  --json FILE.json   export full run statistics as JSON\n"
-      "  --set key=value    override any config key (repeatable)\n"
-      "  --print-config     show effective configuration and exit\n"
-      "  --help");
+void print_usage() { std::puts(s3asim::cli::kUsageText); }
+
+/// The per-run manifest (`--metrics-json`): schema tag, config echo, trace
+/// drop count, and the registry snapshot.  Validated by
+/// `obs::validate_metrics_manifest` (tests + obs_validate + CI).
+std::string render_manifest(const s3asim::core::SimConfig& config,
+                            std::uint32_t groups,
+                            const s3asim::core::RunStats& stats,
+                            const s3asim::trace::TraceLog* trace_log,
+                            const s3asim::obs::Registry& registry) {
+  using namespace s3asim;
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value(obs::kMetricsSchemaName);
+  json.key("run");
+  json.begin_object();
+  json.key("strategy");
+  json.value(core::strategy_name(config.strategy));
+  json.key("nprocs");
+  json.value(static_cast<std::uint64_t>(config.nprocs));
+  json.key("groups");
+  json.value(static_cast<std::uint64_t>(groups));
+  json.key("query_sync");
+  json.value(config.query_sync);
+  json.key("compute_speed");
+  json.value(config.compute_speed);
+  json.key("wall_seconds");
+  json.value(stats.wall_seconds);
+  json.key("events");
+  json.value(stats.events);
+  json.key("file_exact");
+  json.value(stats.file_exact);
+  json.end_object();
+  json.key("trace");
+  json.begin_object();
+  json.key("intervals_dropped");
+  json.value(trace_log != nullptr ? trace_log->dropped() : std::uint64_t{0});
+  json.end_object();
+  json.key("metrics");
+  registry.write_json(json);
+  json.end_object();
+  return json.str();
 }
 
 void print_effective_config(const s3asim::core::SimConfig& config) {
@@ -92,12 +110,15 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::vector<std::string> overrides;
   std::string trace_path;
+  std::string trace_json_path;
+  std::string metrics_json_path;
   std::string json_path;
   std::string fault_spec;
   std::string fault_timeout;
   bool want_gantt = false;
   bool print_config_only = false;
   std::uint32_t groups = 1;
+  unsigned jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,10 +142,21 @@ int main(int argc, char** argv) {
       overrides.push_back("compute_speed = " + next_value("--speed"));
     } else if (arg == "--trace") {
       trace_path = next_value("--trace");
+    } else if (arg == "--trace-json") {
+      trace_json_path = next_value("--trace-json");
+    } else if (arg == "--metrics-json") {
+      metrics_json_path = next_value("--metrics-json");
     } else if (arg == "--gantt") {
       want_gantt = true;
     } else if (arg == "--groups") {
       groups = static_cast<std::uint32_t>(std::atoi(next_value("--groups").c_str()));
+    } else if (arg == "--jobs") {
+      const int value = std::atoi(next_value("--jobs").c_str());
+      if (value < 1 || value > 64) {
+        std::fprintf(stderr, "error: --jobs expects 1..64\n");
+        return 1;
+      }
+      jobs = static_cast<unsigned>(value);
     } else if (arg == "--fault") {
       fault_spec = next_value("--fault");
     } else if (arg == "--fault-timeout") {
@@ -203,10 +235,40 @@ int main(int argc, char** argv) {
   }
 
   trace::TraceLog trace;
-  const bool want_trace = want_gantt || !trace_path.empty();
+  obs::Registry registry;
+  const bool want_trace =
+      want_gantt || !trace_path.empty() || !trace_json_path.empty();
   trace::TraceLog* trace_ptr = want_trace ? &trace : nullptr;
+  obs::Registry* metrics_ptr = metrics_json_path.empty() ? nullptr : &registry;
+  const core::Observability observe{trace_ptr, metrics_ptr};
   if (!config.fault.empty())
     std::printf("fault plan            : %s\n", config.fault.describe().c_str());
+  if (jobs > 1 && config.fault.crash_at != fault::kNever) {
+    std::fprintf(stderr, "error: --jobs > 1 is not supported with a crash plan\n");
+    return 1;
+  }
+
+  // Replica determinism self-check (--jobs N): N-1 extra copies of the run
+  // execute concurrently *without* observability; their statistics must be
+  // bit-identical to the instrumented primary — simultaneously exercising
+  // the determinism contract and the zero-perturbation guarantee of the
+  // observability layer (DESIGN.md §8).
+  std::vector<std::thread> replicas;
+  std::vector<std::string> replica_stats(jobs > 1 ? jobs - 1 : 0);
+  std::vector<std::string> replica_errors(replica_stats.size());
+  for (std::size_t r = 0; r < replica_stats.size(); ++r) {
+    replicas.emplace_back([&, r] {
+      try {
+        const core::RunStats copy =
+            groups > 1 ? core::run_hybrid_simulation(config, groups)
+                       : core::run_simulation(config);
+        replica_stats[r] = copy.to_json();
+      } catch (const std::exception& error) {
+        replica_errors[r] = error.what();
+      }
+    });
+  }
+
   core::RunStats stats;
   const auto host_start = std::chrono::steady_clock::now();
   try {
@@ -218,7 +280,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       const core::ResumeOutcome outcome =
-          core::run_with_resume(config, trace_ptr);
+          core::run_with_resume(config, observe);
       if (outcome.crashed) {
         std::printf(
             "crashed at %.3f s; resumed from query %u "
@@ -235,12 +297,34 @@ int main(int argc, char** argv) {
       }
     } else {
       stats = groups > 1
-                  ? core::run_hybrid_simulation(config, groups, trace_ptr)
-                  : core::run_simulation(config, trace_ptr);
+                  ? core::run_hybrid_simulation(config, groups, observe)
+                  : core::run_simulation(config, observe);
     }
   } catch (const std::exception& error) {
+    for (auto& replica : replicas) replica.join();
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
+  }
+
+  for (auto& replica : replicas) replica.join();
+  if (jobs > 1) {
+    const std::string reference = stats.to_json();
+    bool identical = true;
+    for (std::size_t r = 0; r < replica_stats.size(); ++r) {
+      if (!replica_errors[r].empty()) {
+        std::fprintf(stderr, "error: replica %zu failed: %s\n", r + 2,
+                     replica_errors[r].c_str());
+        identical = false;
+      } else if (replica_stats[r] != reference) {
+        std::fprintf(stderr,
+                     "error: replica %zu diverged from the primary run "
+                     "(determinism violation)\n",
+                     r + 2);
+        identical = false;
+      }
+    }
+    if (!identical) return 1;
+    std::printf("determinism check     : %u replicas bit-identical\n", jobs);
   }
 
   const double host_seconds =
@@ -278,6 +362,26 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     trace.export_csv(trace_path);
     std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!trace_json_path.empty()) {
+    try {
+      trace.export_chrome_json(trace_json_path);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+    std::printf("chrome trace written to %s (open in ui.perfetto.dev)\n",
+                trace_json_path.c_str());
+  }
+  if (!metrics_json_path.empty()) {
+    std::ofstream out(metrics_json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   metrics_json_path.c_str());
+      return 1;
+    }
+    out << render_manifest(config, groups, stats, trace_ptr, registry) << '\n';
+    std::printf("metrics manifest written to %s\n", metrics_json_path.c_str());
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path);

@@ -10,6 +10,8 @@
 
 #include "bench/common.hpp"
 #include "bench/sweep.hpp"
+#include "core/simulation.hpp"
+#include "obs/metrics.hpp"
 
 using namespace s3asim;
 using namespace s3asim::bench;
@@ -77,8 +79,21 @@ int main(int argc, char** argv) {
                             sync);
   }
 
+  // One representative observed run (paper strategy at the largest grid
+  // size) re-executed with the metrics registry attached; its snapshot is
+  // embedded in the bench JSON.  Observability never perturbs results, so
+  // the tables/CSVs above — built only from the sweep — are unaffected.
+  obs::Registry registry;
+  {
+    auto config = core::paper_config();
+    config.nprocs = procs.back();
+    const core::Observability observe{nullptr, &registry};
+    const auto observed = core::run_simulation(config, observe);
+    require_exact(observed);
+  }
+
   const auto report = write_bench_json("fig2", quick, jobs, results,
-                                       sweep_seconds);
+                                       sweep_seconds, &registry);
   std::printf("(bench json: %s)\n", report.c_str());
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "bench/common.hpp"
 #include "core/strategy.hpp"
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 
 namespace s3asim::bench {
@@ -95,7 +96,8 @@ std::vector<SweepResult> run_sweep(std::vector<SweepPoint> grid,
 std::string write_bench_json(const std::string& name, bool quick,
                              unsigned jobs,
                              const std::vector<SweepResult>& results,
-                             double total_host_seconds) {
+                             double total_host_seconds,
+                             const obs::Registry* metrics) {
   util::JsonWriter json;
   json.begin_object();
   json.key("bench");
@@ -156,6 +158,11 @@ std::string write_bench_json(const std::string& name, bool quick,
   json.key("peak_rss_kb");
   json.value(peak_rss_kb());
   json.end_object();
+
+  if (metrics != nullptr) {
+    json.key("metrics");
+    metrics->write_json(json);
+  }
   json.end_object();
 
   const std::string path = csv_path("BENCH_" + name + ".json");

@@ -21,6 +21,10 @@
 
 #include "core/stats.hpp"
 
+namespace s3asim::obs {
+class Registry;
+}
+
 namespace s3asim::bench {
 
 /// One grid point: a display label plus the closure producing its stats.
@@ -51,10 +55,13 @@ struct SweepResult {
 
 /// Writes `results/BENCH_<name>.json`: run configuration (quick/jobs),
 /// per-point records (sim seconds, host seconds, events, events/sec, peak
-/// RSS), and totals.  Returns the path written.
+/// RSS), and totals.  When `metrics` is non-null its snapshot is embedded
+/// as a "metrics" section (the observability registry of a representative
+/// observed point — see docs/OBSERVABILITY.md).  Returns the path written.
 std::string write_bench_json(const std::string& name, bool quick,
                              unsigned jobs,
                              const std::vector<SweepResult>& results,
-                             double total_host_seconds);
+                             double total_host_seconds,
+                             const obs::Registry* metrics = nullptr);
 
 }  // namespace s3asim::bench

@@ -1,6 +1,7 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <deque>
 #include <map>
@@ -117,6 +118,61 @@ pfs::PfsParams faulted_pfs(const SimConfig& cfg) {
   return params;
 }
 
+/// Bridges the model layers' observability hooks into the trace log and the
+/// metrics registry: PFS request completions become trace spans and
+/// per-kind service-time histograms; MPI deliveries become flow events and
+/// message-size/latency histograms.  Purely host-side — it reads simulated
+/// time but never spends it.
+class ObsBridge final : public pfs::RequestObserver,
+                        public mpi::MessageObserver {
+ public:
+  ObsBridge(trace::TraceLog* trace_log, obs::Registry* metrics)
+      : trace_(trace_log) {
+    if (metrics != nullptr) {
+      write_service_ = &metrics->histogram("pfs.write.service_seconds");
+      read_service_ = &metrics->histogram("pfs.read.service_seconds");
+      sync_service_ = &metrics->histogram("pfs.sync.service_seconds");
+      messages_ = &metrics->counter("mpi.messages");
+      message_bytes_total_ = &metrics->counter("mpi.bytes");
+      message_bytes_ = &metrics->histogram("mpi.message.bytes");
+      message_delivery_ =
+          &metrics->histogram("mpi.message.delivery_seconds");
+    }
+  }
+
+  void on_request_serviced(std::uint32_t server, char kind,
+                           std::uint64_t pairs, std::uint64_t bytes,
+                           sim::Time start, sim::Time end) override {
+    if (trace_ != nullptr) trace_->span(server, kind, pairs, bytes, start, end);
+    obs::Histogram* histogram = kind == 's'   ? sync_service_
+                                : kind == 'r' ? read_service_
+                                              : write_service_;
+    if (histogram != nullptr) histogram->observe(sim::to_seconds(end - start));
+  }
+
+  void on_message_delivered(mpi::Rank src, mpi::Rank dst, mpi::Tag tag,
+                            std::uint64_t bytes, sim::Time sent,
+                            sim::Time received) override {
+    if (trace_ != nullptr) trace_->flow(src, dst, tag, bytes, sent, received);
+    if (messages_ != nullptr) {
+      messages_->add(1);
+      message_bytes_total_->add(bytes);
+      message_bytes_->observe(static_cast<double>(bytes));
+      message_delivery_->observe(sim::to_seconds(received - sent));
+    }
+  }
+
+ private:
+  trace::TraceLog* trace_ = nullptr;
+  obs::Histogram* write_service_ = nullptr;
+  obs::Histogram* read_service_ = nullptr;
+  obs::Histogram* sync_service_ = nullptr;
+  obs::Counter* messages_ = nullptr;
+  obs::Counter* message_bytes_total_ = nullptr;
+  obs::Histogram* message_bytes_ = nullptr;
+  obs::Histogram* message_delivery_ = nullptr;
+};
+
 /// Everything shared by all groups: the cluster, the file system, the
 /// deterministic workload, and the per-rank statistics.
 struct World {
@@ -133,6 +189,25 @@ struct World {
     S3A_REQUIRE(cfg.queries_per_flush >= 1);
   }
 
+  /// Arms the observability sinks (no-op for a default-constructed
+  /// `Observability`): wires the PFS/MPI observer bridge, the scheduler
+  /// profiler, and the trace log's drop counter.
+  void attach_observability(const Observability& observe) {
+    trace_log = observe.trace_log;
+    metrics = observe.metrics;
+    if (observe.metrics != nullptr) {
+      scheduler.attach_profiler(observe.metrics);
+      if (observe.trace_log != nullptr)
+        observe.trace_log->attach_registry(observe.metrics);
+    }
+    if (observe.enabled()) {
+      obs_bridge =
+          std::make_unique<ObsBridge>(observe.trace_log, observe.metrics);
+      fs.set_observer(obs_bridge.get());
+      comm.set_observer(obs_bridge.get());
+    }
+  }
+
   const SimConfig& config;
   WorkloadModel workload;
   sim::Scheduler scheduler;
@@ -141,6 +216,8 @@ struct World {
   pfs::Pfs fs;
   std::vector<RankStats> rank_stats;
   trace::TraceLog* trace_log = nullptr;
+  obs::Registry* metrics = nullptr;
+  std::unique_ptr<ObsBridge> obs_bridge;
 };
 
 /// One master/worker group: under plain database segmentation there is a
@@ -1441,6 +1518,117 @@ void validate_fault_plan(const SimConfig& config,
   for (const fault::ScoreDrop& drop : config.fault.drops) check(drop.rank);
 }
 
+/// Publishes every layer's end-of-run aggregates into the registry under
+/// the stable dotted names of the docs/OBSERVABILITY.md catalog.  Counters
+/// *add* (so a crash+resume invocation accumulates across its runs);
+/// gauges describe the whole invocation so far.  The live histograms
+/// ("pfs.*.service_seconds", "mpi.message.*", "sim.sched.*") were filled
+/// during the run by the observer bridge and scheduler profiler.
+void publish_metrics(World& world,
+                     const std::vector<std::unique_ptr<App>>& groups,
+                     const RunStats& stats,
+                     const pfs::ServerStats& fs_total) {
+  obs::Registry& registry = *world.metrics;
+
+  // core.* — application-level outcome.
+  registry.gauge("core.wall_seconds").add(stats.wall_seconds);
+  registry.counter("core.output_bytes").add(stats.output_bytes);
+  registry.counter("core.db_bytes_read").add(stats.db_bytes_read);
+  registry.gauge("core.file_exact").set(stats.file_exact ? 1.0 : 0.0);
+  std::uint64_t tasks = 0;
+  std::uint64_t fragment_loads = 0;
+  std::uint64_t fragment_hits = 0;
+  for (const RankStats& rank : stats.ranks) {
+    tasks += rank.tasks_processed;
+    fragment_loads += rank.fragment_loads;
+    fragment_hits += rank.fragment_hits;
+  }
+  registry.counter("core.tasks_processed").add(tasks);
+  registry.counter("core.fragment_loads").add(fragment_loads);
+  registry.counter("core.fragment_hits").add(fragment_hits);
+  for (const Phase phase : all_phases()) {
+    // "Data Distribution" -> data_distribution, "I/O" -> io: dotted metric
+    // names stay lowercase [a-z0-9_].
+    std::string key;
+    for (const char c : std::string_view(phase_name(phase))) {
+      if (std::isalnum(static_cast<unsigned char>(c)))
+        key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      else if (c == ' ')
+        key += '_';
+    }
+    registry.gauge("core.phase." + key + "_seconds")
+        .add(stats.worker_mean_seconds(phase));
+  }
+
+  // sim.* — DES-kernel totals (the profiler's histograms ride alongside).
+  registry.counter("sim.sched.events")
+      .add(world.scheduler.events_processed());
+  registry.counter("sim.sched.finished_processes")
+      .add(world.scheduler.finished_processes());
+  registry.gauge("sim.sched.cancel_slots")
+      .set(static_cast<double>(world.scheduler.cancel_slots_allocated()));
+
+  // pfs.* — the per-server counters, aggregated (ServerStats-style
+  // hand-aggregation now feeds the registry instead of ad-hoc callers).
+  registry.counter("pfs.write.requests").add(fs_total.requests);
+  registry.counter("pfs.write.pairs").add(fs_total.pairs);
+  registry.counter("pfs.write.bytes").add(fs_total.bytes);
+  registry.counter("pfs.read.requests").add(fs_total.reads);
+  registry.counter("pfs.read.bytes").add(fs_total.read_bytes);
+  registry.counter("pfs.sync.requests").add(fs_total.syncs);
+  registry.gauge("pfs.busy_seconds").add(sim::to_seconds(fs_total.busy));
+
+  // net.* — NIC totals over every endpoint (ranks and servers).
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  sim::Time tx_busy = 0;
+  sim::Time rx_busy = 0;
+  for (std::uint32_t id = 0; id < world.network.endpoint_count(); ++id) {
+    const net::EndpointCounters& counters = world.network.counters(id);
+    sent += counters.messages_sent;
+    received += counters.messages_received;
+    bytes_sent += counters.bytes_sent;
+    bytes_received += counters.bytes_received;
+    tx_busy += counters.tx_busy;
+    rx_busy += counters.rx_busy;
+  }
+  registry.counter("net.messages_sent").add(sent);
+  registry.counter("net.messages_received").add(received);
+  registry.counter("net.bytes_sent").add(bytes_sent);
+  registry.counter("net.bytes_received").add(bytes_received);
+  registry.gauge("net.tx_busy_seconds").add(sim::to_seconds(tx_busy));
+  registry.gauge("net.rx_busy_seconds").add(sim::to_seconds(rx_busy));
+
+  // mpiio.* — collective stall, summed over every file of every group.
+  sim::Time collective_wait = 0;
+  for (const auto& app : groups) {
+    if (app->file) collective_wait += app->file->total_collective_wait();
+    if (app->database_file)
+      collective_wait += app->database_file->total_collective_wait();
+    for (const auto& [rank, file] : app->worker_files)
+      collective_wait += file->total_collective_wait();
+  }
+  registry.gauge("mpiio.collective_wait_seconds")
+      .add(sim::to_seconds(collective_wait));
+
+  // fault.* — recovery-subsystem outcome.
+  registry.counter("fault.workers_died").add(stats.faults.workers_died);
+  registry.counter("fault.workers_retired").add(stats.faults.workers_retired);
+  registry.counter("fault.tasks_reassigned")
+      .add(stats.faults.tasks_reassigned);
+  registry.counter("fault.duplicate_completions")
+      .add(stats.faults.duplicate_completions);
+  registry.counter("fault.scores_dropped").add(stats.faults.scores_dropped);
+  registry.counter("fault.repaired_bytes").add(stats.faults.repaired_bytes);
+
+  // trace.* — the drop counter is incremented live via
+  // TraceLog::attach_registry; materialize it here so drop-free (or
+  // trace-less) runs still carry an explicit zero in the manifest.
+  registry.counter("trace.intervals_dropped").add(0);
+}
+
 /// Collects run-wide statistics after the scheduler has drained.
 RunStats collect_stats(World& world, const std::vector<std::unique_ptr<App>>& groups) {
   RunStats stats;
@@ -1490,6 +1678,9 @@ RunStats collect_stats(World& world, const std::vector<std::unique_ptr<App>>& gr
   stats.fs.server_syncs = fs_total.syncs;
   stats.fs.server_busy_seconds = sim::to_seconds(fs_total.busy);
 
+  if (world.metrics != nullptr)
+    publish_metrics(world, groups, stats, fs_total);
+
   S3A_LOG_INFO(stats.summary());
   return stats;
 }
@@ -1501,6 +1692,10 @@ RunStats collect_stats(World& world, const std::vector<std::unique_ptr<App>>& gr
 // ---------------------------------------------------------------------------
 
 RunStats run_simulation(const SimConfig& config, trace::TraceLog* trace_log) {
+  return run_simulation(config, Observability{trace_log, nullptr});
+}
+
+RunStats run_simulation(const SimConfig& config, const Observability& observe) {
   S3A_REQUIRE_MSG(config.nprocs >= 2, "need a master and at least one worker");
   std::vector<mpi::Rank> workers;
   for (mpi::Rank rank = 1; rank < config.nprocs; ++rank)
@@ -1508,7 +1703,7 @@ RunStats run_simulation(const SimConfig& config, trace::TraceLog* trace_log) {
   validate_fault_plan(config, {workers.begin(), workers.end()});
 
   World world(config, config.nprocs);
-  world.trace_log = trace_log;
+  world.attach_observability(observe);
   std::vector<std::uint32_t> queries;
   for (std::uint32_t q = 0; q < config.workload.query_count; ++q)
     queries.push_back(q);
@@ -1516,7 +1711,7 @@ RunStats run_simulation(const SimConfig& config, trace::TraceLog* trace_log) {
   std::vector<std::unique_ptr<App>> groups;
   groups.push_back(
       std::make_unique<App>(world, 0, std::move(workers), std::move(queries)));
-  groups.back()->trace_log = trace_log;
+  groups.back()->trace_log = observe.trace_log;
   launch_group(*groups.back());
 
   world.scheduler.run();
@@ -1529,6 +1724,11 @@ RunStats run_simulation(const SimConfig& config, trace::TraceLog* trace_log) {
 
 ResumeOutcome run_with_resume(const SimConfig& config,
                               trace::TraceLog* trace_log) {
+  return run_with_resume(config, Observability{trace_log, nullptr});
+}
+
+ResumeOutcome run_with_resume(const SimConfig& config,
+                              const Observability& observe) {
   ResumeOutcome outcome;
 
   // The run that (possibly) crashes: the configured plan minus the crash
@@ -1538,7 +1738,7 @@ ResumeOutcome run_with_resume(const SimConfig& config,
   SimConfig base = config;
   const sim::Time crash_at = config.fault.crash_at;
   base.fault.crash_at = fault::kNever;
-  outcome.full = run_simulation(base, trace_log);
+  outcome.full = run_simulation(base, observe);
 
   if (crash_at == fault::kNever ||
       sim::to_seconds(crash_at) >= outcome.full.wall_seconds) {
@@ -1568,6 +1768,7 @@ ResumeOutcome run_with_resume(const SimConfig& config,
     tail.fault = fault::FaultPlan{};
 
     World world(tail, tail.nprocs);
+    world.attach_observability(observe);
     std::vector<mpi::Rank> workers;
     for (mpi::Rank rank = 1; rank < tail.nprocs; ++rank)
       workers.push_back(rank);
@@ -1593,6 +1794,12 @@ ResumeOutcome run_with_resume(const SimConfig& config,
 
 RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
                                trace::TraceLog* trace_log) {
+  return run_hybrid_simulation(config, groups,
+                               Observability{trace_log, nullptr});
+}
+
+RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
+                               const Observability& observe) {
   S3A_REQUIRE_MSG(groups >= 1, "need at least one group");
   S3A_REQUIRE_MSG(config.nprocs % groups == 0,
                   "nprocs must be divisible by the group count");
@@ -1607,7 +1814,7 @@ RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
   validate_fault_plan(config, all_workers);
 
   World world(config, config.nprocs);
-  world.trace_log = trace_log;
+  world.attach_observability(observe);
 
   std::vector<std::unique_ptr<App>> apps;
   for (std::uint32_t g = 0; g < groups; ++g) {
@@ -1621,7 +1828,7 @@ RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
       queries.push_back(q);
     apps.push_back(std::make_unique<App>(world, base, std::move(workers),
                                          std::move(queries)));
-    apps.back()->trace_log = trace_log;
+    apps.back()->trace_log = observe.trace_log;
   }
   for (const auto& app : apps) launch_group(*app);
 

@@ -9,9 +9,28 @@
 #include "core/config.hpp"
 #include "core/stats.hpp"
 #include "core/workload.hpp"
+#include "obs/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace s3asim::core {
+
+/// Observability sinks for one run; both optional and host-side only —
+/// attaching them never perturbs simulated time or event order, so traced/
+/// metered runs produce bit-identical results (DESIGN.md §8).
+///
+///  * `trace_log` — phase intervals, PFS request spans, MPI flow events,
+///    fault/retirement markers (export: CSV, Gantt, Chrome trace JSON).
+///  * `metrics`   — the dotted-name registry every layer publishes into
+///    (live service-time/message histograms + end-of-run aggregates; see
+///    docs/OBSERVABILITY.md for the catalog).
+struct Observability {
+  trace::TraceLog* trace_log = nullptr;
+  obs::Registry* metrics = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return trace_log != nullptr || metrics != nullptr;
+  }
+};
 
 /// Runs one simulation to completion.
 ///
@@ -24,6 +43,10 @@ namespace s3asim::core {
 [[nodiscard]] RunStats run_simulation(const SimConfig& config,
                                       trace::TraceLog* trace_log = nullptr);
 
+/// As above, with full observability sinks (trace + metrics registry).
+[[nodiscard]] RunStats run_simulation(const SimConfig& config,
+                                      const Observability& observe);
+
 /// Hybrid query/database segmentation (§5 future work): the ranks are split
 /// into `groups` independent master/worker teams sharing the cluster and
 /// the file system; the queries are divided round-robin across teams
@@ -35,6 +58,11 @@ namespace s3asim::core {
 [[nodiscard]] RunStats run_hybrid_simulation(const SimConfig& config,
                                              std::uint32_t groups,
                                              trace::TraceLog* trace_log = nullptr);
+
+/// As above, with full observability sinks.
+[[nodiscard]] RunStats run_hybrid_simulation(const SimConfig& config,
+                                             std::uint32_t groups,
+                                             const Observability& observe);
 
 /// Result of a crash/resume experiment (`config.fault.crash_at`).
 struct ResumeOutcome {
@@ -55,5 +83,10 @@ struct ResumeOutcome {
 /// clean restart.
 [[nodiscard]] ResumeOutcome run_with_resume(const SimConfig& config,
                                             trace::TraceLog* trace_log = nullptr);
+
+/// As above, with full observability sinks (counters accumulate across the
+/// crashed attempt and the resumed tail).
+[[nodiscard]] ResumeOutcome run_with_resume(const SimConfig& config,
+                                            const Observability& observe);
 
 }  // namespace s3asim::core

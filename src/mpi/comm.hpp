@@ -29,6 +29,20 @@
 
 namespace s3asim::mpi {
 
+/// Per-message observability hook: fires once per delivered message, after
+/// the wire transfer completes (at matching time, whether or not a receive
+/// was already posted).  `sent` is the isend call time, `received` the
+/// arrival at the destination NIC.  Implemented by the core observer bridge
+/// (flow events + message histograms); with no observer attached delivery
+/// is unchanged.
+class MessageObserver {
+ public:
+  virtual ~MessageObserver() = default;
+  virtual void on_message_delivered(Rank src, Rank dst, Tag tag,
+                                    std::uint64_t bytes, sim::Time sent,
+                                    sim::Time received) = 0;
+};
+
 class Comm {
  public:
   /// Ranks map to network endpoints [endpoint_base, endpoint_base + size).
@@ -145,6 +159,11 @@ class Comm {
     return endpoint_base_ + rank;
   }
 
+  /// Attaches (or detaches, with nullptr) the per-message observer.
+  void set_observer(MessageObserver* observer) noexcept {
+    observer_ = observer;
+  }
+
  private:
   struct PostedRecv {
     Rank source;
@@ -180,7 +199,11 @@ class Comm {
 
   sim::Process deliver(Rank src, Rank dst, Tag tag, std::uint64_t bytes,
                        Payload payload, Request request) {
+    const sim::Time sent = scheduler_->now();
     co_await network_->transfer(endpoint_of(src), endpoint_of(dst), bytes);
+    if (observer_ != nullptr)
+      observer_->on_message_delivered(src, dst, tag, bytes, sent,
+                                      scheduler_->now());
     Message message{.source = src, .tag = tag, .bytes = bytes,
                     .payload = std::move(payload)};
     Mailbox& box = mailboxes_[dst];
@@ -203,6 +226,7 @@ class Comm {
   net::Network* network_;
   Rank size_;
   net::EndpointId endpoint_base_;
+  MessageObserver* observer_ = nullptr;
   sim::Barrier barrier_;
   std::vector<Mailbox> mailboxes_;
 };

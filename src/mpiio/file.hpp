@@ -167,6 +167,14 @@ class File {
     return wait_time_[slot_of(rank)];
   }
 
+  /// Sum of collective stall time across every participant — what the core
+  /// layer publishes as `mpiio.collective_wait_seconds` (observability).
+  [[nodiscard]] sim::Time total_collective_wait() const noexcept {
+    sim::Time total = 0;
+    for (const sim::Time wait : wait_time_) total += wait;
+    return total;
+  }
+
   [[nodiscard]] const pfs::FileImage& image() const { return fs_->image(handle_); }
 
  private:

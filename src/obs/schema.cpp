@@ -1,0 +1,122 @@
+#include "obs/schema.hpp"
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace s3asim::obs {
+namespace {
+
+using util::JsonValue;
+
+void check_number_member(const JsonValue& object, const std::string& key,
+                         const std::string& where,
+                         std::vector<std::string>& errors) {
+  if (!object.contains(key) || !object.at(key).is_number())
+    errors.push_back(where + ": missing numeric \"" + key + "\"");
+}
+
+void check_string_member(const JsonValue& object, const std::string& key,
+                         const std::string& where,
+                         std::vector<std::string>& errors) {
+  if (!object.contains(key) || !object.at(key).is_string())
+    errors.push_back(where + ": missing string \"" + key + "\"");
+}
+
+void validate_event(const JsonValue& event, std::size_t index,
+                    std::vector<std::string>& errors) {
+  const std::string where = "traceEvents[" + std::to_string(index) + "]";
+  if (!event.is_object()) {
+    errors.push_back(where + ": not an object");
+    return;
+  }
+  check_string_member(event, "ph", where, errors);
+  check_string_member(event, "name", where, errors);
+  check_number_member(event, "pid", where, errors);
+  check_number_member(event, "tid", where, errors);
+  check_number_member(event, "ts", where, errors);
+  if (!event.contains("ph") || !event.at("ph").is_string()) return;
+  const std::string& ph = event.at("ph").as_string();
+  if (ph == "X") {
+    check_number_member(event, "dur", where, errors);
+    if (event.contains("dur") && event.at("dur").is_number() &&
+        event.at("dur").as_number() < 0.0)
+      errors.push_back(where + ": negative \"dur\"");
+  } else if (ph == "s" || ph == "f") {
+    if (!event.contains("id"))
+      errors.push_back(where + ": flow event without \"id\"");
+  } else if (ph == "M") {
+    if (!event.contains("args") || !event.at("args").is_object() ||
+        !event.at("args").contains("name"))
+      errors.push_back(where + ": metadata record without args.name");
+  } else if (ph != "i") {
+    errors.push_back(where + ": unexpected phase \"" + ph + "\"");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_chrome_trace(const JsonValue& root) {
+  std::vector<std::string> errors;
+  if (!root.is_object()) {
+    errors.push_back("document: not an object");
+    return errors;
+  }
+  if (!root.contains("traceEvents") || !root.at("traceEvents").is_array()) {
+    errors.push_back("document: missing \"traceEvents\" array");
+    return errors;
+  }
+  const auto& events = root.at("traceEvents").items();
+  for (std::size_t i = 0; i < events.size(); ++i)
+    validate_event(events[i], i, errors);
+  return errors;
+}
+
+std::vector<std::string> validate_metrics_manifest(const JsonValue& root) {
+  std::vector<std::string> errors;
+  if (!root.is_object()) {
+    errors.push_back("document: not an object");
+    return errors;
+  }
+  if (!root.contains("schema") || !root.at("schema").is_string() ||
+      root.at("schema").as_string() != kMetricsSchemaName)
+    errors.push_back(std::string("document: \"schema\" must be \"") +
+                     kMetricsSchemaName + "\"");
+  if (!root.contains("run") || !root.at("run").is_object())
+    errors.push_back("document: missing \"run\" object");
+  if (!root.contains("trace") || !root.at("trace").is_object() ||
+      !root.at("trace").contains("intervals_dropped") ||
+      !root.at("trace").at("intervals_dropped").is_number())
+    errors.push_back(
+        "document: missing \"trace\" object with numeric "
+        "\"intervals_dropped\"");
+  if (!root.contains("metrics") || !root.at("metrics").is_object()) {
+    errors.push_back("document: missing \"metrics\" object");
+    return errors;
+  }
+  const JsonValue& metrics = root.at("metrics");
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (!metrics.contains(section) || !metrics.at(section).is_object()) {
+      errors.push_back(std::string("metrics: missing \"") + section +
+                       "\" object");
+      continue;
+    }
+    for (const auto& [name, value] : metrics.at(section).members()) {
+      const std::string where = std::string(section) + "." + name;
+      if (std::string(section) == "histograms") {
+        if (!value.is_object()) {
+          errors.push_back(where + ": not an object");
+          continue;
+        }
+        for (const char* field :
+             {"count", "sum", "mean", "min", "max", "p50", "p95", "p99"})
+          check_number_member(value, field, where, errors);
+      } else if (!value.is_number()) {
+        errors.push_back(where + ": not a number");
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace s3asim::obs

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file schema.hpp
+/// Schema validation for the two observability export formats:
+///
+///  * Chrome-trace-event JSON (`--trace-json`, `TraceLog::export_chrome_json`)
+///    — checked against the subset of the trace-event format the exporter
+///    emits (phase slices, instants, flow events, metadata records);
+///  * the per-run metrics manifest (`--metrics-json`) — checked for the
+///    `s3asim-metrics-v1` layout the registry serializes.
+///
+/// Validators return a list of human-readable violations (empty = valid);
+/// tests and the `obs_validate` tool share them, so the schema the docs
+/// describe is the schema CI enforces.
+
+#include <string>
+#include <vector>
+
+namespace s3asim::util {
+class JsonValue;
+}
+
+namespace s3asim::obs {
+
+/// Manifest format identifier written by the CLI and expected by the
+/// validator.
+inline constexpr char kMetricsSchemaName[] = "s3asim-metrics-v1";
+
+/// Validates a parsed Chrome-trace document.  Checks: top-level object with
+/// a "traceEvents" array; every event has string "ph"/"name" and numeric
+/// "pid"/"tid"/"ts"; "X" slices carry a non-negative "dur"; "s"/"f" flow
+/// events carry an "id"; "M" metadata records carry args.name.
+[[nodiscard]] std::vector<std::string> validate_chrome_trace(
+    const util::JsonValue& root);
+
+/// Validates a parsed metrics manifest: schema tag, run section, trace
+/// section (with intervals_dropped), and a metrics object whose histogram
+/// entries each carry count/sum/mean/min/max/p50/p95/p99.
+[[nodiscard]] std::vector<std::string> validate_metrics_manifest(
+    const util::JsonValue& root);
+
+}  // namespace s3asim::obs

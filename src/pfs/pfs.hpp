@@ -85,6 +85,21 @@ struct ServerStats {
   }
 };
 
+/// Per-request observability hook: `on_request_serviced` fires once per
+/// serviced server request, after its service interval elapsed.  `kind` is
+/// 'w' (write), 'r' (read), or 's' (sync); `[start, end)` is the service
+/// interval in simulated time.  Implemented by the core observer bridge
+/// (trace spans + service-time histograms); the PFS itself stays free of
+/// trace/metrics dependencies, and with no observer attached the service
+/// path is unchanged.
+class RequestObserver {
+ public:
+  virtual ~RequestObserver() = default;
+  virtual void on_request_serviced(std::uint32_t server, char kind,
+                                   std::uint64_t pairs, std::uint64_t bytes,
+                                   sim::Time start, sim::Time end) = 0;
+};
+
 class Pfs {
  public:
   /// Servers occupy network endpoints [server_endpoint_base,
@@ -261,6 +276,11 @@ class Pfs {
     ServerStats total;
     for (const auto& server : servers_) total += server->stats;
     return total;
+  }
+
+  /// Attaches (or detaches, with nullptr) the per-request observer.
+  void set_observer(RequestObserver* observer) noexcept {
+    observer_ = observer;
   }
 
   /// Bytes read from a file so far (query-segmentation database streaming).
@@ -477,7 +497,15 @@ class Pfs {
       const double factor =
           server.faults.empty() ? 1.0 : co_await apply_degradations(server);
       const sim::Time service = account_request(server, *request, factor);
+      const sim::Time start = scheduler_->now();
       co_await scheduler_->delay(service);
+      if (observer_ != nullptr) {
+        const char kind =
+            request->is_sync ? 's' : (request->is_read ? 'r' : 'w');
+        observer_->on_request_serviced(index, kind, request->pairs,
+                                       request->bytes, start,
+                                       scheduler_->now());
+      }
       request->done->open();
     }
   }
@@ -486,6 +514,7 @@ class Pfs {
   net::Network* network_;
   PfsParams params_;
   net::EndpointId server_endpoint_base_;
+  RequestObserver* observer_ = nullptr;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<FileState>> files_;
   /// Pool of extent-decomposition scratches (stable addresses; leases hand

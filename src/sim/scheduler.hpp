@@ -6,6 +6,7 @@
 /// through this queue, which orders events by (time, insertion sequence) —
 /// FIFO among simultaneous events — so runs are fully deterministic.
 
+#include <chrono>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
@@ -14,6 +15,13 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "util/require.hpp"
+
+namespace s3asim::obs {
+class Registry;
+class Counter;
+class Histogram;
+class Gauge;
+}  // namespace s3asim::obs
 
 namespace s3asim::sim {
 
@@ -124,6 +132,17 @@ class Scheduler {
     return events_;
   }
 
+  /// Arms the DES-kernel profiler: every `sample_every` resumptions the run
+  /// loop records the event-queue depth, the host-clock per-event pop
+  /// latency, and the frame-pool occupancy into `registry` under the
+  /// "sim.sched.*" / "sim.frame_pool.*" names (docs/OBSERVABILITY.md).
+  /// Samples read host time only — simulated time and event order are
+  /// untouched, so profiled runs stay bit-identical.  When detached
+  /// (default) the run loop pays a single predicted-not-taken branch per
+  /// event.  Pass nullptr to detach.
+  void attach_profiler(obs::Registry* registry,
+                       std::uint64_t sample_every = 1024);
+
   /// Awaitable: suspend the current coroutine for `duration` sim-time.
   struct DelayAwaiter {
     Scheduler& scheduler;
@@ -159,6 +178,10 @@ class Scheduler {
            cancel_gens_[event.cancel_slot] != event.cancel_gen;
   }
 
+  /// Records one profiler sample and re-arms the countdown (out of line —
+  /// the run loop only pays the countdown branch).
+  void profile_sample();
+
   EventQueue queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -168,6 +191,17 @@ class Scheduler {
   std::exception_ptr first_error_{};
   std::vector<std::uint32_t> cancel_gens_;   ///< slot -> current generation
   std::vector<std::uint32_t> free_slots_;    ///< released slot indices
+
+  // Profiler state (inert unless attach_profiler armed it).
+  std::uint64_t prof_every_ = 0;       ///< 0 = detached
+  std::uint64_t prof_countdown_ = 0;   ///< events until the next sample
+  obs::Histogram* prof_queue_depth_ = nullptr;
+  obs::Histogram* prof_pop_seconds_ = nullptr;
+  obs::Gauge* prof_pool_live_ = nullptr;
+  obs::Gauge* prof_pool_reused_ = nullptr;
+  obs::Gauge* prof_pool_slab_bytes_ = nullptr;
+  obs::Counter* prof_samples_ = nullptr;
+  std::chrono::steady_clock::time_point prof_last_{};
 };
 
 }  // namespace s3asim::sim

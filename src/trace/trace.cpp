@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/require.hpp"
 #include "util/units.hpp"
 
@@ -13,10 +17,14 @@ namespace s3asim::trace {
 
 std::vector<std::pair<std::string, sim::Time>> TraceLog::totals_for_rank(
     std::uint32_t rank) const {
-  std::map<std::string, sim::Time> totals;
+  std::map<std::string_view, sim::Time> totals;
   for (const Interval& interval : intervals_)
     if (interval.rank == rank) totals[interval.category] += interval.duration();
-  return {totals.begin(), totals.end()};
+  std::vector<std::pair<std::string, sim::Time>> out;
+  out.reserve(totals.size());
+  for (const auto& [category, total] : totals)
+    out.emplace_back(std::string(category), total);
+  return out;
 }
 
 std::string TraceLog::render_gantt(unsigned width) const {
@@ -33,7 +41,7 @@ std::string TraceLog::render_gantt(unsigned width) const {
 
   // Assign each category a glyph: its first letter if free, otherwise any
   // later letter of the name, otherwise a palette character.
-  std::map<std::string, char> glyphs;
+  std::map<std::string_view, char> glyphs;
   std::string used;
   const std::string palette = "*+=@%&$!0123456789";
   for (const Interval& interval : intervals_) {
@@ -70,7 +78,7 @@ std::string TraceLog::render_gantt(unsigned width) const {
 
   for (std::uint32_t rank = 0; rank <= max_rank; ++rank) {
     // For each column pick the category with the most coverage.
-    std::vector<std::map<std::string, sim::Time>> columns(width);
+    std::vector<std::map<std::string_view, sim::Time>> columns(width);
     bool any = false;
     for (const Interval& interval : intervals_) {
       if (interval.rank != rank) continue;
@@ -111,10 +119,160 @@ void TraceLog::export_csv(const std::string& path) const {
   util::CsvWriter csv(path);
   csv.write_row({"rank", "category", "start_s", "end_s"});
   for (const Interval& interval : intervals_) {
-    csv.write_row({std::to_string(interval.rank), interval.category,
+    csv.write_row({std::to_string(interval.rank),
+                   std::string(interval.category),
                    util::format_fixed(sim::to_seconds(interval.start), 9),
                    util::format_fixed(sim::to_seconds(interval.end), 9)});
   }
+}
+
+namespace {
+
+/// Chrome-trace process ids: one synthetic process for the MPI ranks, one
+/// for the PFS servers (tid = rank / server index respectively).
+constexpr std::int64_t kPidRanks = 1;
+constexpr std::int64_t kPidServers = 2;
+
+constexpr double to_us(sim::Time t) noexcept {
+  return static_cast<double>(t) / 1000.0;  // ns -> us, the format's unit
+}
+
+void event_common(util::JsonWriter& json, const char* ph, std::int64_t pid,
+                  std::int64_t tid, double ts, std::string_view name,
+                  const char* cat) {
+  json.begin_object();
+  json.key("ph");
+  json.value(ph);
+  json.key("pid");
+  json.value(pid);
+  json.key("tid");
+  json.value(tid);
+  json.key("ts");
+  json.value(ts);
+  json.key("name");
+  json.value(std::string(name));
+  json.key("cat");
+  json.value(cat);
+}
+
+void metadata_record(util::JsonWriter& json, const char* which,
+                     std::int64_t pid, std::int64_t tid,
+                     const std::string& label) {
+  event_common(json, "M", pid, tid, 0.0, which, "__metadata");
+  json.key("args");
+  json.begin_object();
+  json.key("name");
+  json.value(label);
+  json.end_object();
+  json.end_object();
+}
+
+const char* span_name(char kind) noexcept {
+  switch (kind) {
+    case 'r': return "read";
+    case 's': return "sync";
+    default: return "write";
+  }
+}
+
+}  // namespace
+
+std::string TraceLog::chrome_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit");
+  json.value("ms");
+  json.key("traceEvents");
+  json.begin_array();
+
+  // Metadata: name the two synthetic processes and their threads.
+  metadata_record(json, "process_name", kPidRanks, 0, "MPI ranks");
+  metadata_record(json, "process_name", kPidServers, 0, "PFS servers");
+  std::set<std::uint32_t> ranks;
+  for (const Interval& interval : intervals_) ranks.insert(interval.rank);
+  for (const Flow& flow : flows_) {
+    ranks.insert(flow.src);
+    ranks.insert(flow.dst);
+  }
+  for (const std::uint32_t rank : ranks)
+    metadata_record(json, "thread_name", kPidRanks, rank,
+                    "rank " + std::to_string(rank));
+  std::set<std::uint32_t> servers;
+  for (const Span& span : spans_) servers.insert(span.server);
+  for (const std::uint32_t server : servers)
+    metadata_record(json, "thread_name", kPidServers, server,
+                    "server " + std::to_string(server));
+
+  // Per-rank phase intervals: "X" complete slices; zero-length records
+  // (fault markers, retirements) become "i" instants.
+  for (const Interval& interval : intervals_) {
+    if (interval.duration() > 0) {
+      event_common(json, "X", kPidRanks, interval.rank, to_us(interval.start),
+                   interval.category, "phase");
+      json.key("dur");
+      json.value(to_us(interval.duration()));
+      json.end_object();
+    } else {
+      event_common(json, "i", kPidRanks, interval.rank, to_us(interval.start),
+                   interval.category, "marker");
+      json.key("s");
+      json.value("t");  // thread-scoped instant
+      json.end_object();
+    }
+  }
+
+  // Per-request PFS service spans on the server process.
+  for (const Span& span : spans_) {
+    event_common(json, "X", kPidServers, span.server, to_us(span.start),
+                 span_name(span.kind), "pfs");
+    json.key("dur");
+    json.value(to_us(span.end - span.start));
+    json.key("args");
+    json.begin_object();
+    json.key("pairs");
+    json.value(span.pairs);
+    json.key("bytes");
+    json.value(span.bytes);
+    json.end_object();
+    json.end_object();
+  }
+
+  // MPI message flows: a start ("s") on the sender thread bound to a finish
+  // ("f") on the receiver thread via a shared id.
+  std::uint64_t flow_id = 0;
+  for (const Flow& flow : flows_) {
+    const std::string id = std::to_string(flow_id++);
+    event_common(json, "s", kPidRanks, flow.src, to_us(flow.sent), "msg",
+                 "mpi");
+    json.key("id");
+    json.value(id);
+    json.key("args");
+    json.begin_object();
+    json.key("tag");
+    json.value(static_cast<std::int64_t>(flow.tag));
+    json.key("bytes");
+    json.value(flow.bytes);
+    json.end_object();
+    json.end_object();
+    event_common(json, "f", kPidRanks, flow.dst, to_us(flow.received), "msg",
+                 "mpi");
+    json.key("id");
+    json.value(id);
+    json.key("bp");
+    json.value("e");  // bind to enclosing slice
+    json.end_object();
+  }
+
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void TraceLog::export_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace to " + path);
+  out << chrome_json() << '\n';
+  if (!out) throw std::runtime_error("failed writing trace to " + path);
 }
 
 }  // namespace s3asim::trace

@@ -3,44 +3,123 @@
 /// \file trace.hpp
 /// Execution tracing — the MPE/Jumpshot substitute (paper §3: S3aSim
 /// integrates with MPE and Jumpshot for debugging).  Phase intervals are
-/// recorded per rank and can be rendered as a text Gantt chart or exported
-/// as CSV for external plotting.
+/// recorded per rank and can be rendered as a text Gantt chart, exported as
+/// CSV for external plotting, or exported as Chrome-trace-event JSON for
+/// Perfetto / `chrome://tracing` (docs/OBSERVABILITY.md).  Beyond phase
+/// intervals the log also carries per-request PFS service spans and MPI
+/// message flow events, so a traced run shows *why* a strategy wins: which
+/// server was busy, which rank was waiting on which message.
 
 #include <cstdint>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace s3asim::trace {
 
 struct Interval {
   std::uint32_t rank = 0;
-  std::string category;   ///< phase name or custom label
+  std::string_view category;  ///< phase name or custom label, interned by
+                              ///< the owning TraceLog (stable until clear())
   sim::Time start = 0;
   sim::Time end = 0;
 
   [[nodiscard]] sim::Time duration() const noexcept { return end - start; }
 };
 
+/// One serviced PFS request (strip-level write/read/sync), attributed to
+/// the server that serviced it.
+struct Span {
+  std::uint32_t server = 0;
+  char kind = 'w';  ///< 'w' write, 'r' read, 's' sync
+  std::uint64_t pairs = 0;
+  std::uint64_t bytes = 0;
+  sim::Time start = 0;
+  sim::Time end = 0;
+};
+
+/// One delivered MPI message: send-side departure and receive-side arrival.
+struct Flow {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::int32_t tag = 0;
+  std::uint64_t bytes = 0;
+  sim::Time sent = 0;
+  sim::Time received = 0;
+};
+
 class TraceLog {
  public:
-  void record(std::uint32_t rank, std::string category, sim::Time start,
+  void record(std::uint32_t rank, std::string_view category, sim::Time start,
               sim::Time end) {
-    if (end < start) return;  // clock misuse; drop rather than corrupt
-    intervals_.push_back(Interval{rank, std::move(category), start, end});
+    if (end < start) {
+      // Clock misuse: drop rather than corrupt, but never silently — the
+      // count surfaces in the run manifest (trace.intervals_dropped).
+      ++dropped_;
+      if (drop_counter_ != nullptr) drop_counter_->add(1);
+      return;
+    }
+    intervals_.push_back(Interval{rank, intern(category), start, end});
   }
 
   /// Zero-length marker (e.g. a worker death or a retirement decision).
-  void event(std::uint32_t rank, std::string category, sim::Time at) {
-    record(rank, std::move(category), at, at);
+  void event(std::uint32_t rank, std::string_view category, sim::Time at) {
+    record(rank, category, at, at);
+  }
+
+  /// PFS request span (recorded by the core observer bridge).
+  void span(std::uint32_t server, char kind, std::uint64_t pairs,
+            std::uint64_t bytes, sim::Time start, sim::Time end) {
+    if (end < start) {
+      ++dropped_;
+      if (drop_counter_ != nullptr) drop_counter_->add(1);
+      return;
+    }
+    spans_.push_back(Span{server, kind, pairs, bytes, start, end});
+  }
+
+  /// MPI message flow event (send departure -> receive arrival).
+  void flow(std::uint32_t src, std::uint32_t dst, std::int32_t tag,
+            std::uint64_t bytes, sim::Time sent, sim::Time received) {
+    if (received < sent) {
+      ++dropped_;
+      if (drop_counter_ != nullptr) drop_counter_->add(1);
+      return;
+    }
+    flows_.push_back(Flow{src, dst, tag, bytes, sent, received});
+  }
+
+  /// Mirrors every future drop into `registry`'s "trace.intervals_dropped"
+  /// counter (pass nullptr to detach).
+  void attach_registry(obs::Registry* registry) {
+    drop_counter_ = registry != nullptr
+                        ? &registry->counter("trace.intervals_dropped")
+                        : nullptr;
   }
 
   [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
     return intervals_;
   }
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<Flow>& flows() const noexcept {
+    return flows_;
+  }
   [[nodiscard]] std::size_t size() const noexcept { return intervals_.size(); }
-  void clear() noexcept { intervals_.clear(); }
+  /// Records rejected for running backwards in time (end < start).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear() noexcept {
+    intervals_.clear();
+    spans_.clear();
+    flows_.clear();
+    categories_.clear();
+    dropped_ = 0;
+  }
 
   /// Total time per (rank, category).
   [[nodiscard]] std::vector<std::pair<std::string, sim::Time>> totals_for_rank(
@@ -53,8 +132,34 @@ class TraceLog {
   /// Writes "rank,category,start_s,end_s" rows.
   void export_csv(const std::string& path) const;
 
+  /// Serializes the full log as Chrome-trace-event JSON: pid 1 = MPI ranks
+  /// (one thread per rank; phase intervals as "X" slices, zero-length
+  /// markers as "i" instants, message flows as "s"/"f" pairs), pid 2 = PFS
+  /// servers (request spans as "X" slices with pairs/bytes args).
+  /// Timestamps are microseconds, as the format requires.  See
+  /// docs/OBSERVABILITY.md for the schema.
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// `chrome_json()` to a file; throws std::runtime_error on I/O failure.
+  void export_chrome_json(const std::string& path) const;
+
  private:
+  /// Interns `category` and returns a view into the pool.  There are only a
+  /// handful of category names per run (the phase names plus fault markers),
+  /// so intervals stay allocation-free on the hot path — a node-based set
+  /// keeps the backing strings' addresses stable across inserts.
+  std::string_view intern(std::string_view category) {
+    const auto it = categories_.find(category);
+    if (it != categories_.end()) return *it;
+    return *categories_.emplace(category).first;
+  }
+
   std::vector<Interval> intervals_;
+  std::vector<Span> spans_;
+  std::vector<Flow> flows_;
+  std::set<std::string, std::less<>> categories_;
+  std::uint64_t dropped_ = 0;
+  obs::Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace s3asim::trace

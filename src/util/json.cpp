@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace s3asim::util {
@@ -103,6 +104,302 @@ std::string JsonWriter::str() const {
   if (!stack_.empty())
     throw std::logic_error("JsonWriter: unbalanced containers at str()");
   return out_.str();
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t at, const std::string& what) {
+  throw std::runtime_error("json parse error at byte " + std::to_string(at) +
+                           ": " + what);
+}
+
+}  // namespace
+
+/// Recursive-descent parser over a string_view; depth-limited so malformed
+/// deeply-nested input cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) parse_fail(pos_, "trailing content");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) parse_fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      parse_fail(pos_, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) parse_fail(pos_, "nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    JsonValue value;
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        value.kind_ = JsonValue::Kind::String;
+        value.string_ = parse_string();
+        return value;
+      case 't':
+        if (!consume_literal("true")) parse_fail(pos_, "invalid literal");
+        value.kind_ = JsonValue::Kind::Bool;
+        value.bool_ = true;
+        return value;
+      case 'f':
+        if (!consume_literal("false")) parse_fail(pos_, "invalid literal");
+        value.kind_ = JsonValue::Kind::Bool;
+        value.bool_ = false;
+        return value;
+      case 'n':
+        if (!consume_literal("null")) parse_fail(pos_, "invalid literal");
+        value.kind_ = JsonValue::Kind::Null;
+        return value;
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::Object;
+    expect('{');
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      skip_whitespace();
+      const std::size_t key_at = pos_;
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      if (!value.object_.emplace(std::move(key), parse_value(depth + 1))
+               .second)
+        parse_fail(key_at, "duplicate object key");
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::Array;
+    expect('[');
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      value.array_.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) parse_fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        parse_fail(pos_ - 1, "raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) parse_fail(pos_, "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // Surrogate pair.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              parse_fail(pos_, "unpaired surrogate");
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+              parse_fail(pos_, "invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          parse_fail(pos_ - 1, "invalid escape character");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) parse_fail(pos_, "truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else parse_fail(pos_ - 1, "invalid hex digit");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) parse_fail(start, "expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    // JSON forbids leading zeros ("01") and a bare minus sign.
+    const std::size_t digits = token[0] == '-' ? 1 : 0;
+    if (token.size() == digits) parse_fail(start, "malformed number");
+    if (token[digits] == '0' && token.size() > digits + 1 &&
+        token[digits + 1] >= '0' && token[digits + 1] <= '9')
+      parse_fail(start, "leading zero in number");
+    char* end = nullptr;
+    const double number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size())
+      parse_fail(start, "malformed number");
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::Number;
+    value.number_ = number;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) throw std::runtime_error("json: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) throw std::runtime_error("json: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) throw std::runtime_error("json: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) throw std::runtime_error("json: not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::members() const {
+  if (kind_ != Kind::Object) throw std::runtime_error("json: not an object");
+  return object_;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  return kind_ == Kind::Object && object_.contains(key);
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto it = members().find(key);
+  if (it == object_.end())
+    throw std::runtime_error("json: missing key \"" + key + "\"");
+  return it->second;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  const auto& elements = items();
+  if (index >= elements.size())
+    throw std::runtime_error("json: array index out of range");
+  return elements[index];
+}
+
+std::size_t JsonValue::size() const noexcept {
+  if (kind_ == Kind::Array) return array_.size();
+  if (kind_ == Kind::Object) return object_.size();
+  return 0;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
 }
 
 std::string JsonWriter::escape(const std::string& text) {

@@ -1,13 +1,17 @@
 #pragma once
 
 /// \file json.hpp
-/// A minimal JSON *writer* (no parsing): enough to export run statistics
-/// for external tooling.  Produces deterministic, valid JSON with escaped
-/// strings and locale-independent numbers.
+/// A minimal JSON writer *and* parser: the writer exports run statistics,
+/// traces, and metric manifests for external tooling; the parser reads
+/// them back for schema validation (tests, `obs_validate`).  Both are
+/// deterministic and locale-independent.
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace s3asim::util {
@@ -60,5 +64,62 @@ class JsonWriter {
   std::vector<bool> has_items_;
   bool pending_key_ = false;
 };
+
+/// Parsed JSON document node.  Numbers are held as doubles (sufficient for
+/// the self-produced documents this parser exists to validate); objects
+/// keep their members in sorted key order.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array elements (throws unless is_array()).
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  /// Object members (throws unless is_object()).
+  [[nodiscard]] const std::map<std::string, JsonValue>& members() const;
+
+  /// Object member lookup; `at` throws when missing.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// Array element lookup; throws when out of range.
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  /// Element/member count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  friend JsonValue parse_json(std::string_view text);
+  friend class JsonParser;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed).  Throws
+/// std::runtime_error with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace s3asim::util

@@ -1,0 +1,157 @@
+/// Zero-perturbation contract of the observability layer (DESIGN.md §8):
+/// attaching a TraceLog and/or metrics Registry must not change a single
+/// bit of a run's results.  Every comparison here is on the full RunStats
+/// JSON dump (and on actual bench CSV bytes), not on summaries.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/simulation.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace s3asim;
+using namespace s3asim::core;
+
+constexpr Strategy kAllStrategies[] = {Strategy::MW, Strategy::WWPosix,
+                                       Strategy::WWList, Strategy::WWColl,
+                                       Strategy::WWCollList};
+
+/// One run with full observability attached (trace + metrics + profiler).
+RunStats run_observed(const SimConfig& config, trace::TraceLog* trace_log,
+                      obs::Registry* registry) {
+  const Observability observe{trace_log, registry};
+  return run_simulation(config, observe);
+}
+
+TEST(ObservabilityDeterminismTest, StatsIdenticalWithAndWithoutSinks) {
+  for (const Strategy strategy : kAllStrategies) {
+    for (const bool sync : {false, true}) {
+      auto config = test_config();
+      config.strategy = strategy;
+      config.query_sync = sync;
+      const std::string bare = run_simulation(config).to_json();
+      trace::TraceLog trace_log;
+      obs::Registry registry;
+      const std::string observed =
+          run_observed(config, &trace_log, &registry).to_json();
+      EXPECT_EQ(bare, observed)
+          << "strategy " << strategy_name(strategy) << " sync " << sync;
+      EXPECT_GT(trace_log.size(), 0u);
+      EXPECT_GT(trace_log.spans().size(), 0u);
+      EXPECT_GT(trace_log.flows().size(), 0u);
+      EXPECT_EQ(trace_log.dropped(), 0u);
+    }
+  }
+}
+
+TEST(ObservabilityDeterminismTest, MetricsOnlyAndTraceOnlyAlsoIdentical) {
+  auto config = test_config();
+  const std::string bare = run_simulation(config).to_json();
+  {
+    obs::Registry registry;
+    EXPECT_EQ(bare, run_observed(config, nullptr, &registry).to_json());
+  }
+  {
+    trace::TraceLog trace_log;
+    EXPECT_EQ(bare, run_observed(config, &trace_log, nullptr).to_json());
+  }
+}
+
+TEST(ObservabilityDeterminismTest, HybridRunsUnperturbed) {
+  auto config = test_config();
+  config.nprocs = 8;
+  const std::string bare = run_hybrid_simulation(config, 2).to_json();
+  trace::TraceLog trace_log;
+  obs::Registry registry;
+  const Observability observe{&trace_log, &registry};
+  EXPECT_EQ(bare, run_hybrid_simulation(config, 2, observe).to_json());
+}
+
+TEST(ObservabilityDeterminismTest, FaultyRunsUnperturbed) {
+  auto config = test_config();
+  config.nprocs = 6;
+  config.fault = fault::parse_fault_plan("kill:worker=2,at=0.01s");
+  const std::string bare = run_simulation(config).to_json();
+  trace::TraceLog trace_log;
+  obs::Registry registry;
+  const std::string observed =
+      run_observed(config, &trace_log, &registry).to_json();
+  EXPECT_EQ(bare, observed);
+  EXPECT_GE(registry.counter("fault.workers_died").value(), 1u);
+}
+
+TEST(ObservabilityDeterminismTest, ResumeRunsUnperturbed) {
+  auto config = test_config();
+  config.fault = fault::parse_fault_plan("crash:at=0.02s");
+  const ResumeOutcome bare = run_with_resume(config);
+  trace::TraceLog trace_log;
+  obs::Registry registry;
+  const Observability observe{&trace_log, &registry};
+  const ResumeOutcome observed = run_with_resume(config, observe);
+  EXPECT_EQ(bare.crashed, observed.crashed);
+  EXPECT_EQ(bare.resume_query, observed.resume_query);
+  EXPECT_EQ(bare.full.to_json(), observed.full.to_json());
+  if (bare.crashed && bare.resume_query < config.workload.query_count) {
+    EXPECT_EQ(bare.resumed.to_json(), observed.resumed.to_json());
+  }
+}
+
+TEST(ObservabilityDeterminismTest, PublishedMetricsMatchRunStats) {
+  auto config = test_config();
+  obs::Registry registry;
+  const RunStats stats = run_observed(config, nullptr, &registry);
+  EXPECT_EQ(registry.counter("core.output_bytes").value(), stats.output_bytes);
+  EXPECT_EQ(registry.counter("sim.sched.events").value(), stats.events);
+  std::uint64_t tasks = 0;
+  for (const auto& rank : stats.ranks) tasks += rank.tasks_processed;
+  EXPECT_EQ(registry.counter("core.tasks_processed").value(), tasks);
+  EXPECT_GT(registry.counter("mpi.messages").value(), 0u);
+  EXPECT_GT(registry.counter("pfs.write.requests").value(), 0u);
+  EXPECT_GT(registry.histogram("pfs.write.service_seconds").count(), 0u);
+  EXPECT_GT(registry.histogram("mpi.message.delivery_seconds").count(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("core.wall_seconds").value(),
+                   stats.wall_seconds);
+  // An explicit zero, so the manifest always carries the drop counter.
+  EXPECT_EQ(registry.counter("trace.intervals_dropped").value(), 0u);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream input(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(input)) << path;
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return buffer.str();
+}
+
+TEST(ObservabilityDeterminismTest, BenchCsvBytesIdenticalTracedVsUntraced) {
+  // The bench CSVs are derived from RunStats; write the fig3-style phase
+  // breakdown from a traced run and an untraced run and require the files
+  // to match byte-for-byte.
+  const std::string dir = ::testing::TempDir() + "s3asim_obs_csv";
+  ASSERT_EQ(::setenv("S3ASIM_RESULTS_DIR", dir.c_str(), 1), 0);
+  auto config = test_config();
+
+  const RunStats untraced = run_simulation(config);
+  trace::TraceLog trace_log;
+  obs::Registry registry;
+  const RunStats traced = run_observed(config, &trace_log, &registry);
+
+  bench::print_phase_breakdown("untraced", "procs", {"5"}, {untraced},
+                               "obs_off");
+  bench::print_phase_breakdown("traced", "procs", {"5"}, {traced}, "obs_on");
+  EXPECT_EQ(slurp(dir + "/obs_off.csv"), slurp(dir + "/obs_on.csv"));
+  ASSERT_EQ(::unsetenv("S3ASIM_RESULTS_DIR"), 0);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include "obs/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using s3asim::obs::kMetricsSchemaName;
+using s3asim::obs::Registry;
+using s3asim::obs::validate_chrome_trace;
+using s3asim::obs::validate_metrics_manifest;
+using s3asim::util::JsonValue;
+using s3asim::util::JsonWriter;
+using s3asim::util::parse_json;
+
+TEST(ChromeTraceSchemaTest, MinimalValidDocument) {
+  const JsonValue root = parse_json(R"({
+    "displayTimeUnit": "ms",
+    "traceEvents": [
+      {"ph":"M","name":"process_name","pid":1,"tid":0,"ts":0,
+       "cat":"__metadata","args":{"name":"MPI ranks"}},
+      {"ph":"X","name":"Compute","pid":1,"tid":0,"ts":0,"dur":12.5},
+      {"ph":"i","name":"worker died","pid":1,"tid":3,"ts":5,"s":"t"},
+      {"ph":"s","name":"msg","pid":1,"tid":0,"ts":1,"id":"0"},
+      {"ph":"f","name":"msg","pid":1,"tid":1,"ts":2,"id":"0","bp":"e"}
+    ]})");
+  EXPECT_TRUE(validate_chrome_trace(root).empty());
+}
+
+TEST(ChromeTraceSchemaTest, RejectsNonObjectAndMissingEvents) {
+  EXPECT_FALSE(validate_chrome_trace(parse_json("[]")).empty());
+  EXPECT_FALSE(validate_chrome_trace(parse_json("{}")).empty());
+  EXPECT_FALSE(
+      validate_chrome_trace(parse_json(R"({"traceEvents":5})")).empty());
+}
+
+TEST(ChromeTraceSchemaTest, RejectsBadEvents) {
+  // Missing dur on a slice.
+  EXPECT_FALSE(validate_chrome_trace(parse_json(
+                   R"({"traceEvents":[
+                        {"ph":"X","name":"a","pid":1,"tid":0,"ts":0}]})"))
+                   .empty());
+  // Negative dur.
+  EXPECT_FALSE(
+      validate_chrome_trace(
+          parse_json(R"({"traceEvents":[
+               {"ph":"X","name":"a","pid":1,"tid":0,"ts":0,"dur":-1}]})"))
+          .empty());
+  // Flow event without id.
+  EXPECT_FALSE(validate_chrome_trace(
+                   parse_json(R"({"traceEvents":[
+                        {"ph":"s","name":"a","pid":1,"tid":0,"ts":0}]})"))
+                   .empty());
+  // Unknown phase.
+  EXPECT_FALSE(
+      validate_chrome_trace(
+          parse_json(R"({"traceEvents":[
+               {"ph":"Q","name":"a","pid":1,"tid":0,"ts":0}]})"))
+          .empty());
+  // Non-object event.
+  EXPECT_FALSE(
+      validate_chrome_trace(parse_json(R"({"traceEvents":[7]})")).empty());
+}
+
+/// Builds a manifest document the way the CLI does: schema tag + run echo +
+/// trace drop count + a real registry serialization.
+std::string manifest_text(const Registry& registry) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value(kMetricsSchemaName);
+  json.key("run");
+  json.begin_object();
+  json.key("strategy");
+  json.value("WW-List");
+  json.end_object();
+  json.key("trace");
+  json.begin_object();
+  json.key("intervals_dropped");
+  json.value(std::uint64_t{0});
+  json.end_object();
+  json.key("metrics");
+  registry.write_json(json);
+  json.end_object();
+  return json.str();
+}
+
+TEST(MetricsManifestSchemaTest, RegistrySerializationValidates) {
+  Registry registry;
+  registry.counter("mpi.messages").add(12);
+  registry.gauge("pfs.busy_seconds").set(0.75);
+  registry.histogram("mpi.message.bytes").observe(4096.0);
+  const std::vector<std::string> errors =
+      validate_metrics_manifest(parse_json(manifest_text(registry)));
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+TEST(MetricsManifestSchemaTest, EmptyRegistryStillValidates) {
+  const Registry registry;
+  EXPECT_TRUE(
+      validate_metrics_manifest(parse_json(manifest_text(registry))).empty());
+}
+
+TEST(MetricsManifestSchemaTest, RejectsWrongSchemaTag) {
+  EXPECT_FALSE(
+      validate_metrics_manifest(
+          parse_json(R"({"schema":"bogus-v0","run":{},
+               "trace":{"intervals_dropped":0},
+               "metrics":{"counters":{},"gauges":{},"histograms":{}}})"))
+          .empty());
+}
+
+TEST(MetricsManifestSchemaTest, RejectsMissingSections) {
+  EXPECT_FALSE(validate_metrics_manifest(parse_json("{}")).empty());
+  EXPECT_FALSE(validate_metrics_manifest(parse_json("[]")).empty());
+  // Missing trace.intervals_dropped.
+  EXPECT_FALSE(
+      validate_metrics_manifest(
+          parse_json(std::string(R"({"schema":")") + kMetricsSchemaName +
+                     R"(","run":{},"trace":{},
+               "metrics":{"counters":{},"gauges":{},"histograms":{}}})"))
+          .empty());
+  // Missing histograms section.
+  EXPECT_FALSE(
+      validate_metrics_manifest(
+          parse_json(std::string(R"({"schema":")") + kMetricsSchemaName +
+                     R"(","run":{},"trace":{"intervals_dropped":0},
+               "metrics":{"counters":{},"gauges":{}}})"))
+          .empty());
+}
+
+TEST(MetricsManifestSchemaTest, RejectsMalformedHistogramEntry) {
+  EXPECT_FALSE(
+      validate_metrics_manifest(
+          parse_json(std::string(R"({"schema":")") + kMetricsSchemaName +
+                     R"(","run":{},"trace":{"intervals_dropped":0},
+               "metrics":{"counters":{},"gauges":{},
+                          "histograms":{"h":{"count":1}}}})"))
+          .empty());
+  EXPECT_FALSE(
+      validate_metrics_manifest(
+          parse_json(std::string(R"({"schema":")") + kMetricsSchemaName +
+                     R"(","run":{},"trace":{"intervals_dropped":0},
+               "metrics":{"counters":{"c":"nope"},"gauges":{},
+                          "histograms":{}}})"))
+          .empty());
+}
+
+}  // namespace

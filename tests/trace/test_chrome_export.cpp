@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/schema.hpp"
+#include "trace/trace.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using s3asim::obs::Registry;
+using s3asim::obs::validate_chrome_trace;
+using s3asim::trace::TraceLog;
+using s3asim::util::JsonValue;
+using s3asim::util::parse_json;
+
+/// A log exercising every record type the exporter handles.
+TraceLog sample_log() {
+  TraceLog log;
+  log.record(0, "Setup", 0, 1'000'000);             // 1 ms slice, rank 0
+  log.record(1, "Compute", 500'000, 2'500'000);     // 2 ms slice, rank 1
+  log.event(1, "worker died", 2'500'000);           // zero-length marker
+  log.span(0, 'w', 4, 65'536, 100'000, 900'000);    // PFS write span
+  log.span(2, 'r', 0, 4'096, 200'000, 300'000);     // PFS read span
+  log.flow(0, 1, 7, 1'024, 50'000, 150'000);        // MPI message
+  return log;
+}
+
+TEST(ChromeExportTest, RoundTripParsesAndValidates) {
+  const TraceLog log = sample_log();
+  const JsonValue root = parse_json(log.chrome_json());
+  const std::vector<std::string> errors = validate_chrome_trace(root);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+TEST(ChromeExportTest, CarriesEveryRecordType) {
+  const JsonValue root = parse_json(sample_log().chrome_json());
+  EXPECT_EQ(root.at("displayTimeUnit").as_string(), "ms");
+  std::size_t slices = 0;
+  std::size_t instants = 0;
+  std::size_t flow_starts = 0;
+  std::size_t flow_ends = 0;
+  std::size_t metadata = 0;
+  for (const JsonValue& event : root.at("traceEvents").items()) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph == "X") ++slices;
+    if (ph == "i") ++instants;
+    if (ph == "s") ++flow_starts;
+    if (ph == "f") ++flow_ends;
+    if (ph == "M") ++metadata;
+  }
+  EXPECT_EQ(slices, 4u);       // 2 phase intervals + 2 PFS spans
+  EXPECT_EQ(instants, 1u);     // the worker-death marker
+  EXPECT_EQ(flow_starts, 1u);
+  EXPECT_EQ(flow_ends, 1u);
+  // process_name x2 + thread_name per rank (0,1) + per server (0,2).
+  EXPECT_EQ(metadata, 6u);
+}
+
+TEST(ChromeExportTest, TimesAreMicrosecondsAndPidsSeparateLayers) {
+  const JsonValue root = parse_json(sample_log().chrome_json());
+  bool saw_compute = false;
+  bool saw_write_span = false;
+  for (const JsonValue& event : root.at("traceEvents").items()) {
+    if (event.at("name").as_string() == "Compute") {
+      saw_compute = true;
+      EXPECT_DOUBLE_EQ(event.at("pid").as_number(), 1.0);
+      EXPECT_DOUBLE_EQ(event.at("tid").as_number(), 1.0);
+      EXPECT_DOUBLE_EQ(event.at("ts").as_number(), 500.0);    // ns -> us
+      EXPECT_DOUBLE_EQ(event.at("dur").as_number(), 2000.0);
+    }
+    if (event.at("ph").as_string() == "X" &&
+        event.at("name").as_string() == "write") {
+      saw_write_span = true;
+      EXPECT_DOUBLE_EQ(event.at("pid").as_number(), 2.0);
+      EXPECT_DOUBLE_EQ(event.at("tid").as_number(), 0.0);
+      EXPECT_DOUBLE_EQ(event.at("args").at("pairs").as_number(), 4.0);
+      EXPECT_DOUBLE_EQ(event.at("args").at("bytes").as_number(), 65536.0);
+    }
+  }
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_write_span);
+}
+
+TEST(ChromeExportTest, FlowPairsShareAnId) {
+  const JsonValue root = parse_json(sample_log().chrome_json());
+  std::string start_id;
+  std::string end_id;
+  for (const JsonValue& event : root.at("traceEvents").items()) {
+    if (event.at("ph").as_string() == "s")
+      start_id = event.at("id").as_string();
+    if (event.at("ph").as_string() == "f") {
+      end_id = event.at("id").as_string();
+      EXPECT_EQ(event.at("bp").as_string(), "e");
+    }
+  }
+  EXPECT_FALSE(start_id.empty());
+  EXPECT_EQ(start_id, end_id);
+}
+
+TEST(ChromeExportTest, EmptyLogStillValidates) {
+  const TraceLog log;
+  const JsonValue root = parse_json(log.chrome_json());
+  EXPECT_TRUE(validate_chrome_trace(root).empty());
+  // Only process-name metadata; no data events.
+  for (const JsonValue& event : root.at("traceEvents").items())
+    EXPECT_EQ(event.at("ph").as_string(), "M");
+}
+
+TEST(ChromeExportTest, DroppedRecordsAreCountedAndMirrored) {
+  Registry registry;
+  TraceLog log;
+  log.attach_registry(&registry);
+  log.record(0, "backwards", 10, 5);   // end < start -> dropped
+  log.span(0, 'w', 1, 8, 10, 5);       // dropped
+  log.flow(0, 1, 0, 8, 10, 5);         // dropped
+  log.record(0, "ok", 0, 1);
+  EXPECT_EQ(log.dropped(), 3u);
+  EXPECT_EQ(registry.counter("trace.intervals_dropped").value(), 3u);
+  EXPECT_EQ(log.size(), 1u);
+  // The surviving record still exports cleanly.
+  EXPECT_TRUE(validate_chrome_trace(parse_json(log.chrome_json())).empty());
+}
+
+}  // namespace

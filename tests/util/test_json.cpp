@@ -94,4 +94,88 @@ TEST(JsonWriterTest, TwoTopLevelValuesRejected) {
   EXPECT_THROW(json.value(std::int64_t{2}), std::logic_error);
 }
 
+using s3asim::util::JsonValue;
+using s3asim::util::parse_json;
+
+TEST(JsonParserTest, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(parse_json(R"("hi")").as_string(), "hi");
+}
+
+TEST(JsonParserTest, NestedContainers) {
+  const JsonValue root =
+      parse_json(R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.size(), 3u);
+  ASSERT_TRUE(root.at("a").is_array());
+  EXPECT_EQ(root.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(root.at("a").at(1).as_number(), 2.0);
+  EXPECT_TRUE(root.at("a").at(2).at("b").as_bool());
+  EXPECT_TRUE(root.at("c").at("d").is_null());
+  EXPECT_TRUE(root.contains("e"));
+  EXPECT_FALSE(root.contains("missing"));
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 as 😀 -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParserTest, WriterRoundTrip) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("strategy");
+  json.value("WW-Coll");
+  json.key("wall");
+  json.value(74.25);
+  json.key("phases");
+  json.begin_array();
+  json.value(std::uint64_t{3});
+  json.null();
+  json.end_array();
+  json.end_object();
+  const JsonValue root = parse_json(json.str());
+  EXPECT_EQ(root.at("strategy").as_string(), "WW-Coll");
+  EXPECT_DOUBLE_EQ(root.at("wall").as_number(), 74.25);
+  EXPECT_DOUBLE_EQ(root.at("phases").at(0).as_number(), 3.0);
+  EXPECT_TRUE(root.at("phases").at(1).is_null());
+}
+
+TEST(JsonParserTest, MalformedInputThrows) {
+  EXPECT_THROW((void)parse_json(""), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("01"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("1 2"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("nul"), std::runtime_error);
+}
+
+TEST(JsonParserTest, DuplicateKeysRejected) {
+  EXPECT_THROW((void)parse_json(R"({"a":1,"a":2})"), std::runtime_error);
+}
+
+TEST(JsonParserTest, KindMismatchThrows) {
+  const JsonValue number = parse_json("5");
+  EXPECT_THROW((void)number.as_string(), std::runtime_error);
+  EXPECT_THROW((void)number.items(), std::runtime_error);
+  EXPECT_THROW((void)number.at("k"), std::runtime_error);
+  const JsonValue object = parse_json("{}");
+  EXPECT_THROW((void)object.at("missing"), std::runtime_error);
+  const JsonValue array = parse_json("[1]");
+  EXPECT_THROW((void)array.at(std::size_t{5}), std::runtime_error);
+}
+
+TEST(JsonParserTest, DepthLimitEnforced) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW((void)parse_json(deep), std::runtime_error);
+}
+
 }  // namespace

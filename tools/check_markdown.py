@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Markdown checker for the repo docs (CI `docs-lint` job).
+
+Checks, per file:
+  * every relative link/image target resolves to an existing file or
+    directory (anchors are stripped; http(s)/mailto links are skipped);
+  * in-file anchor links (``#section``) match a heading in that file;
+  * fenced code blocks are balanced;
+  * no literal tab characters (the docs use spaces).
+
+Usage:  python3 tools/check_markdown.py [root]
+
+Exits 1 and prints ``file:line: message`` for every problem found.
+Self-contained: standard library only.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+SKIP_DIRS = {".git", "build", "results", "third_party", ".github"}
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path: str, root: str):
+    problems = []
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+
+    anchors = set()
+    fence_open = False
+    for line in lines:
+        if line.lstrip().startswith("```"):
+            fence_open = not fence_open
+            continue
+        if fence_open:
+            continue
+        match = HEADING.match(line)
+        if match:
+            anchors.add(anchor_of(match.group(1)))
+    if fence_open:
+        problems.append((path, len(lines), "unbalanced code fence"))
+
+    fence_open = False
+    for number, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            fence_open = not fence_open
+            continue
+        if fence_open:
+            continue
+        if "\t" in line:
+            problems.append((path, number, "literal tab character"))
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, anchor = target.partition("#")
+            if not target:  # in-file anchor
+                if anchor and anchor not in anchors:
+                    problems.append(
+                        (path, number, f"broken anchor '#{anchor}'"))
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                problems.append(
+                    (path, number,
+                     f"broken link '{target}' -> {os.path.relpath(resolved, root)}"))
+    return problems
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    problems = []
+    count = 0
+    for path in markdown_files(root):
+        count += 1
+        problems.extend(check_file(path, root))
+    for path, number, message in problems:
+        print(f"{os.path.relpath(path, root)}:{number}: {message}")
+    status = "FAIL" if problems else "OK"
+    print(f"check_markdown: {count} files, {len(problems)} problems [{status}]")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
