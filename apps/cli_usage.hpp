@@ -11,7 +11,8 @@ namespace s3asim::cli {
 inline constexpr char kUsageText[] =
     "usage: s3asim [options] [config-file]\n"
     "  --procs N           total ranks (master + workers)\n"
-    "  --strategy NAME     MW | WW-POSIX | WW-List | WW-Coll | WW-CollList\n"
+    "  --strategy NAME     MW | WW-POSIX | WW-List | WW-Coll | WW-CollList |\n"
+    "                      WW-FilePerProc | WW-Aggr\n"
     "  --sync              per-query synchronization on\n"
     "  --speed X           compute-speed multiplier\n"
     "  --trace FILE.csv    export phase timeline CSV\n"

@@ -1,0 +1,114 @@
+/// Ablation J — worker-side aggregation (WW-Aggr) vs. the paper's best
+/// independent method (WW-List) and its collective method (WW-Coll).
+/// WW-Aggr partitions the workers into fan-in-sized groups whose first
+/// member coalesces the whole group's extents and issues one sorted list
+/// write per flush: fewer, larger, contiguous-where-possible requests at
+/// the file system, bought with intra-group result shipping and lockstep
+/// batch rounds.  Two grids:
+///   * strategy comparison across process counts (fan-in 4), and
+///   * a fan-in sweep at a fixed process count (2 … all-workers).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/sweep.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+namespace {
+
+core::RunStats run_aggr_point(std::uint32_t nprocs, std::uint32_t fanin) {
+  auto config = core::paper_config();
+  config.strategy = core::Strategy::WWAggr;
+  config.nprocs = nprocs;
+  config.aggregator_fanin = fanin;
+  auto stats = core::run_simulation(config);
+  require_exact(stats);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
+  const auto procs = paper_proc_counts(quick);
+  constexpr std::uint32_t kDefaultFanin = 4;
+  const std::uint32_t fanin_procs = procs.back();
+  const std::vector<std::uint32_t> fanins{2, 4, 8, 16, 0};
+
+  std::printf("S3aSim Ablation J: worker-side aggregation (WW-Aggr) vs. "
+              "WW-List and WW-Coll\n");
+
+  std::vector<SweepPoint> grid;
+  for (const auto nprocs : procs) {
+    grid.push_back({"WW-List n=" + std::to_string(nprocs), [nprocs] {
+                      return run_point(core::Strategy::WWList, nprocs, false);
+                    }});
+    grid.push_back({"WW-Coll n=" + std::to_string(nprocs), [nprocs] {
+                      return run_point(core::Strategy::WWColl, nprocs, false);
+                    }});
+    grid.push_back({"WW-Aggr n=" + std::to_string(nprocs), [nprocs] {
+                      return run_aggr_point(nprocs, kDefaultFanin);
+                    }});
+  }
+  for (const auto fanin : fanins) {
+    grid.push_back({"fanin=" + std::to_string(fanin), [fanin_procs, fanin] {
+                      return run_aggr_point(fanin_procs, fanin);
+                    }});
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  util::TextTable table(
+      {"Processes", "WW-List (s)", "WW-Coll (s)", "WW-Aggr fanin=4 (s)"});
+  util::CsvWriter csv(csv_path("ablation_aggr.csv"));
+  csv.write_row({"procs", "ww_list", "ww_coll", "ww_aggr"});
+  std::size_t index = 0;
+  for (const auto nprocs : procs) {
+    const auto& list = results[index++].stats;
+    const auto& coll = results[index++].stats;
+    const auto& aggr = results[index++].stats;
+    table.add_row_numeric(
+        std::to_string(nprocs),
+        {list.wall_seconds, coll.wall_seconds, aggr.wall_seconds});
+    csv.write_row_numeric(
+        std::to_string(nprocs),
+        {list.wall_seconds, coll.wall_seconds, aggr.wall_seconds});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("(csv: results/ablation_aggr.csv)\n");
+
+  util::TextTable fanin_table({"Fan-in", "WW-Aggr (s)", "Writes issued"});
+  util::CsvWriter fanin_csv(csv_path("ablation_aggr_fanin.csv"));
+  fanin_csv.write_row({"fanin", "ww_aggr", "writes_issued"});
+  for (const auto fanin : fanins) {
+    const auto& stats = results[index++].stats;
+    std::uint64_t writes = 0;
+    for (const auto& rank : stats.ranks) writes += rank.writes_issued;
+    const std::string label =
+        fanin == 0 ? "all" : std::to_string(fanin);
+    fanin_table.add_row_numeric(
+        label, {stats.wall_seconds, static_cast<double>(writes)});
+    fanin_csv.write_row_numeric(
+        label, {stats.wall_seconds, static_cast<double>(writes)});
+  }
+  std::printf("\n== Fan-in sweep at %u processes ==\n", fanin_procs);
+  std::printf("%s", fanin_table.render().c_str());
+  std::printf("(csv: results/ablation_aggr_fanin.csv)\n");
+
+  const auto report = write_bench_json("ablation_aggr", quick, jobs, results,
+                                       sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
+  return 0;
+}

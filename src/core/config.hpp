@@ -102,6 +102,11 @@ struct SimConfig {
   /// serving work requests (§2.1: "While nonblocking I/O could reduce this
   /// overhead, blocking I/O is commonly used in a MW strategy").
   bool mw_nonblocking_io = false;
+  /// WW-Aggr only: workers per aggregation group.  Each group's first
+  /// worker acts as the aggregator that coalesces and writes the group's
+  /// extents every flush.  0 (or ≥ the worker count) means one group — a
+  /// single aggregator writes for everyone.
+  std::uint32_t aggregator_fanin = 4;
   /// Injected faults (empty = the paper's failure-free runs).  Worker faults
   /// switch the master to its recovery-capable scheduling loop; server
   /// faults translate to pfs::ServerDegradation; `crash_at` drives

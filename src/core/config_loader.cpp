@@ -43,6 +43,12 @@ SimConfig load_config(const std::string& config_text) {
       keyval.get_bool("fragment_affinity", config.fragment_affinity);
   config.mw_nonblocking_io =
       keyval.get_bool("mw_nonblocking_io", config.mw_nonblocking_io);
+  const std::int64_t fanin =
+      keyval.get_int("aggregator_fanin", config.aggregator_fanin);
+  if (fanin < 0)
+    throw std::invalid_argument(
+        "aggregator_fanin must be non-negative (0 = one group per run)");
+  config.aggregator_fanin = static_cast<std::uint32_t>(fanin);
 
   // --- Workload. --------------------------------------------------------------
   auto& workload = config.workload;

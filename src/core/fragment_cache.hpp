@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file fragment_cache.hpp
+/// LRU set of database fragments a worker holds in memory.  The master
+/// mirrors each worker's cache (both sides apply the same `touch` sequence)
+/// to implement mpiBLAST-style fragment-affinity scheduling.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace s3asim::core {
+
+class FragmentCache {
+ public:
+  explicit FragmentCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Marks `fragment` most-recently-used; returns true if it was cached.
+  bool touch(std::uint32_t fragment) {
+    if (capacity_ == 0) return false;
+    const auto it = std::find(lru_.begin(), lru_.end(), fragment);
+    if (it != lru_.end()) {
+      lru_.erase(it);
+      lru_.push_back(fragment);
+      return true;
+    }
+    if (lru_.size() == capacity_) lru_.erase(lru_.begin());
+    lru_.push_back(fragment);
+    return false;
+  }
+
+  [[nodiscard]] bool contains(std::uint32_t fragment) const {
+    return std::find(lru_.begin(), lru_.end(), fragment) != lru_.end();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return lru_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::uint32_t> lru_;
+};
+
+}  // namespace s3asim::core

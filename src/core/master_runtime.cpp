@@ -1,0 +1,558 @@
+/// \file master_runtime.cpp
+/// The master runtime (Algorithm 1): task distribution with fragment
+/// affinity, score gathering, in-order query completion, batch retirement,
+/// failure detection and recovery.  Strategy-specific policy (routing,
+/// writing, teardown assembly) is delegated to the group's `IoStrategy`.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fragment_cache.hpp"
+#include "core/protocol.hpp"
+#include "core/runtime.hpp"
+
+namespace s3asim::core {
+
+namespace {
+
+/// One assigned-but-unacknowledged (query, fragment) task.
+struct Outstanding {
+  std::uint32_t local = 0;     ///< group-local query index
+  std::uint32_t query = 0;     ///< global query id
+  std::uint32_t fragment = 0;
+};
+
+struct MasterState {
+  std::uint32_t next_query = 0;  ///< local index of the query being assigned
+  /// Unassigned fragments of `next_query` (affinity scheduling may pick any).
+  std::vector<std::uint32_t> pending_fragments;
+  std::uint64_t tasks_assigned = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint32_t done_sent = 0;
+  /// Master's mirror of each worker's fragment cache (affinity scheduling).
+  std::map<mpi::Rank, FragmentCache> worker_caches;
+
+  /// Per local query: fragments completed and (worker, fragment) pairs.
+  std::vector<std::uint32_t> fragments_done;
+  std::vector<QueryContributors> contributors;
+  /// Next local query awaiting in-order region processing.
+  std::uint32_t next_inorder = 0;
+  /// Local queries completed but blocked behind an earlier incomplete one.
+  std::set<std::uint32_t> completed_out_of_order;
+
+  // ---- Recovery bookkeeping (recovery_mode only). ------------------------
+  /// Tasks each worker has been assigned and not yet returned scores for.
+  std::map<mpi::Rank, std::vector<Outstanding>> outstanding;
+  /// Workers the failure detector declared dead; they get Done on any
+  /// further request and are never assigned again.
+  std::set<mpi::Rank> retired;
+  /// Live workers with an unanswered work request (nothing to hand out when
+  /// they asked); unparked when reassigned work appears.
+  std::deque<mpi::Rank> parked;
+  /// Tasks reclaimed from retired workers, re-issued FIFO before fresh work.
+  std::deque<Outstanding> reassign;
+  /// Per local query: fragments whose scores were accepted (first-wins
+  /// dedup — a reassigned task may complete twice but only one completion
+  /// contributes, keeping the output layout overlap-free).
+  std::vector<std::set<std::uint32_t>> done_frags;
+};
+
+}  // namespace
+
+/// With faults the message counts are not known up front (reassignment,
+/// drops, retirements), so both master pumps run until the master cancels
+/// their posted receives at teardown (MPI_Cancel).
+sim::Process master_request_pump(App& app) {
+  while (true) {
+    mpi::Message message =
+        co_await app.comm.recv(app.master, mpi::kAnySource, kTagRequest);
+    if (message.cancelled) break;
+    app.master_requests.push_back(std::move(message));
+    app.request_wake->push(0);
+  }
+}
+
+sim::Process master_scores_pump(App& app) {
+  while (true) {
+    mpi::Message message =
+        co_await app.comm.recv(app.master, mpi::kAnySource, kTagScores);
+    if (message.cancelled) break;
+    app.master_scores.push_back(std::move(message));
+    app.scores_wake->push(0);
+    // The recovery loop blocks on a single wake stream; mirror the token.
+    if (app.recovery_mode) app.request_wake->push(0);
+  }
+}
+
+/// Failure detector for one worker: every token in `armed` covers one timer
+/// arming by the master.  Expiry injects a synthetic failure notice into
+/// the master's request queue (a local decision — no simulated traffic).
+sim::Process worker_probe(App& app, mpi::Rank rank) {
+  App::ProbeCtl& probe = *app.probes.at(rank);
+  while (true) {
+    const auto token = co_await probe.armed->pop();
+    if (!token) break;  // closed at teardown
+    const bool fired = co_await probe.timer->wait();
+    if (!fired) continue;  // sign of life (or re-arm) cancelled the wait
+    app.master_requests.push_back(
+        mpi::Message{.source = rank, .tag = kTagFailure});
+    app.request_wake->push(0);
+  }
+}
+
+sim::Process master_process(App& app) {
+  MasterState state;
+  IoStrategy& strategy = *app.strategy;
+  StrategyEnv& env = *app.env;
+  const std::uint32_t queries = app.query_count();
+  const std::uint32_t fragments = app.config.workload.fragment_count;
+  const std::uint64_t total_tasks =
+      static_cast<std::uint64_t>(queries) * fragments;
+  state.fragments_done.assign(queries, 0);
+  state.contributors.assign(queries, {});
+  state.done_frags.assign(queries, {});
+  for (const mpi::Rank worker : app.workers)
+    state.worker_caches.emplace(worker, FragmentCache(app.cache_capacity()));
+
+  // ---- Setup: create the output file, broadcast input variables. ---------
+  {
+    const sim::Time start = app.scheduler.now();
+    const auto handle = co_await app.fs.create_file(
+        app.comm.endpoint_of(app.master),
+        "results." + std::to_string(app.master) + ".out");
+    app.file = std::make_unique<mpiio::File>(
+        app.scheduler, app.network, app.fs, app.comm, handle, app.workers,
+        strategy.file_hints(app.config));
+    env.file = app.file.get();
+    if (app.models_database_io()) {
+      const auto db_handle = co_await app.fs.create_file(
+          app.comm.endpoint_of(app.master),
+          "database." + std::to_string(app.master));
+      app.database_file = std::make_unique<mpiio::File>(
+          app.scheduler, app.network, app.fs, app.comm, db_handle, app.workers,
+          mpiio::Hints{});
+    }
+    co_await strategy.master_setup(env);
+    for (const mpi::Rank worker : app.workers)
+      co_await app.comm.send(app.master, worker, kTagSetup,
+                             app.config.model.setup_message_bytes);
+    app.record_phase(app.master, Phase::Setup, start, app.scheduler.now());
+  }
+
+  // ---- Task source shared by the failure-free and recovery loops. --------
+  // Picks the next fresh (query, fragment) for `worker` (with fragment
+  // affinity), updating assignment bookkeeping; nullopt when the workload
+  // is fully assigned.
+  auto fresh_task = [&app, &state, fragments,
+                     total_tasks](mpi::Rank worker) -> std::optional<Outstanding> {
+    if (state.tasks_assigned >= total_tasks) return std::nullopt;
+    if (state.pending_fragments.empty()) {
+      state.pending_fragments.resize(fragments);
+      for (std::uint32_t f = 0; f < fragments; ++f)
+        state.pending_fragments[f] = f;
+    }
+    // mpiBLAST-style fragment affinity: within the current query, prefer a
+    // fragment the requesting worker already has in memory.
+    std::size_t pick = 0;
+    if (app.config.fragment_affinity && app.models_database_io()) {
+      for (std::size_t i = 0; i < state.pending_fragments.size(); ++i) {
+        if (state.worker_caches.at(worker).contains(
+                state.pending_fragments[i])) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    Outstanding task;
+    task.local = state.next_query;
+    task.query = app.queries[state.next_query];
+    task.fragment = state.pending_fragments[pick];
+    state.pending_fragments.erase(state.pending_fragments.begin() +
+                                  static_cast<std::ptrdiff_t>(pick));
+    if (app.models_database_io())
+      (void)state.worker_caches.at(worker).touch(task.fragment);
+    if (state.pending_fragments.empty()) ++state.next_query;
+    ++state.tasks_assigned;
+    return task;
+  };
+
+  // ---- Failure-detector helpers (recovery_mode only). --------------------
+  auto arm_probe = [&app](mpi::Rank worker) {
+    App::ProbeCtl& probe = *app.probes.at(worker);
+    probe.timer->arm_in(app.config.fault_detection_timeout);
+    probe.armed->push(0);
+  };
+  auto disarm_probe = [&app](mpi::Rank worker) {
+    app.probes.at(worker)->timer->cancel();
+  };
+
+  // Algorithm 1, step 10: process one completed score receive — merge it
+  // (for MW including the full result payload), then handle any queries
+  // that completed, in query order (steps 14–18).
+  auto handle_score = [&app, &state, &strategy, &env, fragments, &arm_probe,
+                       &disarm_probe]() -> sim::Task<void> {
+    mpi::Message event = std::move(app.master_scores.front());
+    app.master_scores.pop_front();
+    S3A_CHECK(event.tag == kTagScores);
+    const auto& scores = event.as<ScoresMsg>();
+    if (app.recovery_mode) {
+      // Sign of life: the worker returned results — clear the matching
+      // outstanding entry and re-arm (or disarm) its failure detector.
+      auto& owed = state.outstanding[scores.worker];
+      const auto it = std::find_if(
+          owed.begin(), owed.end(), [&scores](const Outstanding& task) {
+            return task.local == scores.local_query &&
+                   task.fragment == scores.fragment;
+          });
+      if (it != owed.end()) owed.erase(it);
+      if (!state.retired.contains(scores.worker)) {
+        disarm_probe(scores.worker);
+        if (!owed.empty()) arm_probe(scores.worker);
+      }
+    }
+    {
+      const sim::Time merge_start = app.scheduler.now();
+      const auto count = static_cast<sim::Time>(
+          app.workload.query(scores.query).by_fragment[scores.fragment].size());
+      sim::Time merge_time = count * app.config.model.master_merge_per_entry;
+      merge_time +=
+          strategy.master_merge_extra(env, scores.query, scores.fragment);
+      co_await app.scheduler.delay(merge_time);
+      app.record_phase(app.master, Phase::GatherResults, merge_start,
+                       app.scheduler.now());
+    }
+    if (app.recovery_mode &&
+        !state.done_frags[scores.local_query].insert(scores.fragment).second) {
+      // A reassigned task completed twice (the original owner was slow, not
+      // dead).  The master already paid the merge; the late copy must not
+      // contribute — its extents would overlap the first completion's.
+      ++app.faults.duplicate_completions;
+      co_return;
+    }
+    state.contributors[scores.local_query].emplace_back(scores.worker,
+                                                        scores.fragment);
+    ++state.tasks_completed;
+    if (++state.fragments_done[scores.local_query] == fragments)
+      state.completed_out_of_order.insert(scores.local_query);
+
+    while (state.completed_out_of_order.contains(state.next_inorder)) {
+      const std::uint32_t local = state.next_inorder;
+      state.completed_out_of_order.erase(local);
+      ++state.next_inorder;
+
+      co_await strategy.route_query_results(env, local,
+                                            state.contributors[local]);
+
+      const std::uint32_t batch = app.batch_of(local);
+      if (local == app.batch_last_query(batch)) {
+        const std::uint32_t first = batch * app.config.queries_per_flush;
+        co_await strategy.retire_batch(env, first, local);
+        // §3.3: the query-sync barrier is among the *worker* nodes; the
+        // master keeps distributing work.
+        app.batch_complete_times.push_back(app.scheduler.now());
+      }
+    }
+  };
+
+  if (!app.recovery_mode) {
+    // ---- Failure-free master loop (Algorithm 1, byte-identical to the
+    //      pre-fault-subsystem behavior). --------------------------------
+    while (true) {
+      const bool everything_done = state.tasks_completed == total_tasks &&
+                                   state.done_sent == app.nworkers() &&
+                                   state.next_inorder == queries;
+      if (everything_done) break;
+
+      // ---- Step 3: the master *blocks* receiving work requests and only
+      // *tests* score receives — requests are answered first, and the score
+      // backlog is drained after each reply (steps 8, 10).
+      const bool requests_exhausted = state.done_sent == app.nworkers();
+      if (!requests_exhausted) {
+        const sim::Time wait_start = app.scheduler.now();
+        auto token = co_await app.request_wake->pop();
+        S3A_CHECK_MSG(token.has_value(), "master request stream closed early");
+        app.record_phase(app.master, Phase::DataDistribution, wait_start,
+                         app.scheduler.now());
+
+        // ---- Steps 4-9: assign work or notify completion. ----------------
+        S3A_CHECK(!app.master_requests.empty());
+        mpi::Message event = std::move(app.master_requests.front());
+        app.master_requests.pop_front();
+        const mpi::Rank worker = event.source;
+        const sim::Time send_start = app.scheduler.now();
+        MasterMsg reply;
+        if (const auto task = fresh_task(worker)) {
+          reply.kind = MasterMsg::Kind::Assign;
+          reply.query = task->query;
+          reply.local_query = task->local;
+          reply.fragment = task->fragment;
+        } else {
+          reply.kind = MasterMsg::Kind::Done;
+          ++state.done_sent;
+        }
+        co_await app.comm.send(app.master, worker, kTagMasterToWorker,
+                               app.config.model.control_message_bytes, reply);
+        app.record_phase(app.master, Phase::DataDistribution, send_start,
+                         app.scheduler.now());
+        // Step 10: after serving the request, drain the completed receives.
+        while (!app.master_scores.empty()) co_await handle_score();
+      } else {
+        // No more requests will come; block on the remaining score receives.
+        const sim::Time wait_start = app.scheduler.now();
+        auto token = co_await app.scores_wake->pop();
+        S3A_CHECK_MSG(token.has_value(), "master score stream closed early");
+        app.record_phase(app.master, Phase::GatherResults, wait_start,
+                         app.scheduler.now());
+        // The token may be stale if an earlier drain already consumed the
+        // message; every queued message is guaranteed a token, so just skip.
+        if (!app.master_scores.empty()) co_await handle_score();
+      }
+    }
+  } else {
+    // ---- Recovery-capable master loop. ---------------------------------
+    // Same protocol, plus: every assignment arms the worker's failure
+    // detector; timeouts retire the worker and requeue its outstanding
+    // tasks; late duplicate completions are discarded (handle_score).
+    // Completion is judged by results, not by Done handshakes — retired
+    // workers may never request again.
+
+    // Next task for `worker`: reclaimed tasks first (FIFO), then fresh.
+    auto pop_task = [&app, &state,
+                     &fresh_task](mpi::Rank worker) -> std::optional<Outstanding> {
+      if (!state.reassign.empty()) {
+        const Outstanding task = state.reassign.front();
+        state.reassign.pop_front();
+        if (app.models_database_io())
+          (void)state.worker_caches.at(worker).touch(task.fragment);
+        return task;
+      }
+      return fresh_task(worker);
+    };
+
+    auto assign_task = [&app, &state, &arm_probe](
+                           mpi::Rank worker,
+                           Outstanding task) -> sim::Task<void> {
+      state.outstanding[worker].push_back(task);
+      arm_probe(worker);  // arming cancels any previous deadline
+      MasterMsg reply;
+      reply.kind = MasterMsg::Kind::Assign;
+      reply.query = task.query;
+      reply.local_query = task.local;
+      reply.fragment = task.fragment;
+      const sim::Time send_start = app.scheduler.now();
+      co_await app.comm.send(app.master, worker, kTagMasterToWorker,
+                             app.config.model.control_message_bytes, reply);
+      app.record_phase(app.master, Phase::DataDistribution, send_start,
+                       app.scheduler.now());
+    };
+
+    auto serve_request = [&app, &state, &pop_task,
+                          &assign_task](mpi::Rank worker) -> sim::Task<void> {
+      if (state.retired.contains(worker)) {
+        // A worker retired by timeout that turns out to be alive (e.g. its
+        // scores were dropped): wave it off.
+        MasterMsg reply;
+        reply.kind = MasterMsg::Kind::Done;
+        const sim::Time send_start = app.scheduler.now();
+        co_await app.comm.send(app.master, worker, kTagMasterToWorker,
+                               app.config.model.control_message_bytes, reply);
+        app.record_phase(app.master, Phase::DataDistribution, send_start,
+                         app.scheduler.now());
+        co_return;
+      }
+      if (const auto task = pop_task(worker)) {
+        co_await assign_task(worker, *task);
+      } else {
+        // Nothing to hand out right now; the request stays unanswered until
+        // reassigned work appears or the run finishes (Finish releases it).
+        state.parked.push_back(worker);
+      }
+    };
+
+    auto handle_failure = [&app, &state, &strategy, &arm_probe, &pop_task,
+                           &assign_task](mpi::Rank worker) -> sim::Task<void> {
+      if (state.retired.contains(worker)) co_return;
+      auto& owed = state.outstanding[worker];
+      if (owed.empty()) co_return;  // everything accounted for; stale expiry
+      // A score from this worker may already be queued (in-flight when the
+      // timer expired): treat it as a sign of life and give it another
+      // detection window instead of retiring.
+      for (const mpi::Message& queued : app.master_scores) {
+        if (queued.as<ScoresMsg>().worker == worker) {
+          arm_probe(worker);
+          co_return;
+        }
+      }
+      // Flush-blocking strategies (§2.3): a worker whose owed tasks all
+      // belong to batches past the flush frontier is defer-blocked behind
+      // the pending collective write — it cannot produce a score no matter
+      // how healthy it is.  Silence is not evidence of death there; keep
+      // polling until its work reaches the frontier.
+      if (strategy.flush_blocks_process() &&
+          state.next_inorder < app.query_count()) {
+        const std::uint32_t frontier = app.batch_of(state.next_inorder);
+        const bool frontier_work =
+            std::any_of(owed.begin(), owed.end(),
+                        [&app, frontier](const Outstanding& task) {
+                          return app.batch_of(task.local) <= frontier;
+                        });
+        if (!frontier_work) {
+          arm_probe(worker);
+          co_return;
+        }
+      }
+      // Retire the worker and reclaim everything it still owes.
+      state.retired.insert(worker);
+      ++app.faults.workers_retired;
+      if (app.trace_log != nullptr)
+        app.trace_log->event(app.master, "Retire", app.scheduler.now());
+      app.faults.tasks_reassigned += owed.size();
+      for (const Outstanding& task : owed) state.reassign.push_back(task);
+      owed.clear();
+      S3A_REQUIRE_MSG(state.retired.size() < app.workers.size(),
+                      "unrecoverable: every worker of a group failed");
+      // If the retiree was parked (scores dropped, then asked for work we
+      // did not have), release it so it can reach the final barrier.
+      const auto parked_it =
+          std::find(state.parked.begin(), state.parked.end(), worker);
+      if (parked_it != state.parked.end()) {
+        state.parked.erase(parked_it);
+        MasterMsg reply;
+        reply.kind = MasterMsg::Kind::Done;
+        co_await app.comm.send(app.master, worker, kTagMasterToWorker,
+                               app.config.model.control_message_bytes, reply);
+      }
+      // Feed the reclaimed tasks to survivors that are waiting for work.
+      while (!state.reassign.empty() && !state.parked.empty()) {
+        const mpi::Rank survivor = state.parked.front();
+        state.parked.pop_front();
+        const auto task = pop_task(survivor);
+        S3A_CHECK(task.has_value());
+        co_await assign_task(survivor, *task);
+      }
+      // Flush-blocking strategies: the survivors may all be defer-blocked
+      // (no parked requests, and none coming — a deferred worker only
+      // requests again once the stuck collective completes).  Push the
+      // reclaimed frontier tasks to them unsolicited; they are executable
+      // immediately and their scores unstick the batch.  Reclaimed tasks
+      // for later batches stay queued for the request path — delivering
+      // those unsolicited would just defer at the receiver too.
+      if (strategy.flush_blocks_process() && !state.reassign.empty() &&
+          state.next_inorder < app.query_count()) {
+        const std::uint32_t frontier = app.batch_of(state.next_inorder);
+        std::vector<Outstanding> urgent;
+        for (auto it = state.reassign.begin(); it != state.reassign.end();) {
+          if (app.batch_of(it->local) <= frontier) {
+            urgent.push_back(*it);
+            it = state.reassign.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        std::size_t cursor = 0;
+        for (const Outstanding& task : urgent) {
+          mpi::Rank survivor;  // round-robin over non-retired workers; the
+          do {                 // REQUIRE above guarantees one exists
+            survivor = app.workers[cursor % app.workers.size()];
+            ++cursor;
+          } while (state.retired.contains(survivor));
+          if (app.models_database_io())
+            (void)state.worker_caches.at(survivor).touch(task.fragment);
+          co_await assign_task(survivor, task);
+        }
+      }
+    };
+
+    while (!(state.tasks_completed == total_tasks &&
+             state.next_inorder == queries)) {
+      const sim::Time wait_start = app.scheduler.now();
+      auto token = co_await app.request_wake->pop();
+      S3A_CHECK_MSG(token.has_value(), "master wake stream closed early");
+      app.record_phase(app.master, Phase::DataDistribution, wait_start,
+                       app.scheduler.now());
+      // Requests (and failure notices) before scores, as in Algorithm 1.
+      while (!app.master_requests.empty()) {
+        mpi::Message event = std::move(app.master_requests.front());
+        app.master_requests.pop_front();
+        if (event.tag == kTagFailure) {
+          co_await handle_failure(event.source);
+        } else {
+          S3A_CHECK(event.tag == kTagRequest);
+          co_await serve_request(event.source);
+        }
+      }
+      while (!app.master_scores.empty()) {
+        co_await handle_score();
+        if (!app.master_requests.empty()) break;  // requests take priority
+      }
+    }
+  }
+
+  // ---- Teardown: strategy drain/assembly, tell every worker the stream is
+  //      over, then sync. --------------------------------------------------
+  co_await strategy.master_teardown(env, state.contributors);
+  for (const mpi::Rank worker : app.workers) {
+    MasterMsg msg;
+    msg.kind = MasterMsg::Kind::Finish;
+    (void)app.comm.isend(app.master, worker, kTagMasterToWorker,
+                         app.config.model.control_message_bytes, msg);
+  }
+  {
+    const sim::Time barrier_start = app.scheduler.now();
+    co_await app.comm.barrier();
+    app.record_phase(app.master, Phase::Sync, barrier_start,
+                     app.scheduler.now());
+  }
+  if (app.recovery_mode) {
+    // ---- Gap repair: workers that died after being sent offset lists but
+    // before writing leave holes in the group file.  Every surviving
+    // writer has flushed by now (the barrier above), so whatever is still
+    // uncovered is genuinely lost — the master regenerates it from the
+    // gathered scores and list-writes it into place.  This runs after the
+    // barrier precisely so it cannot overlap a late survivor flush.
+    const std::vector<pfs::Extent> holes =
+        app.fs.image(app.file->handle()).gaps(app.group_output_bytes);
+    if (!holes.empty()) {
+      const sim::Time repair_start = app.scheduler.now();
+      std::uint64_t bytes = 0;
+      for (const pfs::Extent& hole : holes) bytes += hole.length;
+      // Reformatting the lost results costs the same per-byte handling as
+      // MW's centralized result processing.
+      co_await app.scheduler.delay(static_cast<sim::Time>(
+          std::llround(static_cast<double>(bytes) *
+                       app.config.model.master_result_ns_per_byte)));
+      co_await app.file->write_noncontig(app.master, holes,
+                                         mpiio::NoncontigMethod::ListIo);
+      if (app.config.sync_after_write) co_await app.file->sync(app.master);
+      app.record_phase(app.master, Phase::Io, repair_start,
+                       app.scheduler.now());
+      if (app.trace_log != nullptr)
+        app.trace_log->record(app.master, "Recovery", repair_start,
+                              app.scheduler.now());
+      app.faults.repaired_bytes += bytes;
+      app.rank_stats[app.master].bytes_written += bytes;
+      ++app.rank_stats[app.master].writes_issued;
+    }
+    // Disarm the failure detectors and any reapers that never fired, so
+    // their queued deadlines are discarded without advancing the clock.
+    for (auto& [rank, probe] : app.probes) {
+      probe->timer->cancel();
+      probe->armed->close();
+    }
+    for (const auto& timer : app.reaper_timers) timer->cancel();
+  }
+  // The pumps run open-ended; tear down their posted receives (MPI_Cancel)
+  // so the simulation can quiesce.
+  app.comm.cancel_posted(app.master);
+  app.rank_stats[app.master].wall = app.scheduler.now();
+  app.rank_stats[app.master].phases.finish(app.rank_stats[app.master].wall);
+}
+
+}  // namespace s3asim::core

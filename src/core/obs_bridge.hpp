@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file obs_bridge.hpp
+/// The observability bridge between the model layers' hook interfaces and
+/// the trace/metrics sinks.  Split out of the simulation monolith; the
+/// publishing side (end-of-run aggregates, stats collection) lives in
+/// obs_bridge.cpp.
+
+#include "mpi/comm.hpp"
+#include "obs/metrics.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+namespace s3asim::core {
+
+/// Bridges the model layers' observability hooks into the trace log and the
+/// metrics registry: PFS request completions become trace spans and
+/// per-kind service-time histograms; MPI deliveries become flow events and
+/// message-size/latency histograms.  Purely host-side — it reads simulated
+/// time but never spends it.
+class ObsBridge final : public pfs::RequestObserver,
+                        public mpi::MessageObserver {
+ public:
+  ObsBridge(trace::TraceLog* trace_log, obs::Registry* metrics)
+      : trace_(trace_log) {
+    if (metrics != nullptr) {
+      write_service_ = &metrics->histogram("pfs.write.service_seconds");
+      read_service_ = &metrics->histogram("pfs.read.service_seconds");
+      sync_service_ = &metrics->histogram("pfs.sync.service_seconds");
+      messages_ = &metrics->counter("mpi.messages");
+      message_bytes_total_ = &metrics->counter("mpi.bytes");
+      message_bytes_ = &metrics->histogram("mpi.message.bytes");
+      message_delivery_ =
+          &metrics->histogram("mpi.message.delivery_seconds");
+    }
+  }
+
+  void on_request_serviced(std::uint32_t server, char kind,
+                           std::uint64_t pairs, std::uint64_t bytes,
+                           sim::Time start, sim::Time end) override {
+    if (trace_ != nullptr) trace_->span(server, kind, pairs, bytes, start, end);
+    obs::Histogram* histogram = kind == 's'   ? sync_service_
+                                : kind == 'r' ? read_service_
+                                              : write_service_;
+    if (histogram != nullptr) histogram->observe(sim::to_seconds(end - start));
+  }
+
+  void on_message_delivered(mpi::Rank src, mpi::Rank dst, mpi::Tag tag,
+                            std::uint64_t bytes, sim::Time sent,
+                            sim::Time received) override {
+    if (trace_ != nullptr) trace_->flow(src, dst, tag, bytes, sent, received);
+    if (messages_ != nullptr) {
+      messages_->add(1);
+      message_bytes_total_->add(bytes);
+      message_bytes_->observe(static_cast<double>(bytes));
+      message_delivery_->observe(sim::to_seconds(received - sent));
+    }
+  }
+
+ private:
+  trace::TraceLog* trace_ = nullptr;
+  obs::Histogram* write_service_ = nullptr;
+  obs::Histogram* read_service_ = nullptr;
+  obs::Histogram* sync_service_ = nullptr;
+  obs::Counter* messages_ = nullptr;
+  obs::Counter* message_bytes_total_ = nullptr;
+  obs::Histogram* message_bytes_ = nullptr;
+  obs::Histogram* message_delivery_ = nullptr;
+};
+
+}  // namespace s3asim::core

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The master/worker wire protocol of Algorithms 1 and 2: message tags and
+/// payload types.  Shared by the runtimes and the strategy layer's routing
+/// service; tag 5 is reserved for strategy-private traffic (today: WW-Aggr
+/// member→aggregator extent shipping).
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/message.hpp"
+#include "pfs/pfs.hpp"
+
+namespace s3asim::core {
+
+/// worker → master: "give me work" (Algorithm 2, step 3).
+inline constexpr mpi::Tag kTagRequest = 1;
+/// master → worker: assignment / done / offsets / finish, one ordered stream.
+inline constexpr mpi::Tag kTagMasterToWorker = 2;
+/// worker → master: scores (and, for MW, result payloads).
+inline constexpr mpi::Tag kTagScores = 3;
+/// master → worker: setup variables (Algorithm 1/2, step 1).
+inline constexpr mpi::Tag kTagSetup = 4;
+/// Reserved for strategy-internal worker↔worker traffic (WW-Aggr).
+inline constexpr mpi::Tag kTagStrategy = 5;
+/// Synthetic local event (never on the wire): reaper → worker, "die now".
+inline constexpr mpi::Tag kTagDeath = 98;
+/// Synthetic local event (never on the wire): failure detector → master,
+/// "this worker's result timeout expired".
+inline constexpr mpi::Tag kTagFailure = 99;
+
+/// Payload of a master→worker message.  Queries are identified both by
+/// their global id (indexes the WorkloadModel) and their local position in
+/// the owning group's query list (drives batching and file layout — under
+/// hybrid segmentation a group owns only a subset of the queries).
+struct MasterMsg {
+  enum class Kind {
+    Assign,   ///< (query, fragment) to search
+    Done,     ///< no more tasks will be assigned
+    Offsets,  ///< offset list for a completed query (possibly empty)
+    Finish,   ///< all offsets sent; worker may tear down
+  };
+  Kind kind = Kind::Assign;
+  std::uint32_t query = 0;        ///< global query id
+  std::uint32_t local_query = 0;  ///< position within the group's query list
+  std::uint32_t fragment = 0;
+  std::vector<pfs::Extent> extents;  // Offsets only
+};
+
+/// Payload of a worker→master scores message.
+struct ScoresMsg {
+  std::uint32_t query = 0;        ///< global query id
+  std::uint32_t local_query = 0;  ///< group-local position
+  std::uint32_t fragment = 0;
+  mpi::Rank worker = 0;
+};
+
+}  // namespace s3asim::core

@@ -1,1695 +1,21 @@
+/// \file simulation.cpp
+/// The public drivers: single-master, crash/resume, and hybrid
+/// (multi-master) runs.  Everything below is orchestration — World and App
+/// construction plus the scheduler run loop; the master/worker algorithms
+/// live in master_runtime.cpp / worker_runtime.cpp, the per-strategy I/O
+/// policy under strategies/, and the end-of-run accounting in
+/// obs_bridge.cpp.
+
 #include "core/simulation.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cmath>
-#include <deque>
-#include <map>
 #include <memory>
-#include <optional>
 #include <set>
-#include <tuple>
 #include <vector>
 
-#include "fault/fault.hpp"
-#include "mpi/comm.hpp"
-#include "mpiio/file.hpp"
-#include "pfs/pfs.hpp"
-#include "sim/barrier.hpp"
-#include "sim/channel.hpp"
-#include "sim/scheduler.hpp"
-#include "sim/task.hpp"
-#include "sim/timer.hpp"
-#include "sim/wait_group.hpp"
-#include "util/log.hpp"
-#include "util/rng.hpp"
-#include "util/require.hpp"
+#include "core/runtime.hpp"
 
 namespace s3asim::core {
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Message protocol
-// ---------------------------------------------------------------------------
-
-/// worker → master: "give me work" (Algorithm 2, step 3).
-constexpr mpi::Tag kTagRequest = 1;
-/// master → worker: assignment / done / offsets / finish, one ordered stream.
-constexpr mpi::Tag kTagMasterToWorker = 2;
-/// worker → master: scores (and, for MW, result payloads).
-constexpr mpi::Tag kTagScores = 3;
-/// master → worker: setup variables (Algorithm 1/2, step 1).
-constexpr mpi::Tag kTagSetup = 4;
-/// Synthetic local event (never on the wire): reaper → worker, "die now".
-constexpr mpi::Tag kTagDeath = 98;
-/// Synthetic local event (never on the wire): failure detector → master,
-/// "this worker's result timeout expired".
-constexpr mpi::Tag kTagFailure = 99;
-
-/// Payload of a master→worker message.  Queries are identified both by
-/// their global id (indexes the WorkloadModel) and their local position in
-/// the owning group's query list (drives batching and file layout — under
-/// hybrid segmentation a group owns only a subset of the queries).
-struct MasterMsg {
-  enum class Kind {
-    Assign,   ///< (query, fragment) to search
-    Done,     ///< no more tasks will be assigned
-    Offsets,  ///< offset list for a completed query (possibly empty)
-    Finish,   ///< all offsets sent; worker may tear down
-  };
-  Kind kind = Kind::Assign;
-  std::uint32_t query = 0;        ///< global query id
-  std::uint32_t local_query = 0;  ///< position within the group's query list
-  std::uint32_t fragment = 0;
-  std::vector<pfs::Extent> extents;  // Offsets only
-};
-
-/// Payload of a worker→master scores message.
-struct ScoresMsg {
-  std::uint32_t query = 0;        ///< global query id
-  std::uint32_t local_query = 0;  ///< group-local position
-  std::uint32_t fragment = 0;
-  mpi::Rank worker = 0;
-};
-
-/// LRU set of database fragments a worker holds in memory.  The master
-/// mirrors each worker's cache (both sides apply the same `touch` sequence)
-/// to implement mpiBLAST-style fragment-affinity scheduling.
-class FragmentCache {
- public:
-  explicit FragmentCache(std::size_t capacity) : capacity_(capacity) {}
-
-  /// Marks `fragment` most-recently-used; returns true if it was cached.
-  bool touch(std::uint32_t fragment) {
-    if (capacity_ == 0) return false;
-    const auto it = std::find(lru_.begin(), lru_.end(), fragment);
-    if (it != lru_.end()) {
-      lru_.erase(it);
-      lru_.push_back(fragment);
-      return true;
-    }
-    if (lru_.size() == capacity_) lru_.erase(lru_.begin());
-    lru_.push_back(fragment);
-    return false;
-  }
-
-  [[nodiscard]] bool contains(std::uint32_t fragment) const {
-    return std::find(lru_.begin(), lru_.end(), fragment) != lru_.end();
-  }
-
- private:
-  std::size_t capacity_;
-  std::vector<std::uint32_t> lru_;
-};
-
-// ---------------------------------------------------------------------------
-// Shared world + per-group application state
-// ---------------------------------------------------------------------------
-
-/// The cost-model PFS parameters with the fault plan's server faults
-/// appended as degradations (the fault module is pfs-agnostic; the
-/// translation happens at world construction).
-pfs::PfsParams faulted_pfs(const SimConfig& cfg) {
-  pfs::PfsParams params = cfg.model.pfs;
-  for (const fault::ServerFault& f : cfg.fault.servers)
-    params.degradations.push_back(
-        pfs::ServerDegradation{f.server, f.from, f.service_factor, f.stall});
-  return params;
-}
-
-/// Bridges the model layers' observability hooks into the trace log and the
-/// metrics registry: PFS request completions become trace spans and
-/// per-kind service-time histograms; MPI deliveries become flow events and
-/// message-size/latency histograms.  Purely host-side — it reads simulated
-/// time but never spends it.
-class ObsBridge final : public pfs::RequestObserver,
-                        public mpi::MessageObserver {
- public:
-  ObsBridge(trace::TraceLog* trace_log, obs::Registry* metrics)
-      : trace_(trace_log) {
-    if (metrics != nullptr) {
-      write_service_ = &metrics->histogram("pfs.write.service_seconds");
-      read_service_ = &metrics->histogram("pfs.read.service_seconds");
-      sync_service_ = &metrics->histogram("pfs.sync.service_seconds");
-      messages_ = &metrics->counter("mpi.messages");
-      message_bytes_total_ = &metrics->counter("mpi.bytes");
-      message_bytes_ = &metrics->histogram("mpi.message.bytes");
-      message_delivery_ =
-          &metrics->histogram("mpi.message.delivery_seconds");
-    }
-  }
-
-  void on_request_serviced(std::uint32_t server, char kind,
-                           std::uint64_t pairs, std::uint64_t bytes,
-                           sim::Time start, sim::Time end) override {
-    if (trace_ != nullptr) trace_->span(server, kind, pairs, bytes, start, end);
-    obs::Histogram* histogram = kind == 's'   ? sync_service_
-                                : kind == 'r' ? read_service_
-                                              : write_service_;
-    if (histogram != nullptr) histogram->observe(sim::to_seconds(end - start));
-  }
-
-  void on_message_delivered(mpi::Rank src, mpi::Rank dst, mpi::Tag tag,
-                            std::uint64_t bytes, sim::Time sent,
-                            sim::Time received) override {
-    if (trace_ != nullptr) trace_->flow(src, dst, tag, bytes, sent, received);
-    if (messages_ != nullptr) {
-      messages_->add(1);
-      message_bytes_total_->add(bytes);
-      message_bytes_->observe(static_cast<double>(bytes));
-      message_delivery_->observe(sim::to_seconds(received - sent));
-    }
-  }
-
- private:
-  trace::TraceLog* trace_ = nullptr;
-  obs::Histogram* write_service_ = nullptr;
-  obs::Histogram* read_service_ = nullptr;
-  obs::Histogram* sync_service_ = nullptr;
-  obs::Counter* messages_ = nullptr;
-  obs::Counter* message_bytes_total_ = nullptr;
-  obs::Histogram* message_bytes_ = nullptr;
-  obs::Histogram* message_delivery_ = nullptr;
-};
-
-/// Everything shared by all groups: the cluster, the file system, the
-/// deterministic workload, and the per-rank statistics.
-struct World {
-  World(const SimConfig& cfg, std::uint32_t ranks)
-      : config(cfg),
-        workload(cfg.workload),
-        scheduler(),
-        network(scheduler, ranks + cfg.model.pfs.layout.server_count(),
-                cfg.model.network),
-        comm(scheduler, network, ranks),
-        fs(scheduler, network, /*server_endpoint_base=*/ranks, faulted_pfs(cfg)),
-        rank_stats(ranks) {
-    S3A_REQUIRE(cfg.compute_speed > 0.0);
-    S3A_REQUIRE(cfg.queries_per_flush >= 1);
-  }
-
-  /// Arms the observability sinks (no-op for a default-constructed
-  /// `Observability`): wires the PFS/MPI observer bridge, the scheduler
-  /// profiler, and the trace log's drop counter.
-  void attach_observability(const Observability& observe) {
-    trace_log = observe.trace_log;
-    metrics = observe.metrics;
-    if (observe.metrics != nullptr) {
-      scheduler.attach_profiler(observe.metrics);
-      if (observe.trace_log != nullptr)
-        observe.trace_log->attach_registry(observe.metrics);
-    }
-    if (observe.enabled()) {
-      obs_bridge =
-          std::make_unique<ObsBridge>(observe.trace_log, observe.metrics);
-      fs.set_observer(obs_bridge.get());
-      comm.set_observer(obs_bridge.get());
-    }
-  }
-
-  const SimConfig& config;
-  WorkloadModel workload;
-  sim::Scheduler scheduler;
-  net::Network network;
-  mpi::Comm comm;
-  pfs::Pfs fs;
-  std::vector<RankStats> rank_stats;
-  trace::TraceLog* trace_log = nullptr;
-  obs::Registry* metrics = nullptr;
-  std::unique_ptr<ObsBridge> obs_bridge;
-};
-
-/// One master/worker group: under plain database segmentation there is a
-/// single group spanning all ranks and all queries; under hybrid query/
-/// database segmentation (paper §5 future work) each group owns a slice of
-/// the queries, its own master, and its own output file.
-struct App {
-  App(World& w, mpi::Rank master_rank, std::vector<mpi::Rank> worker_ranks,
-      std::vector<std::uint32_t> query_ids)
-      : world(w),
-        config(w.config),
-        workload(w.workload),
-        scheduler(w.scheduler),
-        network(w.network),
-        comm(w.comm),
-        fs(w.fs),
-        rank_stats(w.rank_stats),
-        master(master_rank),
-        workers(std::move(worker_ranks)),
-        queries(std::move(query_ids)),
-        query_barrier(w.scheduler, std::max<std::size_t>(workers.size(), 1)) {
-    S3A_REQUIRE_MSG(!workers.empty(), "a group needs at least one worker");
-    S3A_REQUIRE_MSG(!queries.empty(), "a group needs at least one query");
-    for (const mpi::Rank rank : workers)
-      events.emplace(rank,
-                     std::make_unique<sim::Channel<mpi::Message>>(scheduler));
-    request_wake = std::make_unique<sim::Channel<int>>(scheduler);
-    scores_wake = std::make_unique<sim::Channel<int>>(scheduler);
-    recovery_mode = config.fault.perturbs_workers();
-    if (recovery_mode) {
-      for (const mpi::Rank rank : workers) {
-        auto probe = std::make_unique<ProbeCtl>();
-        probe->timer = std::make_unique<sim::Timer>(scheduler);
-        probe->armed = std::make_unique<sim::Channel<int>>(scheduler);
-        probes.emplace(rank, std::move(probe));
-      }
-    }
-    // Group-local file layout: the group's queries packed back to back.
-    region_bases.reserve(queries.size());
-    std::uint64_t cursor = 0;
-    for (const std::uint32_t query : queries) {
-      region_bases.push_back(cursor);
-      cursor += workload.query(query).total_bytes;
-    }
-    group_output_bytes = cursor;
-  }
-
-  World& world;
-  const SimConfig& config;
-  WorkloadModel& workload;
-  sim::Scheduler& scheduler;
-  net::Network& network;
-  mpi::Comm& comm;
-  pfs::Pfs& fs;
-  std::vector<RankStats>& rank_stats;
-  trace::TraceLog* trace_log = nullptr;
-
-  mpi::Rank master;
-  std::vector<mpi::Rank> workers;
-  std::vector<std::uint32_t> queries;  ///< global query ids, ascending
-  sim::Barrier query_barrier;  ///< the "query sync" barrier (§3.3: workers only)
-  std::vector<std::uint64_t> region_bases;  ///< group-file offset per local query
-  std::uint64_t group_output_bytes = 0;
-
-  /// Per-worker inbound event queues fed by pump processes.
-  std::map<mpi::Rank, std::unique_ptr<sim::Channel<mpi::Message>>> events;
-
-  /// Master-side priority split: Algorithm 1 *blocks* on work requests
-  /// (step 3) and only *tests* score receives (step 10), so requests are
-  /// served before queued score processing.  Pumps deposit messages here
-  /// and push a wake token into the matching wake channel.
-  std::deque<mpi::Message> master_requests;
-  std::deque<mpi::Message> master_scores;
-  std::unique_ptr<sim::Channel<int>> request_wake;
-  std::unique_ptr<sim::Channel<int>> scores_wake;
-
-  // ---- Fault-injection / recovery state (inert on failure-free runs). ----
-  /// True when the plan perturbs workers: the master runs its
-  /// recovery-capable loop and arms per-worker failure detectors.
-  bool recovery_mode = false;
-  /// Per-worker failure detector: the master arms `timer` whenever the
-  /// worker owes results and pushes a token into `armed`; the probe process
-  /// pops the token, waits out the timer, and on expiry injects a synthetic
-  /// kTagFailure message into the master's request queue.
-  struct ProbeCtl {
-    std::unique_ptr<sim::Timer> timer;
-    std::unique_ptr<sim::Channel<int>> armed;
-  };
-  std::map<mpi::Rank, std::unique_ptr<ProbeCtl>> probes;
-  /// One cancellable timer per planned kill (owned here so the master can
-  /// disarm stragglers at teardown without inflating the wall clock).
-  std::vector<std::unique_ptr<sim::Timer>> reaper_timers;
-  std::set<mpi::Rank> dead;                 ///< workers that fail-stopped
-  std::map<mpi::Rank, sim::Time> death_times;
-  FaultStats faults;
-  /// Simulated instant each flushed batch was retired by the master (MW:
-  /// after the durable region write; WW: when the offset lists were
-  /// dispatched — workers flush immediately after).  Feeds resume-from-flush.
-  std::vector<sim::Time> batch_complete_times;
-
-  std::unique_ptr<mpiio::File> file;
-  /// The on-disk database, present when workload.database_bytes > 0.
-  std::unique_ptr<mpiio::File> database_file;
-  /// WW-FilePerProc: each worker's private output file.
-  std::map<mpi::Rank, std::unique_ptr<mpiio::File>> worker_files;
-
-  // Database-streaming model.
-  [[nodiscard]] bool models_database_io() const noexcept {
-    return config.workload.database_bytes > 0;
-  }
-  [[nodiscard]] std::uint64_t fragment_bytes() const noexcept {
-    return config.workload.database_bytes / config.workload.fragment_count;
-  }
-  [[nodiscard]] std::size_t cache_capacity() const noexcept {
-    if (!models_database_io() || fragment_bytes() == 0) return 0;
-    return static_cast<std::size_t>(config.worker_memory_bytes /
-                                    fragment_bytes());
-  }
-
-  // Derived mode flags.
-  [[nodiscard]] bool per_query_msgs_to_all() const noexcept {
-    return config.query_sync || is_collective(config.strategy);
-  }
-  [[nodiscard]] std::uint32_t nworkers() const noexcept {
-    return static_cast<std::uint32_t>(workers.size());
-  }
-  [[nodiscard]] std::uint32_t query_count() const noexcept {
-    return static_cast<std::uint32_t>(queries.size());
-  }
-  [[nodiscard]] std::uint32_t batch_of(std::uint32_t local_query) const noexcept {
-    return local_query / config.queries_per_flush;
-  }
-  [[nodiscard]] std::uint32_t batch_last_query(std::uint32_t batch) const noexcept {
-    return std::min(query_count(), (batch + 1) * config.queries_per_flush) - 1;
-  }
-
-  /// Offset of local query q's region within the group's output file.
-  [[nodiscard]] std::uint64_t region_base(std::uint32_t local_query) const {
-    return region_bases[local_query];
-  }
-
-  /// Worker `rank`'s effective search speed: the global multiplier scaled
-  /// by a deterministic per-rank heterogeneity factor.
-  [[nodiscard]] double worker_speed(mpi::Rank rank) const {
-    double factor = 1.0;
-    if (config.compute_speed_jitter > 0.0) {
-      util::Xoshiro256 rng(
-          util::hash_combine(config.workload.seed ^ 0x48e7e601ULL, rank));
-      factor += config.compute_speed_jitter * (2.0 * rng.uniform() - 1.0);
-    }
-    return config.compute_speed * factor;
-  }
-
-  [[nodiscard]] sim::Time compute_time(std::uint32_t query,
-                                       std::uint32_t fragment,
-                                       mpi::Rank rank) const {
-    const std::uint64_t bytes = workload.fragment_result_bytes(query, fragment);
-    const double nanos =
-        static_cast<double>(config.model.compute_startup) +
-        static_cast<double>(bytes) * config.model.compute_ns_per_result_byte;
-    // Injected stragglers: active slowdowns multiply the search time.
-    const double slow = config.fault.slow_factor(rank, scheduler.now());
-    return static_cast<sim::Time>(
-        std::llround(nanos * slow / worker_speed(rank)));
-  }
-
-  void record_phase(mpi::Rank rank, Phase phase, sim::Time start, sim::Time end) {
-    rank_stats[rank].phases.add(phase, end - start);
-    if (trace_log != nullptr && end > start)
-      trace_log->record(rank, phase_name(phase), start, end);
-  }
-};
-
-/// Scoped-ish phase timing around co_await points.
-#define S3A_PHASE(app, rank, phase, ...)                          \
-  do {                                                            \
-    const sim::Time s3a_phase_start__ = (app).scheduler.now();    \
-    __VA_ARGS__;                                                  \
-    (app).record_phase((rank), (phase), s3a_phase_start__,        \
-                       (app).scheduler.now());                    \
-  } while (0)
-
-// ---------------------------------------------------------------------------
-// Pumps: turn MPI matching into per-rank ordered event streams
-// ---------------------------------------------------------------------------
-
-sim::Process worker_stream_pump(App& app, mpi::Rank rank) {
-  while (true) {
-    mpi::Message message =
-        co_await app.comm.recv(rank, app.master, kTagMasterToWorker);
-    if (message.cancelled) break;  // torn down at teardown (dead worker)
-    const bool finish =
-        message.as<MasterMsg>().kind == MasterMsg::Kind::Finish;
-    app.events.at(rank)->push(std::move(message));
-    if (finish) break;
-  }
-  app.events.at(rank)->close();
-}
-
-/// With faults the message counts are not known up front (reassignment,
-/// drops, retirements), so both master pumps run until the master cancels
-/// their posted receives at teardown (MPI_Cancel).
-sim::Process master_request_pump(App& app) {
-  while (true) {
-    mpi::Message message =
-        co_await app.comm.recv(app.master, mpi::kAnySource, kTagRequest);
-    if (message.cancelled) break;
-    app.master_requests.push_back(std::move(message));
-    app.request_wake->push(0);
-  }
-}
-
-sim::Process master_scores_pump(App& app) {
-  while (true) {
-    mpi::Message message =
-        co_await app.comm.recv(app.master, mpi::kAnySource, kTagScores);
-    if (message.cancelled) break;
-    app.master_scores.push_back(std::move(message));
-    app.scores_wake->push(0);
-    // The recovery loop blocks on a single wake stream; mirror the token.
-    if (app.recovery_mode) app.request_wake->push(0);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Fault processes: reapers (planned kills) and probes (failure detectors)
-// ---------------------------------------------------------------------------
-
-/// Sleeps until the planned kill time and injects a death event into the
-/// worker's stream.  The worker acts on it at its next event-loop visit;
-/// deaths landing mid-search are handled by the worker itself (partial
-/// compute, no score).  Cancelled at teardown if the run ends first.
-sim::Process worker_reaper(App& app, mpi::Rank rank, sim::Time kill_at,
-                           sim::Timer& timer) {
-  timer.arm_at(kill_at);
-  if (co_await timer.wait()) {
-    sim::Channel<mpi::Message>& events = *app.events.at(rank);
-    if (!events.closed())
-      events.push(mpi::Message{.source = rank, .tag = kTagDeath});
-  }
-}
-
-/// Failure detector for one worker: every token in `armed` covers one timer
-/// arming by the master.  Expiry injects a synthetic failure notice into
-/// the master's request queue (a local decision — no simulated traffic).
-sim::Process worker_probe(App& app, mpi::Rank rank) {
-  App::ProbeCtl& probe = *app.probes.at(rank);
-  while (true) {
-    const auto token = co_await probe.armed->pop();
-    if (!token) break;  // closed at teardown
-    const bool fired = co_await probe.timer->wait();
-    if (!fired) continue;  // sign of life (or re-arm) cancelled the wait
-    app.master_requests.push_back(
-        mpi::Message{.source = rank, .tag = kTagFailure});
-    app.request_wake->push(0);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Master process (Algorithm 1)
-// ---------------------------------------------------------------------------
-
-/// One assigned-but-unacknowledged (query, fragment) task.
-struct Outstanding {
-  std::uint32_t local = 0;     ///< group-local query index
-  std::uint32_t query = 0;     ///< global query id
-  std::uint32_t fragment = 0;
-};
-
-struct MasterState {
-  explicit MasterState(sim::Scheduler& scheduler) : pending_writes(scheduler) {}
-
-  std::uint32_t next_query = 0;  ///< local index of the query being assigned
-  /// Unassigned fragments of `next_query` (affinity scheduling may pick any).
-  std::vector<std::uint32_t> pending_fragments;
-  std::uint64_t tasks_assigned = 0;
-  std::uint64_t tasks_completed = 0;
-  std::uint32_t done_sent = 0;
-  /// Master's mirror of each worker's fragment cache (affinity scheduling).
-  std::map<mpi::Rank, FragmentCache> worker_caches;
-  /// Outstanding nonblocking MW batch writes (mw_nonblocking_io): one
-  /// counting latch instead of one heap gate per batch.
-  sim::WaitGroup pending_writes;
-
-  /// Per local query: fragments completed and (worker, fragment) pairs.
-  std::vector<std::uint32_t> fragments_done;
-  std::vector<std::vector<std::pair<mpi::Rank, std::uint32_t>>> contributors;
-  /// Next local query awaiting in-order region processing.
-  std::uint32_t next_inorder = 0;
-  /// Local queries completed but blocked behind an earlier incomplete one.
-  std::set<std::uint32_t> completed_out_of_order;
-
-  // ---- Recovery bookkeeping (recovery_mode only). ------------------------
-  /// Tasks each worker has been assigned and not yet returned scores for.
-  std::map<mpi::Rank, std::vector<Outstanding>> outstanding;
-  /// Workers the failure detector declared dead; they get Done on any
-  /// further request and are never assigned again.
-  std::set<mpi::Rank> retired;
-  /// Live workers with an unanswered work request (nothing to hand out when
-  /// they asked); unparked when reassigned work appears.
-  std::deque<mpi::Rank> parked;
-  /// Tasks reclaimed from retired workers, re-issued FIFO before fresh work.
-  std::deque<Outstanding> reassign;
-  /// Per local query: fragments whose scores were accepted (first-wins
-  /// dedup — a reassigned task may complete twice but only one completion
-  /// contributes, keeping the output layout overlap-free).
-  std::vector<std::set<std::uint32_t>> done_frags;
-};
-
-/// Extents (in the group file) of local query `local`'s results produced by
-/// one worker, in file order.
-std::vector<pfs::Extent> worker_extents(const App& app, std::uint32_t local,
-                                        const std::vector<std::uint32_t>& fragments) {
-  const QueryWorkload& workload = app.workload.query(app.queries[local]);
-  const std::uint64_t base = app.region_base(local);
-  std::vector<std::uint32_t> indices;
-  for (const std::uint32_t fragment : fragments)
-    for (const std::uint32_t index : workload.by_fragment[fragment])
-      indices.push_back(index);
-  std::sort(indices.begin(), indices.end());
-  std::vector<pfs::Extent> extents;
-  extents.reserve(indices.size());
-  for (const std::uint32_t index : indices) {
-    const std::uint64_t offset = base + workload.offsets[index];
-    const std::uint64_t length = workload.results[index].bytes;
-    if (!extents.empty() && extents.back().end() == offset)
-      extents.back().length += length;  // coalesce adjacent results
-    else
-      extents.push_back(pfs::Extent{offset, length});
-  }
-  return extents;
-}
-
-/// Sends the offset lists (or empty per-query notifications) for a
-/// completed query, per strategy/sync mode.  Gather-results bookkeeping has
-/// already happened; this is Algorithm 1, step 15.
-sim::Task<void> master_dispatch_query(App& app, MasterState& state,
-                                      std::uint32_t local) {
-  const ModelParams& model = app.config.model;
-  if (app.config.strategy == Strategy::MW ||
-      app.config.strategy == Strategy::WWFilePerProcess) {
-    // MW/file-per-process sync modes still notify workers per query (after
-    // the batch boundary, handled by the caller); no offset lists — the
-    // master writes itself (MW) or workers append position-free (N-N).
-    co_return;
-  }
-  // Group the query's fragments per contributing worker.
-  std::map<mpi::Rank, std::vector<std::uint32_t>> fragments_by_worker;
-  for (const auto& [worker, fragment] : state.contributors[local])
-    fragments_by_worker[worker].push_back(fragment);
-
-  for (const mpi::Rank worker : app.workers) {
-    const auto it = fragments_by_worker.find(worker);
-    const bool contributes = it != fragments_by_worker.end();
-    if (!contributes && !app.per_query_msgs_to_all()) continue;
-    MasterMsg msg;
-    msg.kind = MasterMsg::Kind::Offsets;
-    msg.query = app.queries[local];
-    msg.local_query = local;
-    if (contributes) msg.extents = worker_extents(app, local, it->second);
-    const std::uint64_t bytes =
-        model.control_message_bytes +
-        model.bytes_per_offset_entry * msg.extents.size();
-    (void)app.comm.isend(app.master, worker, kTagMasterToWorker, bytes,
-                         std::move(msg));
-  }
-  co_return;
-}
-
-/// MW: write a batch of completed query regions as one contiguous call.
-sim::Task<void> master_write_batch(App& app, std::uint32_t first_local,
-                                   std::uint32_t last_local,
-                                   bool record_io_phase = true) {
-  const std::uint64_t base = app.region_base(first_local);
-  const std::uint64_t end =
-      app.region_base(last_local) +
-      app.workload.query(app.queries[last_local]).total_bytes;
-  const sim::Time start = app.scheduler.now();
-  co_await app.file->write_at(app.master, base, end - base, first_local);
-  if (app.config.sync_after_write) co_await app.file->sync(app.master);
-  // Asynchronous (mw_nonblocking_io) writes overlap the master's other
-  // phases; only the blocking variant charges the I/O phase here.
-  if (record_io_phase)
-    app.record_phase(app.master, Phase::Io, start, app.scheduler.now());
-  app.rank_stats[app.master].bytes_written += end - base;
-  ++app.rank_stats[app.master].writes_issued;
-}
-
-/// In MW + sync mode workers still need per-query notifications so they can
-/// join the per-batch barrier.
-void master_notify_batch(App& app, std::uint32_t first_local,
-                         std::uint32_t last_local) {
-  for (std::uint32_t local = first_local; local <= last_local; ++local) {
-    for (const mpi::Rank worker : app.workers) {
-      MasterMsg msg;
-      msg.kind = MasterMsg::Kind::Offsets;
-      msg.query = app.queries[local];
-      msg.local_query = local;
-      (void)app.comm.isend(app.master, worker, kTagMasterToWorker,
-                           app.config.model.control_message_bytes, msg);
-    }
-  }
-}
-
-sim::Process master_process(App& app) {
-  MasterState state{app.scheduler};
-  const std::uint32_t queries = app.query_count();
-  const std::uint32_t fragments = app.config.workload.fragment_count;
-  const std::uint64_t total_tasks =
-      static_cast<std::uint64_t>(queries) * fragments;
-  state.fragments_done.assign(queries, 0);
-  state.contributors.assign(queries, {});
-  state.done_frags.assign(queries, {});
-  for (const mpi::Rank worker : app.workers)
-    state.worker_caches.emplace(worker, FragmentCache(app.cache_capacity()));
-
-  // ---- Setup: create the output file, broadcast input variables. ---------
-  {
-    const sim::Time start = app.scheduler.now();
-    const auto handle = co_await app.fs.create_file(
-        app.comm.endpoint_of(app.master),
-        "results." + std::to_string(app.master) + ".out");
-    mpiio::Hints hints = app.config.hints;
-    if (app.config.strategy == Strategy::WWCollList)
-      hints.collective_algorithm = mpiio::CollectiveAlgorithm::ListWithSync;
-    app.file = std::make_unique<mpiio::File>(app.scheduler, app.network, app.fs,
-                                             app.comm, handle, app.workers,
-                                             hints);
-    if (app.models_database_io()) {
-      const auto db_handle = co_await app.fs.create_file(
-          app.comm.endpoint_of(app.master),
-          "database." + std::to_string(app.master));
-      app.database_file = std::make_unique<mpiio::File>(
-          app.scheduler, app.network, app.fs, app.comm, db_handle, app.workers,
-          mpiio::Hints{});
-    }
-    if (app.config.strategy == Strategy::WWFilePerProcess) {
-      for (const mpi::Rank worker : app.workers) {
-        const auto worker_handle = co_await app.fs.create_file(
-            app.comm.endpoint_of(app.master),
-            "results." + std::to_string(worker) + ".part");
-        app.worker_files.emplace(
-            worker, std::make_unique<mpiio::File>(
-                        app.scheduler, app.network, app.fs, app.comm,
-                        worker_handle, std::vector<mpi::Rank>{worker},
-                        mpiio::Hints{}));
-      }
-    }
-    for (const mpi::Rank worker : app.workers)
-      co_await app.comm.send(app.master, worker, kTagSetup,
-                             app.config.model.setup_message_bytes);
-    app.record_phase(app.master, Phase::Setup, start, app.scheduler.now());
-  }
-
-  const bool sync_mode = app.config.query_sync;
-  const Strategy strategy = app.config.strategy;
-
-  // ---- Task source shared by the failure-free and recovery loops. --------
-  // Picks the next fresh (query, fragment) for `worker` (with fragment
-  // affinity), updating assignment bookkeeping; nullopt when the workload
-  // is fully assigned.
-  auto fresh_task = [&app, &state, fragments,
-                     total_tasks](mpi::Rank worker) -> std::optional<Outstanding> {
-    if (state.tasks_assigned >= total_tasks) return std::nullopt;
-    if (state.pending_fragments.empty()) {
-      state.pending_fragments.resize(fragments);
-      for (std::uint32_t f = 0; f < fragments; ++f)
-        state.pending_fragments[f] = f;
-    }
-    // mpiBLAST-style fragment affinity: within the current query, prefer a
-    // fragment the requesting worker already has in memory.
-    std::size_t pick = 0;
-    if (app.config.fragment_affinity && app.models_database_io()) {
-      for (std::size_t i = 0; i < state.pending_fragments.size(); ++i) {
-        if (state.worker_caches.at(worker).contains(
-                state.pending_fragments[i])) {
-          pick = i;
-          break;
-        }
-      }
-    }
-    Outstanding task;
-    task.local = state.next_query;
-    task.query = app.queries[state.next_query];
-    task.fragment = state.pending_fragments[pick];
-    state.pending_fragments.erase(state.pending_fragments.begin() +
-                                  static_cast<std::ptrdiff_t>(pick));
-    if (app.models_database_io())
-      (void)state.worker_caches.at(worker).touch(task.fragment);
-    if (state.pending_fragments.empty()) ++state.next_query;
-    ++state.tasks_assigned;
-    return task;
-  };
-
-  // ---- Failure-detector helpers (recovery_mode only). --------------------
-  auto arm_probe = [&app](mpi::Rank worker) {
-    App::ProbeCtl& probe = *app.probes.at(worker);
-    probe.timer->arm_in(app.config.fault_detection_timeout);
-    probe.armed->push(0);
-  };
-  auto disarm_probe = [&app](mpi::Rank worker) {
-    app.probes.at(worker)->timer->cancel();
-  };
-
-  // Algorithm 1, step 10: process one completed score receive — merge it
-  // (for MW including the full result payload), then handle any queries
-  // that completed, in query order (steps 14–18).
-  auto handle_score = [&app, &state, fragments, sync_mode, strategy,
-                       &arm_probe, &disarm_probe]() -> sim::Task<void> {
-    mpi::Message event = std::move(app.master_scores.front());
-    app.master_scores.pop_front();
-    S3A_CHECK(event.tag == kTagScores);
-    const auto& scores = event.as<ScoresMsg>();
-    if (app.recovery_mode) {
-      // Sign of life: the worker returned results — clear the matching
-      // outstanding entry and re-arm (or disarm) its failure detector.
-      auto& owed = state.outstanding[scores.worker];
-      const auto it = std::find_if(
-          owed.begin(), owed.end(), [&scores](const Outstanding& task) {
-            return task.local == scores.local_query &&
-                   task.fragment == scores.fragment;
-          });
-      if (it != owed.end()) owed.erase(it);
-      if (!state.retired.contains(scores.worker)) {
-        disarm_probe(scores.worker);
-        if (!owed.empty()) arm_probe(scores.worker);
-      }
-    }
-    {
-      const sim::Time merge_start = app.scheduler.now();
-      const auto count = static_cast<sim::Time>(
-          app.workload.query(scores.query).by_fragment[scores.fragment].size());
-      sim::Time merge_time = count * app.config.model.master_merge_per_entry;
-      if (strategy == Strategy::MW) {
-        const std::uint64_t payload =
-            app.workload.fragment_result_bytes(scores.query, scores.fragment);
-        merge_time += static_cast<sim::Time>(
-            std::llround(static_cast<double>(payload) *
-                         app.config.model.master_result_ns_per_byte));
-      }
-      co_await app.scheduler.delay(merge_time);
-      app.record_phase(app.master, Phase::GatherResults, merge_start,
-                       app.scheduler.now());
-    }
-    if (app.recovery_mode &&
-        !state.done_frags[scores.local_query].insert(scores.fragment).second) {
-      // A reassigned task completed twice (the original owner was slow, not
-      // dead).  The master already paid the merge; the late copy must not
-      // contribute — its extents would overlap the first completion's.
-      ++app.faults.duplicate_completions;
-      co_return;
-    }
-    state.contributors[scores.local_query].emplace_back(scores.worker,
-                                                        scores.fragment);
-    ++state.tasks_completed;
-    if (++state.fragments_done[scores.local_query] == fragments)
-      state.completed_out_of_order.insert(scores.local_query);
-
-    while (state.completed_out_of_order.contains(state.next_inorder)) {
-      const std::uint32_t local = state.next_inorder;
-      state.completed_out_of_order.erase(local);
-      ++state.next_inorder;
-
-      co_await master_dispatch_query(app, state, local);
-
-      const std::uint32_t batch = app.batch_of(local);
-      if (local == app.batch_last_query(batch)) {
-        const std::uint32_t first = batch * app.config.queries_per_flush;
-        if (strategy == Strategy::MW) {
-          if (app.config.mw_nonblocking_io) {
-            // §2.1 ablation: issue the write asynchronously and keep
-            // serving requests; completion is collected at teardown.
-            auto writer = [](App& a, std::uint32_t lo, std::uint32_t hi,
-                             sim::WaitGroup& done) -> sim::Process {
-              co_await master_write_batch(a, lo, hi, /*record_io_phase=*/false);
-              done.done();
-            };
-            state.pending_writes.add();
-            app.scheduler.spawn(writer(app, first, local, state.pending_writes));
-          } else {
-            co_await master_write_batch(app, first, local);
-          }
-          if (sync_mode) master_notify_batch(app, first, local);
-        } else if (strategy == Strategy::WWFilePerProcess && sync_mode) {
-          master_notify_batch(app, first, local);
-        }
-        // §3.3: the query-sync barrier is among the *worker* nodes; the
-        // master keeps distributing work.
-        app.batch_complete_times.push_back(app.scheduler.now());
-      }
-    }
-  };
-
-  if (!app.recovery_mode) {
-    // ---- Failure-free master loop (Algorithm 1, byte-identical to the
-    //      pre-fault-subsystem behavior). --------------------------------
-    while (true) {
-      const bool everything_done = state.tasks_completed == total_tasks &&
-                                   state.done_sent == app.nworkers() &&
-                                   state.next_inorder == queries;
-      if (everything_done) break;
-
-      // ---- Step 3: the master *blocks* receiving work requests and only
-      // *tests* score receives — requests are answered first, and the score
-      // backlog is drained after each reply (steps 8, 10).
-      const bool requests_exhausted = state.done_sent == app.nworkers();
-      if (!requests_exhausted) {
-        const sim::Time wait_start = app.scheduler.now();
-        auto token = co_await app.request_wake->pop();
-        S3A_CHECK_MSG(token.has_value(), "master request stream closed early");
-        app.record_phase(app.master, Phase::DataDistribution, wait_start,
-                         app.scheduler.now());
-
-        // ---- Steps 4-9: assign work or notify completion. ----------------
-        S3A_CHECK(!app.master_requests.empty());
-        mpi::Message event = std::move(app.master_requests.front());
-        app.master_requests.pop_front();
-        const mpi::Rank worker = event.source;
-        const sim::Time send_start = app.scheduler.now();
-        MasterMsg reply;
-        if (const auto task = fresh_task(worker)) {
-          reply.kind = MasterMsg::Kind::Assign;
-          reply.query = task->query;
-          reply.local_query = task->local;
-          reply.fragment = task->fragment;
-        } else {
-          reply.kind = MasterMsg::Kind::Done;
-          ++state.done_sent;
-        }
-        co_await app.comm.send(app.master, worker, kTagMasterToWorker,
-                               app.config.model.control_message_bytes, reply);
-        app.record_phase(app.master, Phase::DataDistribution, send_start,
-                         app.scheduler.now());
-        // Step 10: after serving the request, drain the completed receives.
-        while (!app.master_scores.empty()) co_await handle_score();
-      } else {
-        // No more requests will come; block on the remaining score receives.
-        const sim::Time wait_start = app.scheduler.now();
-        auto token = co_await app.scores_wake->pop();
-        S3A_CHECK_MSG(token.has_value(), "master score stream closed early");
-        app.record_phase(app.master, Phase::GatherResults, wait_start,
-                         app.scheduler.now());
-        // The token may be stale if an earlier drain already consumed the
-        // message; every queued message is guaranteed a token, so just skip.
-        if (!app.master_scores.empty()) co_await handle_score();
-      }
-    }
-  } else {
-    // ---- Recovery-capable master loop. ---------------------------------
-    // Same protocol, plus: every assignment arms the worker's failure
-    // detector; timeouts retire the worker and requeue its outstanding
-    // tasks; late duplicate completions are discarded (handle_score).
-    // Completion is judged by results, not by Done handshakes — retired
-    // workers may never request again.
-
-    // Next task for `worker`: reclaimed tasks first (FIFO), then fresh.
-    auto pop_task = [&app, &state,
-                     &fresh_task](mpi::Rank worker) -> std::optional<Outstanding> {
-      if (!state.reassign.empty()) {
-        const Outstanding task = state.reassign.front();
-        state.reassign.pop_front();
-        if (app.models_database_io())
-          (void)state.worker_caches.at(worker).touch(task.fragment);
-        return task;
-      }
-      return fresh_task(worker);
-    };
-
-    auto assign_task = [&app, &state, &arm_probe](
-                           mpi::Rank worker,
-                           Outstanding task) -> sim::Task<void> {
-      state.outstanding[worker].push_back(task);
-      arm_probe(worker);  // arming cancels any previous deadline
-      MasterMsg reply;
-      reply.kind = MasterMsg::Kind::Assign;
-      reply.query = task.query;
-      reply.local_query = task.local;
-      reply.fragment = task.fragment;
-      const sim::Time send_start = app.scheduler.now();
-      co_await app.comm.send(app.master, worker, kTagMasterToWorker,
-                             app.config.model.control_message_bytes, reply);
-      app.record_phase(app.master, Phase::DataDistribution, send_start,
-                       app.scheduler.now());
-    };
-
-    auto serve_request = [&app, &state, &pop_task,
-                          &assign_task](mpi::Rank worker) -> sim::Task<void> {
-      if (state.retired.contains(worker)) {
-        // A worker retired by timeout that turns out to be alive (e.g. its
-        // scores were dropped): wave it off.
-        MasterMsg reply;
-        reply.kind = MasterMsg::Kind::Done;
-        const sim::Time send_start = app.scheduler.now();
-        co_await app.comm.send(app.master, worker, kTagMasterToWorker,
-                               app.config.model.control_message_bytes, reply);
-        app.record_phase(app.master, Phase::DataDistribution, send_start,
-                         app.scheduler.now());
-        co_return;
-      }
-      if (const auto task = pop_task(worker)) {
-        co_await assign_task(worker, *task);
-      } else {
-        // Nothing to hand out right now; the request stays unanswered until
-        // reassigned work appears or the run finishes (Finish releases it).
-        state.parked.push_back(worker);
-      }
-    };
-
-    auto handle_failure = [&app, &state, &arm_probe, &pop_task,
-                           &assign_task](mpi::Rank worker) -> sim::Task<void> {
-      if (state.retired.contains(worker)) co_return;
-      auto& owed = state.outstanding[worker];
-      if (owed.empty()) co_return;  // everything accounted for; stale expiry
-      // A score from this worker may already be queued (in-flight when the
-      // timer expired): treat it as a sign of life and give it another
-      // detection window instead of retiring.
-      for (const mpi::Message& queued : app.master_scores) {
-        if (queued.as<ScoresMsg>().worker == worker) {
-          arm_probe(worker);
-          co_return;
-        }
-      }
-      // Collective strategies (§2.3): a worker whose owed tasks all belong
-      // to batches past the flush frontier is defer-blocked behind the
-      // pending collective write — it cannot produce a score no matter how
-      // healthy it is.  Silence is not evidence of death there; keep
-      // polling until its work reaches the frontier.
-      if (is_collective(app.config.strategy) &&
-          state.next_inorder < app.query_count()) {
-        const std::uint32_t frontier = app.batch_of(state.next_inorder);
-        const bool frontier_work =
-            std::any_of(owed.begin(), owed.end(),
-                        [&app, frontier](const Outstanding& task) {
-                          return app.batch_of(task.local) <= frontier;
-                        });
-        if (!frontier_work) {
-          arm_probe(worker);
-          co_return;
-        }
-      }
-      // Retire the worker and reclaim everything it still owes.
-      state.retired.insert(worker);
-      ++app.faults.workers_retired;
-      if (app.trace_log != nullptr)
-        app.trace_log->event(app.master, "Retire", app.scheduler.now());
-      app.faults.tasks_reassigned += owed.size();
-      for (const Outstanding& task : owed) state.reassign.push_back(task);
-      owed.clear();
-      S3A_REQUIRE_MSG(state.retired.size() < app.workers.size(),
-                      "unrecoverable: every worker of a group failed");
-      // If the retiree was parked (scores dropped, then asked for work we
-      // did not have), release it so it can reach the final barrier.
-      const auto parked_it =
-          std::find(state.parked.begin(), state.parked.end(), worker);
-      if (parked_it != state.parked.end()) {
-        state.parked.erase(parked_it);
-        MasterMsg reply;
-        reply.kind = MasterMsg::Kind::Done;
-        co_await app.comm.send(app.master, worker, kTagMasterToWorker,
-                               app.config.model.control_message_bytes, reply);
-      }
-      // Feed the reclaimed tasks to survivors that are waiting for work.
-      while (!state.reassign.empty() && !state.parked.empty()) {
-        const mpi::Rank survivor = state.parked.front();
-        state.parked.pop_front();
-        const auto task = pop_task(survivor);
-        S3A_CHECK(task.has_value());
-        co_await assign_task(survivor, *task);
-      }
-      // Collective strategies: the survivors may all be defer-blocked (no
-      // parked requests, and none coming — a deferred worker only requests
-      // again once the stuck collective completes).  Push the reclaimed
-      // frontier tasks to them unsolicited; they are executable immediately
-      // and their scores unstick the batch.  Reclaimed tasks for later
-      // batches stay queued for the request path — delivering those
-      // unsolicited would just defer at the receiver too.
-      if (is_collective(app.config.strategy) && !state.reassign.empty() &&
-          state.next_inorder < app.query_count()) {
-        const std::uint32_t frontier = app.batch_of(state.next_inorder);
-        std::vector<Outstanding> urgent;
-        for (auto it = state.reassign.begin(); it != state.reassign.end();) {
-          if (app.batch_of(it->local) <= frontier) {
-            urgent.push_back(*it);
-            it = state.reassign.erase(it);
-          } else {
-            ++it;
-          }
-        }
-        std::size_t cursor = 0;
-        for (const Outstanding& task : urgent) {
-          mpi::Rank survivor;  // round-robin over non-retired workers; the
-          do {                 // REQUIRE above guarantees one exists
-            survivor = app.workers[cursor % app.workers.size()];
-            ++cursor;
-          } while (state.retired.contains(survivor));
-          if (app.models_database_io())
-            (void)state.worker_caches.at(survivor).touch(task.fragment);
-          co_await assign_task(survivor, task);
-        }
-      }
-    };
-
-    while (!(state.tasks_completed == total_tasks &&
-             state.next_inorder == queries)) {
-      const sim::Time wait_start = app.scheduler.now();
-      auto token = co_await app.request_wake->pop();
-      S3A_CHECK_MSG(token.has_value(), "master wake stream closed early");
-      app.record_phase(app.master, Phase::DataDistribution, wait_start,
-                       app.scheduler.now());
-      // Requests (and failure notices) before scores, as in Algorithm 1.
-      while (!app.master_requests.empty()) {
-        mpi::Message event = std::move(app.master_requests.front());
-        app.master_requests.pop_front();
-        if (event.tag == kTagFailure) {
-          co_await handle_failure(event.source);
-        } else {
-          S3A_CHECK(event.tag == kTagRequest);
-          co_await serve_request(event.source);
-        }
-      }
-      while (!app.master_scores.empty()) {
-        co_await handle_score();
-        if (!app.master_requests.empty()) break;  // requests take priority
-      }
-    }
-  }
-
-  // ---- Teardown: drain async writes, tell every worker the stream is
-  //      over, then sync.  (The old per-gate drain recorded one Io span per
-  //      batch; those spans were contiguous, so the single WaitGroup span
-  //      charges the identical total.) --------------------------------------
-  if (state.pending_writes.pending() > 0) {
-    const sim::Time io_start = app.scheduler.now();
-    co_await state.pending_writes.wait();
-    app.record_phase(app.master, Phase::Io, io_start, app.scheduler.now());
-  }
-  if (strategy == Strategy::WWFilePerProcess) {
-    // N-N merge: read every worker's private file back and list-write its
-    // results into their sorted positions in the final file.
-    const sim::Time merge_start = app.scheduler.now();
-    for (const mpi::Rank worker : app.workers) {
-      std::vector<pfs::Extent> extents;
-      for (std::uint32_t local = 0; local < queries; ++local) {
-        std::vector<std::uint32_t> worker_fragments;
-        for (const auto& [contributor, fragment] : state.contributors[local])
-          if (contributor == worker) worker_fragments.push_back(fragment);
-        if (worker_fragments.empty()) continue;
-        const auto query_extents = worker_extents(app, local, worker_fragments);
-        extents.insert(extents.end(), query_extents.begin(),
-                       query_extents.end());
-      }
-      std::uint64_t bytes = 0;
-      for (const pfs::Extent& extent : extents) bytes += extent.length;
-      if (bytes == 0) continue;
-      co_await app.worker_files.at(worker)->read_at(app.master, 0, bytes);
-      co_await app.file->write_noncontig(app.master, std::move(extents),
-                                         mpiio::NoncontigMethod::ListIo);
-      app.rank_stats[app.master].bytes_written += bytes;
-      ++app.rank_stats[app.master].writes_issued;
-    }
-    if (app.config.sync_after_write) co_await app.file->sync(app.master);
-    app.record_phase(app.master, Phase::Io, merge_start, app.scheduler.now());
-  }
-  for (const mpi::Rank worker : app.workers) {
-    MasterMsg msg;
-    msg.kind = MasterMsg::Kind::Finish;
-    (void)app.comm.isend(app.master, worker, kTagMasterToWorker,
-                         app.config.model.control_message_bytes, msg);
-  }
-  {
-    const sim::Time barrier_start = app.scheduler.now();
-    co_await app.comm.barrier();
-    app.record_phase(app.master, Phase::Sync, barrier_start,
-                     app.scheduler.now());
-  }
-  if (app.recovery_mode) {
-    // ---- Gap repair: workers that died after being sent offset lists but
-    // before writing leave holes in the group file.  Every surviving
-    // writer has flushed by now (the barrier above), so whatever is still
-    // uncovered is genuinely lost — the master regenerates it from the
-    // gathered scores and list-writes it into place.  This runs after the
-    // barrier precisely so it cannot overlap a late survivor flush.
-    const std::vector<pfs::Extent> holes =
-        app.fs.image(app.file->handle()).gaps(app.group_output_bytes);
-    if (!holes.empty()) {
-      const sim::Time repair_start = app.scheduler.now();
-      std::uint64_t bytes = 0;
-      for (const pfs::Extent& hole : holes) bytes += hole.length;
-      // Reformatting the lost results costs the same per-byte handling as
-      // MW's centralized result processing.
-      co_await app.scheduler.delay(static_cast<sim::Time>(
-          std::llround(static_cast<double>(bytes) *
-                       app.config.model.master_result_ns_per_byte)));
-      co_await app.file->write_noncontig(app.master, holes,
-                                         mpiio::NoncontigMethod::ListIo);
-      if (app.config.sync_after_write) co_await app.file->sync(app.master);
-      app.record_phase(app.master, Phase::Io, repair_start,
-                       app.scheduler.now());
-      if (app.trace_log != nullptr)
-        app.trace_log->record(app.master, "Recovery", repair_start,
-                              app.scheduler.now());
-      app.faults.repaired_bytes += bytes;
-      app.rank_stats[app.master].bytes_written += bytes;
-      ++app.rank_stats[app.master].writes_issued;
-    }
-    // Disarm the failure detectors and any reapers that never fired, so
-    // their queued deadlines are discarded without advancing the clock.
-    for (auto& [rank, probe] : app.probes) {
-      probe->timer->cancel();
-      probe->armed->close();
-    }
-    for (const auto& timer : app.reaper_timers) timer->cancel();
-  }
-  // The pumps run open-ended; tear down their posted receives (MPI_Cancel)
-  // so the simulation can quiesce.
-  app.comm.cancel_posted(app.master);
-  app.rank_stats[app.master].wall = app.scheduler.now();
-  app.rank_stats[app.master].phases.finish(app.rank_stats[app.master].wall);
-}
-
-// ---------------------------------------------------------------------------
-// Worker process (Algorithm 2)
-// ---------------------------------------------------------------------------
-
-struct WorkerState {
-  bool done = false;                ///< master said no more tasks
-  bool awaiting_response = false;   ///< a work request is outstanding
-  std::vector<pfs::Extent> pending; ///< extents accumulated for current flush
-  std::uint32_t pending_batch = 0;  ///< batch the pending extents belong to
-  std::uint32_t batch_msgs = 0;     ///< per-query messages seen this batch
-  std::uint32_t current_batch = 0;  ///< next batch expected (per-query mode)
-  std::set<std::uint32_t> merged_queries;  ///< queries with previous results
-  std::uint64_t own_file_cursor = 0;  ///< append position (WW-FilePerProc)
-  /// Score messages initiated so far (drives the deterministic per-send
-  /// drop hash; counts dropped sends too).
-  std::uint64_t scores_sent = 0;
-  /// WW-Coll only (§2.3): assignments for upcoming queries that cannot
-  /// start until the pending collective I/O completes.  Each entry stores
-  /// (local query, global query, fragment).  Usually at most one; the
-  /// master's recovery reassignment can push a frontier task unsolicited
-  /// while one is held, whose follow-up request may defer a second.
-  std::deque<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> deferred;
-  /// Database fragments held in memory (when database I/O is modeled).
-  FragmentCache cache{0};
-};
-
-/// Injected score-message latency: holds the payload back before it enters
-/// the network (the isend itself then models the transfer as usual).
-sim::Process delayed_score_send(App& app, mpi::Rank rank, sim::Time by,
-                                std::uint64_t bytes, ScoresMsg scores) {
-  co_await app.scheduler.delay(by);
-  (void)app.comm.isend(rank, app.master, kTagScores, bytes, scores);
-}
-
-/// Writes the worker's accumulated extents with the strategy's method.
-sim::Task<void> worker_flush(App& app, mpi::Rank rank, WorkerState& state,
-                             std::uint32_t query_tag) {
-  const Strategy strategy = app.config.strategy;
-  const sim::Time start = app.scheduler.now();
-  std::uint64_t bytes = 0;
-  for (const pfs::Extent& extent : state.pending) bytes += extent.length;
-
-  if (is_collective(strategy)) {
-    co_await app.file->write_at_all(rank, std::move(state.pending), query_tag);
-    if (app.config.sync_after_write) co_await app.file->sync(rank);
-  } else if (!state.pending.empty()) {
-    const auto method = strategy == Strategy::WWPosix
-                            ? mpiio::NoncontigMethod::Posix
-                            : mpiio::NoncontigMethod::ListIo;
-    co_await app.file->write_noncontig(rank, std::move(state.pending), method,
-                                       query_tag);
-    if (app.config.sync_after_write) co_await app.file->sync(rank);
-  }
-  state.pending.clear();
-  app.record_phase(rank, Phase::Io, start, app.scheduler.now());
-  app.rank_stats[rank].bytes_written += bytes;
-  if (bytes > 0 || is_collective(strategy)) ++app.rank_stats[rank].writes_issued;
-
-  if (app.config.query_sync) {
-    const sim::Time barrier_start = app.scheduler.now();
-    co_await app.query_barrier.arrive_and_wait();
-    app.record_phase(rank, Phase::Sync, barrier_start, app.scheduler.now());
-  }
-}
-
-sim::Process worker_process(App& app, mpi::Rank rank) {
-  WorkerState state;
-  state.cache = FragmentCache(app.cache_capacity());
-  const ModelParams& model = app.config.model;
-  const sim::Time death_at = app.config.fault.kill_time(rank);
-
-  // Fail-stop: leave every synchronization structure so the survivors can
-  // proceed (ULFM-style shrink), then cease to exist.  Called either from
-  // the event loop (a reaper's death notice) or mid-search.
-  auto die = [&app, rank]() {
-    app.dead.insert(rank);
-    app.death_times[rank] = app.scheduler.now();
-    ++app.faults.workers_died;
-    app.query_barrier.leave();
-    app.comm.barrier_leave();
-    if (app.file != nullptr && is_collective(app.config.strategy))
-      app.file->deactivate(rank);
-    app.rank_stats[rank].wall = app.scheduler.now();
-    app.rank_stats[rank].phases.finish(app.rank_stats[rank].wall);
-  };
-
-  // Steps 6-10 of Algorithm 2 for one (query, fragment) assignment:
-  // search, merge, ship scores (and results for MW), request the next task.
-  // Returns true if the worker's planned death interrupted the search (the
-  // caller must then die() and stop).
-  auto process_assignment =
-      [&app, &state, &model, rank,
-       death_at](std::uint32_t local, std::uint32_t query,
-                 std::uint32_t fragment) -> sim::Task<bool> {
-    // ---- Database staging: stream the fragment in unless cached. -------
-    if (app.models_database_io()) {
-      if (state.cache.touch(fragment)) {
-        ++app.rank_stats[rank].fragment_hits;
-      } else {
-        ++app.rank_stats[rank].fragment_loads;
-        const sim::Time start = app.scheduler.now();
-        co_await app.database_file->read_at(
-            rank, static_cast<std::uint64_t>(fragment) * app.fragment_bytes(),
-            app.fragment_bytes());
-        app.record_phase(rank, Phase::Io, start, app.scheduler.now());
-      }
-    }
-
-    // ---- Step 6: the search itself. ------------------------------------
-    const sim::Time search_time = app.compute_time(query, fragment, rank);
-    if (death_at != fault::kNever &&
-        app.scheduler.now() + search_time >= death_at) {
-      // The planned kill lands inside this search: burn the partial
-      // compute, produce nothing.  The master's timeout reclaims the task.
-      const sim::Time partial =
-          death_at > app.scheduler.now() ? death_at - app.scheduler.now() : 0;
-      S3A_PHASE(app, rank, Phase::Compute,
-                co_await app.scheduler.delay(partial));
-      co_return true;
-    }
-    S3A_PHASE(app, rank, Phase::Compute,
-              co_await app.scheduler.delay(search_time));
-    ++app.rank_stats[rank].tasks_processed;
-
-    const std::uint64_t result_bytes =
-        app.workload.fragment_result_bytes(query, fragment);
-    const std::uint64_t count =
-        app.workload.query(query).by_fragment[fragment].size();
-
-    // ---- Step 8: merge with previous results for this query. -----------
-    if (worker_writes(app.config.strategy)) {
-      if (!state.merged_queries.insert(query).second) {
-        const auto merge_ns = static_cast<sim::Time>(std::llround(
-            static_cast<double>(result_bytes) * model.merge_ns_per_byte));
-        S3A_PHASE(app, rank, Phase::MergeResults,
-                  co_await app.scheduler.delay(merge_ns));
-      }
-    }
-
-    // ---- Step 10: send scores (and results if MW) to the master. -------
-    {
-      const sim::Time start = app.scheduler.now();
-      std::uint64_t bytes =
-          model.control_message_bytes + count * model.bytes_per_score_entry;
-      if (app.config.strategy == Strategy::MW) bytes += result_bytes;
-      ScoresMsg scores{query, local, fragment, rank};
-      // Injected message faults: a deterministic per-send hash decides
-      // drops (same seed + same plan ⇒ same losses); delays hold the
-      // message back before it enters the network.
-      const double drop_p =
-          app.config.fault.drop_probability(rank, app.scheduler.now());
-      bool dropped = false;
-      if (drop_p > 0.0) {
-        util::Xoshiro256 rng(util::hash_combine(
-            util::hash_combine(app.config.workload.seed ^ 0x5c0fed70ULL, rank),
-            state.scores_sent));
-        dropped = rng.uniform() < drop_p;
-      }
-      ++state.scores_sent;
-      if (dropped) {
-        ++app.faults.scores_dropped;
-      } else if (const sim::Time hold =
-                     app.config.fault.score_delay(rank, app.scheduler.now());
-                 hold > 0) {
-        app.scheduler.spawn(delayed_score_send(app, rank, hold, bytes, scores));
-      } else {
-        (void)app.comm.isend(rank, app.master, kTagScores, bytes, scores);
-      }
-      // MPI_Isend initiation cost; the transfer itself is asynchronous.
-      co_await app.scheduler.delay(model.network.per_message_overhead);
-      app.record_phase(rank, Phase::GatherResults, start, app.scheduler.now());
-    }
-
-    // ---- N-N extension: append results to the private file immediately —
-    // contiguous, position-free, no offset list to wait for. --------------
-    if (app.config.strategy == Strategy::WWFilePerProcess && result_bytes > 0) {
-      const sim::Time start = app.scheduler.now();
-      mpiio::File& own = *app.worker_files.at(rank);
-      co_await own.write_at(rank, state.own_file_cursor, result_bytes, query);
-      state.own_file_cursor += result_bytes;
-      if (app.config.sync_after_write) co_await own.sync(rank);
-      app.record_phase(rank, Phase::Io, start, app.scheduler.now());
-      app.rank_stats[rank].bytes_written += result_bytes;
-      ++app.rank_stats[rank].writes_issued;
-    }
-
-    // ---- Step 3 again: request the next task. ---------------------------
-    {
-      const sim::Time start = app.scheduler.now();
-      co_await app.comm.send(rank, app.master, kTagRequest,
-                             model.control_message_bytes);
-      state.awaiting_response = true;
-      app.record_phase(rank, Phase::DataDistribution, start,
-                       app.scheduler.now());
-    }
-    co_return false;
-  };
-
-  // ---- Step 1: receive input variables. ----------------------------------
-  {
-    const sim::Time start = app.scheduler.now();
-    (void)co_await app.comm.recv(rank, app.master, kTagSetup);
-    app.record_phase(rank, Phase::Setup, start, app.scheduler.now());
-  }
-
-  // First work request.
-  {
-    const sim::Time start = app.scheduler.now();
-    co_await app.comm.send(rank, app.master, kTagRequest,
-                           model.control_message_bytes);
-    state.awaiting_response = true;
-    app.record_phase(rank, Phase::DataDistribution, start, app.scheduler.now());
-  }
-
-  while (true) {
-    const sim::Time wait_start = app.scheduler.now();
-    auto event = co_await app.events.at(rank)->pop();
-    const sim::Time wait_end = app.scheduler.now();
-    if (!event) break;  // stream closed right after Finish
-    if (event->tag == kTagDeath) {
-      die();
-      co_return;
-    }
-    const auto& msg = event->as<MasterMsg>();
-
-    switch (msg.kind) {
-      case MasterMsg::Kind::Assign: {
-        app.record_phase(rank, Phase::DataDistribution, wait_start, wait_end);
-        state.awaiting_response = false;
-        if (is_collective(app.config.strategy) &&
-            app.batch_of(msg.local_query) > state.current_batch) {
-          // §2.3: collective I/O blocks the process, so an assignment for an
-          // upcoming query cannot start until the pending collective write
-          // completes.  Hold it; the flush handler resumes it.
-          state.deferred.emplace_back(msg.local_query, msg.query, msg.fragment);
-        } else {
-          if (co_await process_assignment(msg.local_query, msg.query,
-                                          msg.fragment)) {
-            die();
-            co_return;
-          }
-        }
-        break;
-      }
-
-      case MasterMsg::Kind::Done: {
-        app.record_phase(rank, Phase::DataDistribution, wait_start, wait_end);
-        state.awaiting_response = false;
-        state.done = true;
-        break;
-      }
-
-      case MasterMsg::Kind::Offsets: {
-        // Waiting time while a work request is outstanding — or while an
-        // assignment is stalled behind a pending collective (§4: "wasting
-        // time, which shows up in the data distribution time") — counts as
-        // data distribution; afterwards it is unattributed (→ Other).
-        if (state.awaiting_response || !state.deferred.empty())
-          app.record_phase(rank, Phase::DataDistribution, wait_start, wait_end);
-
-        if (app.per_query_msgs_to_all()) {
-          // One message per query, for everyone: flush on batch boundary.
-          state.pending.insert(state.pending.end(), msg.extents.begin(),
-                               msg.extents.end());
-          ++state.batch_msgs;
-          const std::uint32_t batch = app.batch_of(msg.local_query);
-          S3A_CHECK_MSG(batch == state.current_batch,
-                        "per-query offset messages out of order");
-          const std::uint32_t batch_first =
-              batch * app.config.queries_per_flush;
-          const std::uint32_t batch_size =
-              app.batch_last_query(batch) - batch_first + 1;
-          if (state.batch_msgs == batch_size) {
-            state.batch_msgs = 0;
-            ++state.current_batch;
-            if (app.config.strategy == Strategy::MW ||
-                app.config.strategy == Strategy::WWFilePerProcess) {
-              state.pending.clear();  // notification only; nothing to place
-              if (app.config.query_sync) {
-                const sim::Time start = app.scheduler.now();
-                co_await app.query_barrier.arrive_and_wait();
-                app.record_phase(rank, Phase::Sync, start, app.scheduler.now());
-              }
-            } else {
-              co_await worker_flush(app, rank, state, msg.local_query);
-            }
-            // Resume assignments that were blocked on this collective.
-            // Deferred entries are not necessarily batch-ordered (a
-            // reclaimed task for an earlier query can arrive after a fresh
-            // one for a later query), so scan rather than pop the front.
-            bool progressed = true;
-            while (progressed) {
-              progressed = false;
-              for (auto it = state.deferred.begin(); it != state.deferred.end();
-                   ++it) {
-                if (app.batch_of(std::get<0>(*it)) > state.current_batch)
-                  continue;
-                const auto [local, query, fragment] = *it;
-                state.deferred.erase(it);
-                if (co_await process_assignment(local, query, fragment)) {
-                  die();
-                  co_return;
-                }
-                progressed = true;
-                break;  // the erase invalidated the iterator; rescan
-              }
-            }
-          }
-        } else {
-          // Contributor-only mode: flush when the batch boundary is crossed.
-          const std::uint32_t batch = app.batch_of(msg.local_query);
-          if (!state.pending.empty() && batch != state.pending_batch)
-            co_await worker_flush(app, rank, state, msg.local_query);
-          state.pending_batch = batch;
-          state.pending.insert(state.pending.end(), msg.extents.begin(),
-                               msg.extents.end());
-          if (app.config.queries_per_flush == 1)
-            co_await worker_flush(app, rank, state, msg.local_query);
-        }
-        break;
-      }
-
-      case MasterMsg::Kind::Finish: {
-        if (!state.pending.empty())
-          co_await worker_flush(app, rank, state, app.query_count() - 1);
-        break;
-      }
-    }
-    if (msg.kind == MasterMsg::Kind::Finish) break;
-  }
-
-  // ---- Final synchronization (Sync phase). -------------------------------
-  {
-    const sim::Time start = app.scheduler.now();
-    co_await app.comm.barrier();
-    app.record_phase(rank, Phase::Sync, start, app.scheduler.now());
-  }
-  app.rank_stats[rank].wall = app.scheduler.now();
-  app.rank_stats[rank].phases.finish(app.rank_stats[rank].wall);
-}
-
-/// Spawns one group's master, workers, pumps, and (under a fault plan) the
-/// per-worker reapers and failure detectors.
-void launch_group(App& app) {
-  app.scheduler.spawn(master_process(app));
-  app.scheduler.spawn(master_request_pump(app));
-  app.scheduler.spawn(master_scores_pump(app));
-  for (const mpi::Rank rank : app.workers) {
-    app.scheduler.spawn(worker_process(app, rank));
-    app.scheduler.spawn(worker_stream_pump(app, rank));
-    if (app.recovery_mode) {
-      app.scheduler.spawn(worker_probe(app, rank));
-      const sim::Time kill_at = app.config.fault.kill_time(rank);
-      if (kill_at != fault::kNever) {
-        app.reaper_timers.push_back(
-            std::make_unique<sim::Timer>(app.scheduler));
-        app.scheduler.spawn(
-            worker_reaper(app, rank, kill_at, *app.reaper_timers.back()));
-      }
-    }
-  }
-}
-
-/// Rejects fault plans that name ranks outside the worker set: masters are
-/// single points of failure by design (the paper's model), and a fault
-/// against a nonexistent rank is a spec typo the user should hear about.
-/// Called before the World is built — spawned server processes would
-/// outlive a throwing constructor path.
-void validate_fault_plan(const SimConfig& config,
-                         const std::set<mpi::Rank>& valid) {
-  const auto check = [&valid](std::uint32_t rank) {
-    S3A_REQUIRE_MSG(valid.contains(rank),
-                    "fault plan names a rank that is not a worker");
-  };
-  for (const fault::WorkerKill& kill : config.fault.kills) check(kill.rank);
-  for (const fault::WorkerSlow& slow : config.fault.slowdowns) check(slow.rank);
-  for (const fault::ScoreDelay& delay : config.fault.delays) check(delay.rank);
-  for (const fault::ScoreDrop& drop : config.fault.drops) check(drop.rank);
-}
-
-/// Publishes every layer's end-of-run aggregates into the registry under
-/// the stable dotted names of the docs/OBSERVABILITY.md catalog.  Counters
-/// *add* (so a crash+resume invocation accumulates across its runs);
-/// gauges describe the whole invocation so far.  The live histograms
-/// ("pfs.*.service_seconds", "mpi.message.*", "sim.sched.*") were filled
-/// during the run by the observer bridge and scheduler profiler.
-void publish_metrics(World& world,
-                     const std::vector<std::unique_ptr<App>>& groups,
-                     const RunStats& stats,
-                     const pfs::ServerStats& fs_total) {
-  obs::Registry& registry = *world.metrics;
-
-  // core.* — application-level outcome.
-  registry.gauge("core.wall_seconds").add(stats.wall_seconds);
-  registry.counter("core.output_bytes").add(stats.output_bytes);
-  registry.counter("core.db_bytes_read").add(stats.db_bytes_read);
-  registry.gauge("core.file_exact").set(stats.file_exact ? 1.0 : 0.0);
-  std::uint64_t tasks = 0;
-  std::uint64_t fragment_loads = 0;
-  std::uint64_t fragment_hits = 0;
-  for (const RankStats& rank : stats.ranks) {
-    tasks += rank.tasks_processed;
-    fragment_loads += rank.fragment_loads;
-    fragment_hits += rank.fragment_hits;
-  }
-  registry.counter("core.tasks_processed").add(tasks);
-  registry.counter("core.fragment_loads").add(fragment_loads);
-  registry.counter("core.fragment_hits").add(fragment_hits);
-  for (const Phase phase : all_phases()) {
-    // "Data Distribution" -> data_distribution, "I/O" -> io: dotted metric
-    // names stay lowercase [a-z0-9_].
-    std::string key;
-    for (const char c : std::string_view(phase_name(phase))) {
-      if (std::isalnum(static_cast<unsigned char>(c)))
-        key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-      else if (c == ' ')
-        key += '_';
-    }
-    registry.gauge("core.phase." + key + "_seconds")
-        .add(stats.worker_mean_seconds(phase));
-  }
-
-  // sim.* — DES-kernel totals (the profiler's histograms ride alongside).
-  registry.counter("sim.sched.events")
-      .add(world.scheduler.events_processed());
-  registry.counter("sim.sched.finished_processes")
-      .add(world.scheduler.finished_processes());
-  registry.gauge("sim.sched.cancel_slots")
-      .set(static_cast<double>(world.scheduler.cancel_slots_allocated()));
-
-  // pfs.* — the per-server counters, aggregated (ServerStats-style
-  // hand-aggregation now feeds the registry instead of ad-hoc callers).
-  registry.counter("pfs.write.requests").add(fs_total.requests);
-  registry.counter("pfs.write.pairs").add(fs_total.pairs);
-  registry.counter("pfs.write.bytes").add(fs_total.bytes);
-  registry.counter("pfs.read.requests").add(fs_total.reads);
-  registry.counter("pfs.read.bytes").add(fs_total.read_bytes);
-  registry.counter("pfs.sync.requests").add(fs_total.syncs);
-  registry.gauge("pfs.busy_seconds").add(sim::to_seconds(fs_total.busy));
-
-  // net.* — NIC totals over every endpoint (ranks and servers).
-  std::uint64_t sent = 0;
-  std::uint64_t received = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t bytes_received = 0;
-  sim::Time tx_busy = 0;
-  sim::Time rx_busy = 0;
-  for (std::uint32_t id = 0; id < world.network.endpoint_count(); ++id) {
-    const net::EndpointCounters& counters = world.network.counters(id);
-    sent += counters.messages_sent;
-    received += counters.messages_received;
-    bytes_sent += counters.bytes_sent;
-    bytes_received += counters.bytes_received;
-    tx_busy += counters.tx_busy;
-    rx_busy += counters.rx_busy;
-  }
-  registry.counter("net.messages_sent").add(sent);
-  registry.counter("net.messages_received").add(received);
-  registry.counter("net.bytes_sent").add(bytes_sent);
-  registry.counter("net.bytes_received").add(bytes_received);
-  registry.gauge("net.tx_busy_seconds").add(sim::to_seconds(tx_busy));
-  registry.gauge("net.rx_busy_seconds").add(sim::to_seconds(rx_busy));
-
-  // mpiio.* — collective stall, summed over every file of every group.
-  sim::Time collective_wait = 0;
-  for (const auto& app : groups) {
-    if (app->file) collective_wait += app->file->total_collective_wait();
-    if (app->database_file)
-      collective_wait += app->database_file->total_collective_wait();
-    for (const auto& [rank, file] : app->worker_files)
-      collective_wait += file->total_collective_wait();
-  }
-  registry.gauge("mpiio.collective_wait_seconds")
-      .add(sim::to_seconds(collective_wait));
-
-  // fault.* — recovery-subsystem outcome.
-  registry.counter("fault.workers_died").add(stats.faults.workers_died);
-  registry.counter("fault.workers_retired").add(stats.faults.workers_retired);
-  registry.counter("fault.tasks_reassigned")
-      .add(stats.faults.tasks_reassigned);
-  registry.counter("fault.duplicate_completions")
-      .add(stats.faults.duplicate_completions);
-  registry.counter("fault.scores_dropped").add(stats.faults.scores_dropped);
-  registry.counter("fault.repaired_bytes").add(stats.faults.repaired_bytes);
-
-  // trace.* — the drop counter is incremented live via
-  // TraceLog::attach_registry; materialize it here so drop-free (or
-  // trace-less) runs still carry an explicit zero in the manifest.
-  registry.counter("trace.intervals_dropped").add(0);
-}
-
-/// Collects run-wide statistics after the scheduler has drained.
-RunStats collect_stats(World& world, const std::vector<std::unique_ptr<App>>& groups) {
-  RunStats stats;
-  stats.strategy = world.config.strategy;
-  stats.nprocs = static_cast<std::uint32_t>(world.rank_stats.size());
-  stats.query_sync = world.config.query_sync;
-  stats.compute_speed = world.config.compute_speed;
-  stats.groups = static_cast<std::uint32_t>(groups.size());
-  stats.wall_seconds = sim::to_seconds(world.scheduler.now());
-  stats.events = world.scheduler.events_processed();
-  stats.ranks = std::move(world.rank_stats);
-
-  // Expected output = the sum of the groups' regions (equals the workload
-  // total for full runs; smaller for a resumed tail over a query subset).
-  stats.output_bytes = 0;
-  stats.file_exact = true;
-  for (const auto& app : groups) {
-    stats.output_bytes += app->group_output_bytes;
-    const pfs::FileImage& image = world.fs.image(app->file->handle());
-    stats.bytes_covered += image.covered_bytes();
-    stats.overlap_count += image.overlap_count();
-    if (!image.covers_exactly(app->group_output_bytes)) stats.file_exact = false;
-    if (app->database_file)
-      stats.db_bytes_read += world.fs.bytes_read(app->database_file->handle());
-
-    stats.faults.workers_died += app->faults.workers_died;
-    stats.faults.workers_retired += app->faults.workers_retired;
-    stats.faults.tasks_reassigned += app->faults.tasks_reassigned;
-    stats.faults.duplicate_completions += app->faults.duplicate_completions;
-    stats.faults.scores_dropped += app->faults.scores_dropped;
-    stats.faults.repaired_bytes += app->faults.repaired_bytes;
-    for (const sim::Time at : app->batch_complete_times)
-      stats.batch_complete_seconds.push_back(sim::to_seconds(at));
-    if (world.trace_log != nullptr) {
-      for (const auto& [rank, at] : app->death_times)
-        world.trace_log->record(rank, "Dead", at, world.scheduler.now());
-    }
-  }
-  std::sort(stats.batch_complete_seconds.begin(),
-            stats.batch_complete_seconds.end());
-  if (stats.bytes_covered != stats.output_bytes) stats.file_exact = false;
-
-  const pfs::ServerStats fs_total = world.fs.aggregate_stats();
-  stats.fs.server_requests = fs_total.requests;
-  stats.fs.server_pairs = fs_total.pairs;
-  stats.fs.server_bytes = fs_total.bytes;
-  stats.fs.server_syncs = fs_total.syncs;
-  stats.fs.server_busy_seconds = sim::to_seconds(fs_total.busy);
-
-  if (world.metrics != nullptr)
-    publish_metrics(world, groups, stats, fs_total);
-
-  S3A_LOG_INFO(stats.summary());
-  return stats;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Drivers
-// ---------------------------------------------------------------------------
 
 RunStats run_simulation(const SimConfig& config, trace::TraceLog* trace_log) {
   return run_simulation(config, Observability{trace_log, nullptr});

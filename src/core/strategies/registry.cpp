@@ -1,0 +1,43 @@
+#include "core/strategies/registry.hpp"
+
+#include <string>
+
+#include "util/require.hpp"
+
+namespace s3asim::core {
+
+namespace {
+
+using Factory = std::unique_ptr<IoStrategy> (*)();
+
+struct Entry {
+  Strategy id;
+  Factory make;
+};
+
+constexpr Entry kRegistry[] = {
+    {Strategy::MW, &make_mw_strategy},
+    {Strategy::WWPosix, &make_ww_posix_strategy},
+    {Strategy::WWList, &make_ww_list_strategy},
+    {Strategy::WWColl, &make_ww_coll_strategy},
+    {Strategy::WWCollList, &make_ww_coll_list_strategy},
+    {Strategy::WWFilePerProcess, &make_ww_file_per_process_strategy},
+    {Strategy::WWAggr, &make_ww_aggr_strategy},
+};
+
+}  // namespace
+
+std::unique_ptr<IoStrategy> make_strategy(Strategy strategy) {
+  for (const Entry& entry : kRegistry)
+    if (entry.id == strategy) {
+      auto made = entry.make();
+      S3A_CHECK_MSG(made->id() == strategy,
+                    "strategy registry entry returned the wrong strategy");
+      return made;
+    }
+  S3A_REQUIRE_MSG(false, std::string("no IoStrategy registered for '") +
+                             strategy_name(strategy) + "'");
+  S3A_UNREACHABLE();
+}
+
+}  // namespace s3asim::core

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file registry.hpp
+/// The strategy registry: maps a `core::Strategy` enumerator to the factory
+/// of its `IoStrategy` implementation.  Each strategy lives in its own
+/// translation unit and exposes exactly one factory here; the table in
+/// registry.cpp is the single place a new strategy must be wired into the
+/// core (CLI/config/sweep pick it up through `parse_strategy`).
+
+#include <memory>
+
+#include "core/strategies/io_strategy.hpp"
+#include "core/strategy.hpp"
+
+namespace s3asim::core {
+
+/// Instantiates the `IoStrategy` registered for `strategy` (one fresh
+/// instance per group per run — strategies may hold per-run state).
+[[nodiscard]] std::unique_ptr<IoStrategy> make_strategy(Strategy strategy);
+
+// Per-TU factories (strategies/<name>.cpp), wired into the table in
+// registry.cpp.
+[[nodiscard]] std::unique_ptr<IoStrategy> make_mw_strategy();
+[[nodiscard]] std::unique_ptr<IoStrategy> make_ww_posix_strategy();
+[[nodiscard]] std::unique_ptr<IoStrategy> make_ww_list_strategy();
+[[nodiscard]] std::unique_ptr<IoStrategy> make_ww_coll_strategy();
+[[nodiscard]] std::unique_ptr<IoStrategy> make_ww_coll_list_strategy();
+[[nodiscard]] std::unique_ptr<IoStrategy> make_ww_file_per_process_strategy();
+[[nodiscard]] std::unique_ptr<IoStrategy> make_ww_aggr_strategy();
+
+}  // namespace s3asim::core

@@ -1,0 +1,25 @@
+/// \file ww_coll.cpp
+/// WW-Coll (§2.2): collective two-phase worker writes (ROMIO-style
+/// `write_at_all`), à la pioBLAST.
+
+#include "core/strategies/registry.hpp"
+#include "core/strategies/ww_collective.hpp"
+
+namespace s3asim::core {
+
+namespace {
+
+class WwCollStrategy final : public WwCollectiveStrategy {
+ public:
+  [[nodiscard]] Strategy id() const noexcept override {
+    return Strategy::WWColl;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IoStrategy> make_ww_coll_strategy() {
+  return std::make_unique<WwCollStrategy>();
+}
+
+}  // namespace s3asim::core

@@ -1,0 +1,31 @@
+/// \file ww_coll_list.cpp
+/// WW-CollList (paper §5 extension): the collective implemented as list
+/// I/O bracketed by synchronization instead of ROMIO's two-phase exchange —
+/// selected purely through the file's MPI-IO hints.
+
+#include "core/strategies/registry.hpp"
+#include "core/strategies/ww_collective.hpp"
+
+namespace s3asim::core {
+
+namespace {
+
+class WwCollListStrategy final : public WwCollectiveStrategy {
+ public:
+  [[nodiscard]] Strategy id() const noexcept override {
+    return Strategy::WWCollList;
+  }
+  [[nodiscard]] mpiio::Hints file_hints(const SimConfig& config) const override {
+    mpiio::Hints hints = config.hints;
+    hints.collective_algorithm = mpiio::CollectiveAlgorithm::ListWithSync;
+    return hints;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IoStrategy> make_ww_coll_list_strategy() {
+  return std::make_unique<WwCollListStrategy>();
+}
+
+}  // namespace s3asim::core

@@ -1,0 +1,26 @@
+/// \file ww_list.cpp
+/// WW-List (§2.3): independent worker writes through PVFS2-native list I/O
+/// — all of a flush's extents in one request.
+
+#include "core/strategies/registry.hpp"
+#include "core/strategies/ww_independent.hpp"
+
+namespace s3asim::core {
+
+namespace {
+
+class WwListStrategy final : public WwIndependentStrategy {
+ public:
+  WwListStrategy() : WwIndependentStrategy(mpiio::NoncontigMethod::ListIo) {}
+  [[nodiscard]] Strategy id() const noexcept override {
+    return Strategy::WWList;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IoStrategy> make_ww_list_strategy() {
+  return std::make_unique<WwListStrategy>();
+}
+
+}  // namespace s3asim::core

@@ -1,0 +1,26 @@
+/// \file ww_posix.cpp
+/// WW-POSIX (§2.3): independent worker writes, one POSIX call per extent —
+/// the noncontiguous access pattern served worst by the file system.
+
+#include "core/strategies/registry.hpp"
+#include "core/strategies/ww_independent.hpp"
+
+namespace s3asim::core {
+
+namespace {
+
+class WwPosixStrategy final : public WwIndependentStrategy {
+ public:
+  WwPosixStrategy() : WwIndependentStrategy(mpiio::NoncontigMethod::Posix) {}
+  [[nodiscard]] Strategy id() const noexcept override {
+    return Strategy::WWPosix;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IoStrategy> make_ww_posix_strategy() {
+  return std::make_unique<WwPosixStrategy>();
+}
+
+}  // namespace s3asim::core

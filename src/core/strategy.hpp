@@ -1,9 +1,15 @@
 #pragma once
 
 /// \file strategy.hpp
-/// The I/O strategies compared in the paper (§2), plus the extension its
-/// conclusion proposes.
+/// The I/O strategies compared in the paper (§2), plus the extensions its
+/// conclusion proposes.  This header is only the *identity* of a strategy
+/// (enumerator, canonical name, parser, coarse classification); the
+/// behavior lives behind the `IoStrategy` interface in
+/// `core/strategies/io_strategy.hpp`, selected via
+/// `core/strategies/registry.hpp`.
 
+#include <algorithm>
+#include <cctype>
 #include <string>
 
 #include "util/require.hpp"
@@ -29,6 +35,21 @@ enum class Strategy {
   /// the final sorted file at the end by reading every private file back
   /// and list-writing it into place.
   WWFilePerProcess,
+  /// Extension ("new I/O algorithms", §5): worker-side aggregation — a
+  /// data-sieving/two-phase hybrid in the spirit of Thakur et al.'s
+  /// noncontiguous-access work.  Workers are partitioned into groups of
+  /// `aggregator_fanin`; at each flush the members ship their extents and
+  /// result data to the group's aggregator, which coalesces adjacent
+  /// extents and issues one sorted list write on everyone's behalf.
+  WWAggr,
+};
+
+/// Every enumerator, in declaration order (tests and sweeps iterate this
+/// instead of hand-maintaining lists).
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::MW,         Strategy::WWPosix,          Strategy::WWList,
+    Strategy::WWColl,     Strategy::WWCollList,       Strategy::WWFilePerProcess,
+    Strategy::WWAggr,
 };
 
 [[nodiscard]] constexpr const char* strategy_name(Strategy strategy) noexcept {
@@ -39,6 +60,7 @@ enum class Strategy {
     case Strategy::WWColl: return "WW-Coll";
     case Strategy::WWCollList: return "WW-CollList";
     case Strategy::WWFilePerProcess: return "WW-FilePerProc";
+    case Strategy::WWAggr: return "WW-Aggr";
   }
   return "?";
 }
@@ -54,21 +76,28 @@ enum class Strategy {
   return strategy == Strategy::WWColl || strategy == Strategy::WWCollList;
 }
 
+/// Parses a strategy name: the canonical `strategy_name` spelling (any
+/// case) or one of the short aliases.  Throws std::invalid_argument (via
+/// S3A_REQUIRE) on an unknown name, listing the canonical spellings.
 [[nodiscard]] inline Strategy parse_strategy(const std::string& name) {
-  if (name == "MW" || name == "mw") return Strategy::MW;
-  if (name == "WW-POSIX" || name == "ww-posix" || name == "posix")
-    return Strategy::WWPosix;
-  if (name == "WW-List" || name == "ww-list" || name == "list")
-    return Strategy::WWList;
-  if (name == "WW-Coll" || name == "ww-coll" || name == "coll")
-    return Strategy::WWColl;
-  if (name == "WW-CollList" || name == "ww-colllist" || name == "colllist")
-    return Strategy::WWCollList;
-  if (name == "WW-FilePerProc" || name == "ww-fileperproc" || name == "nn" ||
-      name == "file-per-process")
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "mw") return Strategy::MW;
+  if (lower == "ww-posix" || lower == "posix") return Strategy::WWPosix;
+  if (lower == "ww-list" || lower == "list") return Strategy::WWList;
+  if (lower == "ww-coll" || lower == "coll") return Strategy::WWColl;
+  if (lower == "ww-colllist" || lower == "colllist") return Strategy::WWCollList;
+  if (lower == "ww-fileperproc" || lower == "nn" || lower == "file-per-process")
     return Strategy::WWFilePerProcess;
-  S3A_REQUIRE_MSG(false, "unknown strategy '" + name + "'");
-  return Strategy::MW;  // unreachable
+  if (lower == "ww-aggr" || lower == "aggr" || lower == "aggregate")
+    return Strategy::WWAggr;
+  S3A_REQUIRE_MSG(false,
+                  "unknown strategy '" + name +
+                      "' (expected one of: MW, WW-POSIX, WW-List, WW-Coll, "
+                      "WW-CollList, WW-FilePerProc, WW-Aggr)");
+  S3A_UNREACHABLE();
 }
 
 }  // namespace s3asim::core

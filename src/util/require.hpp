@@ -3,8 +3,10 @@
 /// \file require.hpp
 /// Lightweight contract-checking macros used across all s3asim modules.
 ///
-/// S3A_REQUIRE  — precondition check, always on, throws std::invalid_argument.
-/// S3A_CHECK    — internal invariant check, always on, throws std::logic_error.
+/// S3A_REQUIRE      — precondition check, always on, throws std::invalid_argument.
+/// S3A_CHECK        — internal invariant check, always on, throws std::logic_error.
+/// S3A_UNREACHABLE  — marks control flow that cannot be reached (e.g. after an
+///                    exhaustive switch); throws std::logic_error if it is.
 ///
 /// Following the C++ Core Guidelines (I.6/E.12), violated contracts are
 /// reported with the failing expression and source location so that callers
@@ -59,3 +61,8 @@ namespace s3asim::util {
       ::s3asim::util::throw_invariant_failure(#expr, __FILE__, __LINE__,      \
                                               (msg));                         \
   } while (0)
+
+#define S3A_UNREACHABLE()                                                     \
+  ::s3asim::util::throw_invariant_failure("unreachable", __FILE__, __LINE__,  \
+                                          "control flow reached a branch "    \
+                                          "declared impossible")

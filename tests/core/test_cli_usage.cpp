@@ -60,6 +60,7 @@ TEST(CliUsageTest, GoldenText) {
             std::string::npos);
   EXPECT_NE(text.find("determinism self-check; default 1 = off"),
             std::string::npos);
+  EXPECT_NE(text.find("WW-FilePerProc | WW-Aggr"), std::string::npos);
   EXPECT_NE(text.find("docs/OBSERVABILITY.md"), std::string::npos);
   EXPECT_NE(text.find("crash => resume-from-flush"), std::string::npos);
   // The text ends without a trailing newline (puts adds one).

@@ -76,6 +76,80 @@ TEST(ConfigLoaderTest, UnknownStrategyRejected) {
   EXPECT_THROW((void)load_config("strategy = turbo\n"), std::invalid_argument);
 }
 
+// Error-path contract: a typo'd strategy name produces an actionable
+// message — it echoes the offending spelling and lists every canonical one.
+TEST(ConfigLoaderTest, UnknownStrategyMessageListsCanonicalSpellings) {
+  try {
+    (void)load_config("strategy = turbo\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("turbo"), std::string::npos) << message;
+    for (const Strategy strategy : kAllStrategies)
+      EXPECT_NE(message.find(strategy_name(strategy)), std::string::npos)
+          << "message should list " << strategy_name(strategy) << ": "
+          << message;
+  }
+}
+
+TEST(ConfigLoaderTest, UnknownKeyMessageNamesTheKey) {
+  try {
+    (void)load_config("not_a_real_key = 5\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("not_a_real_key"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ConfigLoaderTest, AggregatorFaninKey) {
+  const auto config = load_config("strategy = WW-Aggr\naggregator_fanin = 8\n");
+  EXPECT_EQ(config.strategy, Strategy::WWAggr);
+  EXPECT_EQ(config.aggregator_fanin, 8u);
+  // 0 is valid ("one group spanning all workers").
+  EXPECT_EQ(load_config("aggregator_fanin = 0\n").aggregator_fanin, 0u);
+}
+
+TEST(ConfigLoaderTest, NegativeAggregatorFaninRejected) {
+  try {
+    (void)load_config("aggregator_fanin = -3\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("aggregator_fanin"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+// Strategy/fault-mode conflict: WW-Aggr's lockstep aggregation cannot
+// tolerate perturbed workers, and the rejection must say so and point at a
+// usable alternative rather than deadlock at runtime.
+TEST(ConfigLoaderTest, AggrWithWorkerFaultConflictIsActionable) {
+  auto config = load_config("nprocs = 6\nstrategy = WW-Aggr\n");
+  config.fault.kills.push_back({2, s3asim::sim::seconds(1)});
+  try {
+    (void)run_simulation(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("WW-Aggr"), std::string::npos) << message;
+    EXPECT_NE(message.find("deadlock"), std::string::npos) << message;
+    EXPECT_NE(message.find("WW-List"), std::string::npos) << message;
+  }
+}
+
+TEST(ConfigLoaderTest, AggrWithServerFaultStillRuns) {
+  auto config = load_config(
+      "nprocs = 6\nstrategy = WW-Aggr\nquery_count = 3\nfragment_count = 6\n"
+      "result_count_min = 10\nresult_count_max = 20\n");
+  config.fault.servers.push_back(
+      {/*server=*/0, /*from=*/s3asim::sim::seconds(0),
+       /*service_factor=*/2.0, /*stall=*/s3asim::sim::Time{0}});
+  const auto stats = run_simulation(config);
+  EXPECT_TRUE(stats.file_exact);
+}
+
 TEST(ConfigLoaderTest, UnknownCollectiveRejected) {
   EXPECT_THROW((void)load_config("collective_algorithm = psychic\n"),
                std::invalid_argument);

@@ -1,0 +1,70 @@
+/// Unit tests for the fragment-affinity LRU (core/fragment_cache.hpp):
+/// hit/miss accounting, LRU eviction order, recency refresh on touch, and
+/// the degenerate zero-capacity cache.  The master mirrors each worker's
+/// cache by replaying the same touch sequence, so this deterministic
+/// behavior is load-bearing for affinity scheduling.
+
+#include "core/fragment_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using s3asim::core::FragmentCache;
+
+TEST(FragmentCacheTest, FirstTouchMissesThenHits) {
+  FragmentCache cache(2);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.touch(7));  // cold miss
+  EXPECT_TRUE(cache.contains(7));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.touch(7));  // now cached
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FragmentCacheTest, EvictsLeastRecentlyUsed) {
+  FragmentCache cache(2);
+  cache.touch(1);
+  cache.touch(2);
+  EXPECT_FALSE(cache.touch(3));  // evicts 1 (oldest)
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FragmentCacheTest, TouchRefreshesRecency) {
+  FragmentCache cache(2);
+  cache.touch(1);
+  cache.touch(2);
+  EXPECT_TRUE(cache.touch(1));   // 1 becomes most recent; 2 is now oldest
+  EXPECT_FALSE(cache.touch(3));  // evicts 2, not 1
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(FragmentCacheTest, SizeNeverExceedsCapacity) {
+  FragmentCache cache(3);
+  EXPECT_EQ(cache.capacity(), 3u);
+  for (std::uint32_t fragment = 0; fragment < 10; ++fragment) {
+    EXPECT_FALSE(cache.touch(fragment));  // distinct fragments: all misses
+    EXPECT_LE(cache.size(), cache.capacity());
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  // Only the three most recent survive.
+  EXPECT_TRUE(cache.contains(7));
+  EXPECT_TRUE(cache.contains(8));
+  EXPECT_TRUE(cache.contains(9));
+  EXPECT_FALSE(cache.contains(6));
+}
+
+TEST(FragmentCacheTest, ZeroCapacityNeverCaches) {
+  FragmentCache cache(0);
+  EXPECT_FALSE(cache.touch(4));
+  EXPECT_FALSE(cache.touch(4));  // still a miss: nothing is ever retained
+  EXPECT_FALSE(cache.contains(4));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace

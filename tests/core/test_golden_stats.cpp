@@ -1,0 +1,76 @@
+/// Per-strategy golden statistics: one `test_config()` run per strategy
+/// with every headline RunStats aggregate pinned exactly.  The simulator is
+/// deterministic, so any change to these numbers is a behavior change in
+/// that strategy's I/O path (or in the shared runtimes) and must be a
+/// conscious diff here — this is the regression net under the pluggable
+/// strategy registry.  To regenerate after an intentional change, print the
+/// same aggregates from a `run_simulation(test_config())` loop over
+/// `kAllStrategies` (WW-Aggr pinned at aggregator_fanin = 2).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/simulation.hpp"
+
+namespace {
+
+using namespace s3asim::core;
+
+struct Golden {
+  Strategy strategy;
+  double wall_seconds;
+  std::uint64_t events;
+  std::uint64_t tasks_processed;
+  std::uint64_t output_bytes;
+  std::uint64_t bytes_written;
+  std::uint64_t writes_issued;
+};
+
+// clang-format off
+constexpr Golden kGolden[] = {
+    {Strategy::MW,               0.815129586, 1243ull, 32ull, 1079929ull, 1079929ull,  4ull},
+    {Strategy::WWPosix,          1.301727590, 3951ull, 32ull, 1079929ull, 1079929ull, 16ull},
+    {Strategy::WWList,           0.972346988, 2328ull, 32ull, 1079929ull, 1079929ull, 16ull},
+    {Strategy::WWColl,           3.588998786, 2744ull, 32ull, 1079929ull, 1079929ull, 16ull},
+    {Strategy::WWCollList,       1.104594724, 2470ull, 32ull, 1079929ull, 1079929ull, 16ull},
+    // N-N writes everything twice: once to the private per-worker files,
+    // once when the master assembles the final sorted file.
+    {Strategy::WWFilePerProcess, 1.221314748, 3678ull, 32ull, 1079929ull, 2159858ull, 36ull},
+    // fanin=2 over 4 workers: 2 aggregators issue the group writes.
+    {Strategy::WWAggr,           0.909560712, 1761ull, 32ull, 1079929ull, 1079929ull,  8ull},
+};
+// clang-format on
+
+TEST(GoldenStatsTest, EveryStrategyMatchesPinnedAggregates) {
+  // Every enumerator must carry a pin — adding a strategy without extending
+  // the table is a test failure, not a silent gap.
+  ASSERT_EQ(std::size(kGolden), std::size(kAllStrategies));
+
+  for (const Golden& golden : kGolden) {
+    auto config = test_config();
+    config.strategy = golden.strategy;
+    if (golden.strategy == Strategy::WWAggr) config.aggregator_fanin = 2;
+    const RunStats stats = run_simulation(config);
+
+    SCOPED_TRACE(strategy_name(golden.strategy));
+    EXPECT_TRUE(stats.file_exact);
+    EXPECT_DOUBLE_EQ(stats.wall_seconds, golden.wall_seconds);
+    EXPECT_EQ(stats.events, golden.events);
+    EXPECT_EQ(stats.output_bytes, golden.output_bytes);
+
+    std::uint64_t tasks = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t writes = 0;
+    for (const RankStats& rank : stats.ranks) {
+      tasks += rank.tasks_processed;
+      bytes += rank.bytes_written;
+      writes += rank.writes_issued;
+    }
+    EXPECT_EQ(tasks, golden.tasks_processed);
+    EXPECT_EQ(bytes, golden.bytes_written);
+    EXPECT_EQ(writes, golden.writes_issued);
+  }
+}
+
+}  // namespace

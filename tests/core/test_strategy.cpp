@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+
 #include "core/config.hpp"
+#include "core/strategies/registry.hpp"
 
 namespace {
 
@@ -14,29 +20,53 @@ TEST(StrategyTest, Names) {
   EXPECT_STREQ(strategy_name(Strategy::WWList), "WW-List");
   EXPECT_STREQ(strategy_name(Strategy::WWColl), "WW-Coll");
   EXPECT_STREQ(strategy_name(Strategy::WWCollList), "WW-CollList");
+  EXPECT_STREQ(strategy_name(Strategy::WWFilePerProcess), "WW-FilePerProc");
+  EXPECT_STREQ(strategy_name(Strategy::WWAggr), "WW-Aggr");
+}
+
+TEST(StrategyTest, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const Strategy strategy : kAllStrategies) {
+    const std::string name = strategy_name(strategy);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
 }
 
 TEST(StrategyTest, WorkerWritesClassification) {
-  EXPECT_FALSE(worker_writes(Strategy::MW));
-  EXPECT_TRUE(worker_writes(Strategy::WWPosix));
-  EXPECT_TRUE(worker_writes(Strategy::WWList));
-  EXPECT_TRUE(worker_writes(Strategy::WWColl));
-  EXPECT_TRUE(worker_writes(Strategy::WWCollList));
+  for (const Strategy strategy : kAllStrategies)
+    EXPECT_EQ(worker_writes(strategy), strategy != Strategy::MW)
+        << strategy_name(strategy);
 }
 
 TEST(StrategyTest, CollectiveClassification) {
-  EXPECT_FALSE(is_collective(Strategy::MW));
-  EXPECT_FALSE(is_collective(Strategy::WWPosix));
-  EXPECT_FALSE(is_collective(Strategy::WWList));
-  EXPECT_TRUE(is_collective(Strategy::WWColl));
-  EXPECT_TRUE(is_collective(Strategy::WWCollList));
+  for (const Strategy strategy : kAllStrategies)
+    EXPECT_EQ(is_collective(strategy), strategy == Strategy::WWColl ||
+                                           strategy == Strategy::WWCollList)
+        << strategy_name(strategy);
 }
 
-TEST(StrategyTest, ParseRoundTrip) {
-  for (const Strategy strategy :
-       {Strategy::MW, Strategy::WWPosix, Strategy::WWList, Strategy::WWColl,
-        Strategy::WWCollList}) {
-    EXPECT_EQ(parse_strategy(strategy_name(strategy)), strategy);
+// The property the CLI/config loader depend on: the canonical name of
+// every enumerator parses back to that enumerator, in any case.
+TEST(StrategyTest, ParseRoundTripEveryEnumerator) {
+  for (const Strategy strategy : kAllStrategies) {
+    const std::string name = strategy_name(strategy);
+    EXPECT_EQ(parse_strategy(name), strategy) << name;
+
+    std::string upper = name;
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) {
+                     return static_cast<char>(std::toupper(c));
+                   });
+    EXPECT_EQ(parse_strategy(upper), strategy) << upper;
+
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) {
+                     return static_cast<char>(std::tolower(c));
+                   });
+    EXPECT_EQ(parse_strategy(lower), strategy) << lower;
   }
 }
 
@@ -45,10 +75,43 @@ TEST(StrategyTest, ParseAliases) {
   EXPECT_EQ(parse_strategy("list"), Strategy::WWList);
   EXPECT_EQ(parse_strategy("posix"), Strategy::WWPosix);
   EXPECT_EQ(parse_strategy("coll"), Strategy::WWColl);
+  EXPECT_EQ(parse_strategy("colllist"), Strategy::WWCollList);
+  EXPECT_EQ(parse_strategy("nn"), Strategy::WWFilePerProcess);
+  EXPECT_EQ(parse_strategy("file-per-process"), Strategy::WWFilePerProcess);
+  EXPECT_EQ(parse_strategy("aggr"), Strategy::WWAggr);
+  EXPECT_EQ(parse_strategy("aggregate"), Strategy::WWAggr);
+  EXPECT_EQ(parse_strategy("AGGR"), Strategy::WWAggr);
 }
 
-TEST(StrategyTest, ParseRejectsUnknown) {
+TEST(StrategyTest, ParseRejectsUnknownWithCanonicalSpellings) {
   EXPECT_THROW((void)parse_strategy("magic"), std::invalid_argument);
+  try {
+    (void)parse_strategy("magic");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("magic"), std::string::npos);
+    for (const Strategy strategy : kAllStrategies)
+      EXPECT_NE(message.find(strategy_name(strategy)), std::string::npos)
+          << "error message should list " << strategy_name(strategy);
+  }
+}
+
+// The registry is the pluggability seam: every enumerator must resolve to
+// an IoStrategy whose id and coarse traits agree with the header's
+// classification helpers.
+TEST(StrategyRegistryTest, EveryEnumeratorResolvesConsistently) {
+  for (const Strategy strategy : kAllStrategies) {
+    const auto made = make_strategy(strategy);
+    ASSERT_NE(made, nullptr) << strategy_name(strategy);
+    EXPECT_EQ(made->id(), strategy) << strategy_name(strategy);
+    EXPECT_EQ(made->worker_writes(), worker_writes(strategy))
+        << strategy_name(strategy);
+    if (is_collective(strategy)) {
+      EXPECT_TRUE(made->broadcasts_offsets()) << strategy_name(strategy);
+      EXPECT_TRUE(made->flush_blocks_process()) << strategy_name(strategy);
+    }
+  }
 }
 
 TEST(ConfigTest, PaperConfigMatchesSection33) {
