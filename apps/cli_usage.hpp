@@ -15,6 +15,14 @@ inline constexpr char kUsageText[] =
     "                      WW-FilePerProc | WW-Aggr\n"
     "  --sync              per-query synchronization on\n"
     "  --speed X           compute-speed multiplier\n"
+    "  --arrival-rate R    open-loop serving: Poisson arrivals at R queries\n"
+    "                      per simulated second (default 0 = closed batch;\n"
+    "                      tenants via --set \"tenants=a:rate=2|b:rate=1\")\n"
+    "  --arrival-trace F   open-loop serving: replay arrivals from a CSV of\n"
+    "                      \"t_seconds, tenant, query_size\" lines\n"
+    "  --admit-policy P    admission-queue order: fifo | wfq | priority\n"
+    "  --admit-depth N     bounded admission queue depth; arrivals beyond it\n"
+    "                      are shed (default 64)\n"
     "  --trace FILE.csv    export phase timeline CSV\n"
     "  --trace-json FILE   export Chrome-trace-event JSON (open in Perfetto\n"
     "                      or chrome://tracing; see docs/OBSERVABILITY.md)\n"

@@ -140,6 +140,14 @@ int main(int argc, char** argv) {
       overrides.push_back("query_sync = true");
     } else if (arg == "--speed") {
       overrides.push_back("compute_speed = " + next_value("--speed"));
+    } else if (arg == "--arrival-rate") {
+      overrides.push_back("arrival_rate = " + next_value("--arrival-rate"));
+    } else if (arg == "--arrival-trace") {
+      overrides.push_back("arrival_trace = " + next_value("--arrival-trace"));
+    } else if (arg == "--admit-policy") {
+      overrides.push_back("admit_policy = " + next_value("--admit-policy"));
+    } else if (arg == "--admit-depth") {
+      overrides.push_back("admit_depth = " + next_value("--admit-depth"));
     } else if (arg == "--trace") {
       trace_path = next_value("--trace");
     } else if (arg == "--trace-json") {
@@ -356,6 +364,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(faults.scores_dropped),
         static_cast<unsigned long long>(faults.duplicate_completions),
         util::format_bytes(faults.repaired_bytes).c_str());
+  }
+
+  if (stats.serving.enabled) {
+    const core::TenantServingStats& all = stats.serving.overall;
+    std::printf(
+        "serving               : %llu offered, %llu shed, %llu completed; "
+        "latency p50 %.3f s p95 %.3f s p99 %.3f s; goodput %.2f q/s\n",
+        static_cast<unsigned long long>(all.offered),
+        static_cast<unsigned long long>(all.shed),
+        static_cast<unsigned long long>(all.completed), all.p50_seconds,
+        all.p95_seconds, all.p99_seconds, stats.serving.goodput_qps);
   }
 
   if (want_gantt) std::printf("\n%s", trace.render_gantt(110).c_str());

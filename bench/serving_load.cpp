@@ -1,0 +1,158 @@
+/// Ablation L — offered load vs latency tails and goodput, per strategy.
+///
+/// The paper measures every I/O strategy under a closed batch (all queries
+/// present at t=0; the metric is makespan).  This bench flips the regime to
+/// open-loop serving: queries arrive as a Poisson stream and the strategy
+/// must keep up.  For each strategy we first measure its closed-batch
+/// capacity (queries / makespan), then ramp the offered arrival rate across
+/// multiples of that capacity — through and past saturation — and record
+/// end-to-end latency percentiles, goodput, and shed counts.  The bounded
+/// admission queue makes overload visible as shedding instead of unbounded
+/// queueing.
+///
+/// Determinism: every column of results/serving_load.csv is simulated
+/// (arrival times, latencies, shed counts derive only from seed + config),
+/// so CI double-runs the bench and requires byte-identical CSVs.  Host-side
+/// measurements go to results/BENCH_serving.json only.
+///
+/// Quick mode: 2 strategies x 3 load points.  Full: all 7 strategies x 6
+/// load points (0.25x ... 4x capacity).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/sweep.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+namespace {
+
+core::SimConfig serving_base(core::Strategy strategy, std::uint32_t procs,
+                             std::uint32_t queries) {
+  auto config = core::paper_config();
+  config.strategy = strategy;
+  config.nprocs = procs;
+  config.workload.query_count = queries;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
+  const std::uint32_t procs = 8;
+  const std::uint32_t queries = quick ? 24 : 40;
+  const std::uint32_t admit_depth = 8;
+  const std::vector<core::Strategy> strategies =
+      quick ? std::vector<core::Strategy>{core::Strategy::MW,
+                                          core::Strategy::WWList}
+            : std::vector<core::Strategy>(std::begin(core::kAllStrategies),
+                                          std::end(core::kAllStrategies));
+  const std::vector<double> multipliers =
+      quick ? std::vector<double>{0.5, 1.0, 2.0}
+            : std::vector<double>{0.25, 0.5, 1.0, 1.5, 2.0, 4.0};
+
+  std::printf(
+      "S3aSim Ablation L: offered load vs latency/goodput (%u procs, "
+      "%u queries per point, admit depth %u)\n",
+      procs, queries, admit_depth);
+
+  // Stage 1: closed-batch capacity per strategy (simulated makespan of the
+  // same query set) — the yardstick the load multipliers scale from.
+  std::vector<SweepPoint> capacity_grid;
+  for (const auto strategy : strategies) {
+    capacity_grid.push_back(
+        {std::string(core::strategy_name(strategy)) + " capacity",
+         [strategy, procs, queries] {
+           auto stats =
+               core::run_simulation(serving_base(strategy, procs, queries));
+           require_exact(stats);
+           return stats;
+         }});
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto capacities = run_sweep(std::move(capacity_grid), jobs);
+
+  // Stage 2: the open-loop sweep.  Offered rate = multiplier x capacity.
+  std::vector<SweepPoint> load_grid;
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    const auto strategy = strategies[s];
+    const double capacity_qps = static_cast<double>(queries) /
+                                capacities[s].stats.wall_seconds;
+    for (const double multiplier : multipliers) {
+      load_grid.push_back(
+          {std::string(core::strategy_name(strategy)) + " @" +
+               util::format_fixed(multiplier, 2) + "x",
+           [strategy, procs, queries, admit_depth, capacity_qps, multiplier] {
+             auto config = serving_base(strategy, procs, queries);
+             config.serving.arrival_rate_hz = capacity_qps * multiplier;
+             config.serving.admit_depth = admit_depth;
+             auto stats = core::run_simulation(config);
+             require_exact(stats);
+             return stats;
+           }});
+    }
+  }
+  const auto loads = run_sweep(std::move(load_grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  util::TextTable table({"Strategy", "Load", "Offered (q/s)", "Shed",
+                         "Goodput (q/s)", "p50 (s)", "p95 (s)", "p99 (s)"});
+  util::CsvWriter csv(csv_path("serving_load.csv"));
+  csv.write_row({"strategy", "load_multiplier", "offered_qps", "offered",
+                 "shed", "completed", "goodput_qps", "latency_mean_s",
+                 "latency_p50_s", "latency_p95_s", "latency_p99_s"});
+
+  std::size_t index = 0;
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    const auto strategy = strategies[s];
+    const double capacity_qps = static_cast<double>(queries) /
+                                capacities[s].stats.wall_seconds;
+    for (const double multiplier : multipliers) {
+      const auto& stats = loads[index++].stats;
+      const auto& serving = stats.serving.overall;
+      const double offered_qps = capacity_qps * multiplier;
+      table.add_row({core::strategy_name(strategy),
+                     util::format_fixed(multiplier, 2) + "x",
+                     util::format_fixed(offered_qps, 3),
+                     std::to_string(serving.shed),
+                     util::format_fixed(stats.serving.goodput_qps, 3),
+                     util::format_fixed(serving.p50_seconds),
+                     util::format_fixed(serving.p95_seconds),
+                     util::format_fixed(serving.p99_seconds)});
+      csv.write_row_numeric(
+          std::string(core::strategy_name(strategy)),
+          {multiplier, offered_qps, static_cast<double>(serving.offered),
+           static_cast<double>(serving.shed),
+           static_cast<double>(serving.completed), stats.serving.goodput_qps,
+           serving.mean_seconds, serving.p50_seconds, serving.p95_seconds,
+           serving.p99_seconds});
+    }
+  }
+  std::printf("%s(csv: results/serving_load.csv)\n", table.render().c_str());
+  std::printf(
+      "\nBelow capacity every strategy serves the full stream with flat "
+      "tails; past 1x the admission queue fills, latency percentiles climb "
+      "toward the queueing limit, and the bounded queue sheds the excess — "
+      "goodput plateaus at the strategy's closed-batch capacity.  Strategies "
+      "whose writes serialize (MW's master drain, WW-POSIX's per-extent "
+      "flushes) collapse earliest.\n");
+
+  auto all = capacities;
+  all.insert(all.end(), loads.begin(), loads.end());
+  const auto report =
+      write_bench_json("serving", quick, jobs, all, sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
+  return 0;
+}

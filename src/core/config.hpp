@@ -7,6 +7,8 @@
 /// after every write, 16 PVFS2 servers with 64 KiB strips.
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/strategy.hpp"
 #include "fault/fault.hpp"
@@ -43,6 +45,65 @@ struct WorkloadConfig {
   /// the input query and the matching database sequence").  size_scale
   /// calibrates the aggregate output volume (~208 MB for the paper setup).
   double size_scale = 0.715;
+  /// Per-query length override (arrival-trace replay: the trace's
+  /// `query_size` column).  Empty (the default) samples every length from
+  /// `query_histogram`; when set it must have exactly `query_count`
+  /// entries and query q's length is `query_lengths[q]`.
+  std::vector<std::uint64_t> query_lengths{};
+};
+
+/// One tenant of the online-serving workload: a named query stream with an
+/// arrival rate (Poisson mode), a fair-share weight (weighted-fair
+/// admission) and a priority class (strict-priority admission; lower value
+/// = more urgent).
+struct TenantConfig {
+  std::string name = "default";
+  /// Poisson arrival rate in queries/simulated-second.  When the aggregate
+  /// `arrival_rate_hz` is also set, per-tenant rates are relative shares of
+  /// that aggregate; otherwise they are absolute rates.
+  double rate_hz = 1.0;
+  double weight = 1.0;       ///< weighted-fair share (> 0)
+  std::uint32_t priority = 0;  ///< strict-priority class (0 = highest)
+};
+
+/// Admission-queue dispatch order.
+enum class AdmitPolicy {
+  Fifo,          ///< global arrival order
+  WeightedFair,  ///< start-time fair queuing over tenant weights
+  Priority,      ///< strict priority classes, FIFO within a class
+};
+
+/// Open-loop serving workload (ISSUE 6): queries arrive continuously at
+/// the master instead of being a fixed batch.  Disabled by default —
+/// `enabled()` false leaves every closed-batch code path untouched
+/// (byte-identical results).
+struct ServingConfig {
+  /// Aggregate Poisson arrival rate in queries/simulated-second; 0 together
+  /// with an empty `arrival_trace` means the paper's closed batch.
+  double arrival_rate_hz = 0.0;
+  /// Trace-replay file (CSV: `t_seconds, tenant, query_size`); overrides
+  /// Poisson generation.  Loaded by `apply_arrival_trace` into
+  /// `trace_arrivals` + the workload's `query_lengths`.
+  std::string arrival_trace;
+  /// Parsed trace rows (seconds + tenant index), one per query in time
+  /// order.  Filled by `apply_arrival_trace`; empty in Poisson mode.
+  std::vector<std::pair<double, std::uint32_t>> trace_arrivals;
+  /// Tenant set.  Empty = a single "default" tenant (rate =
+  /// `arrival_rate_hz`).
+  std::vector<TenantConfig> tenants;
+  AdmitPolicy policy = AdmitPolicy::Fifo;
+  /// Bounded admission queue: an arrival finding this many queries already
+  /// admitted-but-undispatched is shed (recorded, never run).
+  std::uint32_t admit_depth = 64;
+  /// Backpressure watermark: dispatch of new queries pauses while the
+  /// output bytes of dispatched-but-unretired queries exceed this.  0
+  /// disables backpressure.
+  std::uint64_t inflight_watermark_bytes = 0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return arrival_rate_hz > 0.0 || !arrival_trace.empty() ||
+           !trace_arrivals.empty();
+  }
 };
 
 /// Hardware / substrate cost model (see DESIGN.md §4 for calibration).
@@ -117,6 +178,8 @@ struct SimConfig {
   /// (query, fragment) tasks are reassigned.  Only consulted when the fault
   /// plan perturbs workers.
   sim::Time fault_detection_timeout = sim::seconds(10);
+  /// Open-loop serving workload (disabled by default: closed batch).
+  ServingConfig serving{};
   WorkloadConfig workload{};
   ModelParams model{};
   mpiio::Hints hints{};

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/serving.hpp"
 #include "util/require.hpp"
 
 namespace s3asim::core {
@@ -119,6 +120,26 @@ SimConfig load_config(const std::string& config_text) {
   if (keyval.has("collective_algorithm"))
     config.hints.collective_algorithm =
         parse_collective(keyval.get_string("collective_algorithm", ""));
+
+  // --- Serving (open-loop arrivals; all optional — defaults = closed batch).
+  auto& serving = config.serving;
+  serving.arrival_rate_hz =
+      keyval.get_double("arrival_rate", serving.arrival_rate_hz);
+  serving.arrival_trace =
+      keyval.get_string("arrival_trace", serving.arrival_trace);
+  if (keyval.has("admit_policy"))
+    serving.policy =
+        parse_admit_policy(keyval.get_string("admit_policy", ""));
+  const std::int64_t depth =
+      keyval.get_int("admit_depth", serving.admit_depth);
+  if (depth < 1)
+    throw std::invalid_argument("admit_depth must be at least 1");
+  serving.admit_depth = static_cast<std::uint32_t>(depth);
+  serving.inflight_watermark_bytes = keyval.get_bytes(
+      "inflight_watermark", serving.inflight_watermark_bytes);
+  if (keyval.has("tenants"))
+    serving.tenants = parse_tenants(keyval.get_string("tenants", ""));
+  if (!serving.arrival_trace.empty()) apply_arrival_trace(config);
 
   const auto unused = keyval.unused_keys();
   if (!unused.empty()) {

@@ -64,6 +64,27 @@ struct MasterState {
   std::vector<std::set<std::uint32_t>> done_frags;
 };
 
+/// Serving mode: moves the next admitted query (if any, and backpressure
+/// permitting) into the dispatch path — assigns it the next local index,
+/// extends the group's file layout by its region, and grows the master's
+/// per-query bookkeeping.  Shed queries never reach here, so the output
+/// file packs exactly the admitted queries in dispatch order.
+bool serving_admit(App& app, MasterState& state) {
+  ServingContext& serving = *app.serving;
+  if (serving.queue.empty() || serving.backpressured()) return false;
+  const Admitted next = serving.queue.pop();
+  state.next_query = app.query_count();
+  app.queries.push_back(next.query);
+  app.region_bases.push_back(app.group_output_bytes);
+  const std::uint64_t bytes = app.workload.query(next.query).total_bytes;
+  app.group_output_bytes += bytes;
+  state.fragments_done.push_back(0);
+  state.contributors.emplace_back();
+  state.done_frags.emplace_back();
+  serving.on_dispatch(bytes);
+  return true;
+}
+
 }  // namespace
 
 /// With faults the message counts are not known up front (reassignment,
@@ -86,9 +107,34 @@ sim::Process master_scores_pump(App& app) {
     if (message.cancelled) break;
     app.master_scores.push_back(std::move(message));
     app.scores_wake->push(0);
-    // The recovery loop blocks on a single wake stream; mirror the token.
-    if (app.recovery_mode) app.request_wake->push(0);
+    // The recovery and serving loops block on a single wake stream; mirror
+    // the token.
+    if (app.recovery_mode || app.serving != nullptr)
+      app.request_wake->push(0);
   }
+}
+
+/// Serving mode: replays the precomputed arrival list in simulated time.
+/// Each firing admits (or sheds) the query and wakes the master's serving
+/// loop with a synthetic arrival notice; one final notice marks the stream
+/// closed so the master can re-evaluate its termination condition.
+sim::Process serving_arrival_process(App& app) {
+  ServingContext& serving = *app.serving;
+  const auto total = static_cast<std::uint32_t>(serving.arrivals.size());
+  while (serving.next_arrival < total) {
+    const Arrival& next = serving.arrivals[serving.next_arrival];
+    if (next.at > app.scheduler.now())
+      co_await app.scheduler.delay(next.at - app.scheduler.now());
+    const std::uint32_t query = serving.next_arrival++;
+    (void)serving.offer(query);
+    app.master_requests.push_back(
+        mpi::Message{.source = app.master, .tag = kTagArrival});
+    app.request_wake->push(0);
+  }
+  serving.arrivals_open = false;
+  app.master_requests.push_back(
+      mpi::Message{.source = app.master, .tag = kTagArrival});
+  app.request_wake->push(0);
 }
 
 /// Failure detector for one worker: every token in `armed` covers one timer
@@ -152,7 +198,14 @@ sim::Process master_process(App& app) {
   // is fully assigned.
   auto fresh_task = [&app, &state, fragments,
                      total_tasks](mpi::Rank worker) -> std::optional<Outstanding> {
-    if (state.tasks_assigned >= total_tasks) return std::nullopt;
+    if (app.serving != nullptr) {
+      // Open-loop: tasks come from the admission queue, one query at a
+      // time; a query's fragments drain before the next one is admitted.
+      if (state.pending_fragments.empty() && !serving_admit(app, state))
+        return std::nullopt;
+    } else if (state.tasks_assigned >= total_tasks) {
+      return std::nullopt;
+    }
     if (state.pending_fragments.empty()) {
       state.pending_fragments.resize(fragments);
       for (std::uint32_t f = 0; f < fragments; ++f)
@@ -257,11 +310,99 @@ sim::Process master_process(App& app) {
         // §3.3: the query-sync barrier is among the *worker* nodes; the
         // master keeps distributing work.
         app.batch_complete_times.push_back(app.scheduler.now());
+        if (app.serving != nullptr)
+          app.serving->on_retired(
+              app.queries[local], app.scheduler.now(),
+              app.workload.query(app.queries[local]).total_bytes);
       }
     }
   };
 
-  if (!app.recovery_mode) {
+  if (app.serving != nullptr) {
+    // ---- Open-loop serving master loop (online arrivals). ---------------
+    // Same protocol as the failure-free loop, but the task source is the
+    // admission queue: a request finding no dispatchable work parks until
+    // an arrival (or a retirement releasing backpressure) frees some, and
+    // Done is only sent once the arrival stream is closed and drained.
+    ServingContext& serving = *app.serving;
+    auto send_reply = [&app](mpi::Rank worker,
+                             const MasterMsg& reply) -> sim::Task<void> {
+      const sim::Time send_start = app.scheduler.now();
+      co_await app.comm.send(app.master, worker, kTagMasterToWorker,
+                             app.config.model.control_message_bytes, reply);
+      app.record_phase(app.master, Phase::DataDistribution, send_start,
+                       app.scheduler.now());
+    };
+    // True once no task can ever become available again.
+    auto stream_over = [&state, &serving]() {
+      return serving.drained() && state.pending_fragments.empty();
+    };
+    auto assign_reply = [](const Outstanding& task) {
+      MasterMsg reply;
+      reply.kind = MasterMsg::Kind::Assign;
+      reply.query = task.query;
+      reply.local_query = task.local;
+      reply.fragment = task.fragment;
+      return reply;
+    };
+    auto serve_request = [&app, &state, &stream_over, &fresh_task,
+                          &assign_reply,
+                          &send_reply](mpi::Rank worker) -> sim::Task<void> {
+      if (const auto task = fresh_task(worker)) {
+        co_await send_reply(worker, assign_reply(*task));
+      } else if (stream_over()) {
+        MasterMsg reply;
+        reply.kind = MasterMsg::Kind::Done;
+        ++state.done_sent;
+        co_await send_reply(worker, reply);
+      } else {
+        state.parked.push_back(worker);
+      }
+    };
+    // Unpark waiting workers while dispatchable work (or a final Done
+    // verdict) exists for them.
+    auto feed_parked = [&state, &stream_over, &fresh_task, &assign_reply,
+                        &send_reply]() -> sim::Task<void> {
+      while (!state.parked.empty()) {
+        const mpi::Rank worker = state.parked.front();
+        if (const auto task = fresh_task(worker)) {
+          state.parked.pop_front();
+          co_await send_reply(worker, assign_reply(*task));
+        } else if (stream_over()) {
+          state.parked.pop_front();
+          MasterMsg reply;
+          reply.kind = MasterMsg::Kind::Done;
+          ++state.done_sent;
+          co_await send_reply(worker, reply);
+        } else {
+          break;
+        }
+      }
+    };
+    while (!(stream_over() && state.tasks_completed == state.tasks_assigned &&
+             state.next_inorder == app.query_count() &&
+             state.done_sent == app.nworkers())) {
+      const sim::Time wait_start = app.scheduler.now();
+      auto token = co_await app.request_wake->pop();
+      S3A_CHECK_MSG(token.has_value(), "master wake stream closed early");
+      app.record_phase(app.master, Phase::DataDistribution, wait_start,
+                       app.scheduler.now());
+      while (!app.master_requests.empty()) {
+        mpi::Message event = std::move(app.master_requests.front());
+        app.master_requests.pop_front();
+        // An arrival notice carries no reply of its own; the feed_parked
+        // pass below reacts to the new (or newly closed) stream state.
+        if (event.tag == kTagArrival) continue;
+        S3A_CHECK(event.tag == kTagRequest);
+        co_await serve_request(event.source);
+      }
+      while (!app.master_scores.empty()) {
+        co_await handle_score();
+        if (!app.master_requests.empty()) break;  // requests take priority
+      }
+      co_await feed_parked();
+    }
+  } else if (!app.recovery_mode) {
     // ---- Failure-free master loop (Algorithm 1, byte-identical to the
     //      pre-fault-subsystem behavior). --------------------------------
     while (true) {

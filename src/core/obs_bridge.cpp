@@ -6,8 +6,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/runtime.hpp"
 #include "util/log.hpp"
@@ -31,6 +35,64 @@ void World::attach_observability(const Observability& observe) {
 }
 
 namespace {
+
+/// Exact nearest-rank percentile over an ascending latency list (no
+/// interpolation: reported tails are observed samples).
+double latency_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+TenantServingStats tenant_serving_stats(std::string name,
+                                        std::uint64_t offered,
+                                        std::uint64_t shed,
+                                        std::uint64_t completed,
+                                        std::vector<double> latencies) {
+  TenantServingStats out;
+  out.name = std::move(name);
+  out.offered = offered;
+  out.shed = shed;
+  out.admitted = offered - shed;
+  out.completed = completed;
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double v : latencies) sum += v;
+    out.mean_seconds = sum / static_cast<double>(latencies.size());
+    out.p50_seconds = latency_percentile(latencies, 50.0);
+    out.p95_seconds = latency_percentile(latencies, 95.0);
+    out.p99_seconds = latency_percentile(latencies, 99.0);
+    out.max_seconds = latencies.back();
+  }
+  return out;
+}
+
+/// Folds one group's serving context into the run's serving aggregates
+/// (per-tenant and overall latency distributions, stream accounting).
+void fill_serving_stats(RunStats& stats, const ServingContext& serving) {
+  stats.serving.enabled = true;
+  stats.serving.inflight_peak_bytes = serving.inflight_peak_bytes;
+  std::vector<double> all;
+  for (std::size_t t = 0; t < serving.tenants.size(); ++t) {
+    std::vector<double> lat;
+    lat.reserve(serving.latencies[t].size());
+    for (const sim::Time l : serving.latencies[t])
+      lat.push_back(sim::to_seconds(l));
+    all.insert(all.end(), lat.begin(), lat.end());
+    stats.serving.tenants.push_back(tenant_serving_stats(
+        serving.tenants[t].name, serving.offered[t],
+        serving.queue.shed_by_tenant()[t], serving.completed[t],
+        std::move(lat)));
+  }
+  stats.serving.overall = tenant_serving_stats(
+      "all", serving.offered_total(), serving.queue.shed_total(),
+      serving.completed_total(), std::move(all));
+  if (stats.wall_seconds > 0.0)
+    stats.serving.goodput_qps =
+        static_cast<double>(serving.completed_total()) / stats.wall_seconds;
+}
 
 /// Publishes every layer's end-of-run aggregates into the registry under
 /// the stable dotted names of the docs/OBSERVABILITY.md catalog.  Counters
@@ -137,6 +199,32 @@ void publish_metrics(World& world,
   registry.counter("fault.scores_dropped").add(stats.faults.scores_dropped);
   registry.counter("fault.repaired_bytes").add(stats.faults.repaired_bytes);
 
+  // serving.* — open-loop workload outcome (absent on closed-batch runs,
+  // keeping their manifests byte-identical).
+  if (stats.serving.enabled) {
+    registry.counter("serving.offered").add(stats.serving.overall.offered);
+    registry.counter("serving.admitted").add(stats.serving.overall.admitted);
+    registry.counter("serving.shed").add(stats.serving.overall.shed);
+    registry.counter("serving.completed").add(stats.serving.overall.completed);
+    registry.gauge("serving.goodput_qps").add(stats.serving.goodput_qps);
+    registry.gauge("serving.inflight_peak_bytes")
+        .set(static_cast<double>(stats.serving.inflight_peak_bytes));
+    obs::Histogram& overall = registry.histogram("serving.latency_seconds");
+    for (const auto& app : groups) {
+      if (app->serving == nullptr) continue;
+      const ServingContext& serving = *app->serving;
+      for (std::size_t t = 0; t < serving.tenants.size(); ++t) {
+        obs::Histogram& tenant = registry.histogram(
+            "serving.tenant." + serving.tenants[t].name + ".latency_seconds");
+        for (const sim::Time l : serving.latencies[t]) {
+          const double seconds = sim::to_seconds(l);
+          overall.observe(seconds);
+          tenant.observe(seconds);
+        }
+      }
+    }
+  }
+
   // trace.* — the drop counter is incremented live via
   // TraceLog::attach_registry; materialize it here so drop-free (or
   // trace-less) runs still carry an explicit zero in the manifest.
@@ -178,6 +266,7 @@ RunStats collect_stats(World& world,
     stats.faults.repaired_bytes += app->faults.repaired_bytes;
     for (const sim::Time at : app->batch_complete_times)
       stats.batch_complete_seconds.push_back(sim::to_seconds(at));
+    if (app->serving != nullptr) fill_serving_stats(stats, *app->serving);
     if (world.trace_log != nullptr) {
       for (const auto& [rank, at] : app->death_times)
         world.trace_log->record(rank, "Dead", at, world.scheduler.now());

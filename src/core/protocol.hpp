@@ -24,6 +24,9 @@ inline constexpr mpi::Tag kTagScores = 3;
 inline constexpr mpi::Tag kTagSetup = 4;
 /// Reserved for strategy-internal worker↔worker traffic (WW-Aggr).
 inline constexpr mpi::Tag kTagStrategy = 5;
+/// Synthetic local event (never on the wire): arrival process → master,
+/// "a query arrived (or the stream closed); re-evaluate dispatch".
+inline constexpr mpi::Tag kTagArrival = 97;
 /// Synthetic local event (never on the wire): reaper → worker, "die now".
 inline constexpr mpi::Tag kTagDeath = 98;
 /// Synthetic local event (never on the wire): failure detector → master,

@@ -43,12 +43,16 @@ App::App(World& w, mpi::Rank master_rank, std::vector<mpi::Rank> worker_ranks,
       queries(std::move(query_ids)),
       query_barrier(w.scheduler, std::max<std::size_t>(workers.size(), 1)) {
   S3A_REQUIRE_MSG(!workers.empty(), "a group needs at least one worker");
-  S3A_REQUIRE_MSG(!queries.empty(), "a group needs at least one query");
+  S3A_REQUIRE_MSG(!queries.empty() || config.serving.enabled(),
+                  "a group needs at least one query");
   for (const mpi::Rank rank : workers)
     events.emplace(rank,
                    std::make_unique<sim::Channel<mpi::Message>>(scheduler));
   request_wake = std::make_unique<sim::Channel<int>>(scheduler);
   scores_wake = std::make_unique<sim::Channel<int>>(scheduler);
+  if (config.serving.enabled()) {
+    serving = std::make_unique<ServingContext>(config);
+  }
   recovery_mode = config.fault.perturbs_workers();
   if (recovery_mode) {
     for (const mpi::Rank rank : workers) {
@@ -99,6 +103,7 @@ void launch_group(App& app) {
   app.scheduler.spawn(master_process(app));
   app.scheduler.spawn(master_request_pump(app));
   app.scheduler.spawn(master_scores_pump(app));
+  if (app.serving != nullptr) app.scheduler.spawn(serving_arrival_process(app));
   for (const mpi::Rank rank : app.workers) {
     app.scheduler.spawn(worker_process(app, rank));
     app.scheduler.spawn(worker_stream_pump(app, rank));

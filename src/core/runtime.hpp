@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/obs_bridge.hpp"
+#include "core/serving.hpp"
 #include "core/simulation.hpp"
 #include "core/strategies/io_strategy.hpp"
 #include "fault/fault.hpp"
@@ -80,7 +81,11 @@ struct App {
 
   mpi::Rank master;
   std::vector<mpi::Rank> workers;
-  std::vector<std::uint32_t> queries;  ///< global query ids, ascending
+  /// Global query ids.  Closed batch: fixed at construction, ascending.
+  /// Serving mode: starts empty and grows in dispatch order (shed queries
+  /// never appear) — `region_bases` and `group_output_bytes` grow in step,
+  /// so the file layout packs admitted queries back to back.
+  std::vector<std::uint32_t> queries;
   sim::Barrier query_barrier;  ///< the "query sync" barrier (§3.3: workers only)
   std::vector<std::uint64_t> region_bases;  ///< group-file offset per local query
   std::uint64_t group_output_bytes = 0;
@@ -103,6 +108,12 @@ struct App {
   std::deque<mpi::Message> master_scores;
   std::unique_ptr<sim::Channel<int>> request_wake;
   std::unique_ptr<sim::Channel<int>> scores_wake;
+
+  /// Open-loop serving state (ISSUE 6): non-null only when
+  /// `config.serving.enabled()` — the master runs its serving loop and an
+  /// arrival process feeds the admission queue.  Closed-batch runs never
+  /// consult it.
+  std::unique_ptr<ServingContext> serving;
 
   // ---- Fault-injection / recovery state (inert on failure-free runs). ----
   /// True when the plan perturbs workers: the master runs its
@@ -204,6 +215,9 @@ sim::Process master_process(App& app);
 sim::Process master_request_pump(App& app);
 sim::Process master_scores_pump(App& app);
 sim::Process worker_probe(App& app, mpi::Rank rank);
+/// Serving mode only: fires each arrival at its simulated time, admits or
+/// sheds it, and wakes the master's serving loop.
+sim::Process serving_arrival_process(App& app);
 
 // ---- worker_runtime.cpp (Algorithm 2) -------------------------------------
 sim::Process worker_process(App& app, mpi::Rank rank);

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -21,18 +22,35 @@ RunStats run_simulation(const SimConfig& config, trace::TraceLog* trace_log) {
   return run_simulation(config, Observability{trace_log, nullptr});
 }
 
+namespace {
+
+/// The multi-master drivers are closed-batch facilities: they partition a
+/// fixed query set up front, which has no meaning under open-loop arrivals.
+void reject_serving(const SimConfig& config, const char* driver) {
+  S3A_REQUIRE_MSG(!config.serving.enabled(),
+                  std::string(driver) +
+                      " is a closed-batch driver; disable the serving "
+                      "workload (arrival_rate / arrival_trace) to use it");
+}
+
+}  // namespace
+
 RunStats run_simulation(const SimConfig& config, const Observability& observe) {
   S3A_REQUIRE_MSG(config.nprocs >= 2, "need a master and at least one worker");
   std::vector<mpi::Rank> workers;
   for (mpi::Rank rank = 1; rank < config.nprocs; ++rank)
     workers.push_back(rank);
   validate_fault_plan(config, {workers.begin(), workers.end()});
+  validate_serving(config);
 
   World world(config, config.nprocs);
   world.attach_observability(observe);
+  // Closed batch: every query exists up front.  Serving mode: the list
+  // starts empty and grows as arrivals are admitted and dispatched.
   std::vector<std::uint32_t> queries;
-  for (std::uint32_t q = 0; q < config.workload.query_count; ++q)
-    queries.push_back(q);
+  if (!config.serving.enabled())
+    for (std::uint32_t q = 0; q < config.workload.query_count; ++q)
+      queries.push_back(q);
 
   std::vector<std::unique_ptr<App>> groups;
   groups.push_back(
@@ -55,6 +73,7 @@ ResumeOutcome run_with_resume(const SimConfig& config,
 
 ResumeOutcome run_with_resume(const SimConfig& config,
                               const Observability& observe) {
+  reject_serving(config, "run_with_resume");
   ResumeOutcome outcome;
 
   // The run that (possibly) crashes: the configured plan minus the crash
@@ -126,6 +145,7 @@ RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
 
 RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
                                const Observability& observe) {
+  reject_serving(config, "run_hybrid_simulation");
   S3A_REQUIRE_MSG(groups >= 1, "need at least one group");
   S3A_REQUIRE_MSG(config.nprocs % groups == 0,
                   "nprocs must be divisible by the group count");

@@ -8,6 +8,36 @@
 
 namespace s3asim::core {
 
+namespace {
+
+void write_tenant_serving(util::JsonWriter& json,
+                          const TenantServingStats& stats) {
+  json.begin_object();
+  json.key("name");
+  json.value(stats.name);
+  json.key("offered");
+  json.value(stats.offered);
+  json.key("admitted");
+  json.value(stats.admitted);
+  json.key("shed");
+  json.value(stats.shed);
+  json.key("completed");
+  json.value(stats.completed);
+  json.key("latency_mean_seconds");
+  json.value(stats.mean_seconds);
+  json.key("latency_p50_seconds");
+  json.value(stats.p50_seconds);
+  json.key("latency_p95_seconds");
+  json.value(stats.p95_seconds);
+  json.key("latency_p99_seconds");
+  json.value(stats.p99_seconds);
+  json.key("latency_max_seconds");
+  json.value(stats.max_seconds);
+  json.end_object();
+}
+
+}  // namespace
+
 double RunStats::worker_mean_seconds(Phase phase) const {
   if (ranks.size() <= 1) return 0.0;
   double total = 0.0;
@@ -79,6 +109,23 @@ std::string RunStats::to_json() const {
   json.key("repaired_bytes");
   json.value(faults.repaired_bytes);
   json.end_object();
+
+  if (serving.enabled) {
+    json.key("serving");
+    json.begin_object();
+    json.key("goodput_qps");
+    json.value(serving.goodput_qps);
+    json.key("inflight_peak_bytes");
+    json.value(serving.inflight_peak_bytes);
+    json.key("overall");
+    write_tenant_serving(json, serving.overall);
+    json.key("tenants");
+    json.begin_array();
+    for (const TenantServingStats& tenant : serving.tenants)
+      write_tenant_serving(json, tenant);
+    json.end_array();
+    json.end_object();
+  }
 
   json.key("batch_complete_seconds");
   json.begin_array();

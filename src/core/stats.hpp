@@ -43,6 +43,31 @@ struct FaultStats {
   std::uint64_t repaired_bytes = 0;     ///< file gaps rewritten by the master
 };
 
+/// One tenant's (or the overall) serving aggregates: stream accounting and
+/// the end-to-end latency distribution (arrival → durable retirement).
+struct TenantServingStats {
+  std::string name;
+  std::uint64_t offered = 0;    ///< arrivals that fired
+  std::uint64_t admitted = 0;   ///< offered − shed
+  std::uint64_t shed = 0;       ///< rejected by the bounded admission queue
+  std::uint64_t completed = 0;  ///< durably retired
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Open-loop serving aggregates.  `enabled` gates the JSON emission, so
+/// closed-batch dumps stay byte-identical to pre-serving builds.
+struct ServingStats {
+  bool enabled = false;
+  TenantServingStats overall;
+  std::vector<TenantServingStats> tenants;
+  double goodput_qps = 0.0;  ///< completed queries / simulated wall second
+  std::uint64_t inflight_peak_bytes = 0;
+};
+
 struct RunStats {
   Strategy strategy = Strategy::MW;
   std::uint32_t nprocs = 0;
@@ -67,6 +92,7 @@ struct RunStats {
 
   FsStats fs;
   FaultStats faults;
+  ServingStats serving;
 
   /// Simulated second at which each flushed batch of queries became durable
   /// (in query order).  run_with_resume uses this to find the last flushed

@@ -13,6 +13,9 @@ WorkloadModel::WorkloadModel(WorkloadConfig config) : config_(std::move(config))
   S3A_REQUIRE(config_.result_count_min >= 1);
   S3A_REQUIRE(config_.result_count_min <= config_.result_count_max);
   S3A_REQUIRE(config_.size_scale > 0.0);
+  S3A_REQUIRE_MSG(config_.query_lengths.empty() ||
+                      config_.query_lengths.size() == config_.query_count,
+                  "query_lengths must be empty or one entry per query");
   cache_.resize(config_.query_count);
   region_base_cache_.assign(config_.query_count, UINT64_MAX);
 }
@@ -26,7 +29,12 @@ void WorkloadModel::generate(std::uint32_t q) const {
   util::Xoshiro256 rng = root.fork(util::hash_combine(0x51e5, q));
 
   auto workload = std::make_unique<QueryWorkload>();
-  workload->query_length = config_.query_histogram.sample(rng);
+  // Trace replay pins each query's length to the trace's `query_size`
+  // column; the histogram path (and its RNG draw order) is untouched when
+  // no override is present, keeping closed-batch workloads byte-identical.
+  workload->query_length = config_.query_lengths.empty()
+                               ? config_.query_histogram.sample(rng)
+                               : config_.query_lengths[q];
 
   const std::uint32_t count = static_cast<std::uint32_t>(
       rng.uniform_u64(config_.result_count_min, config_.result_count_max));

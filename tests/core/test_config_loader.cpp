@@ -2,11 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
+#include "core/serving.hpp"
 #include "core/simulation.hpp"
 
 namespace {
 
 using namespace s3asim::core;
+
+/// Writes `text` to a fresh file under the test temp dir and returns its path.
+std::string write_temp_trace(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
 
 TEST(ConfigLoaderTest, EmptyTextYieldsPaperConfig) {
   const auto loaded = load_config("");
@@ -158,6 +170,113 @@ TEST(ConfigLoaderTest, UnknownCollectiveRejected) {
 TEST(ConfigLoaderTest, MissingFileThrows) {
   EXPECT_THROW((void)load_config_file("/no/such/file.conf"),
                std::runtime_error);
+}
+
+TEST(ConfigLoaderTest, ServingKeysParse) {
+  const auto config = load_config(
+      "arrival_rate = 2.5\nadmit_policy = wfq\nadmit_depth = 16\n"
+      "inflight_watermark = 4MiB\n"
+      "tenants = gold:rate=2,weight=3|bronze:priority=1\n");
+  EXPECT_DOUBLE_EQ(config.serving.arrival_rate_hz, 2.5);
+  EXPECT_EQ(config.serving.policy, AdmitPolicy::WeightedFair);
+  EXPECT_EQ(config.serving.admit_depth, 16u);
+  EXPECT_EQ(config.serving.inflight_watermark_bytes, 4u << 20);
+  ASSERT_EQ(config.serving.tenants.size(), 2u);
+  EXPECT_EQ(config.serving.tenants[0].name, "gold");
+  EXPECT_DOUBLE_EQ(config.serving.tenants[0].rate_hz, 2.0);
+  EXPECT_DOUBLE_EQ(config.serving.tenants[0].weight, 3.0);
+  EXPECT_EQ(config.serving.tenants[1].name, "bronze");
+  EXPECT_EQ(config.serving.tenants[1].priority, 1u);
+  EXPECT_TRUE(config.serving.enabled());
+  EXPECT_FALSE(load_config("").serving.enabled());
+}
+
+TEST(ConfigLoaderTest, ArrivalTraceLoadsAndRewritesWorkload) {
+  const std::string path = write_temp_trace(
+      "good_trace.csv",
+      "# t, tenant, query_size\n"
+      "0.0, gold, 2000\n"
+      "0.5, bronze, 1500\n"
+      "0.5, gold, 3000\n");
+  const auto config = load_config("arrival_trace = " + path + "\n");
+  EXPECT_TRUE(config.serving.enabled());
+  ASSERT_EQ(config.serving.trace_arrivals.size(), 3u);
+  EXPECT_EQ(config.workload.query_count, 3u);
+  ASSERT_EQ(config.workload.query_lengths.size(), 3u);
+  EXPECT_EQ(config.workload.query_lengths[0], 2000u);
+  EXPECT_EQ(config.workload.query_lengths[2], 3000u);
+  // Tenants auto-register in first-appearance order when none are declared.
+  ASSERT_EQ(config.serving.tenants.size(), 2u);
+  EXPECT_EQ(config.serving.tenants[0].name, "gold");
+  EXPECT_EQ(config.serving.tenants[1].name, "bronze");
+  EXPECT_EQ(config.serving.trace_arrivals[1].second, 1u);
+}
+
+// Error-path contract: a trace whose timestamps go backwards is rejected
+// with the 1-based line number and an actionable fix.
+TEST(ConfigLoaderTest, ArrivalTraceRejectsNonMonotonicTimestamps) {
+  const std::string path = write_temp_trace(
+      "unsorted_trace.csv", "1.0, a, 100\n0.5, a, 100\n");
+  try {
+    (void)load_config("arrival_trace = " + path + "\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("sorted by time"), std::string::npos) << message;
+  }
+}
+
+// Error-path contract: an undeclared tenant id names the offender, lists
+// the declared set, and says how to fix it.
+TEST(ConfigLoaderTest, ArrivalTraceRejectsUnknownTenant) {
+  const std::string path =
+      write_temp_trace("ghost_trace.csv", "0.5, ghost, 100\n");
+  try {
+    (void)load_config("tenants = gold:rate=1|bronze:rate=1\narrival_trace = " +
+                      path + "\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("ghost"), std::string::npos) << message;
+    EXPECT_NE(message.find("gold"), std::string::npos) << message;
+    EXPECT_NE(message.find("bronze"), std::string::npos) << message;
+    EXPECT_NE(message.find("'tenants' key"), std::string::npos) << message;
+  }
+}
+
+TEST(ConfigLoaderTest, ArrivalTraceRejectsMalformedRows) {
+  const std::string missing_field =
+      write_temp_trace("short_trace.csv", "0.5, a\n");
+  EXPECT_THROW((void)load_config("arrival_trace = " + missing_field + "\n"),
+               std::invalid_argument);
+  const std::string negative_time =
+      write_temp_trace("negative_trace.csv", "-1.0, a, 100\n");
+  EXPECT_THROW((void)load_config("arrival_trace = " + negative_time + "\n"),
+               std::invalid_argument);
+  const std::string bad_size =
+      write_temp_trace("size_trace.csv", "0.5, a, 0\n");
+  EXPECT_THROW((void)load_config("arrival_trace = " + bad_size + "\n"),
+               std::invalid_argument);
+  const std::string all_comments =
+      write_temp_trace("empty_trace.csv", "# nothing\n\n");
+  EXPECT_THROW((void)load_config("arrival_trace = " + all_comments + "\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigLoaderTest, MissingArrivalTraceFileThrows) {
+  EXPECT_THROW((void)load_config("arrival_trace = /no/such/trace.csv\n"),
+               std::runtime_error);
+}
+
+TEST(ConfigLoaderTest, BadServingKeysRejected) {
+  EXPECT_THROW((void)load_config("admit_depth = 0\n"), std::invalid_argument);
+  EXPECT_THROW((void)load_config("admit_policy = psychic\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)load_config("tenants = gold:turbo=1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)load_config("tenants = gold:rate=1|gold:rate=2\n"),
+               std::invalid_argument);
 }
 
 TEST(ConfigLoaderTest, LoadedConfigActuallyRuns) {
