@@ -23,6 +23,11 @@ inline constexpr char kUsageText[] =
     "  --admit-policy P    admission-queue order: fifo | wfq | priority\n"
     "  --admit-depth N     bounded admission queue depth; arrivals beyond it\n"
     "                      are shed (default 64)\n"
+    "  --engine MODE       DES executor: serial | parallel (the lookahead-\n"
+    "                      windowed LP engine; simulated results are\n"
+    "                      bit-identical either way — DESIGN.md section 9)\n"
+    "  --engine-threads N  parallel-engine threads (default 0 = one per\n"
+    "                      hardware thread)\n"
     "  --trace FILE.csv    export phase timeline CSV\n"
     "  --trace-json FILE   export Chrome-trace-event JSON (open in Perfetto\n"
     "                      or chrome://tracing; see docs/OBSERVABILITY.md)\n"

@@ -2,21 +2,81 @@
 /// no-sync/sync query options": overall execution time of MW, WW-POSIX,
 /// WW-List, WW-Coll over 2–96 processes, both query-sync modes, plus the
 /// §4 headline ratios at 96 processes.
+///
+/// --scale-out replaces the paper's 2–96 grid with the extrapolation the
+/// parallel engine exists for: all seven strategies at 1024 and 4096
+/// simulated ranks via the native-LP scale model (core/scale_model.hpp),
+/// against the same fixed 16-server I/O subsystem.  The resulting
+/// strategy-survival table (EXPERIMENTS.md, Ablation M) shows which
+/// strategies' makespans hold as the compute side grows 40x beyond the
+/// largest cluster the paper measured.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "bench/sweep.hpp"
+#include "core/scale_model.hpp"
 #include "core/simulation.hpp"
 #include "obs/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
 
 using namespace s3asim;
 using namespace s3asim::bench;
 
+namespace {
+
+int run_scale_out() {
+  const std::vector<std::uint32_t> ranks{1024, 4096};
+  const std::vector<core::Strategy> strategies(
+      std::begin(core::kAllStrategies), std::end(core::kAllStrategies));
+  const unsigned threads =
+      std::clamp(std::thread::hardware_concurrency(), 1u, 8u);
+
+  std::printf(
+      "S3aSim Figure 2 (--scale-out): simulated makespan at 1024/4096 ranks\n"
+      "scale model: 16 I/O servers, 4 queries, Myrinet-2000 link, "
+      "engine threads=%u (results are thread-count independent)\n",
+      threads);
+
+  util::TextTable table({"Strategy", "1024 ranks (s)", "4096 ranks (s)",
+                         "growth (x)"});
+  util::CsvWriter csv(csv_path("fig2_scale_out.csv"));
+  csv.write_row({"strategy", "ranks", "makespan_seconds", "events",
+                 "cross_lp_messages"});
+  for (const auto strategy : strategies) {
+    std::vector<double> makespans;
+    for (const auto nprocs : ranks) {
+      core::ScaleConfig config;
+      config.nprocs = nprocs;
+      config.strategy = strategy;
+      const core::ScaleStats stats = run_scale_model(config, threads);
+      makespans.push_back(stats.makespan_seconds);
+      csv.write_row({std::string(core::strategy_name(strategy)),
+                     std::to_string(nprocs),
+                     std::to_string(stats.makespan_seconds),
+                     std::to_string(stats.events),
+                     std::to_string(stats.cross_lp_messages)});
+    }
+    table.add_row_numeric(core::strategy_name(strategy),
+                          {makespans[0], makespans[1],
+                           makespans[1] / makespans[0]});
+  }
+  std::printf("%s(csv: results/fig2_scale_out.csv)\n", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--scale-out") == 0) return run_scale_out();
   const bool quick = quick_mode(argc, argv);
   const unsigned jobs = sweep_jobs(argc, argv);
   const auto procs = paper_proc_counts(quick);

@@ -1,0 +1,201 @@
+/// scale_cluster — the parallel-engine speedup benchmark (DESIGN.md §9).
+///
+/// Runs the native-LP cluster scale model (core/scale_model.hpp) — 1024
+/// simulated ranks + 16 I/O servers by default, one LP each — through the
+/// conservative windowed engine at increasing thread counts, and records
+/// host wall-clock, events/second, and speedup vs the 1-thread run in
+/// results/BENCH_scale.json.  Before timing anything it re-checks the
+/// determinism contract: every thread count must produce the identical
+/// stats fingerprint, or the bench exits nonzero — a fast parallel engine
+/// that changes answers is worthless.
+///
+/// The speedup target (≥ 4x at 8 threads for the 1024-rank model) is only
+/// meaningful on a host with ≥ 8 cores; the JSON records the host's
+/// hardware concurrency so CI can judge the number in context.
+///
+///   scale_cluster [--quick] [--ranks N] [--threads a,b,c]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/scale_model.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace s3asim;
+
+namespace {
+
+struct TimedRun {
+  unsigned threads = 1;
+  double wall_seconds = 0.0;
+  core::ScaleStats stats;
+};
+
+TimedRun timed_run(const core::ScaleConfig& config, unsigned threads) {
+  const auto start = std::chrono::steady_clock::now();
+  core::ScaleStats stats = run_scale_model(config, threads);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  return {threads, wall.count(), std::move(stats)};
+}
+
+std::vector<unsigned> parse_threads(const std::string& spec) {
+  std::vector<unsigned> threads;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const long value = std::strtol(item.c_str(), nullptr, 10);
+    if (value < 1 || value > 256) {
+      std::fprintf(stderr, "scale_cluster: bad thread count '%s'\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    threads.push_back(static_cast<unsigned>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ScaleConfig config;  // defaults: 1024 ranks, 16 servers, WW-List
+  std::vector<unsigned> thread_counts{1, 2, 4, 8};
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--ranks" && i + 1 < argc) {
+      config.nprocs = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      thread_counts = parse_threads(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: scale_cluster [--quick] [--ranks N] "
+                   "[--threads a,b,c]\n");
+      return 2;
+    }
+  }
+  if (quick) {
+    config.nprocs = std::min<std::uint32_t>(config.nprocs, 128);
+    config.queries = 2;
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "S3aSim scale_cluster: %u ranks + %u servers (%s, %u queries), "
+      "host has %u hardware threads\n",
+      config.nprocs, config.servers, core::strategy_name(config.strategy),
+      config.queries, hw);
+
+  std::vector<TimedRun> runs;
+  runs.reserve(thread_counts.size());
+  for (const unsigned threads : thread_counts) {
+    runs.push_back(timed_run(config, threads));
+    const TimedRun& run = runs.back();
+    std::printf("  %2u thread%s: %8.3f s wall, %.2fM events/s\n", threads,
+                threads == 1 ? " " : "s", run.wall_seconds,
+                static_cast<double>(run.stats.events) / run.wall_seconds /
+                    1e6);
+  }
+
+  // Determinism gate: identical full stats (fingerprint included) at every
+  // thread count, or the speedup numbers are meaningless.
+  const std::string reference = runs.front().stats.to_json();
+  for (const TimedRun& run : runs) {
+    if (run.stats.to_json() != reference) {
+      std::fprintf(stderr,
+                   "scale_cluster: DETERMINISM VIOLATION at %u threads — "
+                   "stats differ from the %u-thread run\n",
+                   run.threads, runs.front().threads);
+      return 1;
+    }
+  }
+
+  const double base_wall = runs.front().wall_seconds;
+  util::TextTable table({"threads", "wall (s)", "speedup", "Mevents/s"});
+  for (const TimedRun& run : runs)
+    table.add_row_numeric(
+        std::to_string(run.threads),
+        {run.wall_seconds, base_wall / run.wall_seconds,
+         static_cast<double>(run.stats.events) / run.wall_seconds / 1e6},
+        3);
+  std::printf("%s", table.render().c_str());
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench");
+  json.value(std::string("scale_cluster"));
+  json.key("quick");
+  json.value(quick);
+  json.key("config");
+  json.begin_object();
+  json.key("ranks");
+  json.value(static_cast<std::uint64_t>(config.nprocs));
+  json.key("servers");
+  json.value(static_cast<std::uint64_t>(config.servers));
+  json.key("strategy");
+  json.value(std::string(core::strategy_name(config.strategy)));
+  json.key("queries");
+  json.value(static_cast<std::uint64_t>(config.queries));
+  json.end_object();
+  json.key("host_hardware_threads");
+  json.value(static_cast<std::uint64_t>(hw));
+  json.key("identical_across_threads");
+  json.value(true);
+  const core::ScaleStats& sim = runs.front().stats;
+  json.key("simulated");
+  json.begin_object();
+  json.key("makespan_seconds");
+  json.value(sim.makespan_seconds);
+  json.key("total_result_bytes");
+  json.value(sim.total_result_bytes);
+  json.key("events");
+  json.value(static_cast<std::uint64_t>(sim.events));
+  json.key("windows");
+  json.value(sim.windows);
+  json.key("cross_lp_messages");
+  json.value(sim.cross_lp_messages);
+  json.key("lp_count");
+  json.value(static_cast<std::uint64_t>(sim.lp_count));
+  json.key("fingerprint");
+  json.value(sim.fingerprint);
+  json.end_object();
+  json.key("runs");
+  json.begin_array();
+  for (const TimedRun& run : runs) {
+    json.begin_object();
+    json.key("threads");
+    json.value(static_cast<std::uint64_t>(run.threads));
+    json.key("wall_seconds");
+    json.value(run.wall_seconds);
+    json.key("events_per_second");
+    json.value(static_cast<double>(run.stats.events) / run.wall_seconds);
+    json.key("speedup_vs_serial");
+    json.value(base_wall / run.wall_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  const std::string path = bench::csv_path("BENCH_scale.json");
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "scale_cluster: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "%s\n", json.str().c_str());
+  std::fclose(out);
+  std::printf("(json: %s)\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,491 @@
+#include "core/scale_model.hpp"
+
+#include <algorithm>
+#include <coroutine>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/lp_scheduler.hpp"
+#include "sim/task.hpp"
+#include "util/json.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace s3asim::core {
+namespace {
+
+using sim::Time;
+
+/// Payload charged for control messages (acks, barrier tokens).
+constexpr std::uint64_t kCtrlBytes = 64;
+
+enum class MsgKind : std::uint8_t {
+  kWriteReq,   ///< worker/aggregator/master -> server, bytes = request size
+  kWriteAck,   ///< server -> writer
+  kResult,     ///< MW: worker -> master, bytes = result payload
+  kResultAck,  ///< MW: master -> worker
+  kShard,      ///< two-phase/aggr: member -> aggregator, bytes = payload
+  kGroupAck,   ///< aggregator -> member, group flush landed
+  kDone,       ///< query_sync: worker -> master
+  kGo,         ///< query_sync: master -> workers
+  kFinished,   ///< worker -> master, all queries complete
+  kShutdown,   ///< master -> servers after every worker finished
+};
+
+struct Msg {
+  MsgKind kind = MsgKind::kWriteReq;
+  std::uint32_t src = 0;  ///< sender LP id
+  std::uint64_t bytes = 0;
+};
+
+/// One simulated rank or PFS server: its LP, a single-consumer inbox, and
+/// the parked receiver (at most one process per node ever receives).
+struct ScaleNode {
+  sim::Lp* lp = nullptr;
+  std::deque<Msg> inbox;
+  std::coroutine_handle<> waiter;
+  Time finished_at = 0;
+  std::uint64_t result_bytes = 0;  ///< workers: produced; servers: absorbed
+  std::uint64_t score = 0;         ///< scoring-kernel accumulator
+};
+
+struct Ctx {
+  const ScaleConfig& cfg;
+  sim::LpScheduler& engine;
+  std::vector<ScaleNode> nodes;
+
+  [[nodiscard]] std::uint32_t server_lp(std::uint32_t server) const noexcept {
+    return cfg.nprocs + server;
+  }
+};
+
+/// Awaitable: next message from the node's inbox (FIFO in delivery order —
+/// the engine's (time, source LP, source seq) merge makes that order
+/// deterministic for any thread count).
+struct Recv {
+  ScaleNode& node;
+  [[nodiscard]] bool await_ready() const noexcept {
+    return !node.inbox.empty();
+  }
+  void await_suspend(std::coroutine_handle<> handle) const noexcept {
+    node.waiter = handle;
+  }
+  [[nodiscard]] Msg await_resume() const {
+    const Msg msg = node.inbox.front();
+    node.inbox.pop_front();
+    return msg;
+  }
+};
+
+/// Sends `bytes` from LP `src` to LP `dst`: the delivery pays the one-way
+/// latency, the per-message software overhead, and the wire time — so
+/// every cross-LP edge respects the engine lookahead (= link latency).
+void send(Ctx& ctx, std::uint32_t src, std::uint32_t dst, MsgKind kind,
+          std::uint64_t bytes) {
+  ScaleNode& from = ctx.nodes[src];
+  const net::LinkParams& link = ctx.cfg.network;
+  const Time at = from.lp->scheduler().now() + link.latency +
+                  link.per_message_overhead +
+                  sim::transfer_time(bytes, link.bandwidth_bps);
+  ScaleNode* to = &ctx.nodes[dst];
+  const Msg msg{kind, src, bytes};
+  ctx.engine.post(*from.lp, to->lp->id(), at,
+                  [to, msg, at](sim::Scheduler& sched) {
+                    to->inbox.push_back(msg);
+                    if (to->waiter)
+                      sched.schedule_at(std::exchange(to->waiter, nullptr), at);
+                  });
+}
+
+/// List write: one request per server, `bytes` split evenly (PVFS2 list
+/// I/O — a single round trip regardless of region count).  Returns the
+/// number of requests issued.
+std::uint32_t send_list_write(Ctx& ctx, std::uint32_t self,
+                              std::uint64_t bytes) {
+  const std::uint32_t servers = ctx.cfg.servers;
+  const std::uint64_t base = bytes / servers;
+  const std::uint64_t rem = bytes % servers;
+  std::uint32_t sent = 0;
+  for (std::uint32_t s = 0; s < servers; ++s) {
+    const std::uint64_t part = base + (s < rem ? 1 : 0);
+    if (part == 0) continue;
+    send(ctx, self, ctx.server_lp(s), MsgKind::kWriteReq, part);
+    ++sent;
+  }
+  return sent;
+}
+
+/// Strided write: per-strip requests round-robin across servers starting
+/// at the writer's home server, all in flight at once.  Returns the count.
+std::uint32_t send_strided_write(Ctx& ctx, std::uint32_t self,
+                                 std::uint64_t bytes) {
+  std::uint32_t sent = 0;
+  std::uint64_t left = bytes;
+  std::uint32_t server = self % ctx.cfg.servers;
+  while (left > 0) {
+    const std::uint64_t part =
+        std::min<std::uint64_t>(left, ctx.cfg.strip_bytes);
+    send(ctx, self, ctx.server_lp(server), MsgKind::kWriteReq, part);
+    left -= part;
+    server = (server + 1) % ctx.cfg.servers;
+    ++sent;
+  }
+  return sent;
+}
+
+/// Awaits `count` messages that must all be of `kind` (the protocols are
+/// phased, so anything else is a model bug worth failing loudly on).
+sim::Task<void> await_acks(ScaleNode& node, MsgKind kind,
+                           std::uint32_t count) {
+  while (count > 0) {
+    const Msg msg = co_await Recv{node};
+    S3A_CHECK_MSG(msg.kind == kind,
+                  "scale model: unexpected message kind during ack wait");
+    --count;
+  }
+}
+
+/// Aggregator side of a group flush: collects `count` shards, returning
+/// the summed payload.
+sim::Task<std::uint64_t> collect_shards(ScaleNode& node, std::uint32_t count) {
+  std::uint64_t total = 0;
+  while (count > 0) {
+    const Msg msg = co_await Recv{node};
+    S3A_CHECK_MSG(msg.kind == MsgKind::kShard,
+                  "scale model: aggregator expected a shard");
+    total += msg.bytes;
+    --count;
+  }
+  co_return total;
+}
+
+/// Aggregation-group shape for worker LP `self` (ids 1..workers).
+/// WW-Coll/WW-CollList interleave lanes over the first cb_nodes workers
+/// (member w in lane (w-1) % cb); WW-Aggr groups contiguously by fanin.
+struct GroupInfo {
+  bool is_aggregator = false;
+  std::uint32_t aggregator = 0;  ///< LP id of this worker's aggregator
+  std::uint32_t members = 0;     ///< shards to collect (aggregators only)
+  std::uint32_t stride = 1;      ///< LP-id step between group members
+};
+
+GroupInfo group_info(const ScaleConfig& cfg, std::uint32_t self) {
+  GroupInfo info;
+  const std::uint32_t workers = cfg.workers();
+  if (cfg.strategy == Strategy::WWColl ||
+      cfg.strategy == Strategy::WWCollList) {
+    const std::uint32_t cb = std::min(std::max<std::uint32_t>(cfg.cb_nodes, 1),
+                                      workers);
+    const std::uint32_t lane = (self - 1) % cb;
+    info.aggregator = 1 + lane;
+    info.is_aggregator = self == info.aggregator;
+    info.stride = cb;
+    if (info.is_aggregator) info.members = (workers - 1 - lane) / cb;
+  } else if (cfg.strategy == Strategy::WWAggr) {
+    const std::uint32_t fanin =
+        std::max<std::uint32_t>(cfg.aggregator_fanin, 1);
+    const std::uint32_t group = (self - 1) / fanin;
+    info.aggregator = 1 + group * fanin;
+    info.is_aggregator = self == info.aggregator;
+    info.stride = 1;
+    if (info.is_aggregator)
+      info.members = std::min(fanin, workers - group * fanin) - 1;
+  }
+  return info;
+}
+
+/// Per-(worker, query) workload draw — a pure function of the seed, so
+/// identical across engines and thread counts.
+struct Draw {
+  std::uint64_t bytes = 0;
+  Time compute = 0;
+};
+
+Draw draw_workload(const ScaleConfig& cfg, std::uint32_t worker,
+                   std::uint32_t query) {
+  util::Xoshiro256 rng(util::hash_combine(
+      cfg.seed, (static_cast<std::uint64_t>(worker) << 32) | query));
+  Draw draw;
+  const std::uint64_t byte_span = cfg.result_bytes_max - cfg.result_bytes_min;
+  draw.bytes = cfg.result_bytes_min +
+               (byte_span == 0 ? 0 : rng() % (byte_span + 1));
+  const auto time_span =
+      static_cast<std::uint64_t>(cfg.compute_max - cfg.compute_min);
+  draw.compute =
+      cfg.compute_min +
+      static_cast<Time>(time_span == 0 ? 0 : rng() % (time_span + 1));
+  return draw;
+}
+
+/// The scoring kernel: `rounds` of SplitMix64-style mixing.  This is the
+/// host CPU work the engine actually parallelizes; the accumulator feeds
+/// the determinism fingerprint, so skipped or reordered work is caught.
+std::uint64_t score_slice(std::uint64_t seed, std::uint32_t rounds) {
+  std::uint64_t x = seed;
+  std::uint64_t acc = 0;
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    acc ^= z ^ (z >> 31);
+  }
+  return acc;
+}
+
+/// One query's search: the compute time advances in slices aligned to the
+/// global compute_slice grid (see ScaleConfig::compute_slice), each slice
+/// burning one quantum of scoring work.
+sim::Task<void> run_compute(Ctx& ctx, ScaleNode& node, std::uint32_t self,
+                           std::uint32_t query, Time compute) {
+  sim::Scheduler& sched = node.lp->scheduler();
+  const Time slice = ctx.cfg.compute_slice;
+  Time remaining = compute;
+  std::uint32_t tick = 0;
+  while (remaining > 0) {
+    const Time boundary = (sched.now() / slice + 1) * slice;
+    co_await sched.delay(boundary - sched.now());
+    remaining -= std::min(remaining, slice);
+    node.score ^= score_slice(
+        util::hash_combine(util::hash_combine(ctx.cfg.seed, self),
+                           (static_cast<std::uint64_t>(query) << 32) | tick),
+        ctx.cfg.score_rounds_per_slice);
+    ++tick;
+  }
+}
+
+/// One query's flush, per strategy (the message patterns listed in the
+/// header).  Runs on the worker's LP.
+sim::Task<void> flush_results(Ctx& ctx, std::uint32_t self, std::uint64_t bytes,
+                             const GroupInfo& group) {
+  ScaleNode& node = ctx.nodes[self];
+  const ScaleConfig& cfg = ctx.cfg;
+  switch (cfg.strategy) {
+    case Strategy::MW:
+      send(ctx, self, 0, MsgKind::kResult, bytes);
+      co_await await_acks(node, MsgKind::kResultAck, 1);
+      break;
+    case Strategy::WWPosix: {
+      // POSIX write() blocks per call: one strip in flight at a time.
+      std::uint64_t left = bytes;
+      std::uint32_t server = self % cfg.servers;
+      while (left > 0) {
+        const std::uint64_t part =
+            std::min<std::uint64_t>(left, cfg.strip_bytes);
+        send(ctx, self, ctx.server_lp(server), MsgKind::kWriteReq, part);
+        co_await await_acks(node, MsgKind::kWriteAck, 1);
+        left -= part;
+        server = (server + 1) % cfg.servers;
+      }
+      break;
+    }
+    case Strategy::WWList:
+      co_await await_acks(node, MsgKind::kWriteAck,
+                          send_list_write(ctx, self, bytes));
+      break;
+    case Strategy::WWFilePerProcess:
+      // Own file, laid out whole on the worker's home server.
+      send(ctx, self, ctx.server_lp(self % cfg.servers), MsgKind::kWriteReq,
+           bytes);
+      co_await await_acks(node, MsgKind::kWriteAck, 1);
+      break;
+    case Strategy::WWColl:
+    case Strategy::WWCollList:
+    case Strategy::WWAggr: {
+      if (!group.is_aggregator) {
+        send(ctx, self, group.aggregator, MsgKind::kShard, bytes);
+        co_await await_acks(node, MsgKind::kGroupAck, 1);
+        break;
+      }
+      const std::uint64_t total =
+          bytes + co_await collect_shards(node, group.members);
+      if (cfg.strategy != Strategy::WWAggr)
+        co_await node.lp->scheduler().delay(cfg.two_phase_round_overhead);
+      const std::uint32_t requests = cfg.strategy == Strategy::WWColl
+                                         ? send_strided_write(ctx, self, total)
+                                         : send_list_write(ctx, self, total);
+      co_await await_acks(node, MsgKind::kWriteAck, requests);
+      for (std::uint32_t m = 1; m <= group.members; ++m)
+        send(ctx, self, self + m * group.stride, MsgKind::kGroupAck,
+             kCtrlBytes);
+      break;
+    }
+  }
+}
+
+sim::Process worker_process(Ctx& ctx, std::uint32_t self) {
+  ScaleNode& node = ctx.nodes[self];
+  const ScaleConfig& cfg = ctx.cfg;
+  const GroupInfo group = group_info(cfg, self);
+  for (std::uint32_t query = 0; query < cfg.queries; ++query) {
+    const Draw draw = draw_workload(cfg, self, query);
+    co_await run_compute(ctx, node, self, query, draw.compute);
+    node.result_bytes += draw.bytes;
+    co_await flush_results(ctx, self, draw.bytes, group);
+    if (cfg.query_sync) {
+      send(ctx, self, 0, MsgKind::kDone, kCtrlBytes);
+      const Msg go = co_await Recv{node};
+      S3A_CHECK_MSG(go.kind == MsgKind::kGo,
+                    "scale model: worker expected the go broadcast");
+    }
+  }
+  send(ctx, self, 0, MsgKind::kFinished, kCtrlBytes);
+  node.finished_at = node.lp->scheduler().now();
+}
+
+/// The master (LP 0): MW write service, query_sync barrier, shutdown.  A
+/// deferral queue keeps the dispatcher correct when barrier/finish traffic
+/// interleaves a multi-round-trip MW write.
+sim::Process master_process(Ctx& ctx) {
+  ScaleNode& node = ctx.nodes[0];
+  const ScaleConfig& cfg = ctx.cfg;
+  const std::uint32_t workers = cfg.workers();
+  std::uint32_t finished = 0;
+  std::uint32_t done = 0;
+  std::deque<Msg> deferred;
+  while (finished < workers) {
+    Msg msg;
+    if (!deferred.empty()) {
+      msg = deferred.front();
+      deferred.pop_front();
+    } else {
+      msg = co_await Recv{node};
+    }
+    switch (msg.kind) {
+      case MsgKind::kResult: {
+        // The funnel's serial cost: drain the payload off the single
+        // master NIC, then write it out as one list write.
+        co_await node.lp->scheduler().delay(
+            sim::transfer_time(msg.bytes, cfg.network.bandwidth_bps));
+        std::uint32_t pending = send_list_write(ctx, 0, msg.bytes);
+        while (pending > 0) {
+          const Msg reply = co_await Recv{node};
+          if (reply.kind == MsgKind::kWriteAck) {
+            --pending;
+            continue;
+          }
+          deferred.push_back(reply);
+        }
+        node.result_bytes += msg.bytes;
+        send(ctx, 0, msg.src, MsgKind::kResultAck, kCtrlBytes);
+        break;
+      }
+      case MsgKind::kDone:
+        if (++done == workers) {
+          done = 0;
+          for (std::uint32_t w = 1; w <= workers; ++w)
+            send(ctx, 0, w, MsgKind::kGo, kCtrlBytes);
+        }
+        break;
+      case MsgKind::kFinished:
+        ++finished;
+        break;
+      default:
+        S3A_CHECK_MSG(false, "scale model: master got an unexpected message");
+    }
+  }
+  for (std::uint32_t s = 0; s < cfg.servers; ++s)
+    send(ctx, 0, ctx.server_lp(s), MsgKind::kShutdown, kCtrlBytes);
+  node.finished_at = node.lp->scheduler().now();
+}
+
+/// A PFS server: FIFO request service — per-request overhead plus disk
+/// wire time — until the master's shutdown.
+sim::Process server_process(Ctx& ctx, std::uint32_t self) {
+  ScaleNode& node = ctx.nodes[self];
+  const ScaleConfig& cfg = ctx.cfg;
+  for (;;) {
+    const Msg msg = co_await Recv{node};
+    if (msg.kind == MsgKind::kShutdown) break;
+    S3A_CHECK_MSG(msg.kind == MsgKind::kWriteReq,
+                  "scale model: server got an unexpected message");
+    co_await node.lp->scheduler().delay(
+        cfg.disk_per_request +
+        sim::transfer_time(msg.bytes, cfg.disk_bandwidth_bps));
+    node.result_bytes += msg.bytes;
+    send(ctx, self, msg.src, MsgKind::kWriteAck, kCtrlBytes);
+  }
+  node.finished_at = node.lp->scheduler().now();
+}
+
+}  // namespace
+
+std::string ScaleStats::to_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("makespan_seconds");
+  json.value(makespan_seconds);
+  json.key("total_result_bytes");
+  json.value(total_result_bytes);
+  json.key("events");
+  json.value(events);
+  json.key("windows");
+  json.value(windows);
+  json.key("cross_lp_messages");
+  json.value(cross_lp_messages);
+  json.key("lp_count");
+  json.value(lp_count);
+  json.key("fingerprint");
+  json.value(fingerprint);
+  json.end_object();
+  return json.str();
+}
+
+ScaleStats run_scale_model(const ScaleConfig& config, unsigned threads) {
+  S3A_REQUIRE_MSG(config.nprocs >= 2,
+                  "scale model needs a master and at least one worker");
+  S3A_REQUIRE_MSG(config.servers >= 1, "scale model needs at least one server");
+  S3A_REQUIRE_MSG(config.queries >= 1, "scale model needs at least one query");
+  S3A_REQUIRE_MSG(config.result_bytes_max >= config.result_bytes_min,
+                  "scale model: result_bytes_max < result_bytes_min");
+  S3A_REQUIRE_MSG(config.compute_max >= config.compute_min,
+                  "scale model: compute_max < compute_min");
+  S3A_REQUIRE_MSG(config.compute_slice > 0,
+                  "scale model: compute_slice must be positive");
+  S3A_REQUIRE_MSG(config.strip_bytes > 0,
+                  "scale model: strip_bytes must be positive");
+
+  sim::LpScheduler engine(
+      sim::LpScheduler::Options{config.network.latency, threads});
+  Ctx ctx{config, engine, {}};
+  const std::uint32_t total_lps = config.nprocs + config.servers;
+  ctx.nodes.resize(total_lps);
+  for (std::uint32_t i = 0; i < total_lps; ++i)
+    ctx.nodes[i].lp = &engine.add_lp();
+
+  ctx.nodes[0].lp->spawn([&] { return master_process(ctx); });
+  for (std::uint32_t w = 1; w < config.nprocs; ++w)
+    ctx.nodes[w].lp->spawn([&, w] { return worker_process(ctx, w); });
+  for (std::uint32_t s = 0; s < config.servers; ++s) {
+    const std::uint32_t id = ctx.server_lp(s);
+    ctx.nodes[id].lp->spawn([&, id] { return server_process(ctx, id); });
+  }
+
+  ScaleStats stats;
+  stats.events = engine.run();
+  stats.windows = engine.windows_executed();
+  stats.cross_lp_messages = engine.cross_posts();
+  stats.lp_count = total_lps;
+
+  Time makespan = 0;
+  std::uint64_t fingerprint = util::hash_combine(config.seed, total_lps);
+  for (std::uint32_t i = 0; i < total_lps; ++i) {
+    ScaleNode& node = ctx.nodes[i];
+    S3A_CHECK_MSG(node.lp->scheduler().live_processes() == 0,
+                  "scale model did not quiesce");
+    makespan = std::max(makespan, node.lp->scheduler().now());
+    if (i >= 1 && i < config.nprocs)
+      stats.total_result_bytes += node.result_bytes;
+    fingerprint = util::hash_combine(fingerprint, i);
+    fingerprint = util::hash_combine(
+        fingerprint, static_cast<std::uint64_t>(node.finished_at));
+    fingerprint = util::hash_combine(fingerprint, node.result_bytes);
+    fingerprint = util::hash_combine(fingerprint, node.score);
+  }
+  stats.makespan_seconds = sim::to_seconds(makespan);
+  stats.fingerprint = fingerprint;
+  return stats;
+}
+
+}  // namespace s3asim::core

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file scale_model.hpp
+/// Native-LP cluster model for the scale-out experiments (1024/4096 ranks).
+///
+/// The full S3aSim model shares mpi/pfs state across ranks at zero
+/// simulated offset, so it forms a single LP under the parallel engine
+/// (core/runtime.hpp `run_world`).  This model is the other extreme: it is
+/// written *natively* against `sim::LpScheduler` — one LP per simulated
+/// rank and one per PFS server, interacting only through timestamped
+/// messages whose delivery always pays at least the network latency (the
+/// lookahead) — so thousands of LPs execute concurrently and the engine's
+/// windowed parallelism translates into real wall-clock speedup.
+///
+/// It keeps the paper's cost constants (Myrinet link, PVFS2-style striped
+/// servers, per-request disk costs) and the seven I/O strategies' *message
+/// patterns*:
+///
+///   MW             workers funnel result payloads through the master,
+///                  which writes on their behalf (one LP serializes)
+///   WW-POSIX       each worker writes its region as per-strip requests,
+///                  striped round-robin over all servers
+///   WW-List        each worker sends one list request per server
+///   WW-Coll        two-phase: shards to cb_nodes aggregators, which write
+///                  strided strips (plus the per-round exchange overhead)
+///   WW-CollList    two-phase exchange, aggregators write one list/server
+///   WW-FilePerProc one file per worker: a single request to a home server
+///   WW-Aggr        fan-in groups forward shards to a group aggregator,
+///                  which writes one list per server (lockstep groups)
+///
+/// Results are deterministic and bit-identical for any engine thread
+/// count; `ScaleStats::fingerprint` folds every worker's completion time
+/// and byte count so the cross-thread identity tests catch any divergence.
+
+#include <cstdint>
+#include <string>
+
+#include "core/strategy.hpp"
+#include "net/model.hpp"
+#include "sim/time.hpp"
+
+namespace s3asim::core {
+
+struct ScaleConfig {
+  /// Total ranks: 1 master + (nprocs − 1) workers.  LP layout: LP 0 is the
+  /// master, LPs 1..nprocs−1 the workers, then one LP per server.
+  std::uint32_t nprocs = 1024;
+  std::uint32_t servers = 16;
+  Strategy strategy = Strategy::WWList;
+  bool query_sync = false;
+  std::uint32_t queries = 4;
+  std::uint64_t seed = 20060627;
+
+  /// Per-(worker, query) result volume, uniform in [min, max] (bytes).
+  std::uint64_t result_bytes_min = 256 * 1024;
+  std::uint64_t result_bytes_max = 512 * 1024;
+  /// Per-(worker, query) search time, uniform in [min, max].
+  sim::Time compute_min = sim::milliseconds(20);
+  sim::Time compute_max = sim::milliseconds(60);
+  /// Search-kernel polling quantum.  Workers advance their compute in
+  /// slices *aligned to a global grid* (multiples of this quantum), so
+  /// every window packs the whole computing cohort instead of one
+  /// straggler — the difference between ~1 and ~1000 LPs per window.
+  sim::Time compute_slice = sim::microseconds(200);
+  /// Host CPU hash rounds per compute slice: the actual scoring work the
+  /// engine parallelizes, and the feed for the determinism fingerprint.
+  std::uint32_t score_rounds_per_slice = 4000;
+
+  /// Substrate (paper defaults: Myrinet + PVFS2-style striping).
+  net::LinkParams network = net::LinkParams::myrinet2000();
+  std::uint64_t strip_bytes = 64 * 1024;
+  double disk_bandwidth_bps = 66.0 * 1024 * 1024;
+  sim::Time disk_per_request = sim::microseconds(400);
+
+  /// WW-Coll / WW-CollList: aggregator count and per-round overhead.
+  std::uint32_t cb_nodes = 16;
+  sim::Time two_phase_round_overhead = sim::milliseconds(1);
+  /// WW-Aggr: workers per aggregation group.
+  std::uint32_t aggregator_fanin = 8;
+
+  [[nodiscard]] std::uint32_t workers() const noexcept { return nprocs - 1; }
+};
+
+struct ScaleStats {
+  double makespan_seconds = 0.0;     ///< simulated completion time
+  std::uint64_t total_result_bytes = 0;
+  std::uint64_t events = 0;          ///< resumptions across all LPs
+  std::uint64_t windows = 0;         ///< lookahead windows executed
+  std::uint64_t cross_lp_messages = 0;
+  std::uint64_t lp_count = 0;
+  std::uint64_t fingerprint = 0;  ///< folds per-worker times/bytes/scores
+
+  /// Canonical serialization for byte-identity comparisons.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Runs the scale model on the parallel engine with `threads` execution
+/// threads (1 = the inline path — the serial baseline of the speedup
+/// experiments).  Deterministic: the returned stats are bit-identical for
+/// any `threads` value.
+[[nodiscard]] ScaleStats run_scale_model(const ScaleConfig& config,
+                                         unsigned threads);
+
+}  // namespace s3asim::core

@@ -9,11 +9,20 @@
 /// carved from large slabs: a hit is a pointer pop, a release is a pointer
 /// push, and slab memory is retained for reuse until thread exit.
 ///
-/// The pool is *thread-local*: a scheduler runs on exactly one thread, and a
-/// simulation allocates and frees all of its frames on that thread, so no
-/// synchronization is needed — which is what keeps concurrent sweep workers
-/// (bench::SweepRunner) scalable.  Frames must be freed on the thread that
-/// allocated them; the single-threaded `Scheduler` guarantees this.
+/// The pool is *thread-local by default*: a scheduler runs on exactly one
+/// thread, and a simulation allocates and frees all of its frames on that
+/// thread, so no synchronization is needed — which is what keeps concurrent
+/// sweep workers (bench::SweepRunner) scalable.  Frames must be freed by
+/// the pool that allocated them; the single-threaded `Scheduler` guarantees
+/// this for the default pool.
+///
+/// The parallel engine migrates a logical partition (LP) between worker
+/// threads across windows, so an LP's frames cannot live in any one
+/// thread's pool.  `FramePool::Scope` reroutes `local()` to an LP-owned
+/// pool for the duration of the LP's window: the LP runs on exactly one
+/// thread at a time and the engine's window barrier provides the
+/// happens-before edge between windows, so the pool still never needs
+/// synchronization.
 
 #include <cstddef>
 #include <cstdint>
@@ -40,12 +49,31 @@ class FramePool {
     for (std::byte* slab : slabs_) ::operator delete[](slab);
   }
 
-  /// The calling thread's pool.  Created on first use, destroyed (slabs
-  /// released) at thread exit.
+  /// The calling thread's pool: the innermost installed `Scope`'s pool, or
+  /// the thread's default pool (created on first use, destroyed — slabs
+  /// released — at thread exit).
   static FramePool& local() noexcept {
+    if (FramePool* installed = current_slot()) return *installed;
     static thread_local FramePool pool;
     return pool;
   }
+
+  /// RAII install: routes this thread's `FramePool::local()` to `pool`
+  /// for the scope's lifetime (nestable; restores the previous routing on
+  /// destruction).  The caller must guarantee the installed pool is used
+  /// by one thread at a time — the engine's window barrier does.
+  class Scope {
+   public:
+    explicit Scope(FramePool& pool) noexcept : previous_(current_slot()) {
+      current_slot() = &pool;
+    }
+    ~Scope() { current_slot() = previous_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    FramePool* previous_;
+  };
 
   void* allocate(std::size_t size) {
     if (size > kMaxPooled) {
@@ -54,6 +82,7 @@ class FramePool {
     }
     const std::size_t klass = class_of(size);
     ++live_;
+    ++allocations_;
     if (FreeBlock* block = free_[klass]) {
       free_[klass] = block->next;
       ++reused_;
@@ -76,6 +105,11 @@ class FramePool {
 
   /// Pooled blocks currently handed out (0 when all frames are destroyed).
   [[nodiscard]] std::uint64_t live() const noexcept { return live_; }
+  /// Total pooled allocations served (reused + fresh); with `reused()`
+  /// this gives the pool hit rate.
+  [[nodiscard]] std::uint64_t allocations() const noexcept {
+    return allocations_;
+  }
   /// Allocations served from a free list rather than fresh slab space.
   [[nodiscard]] std::uint64_t reused() const noexcept { return reused_; }
   /// Allocations too large to pool (fell through to operator new).
@@ -88,6 +122,12 @@ class FramePool {
   }
 
  private:
+  /// The thread's current Scope target (null = default thread-local pool).
+  static FramePool*& current_slot() noexcept {
+    static thread_local FramePool* current = nullptr;
+    return current;
+  }
+
   struct FreeBlock {
     FreeBlock* next;
   };
@@ -119,6 +159,7 @@ class FramePool {
   std::byte* bump_ = nullptr;
   std::byte* bump_end_ = nullptr;
   std::uint64_t live_ = 0;
+  std::uint64_t allocations_ = 0;
   std::uint64_t reused_ = 0;
   std::uint64_t oversize_allocs_ = 0;
 };

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file lp.hpp
+/// A logical partition (LP) of the conservative parallel engine.
+///
+/// Each LP wraps one `sim::Scheduler` — the unchanged serial DES kernel —
+/// plus the three things the windowed executor (lp_scheduler.hpp) needs to
+/// migrate it safely between worker threads:
+///
+///  * a `FramePool` of its own, installed via `FramePool::Scope` whenever
+///    the LP executes, so coroutine frames are always allocated and freed
+///    by the same pool no matter which thread runs the window;
+///  * a lock-free MPSC `Mailbox` where other LPs stage cross-partition
+///    messages for delivery at the next window barrier;
+///  * a monotonically increasing outgoing-post sequence number, part of
+///    the deterministic (time, source LP, source sequence) merge key.
+///
+/// An LP either *owns* its scheduler (engine-created, `LpScheduler::
+/// add_lp`) or *adopts* an external one (`LpScheduler::adopt_lp`).  An
+/// adopted scheduler may already hold coroutine frames allocated on the
+/// adopting thread's default pool, so adopted LPs are pinned: the engine
+/// runs them only on the coordinating thread, never on pool workers.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/frame_pool.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace s3asim::sim {
+
+class Lp {
+ public:
+  using Id = std::uint32_t;
+
+  /// One staged cross-LP message.  `apply` runs on the destination LP at
+  /// the window barrier (single-threaded, with the destination's frame
+  /// pool installed) and typically schedules a coroutine handle or
+  /// deposits a payload into an LP-owned inbox plus a wake-up.
+  struct Post {
+    Time at = 0;
+    Id src_lp = 0;
+    std::uint64_t src_seq = 0;
+    std::function<void(Scheduler&)> apply;
+  };
+
+  /// Engine-owned LP with its own scheduler.
+  explicit Lp(Id id)
+      : id_(id),
+        owned_(std::make_unique<Scheduler>()),
+        scheduler_(owned_.get()) {}
+
+  /// LP adopting an externally owned scheduler (e.g. a core::World's).
+  /// Pinned to the coordinating thread — see the file comment.
+  Lp(Id id, Scheduler& adopted) : id_(id), scheduler_(&adopted) {}
+
+  Lp(const Lp&) = delete;
+  Lp& operator=(const Lp&) = delete;
+
+  [[nodiscard]] Id id() const noexcept { return id_; }
+  [[nodiscard]] bool pinned() const noexcept { return owned_ == nullptr; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
+  [[nodiscard]] FramePool& frame_pool() noexcept { return pool_; }
+  [[nodiscard]] Mailbox<Post>& mailbox() noexcept { return mailbox_; }
+
+  /// Spawns a top-level process with this LP's frame pool installed, so
+  /// the frame is owned by the LP from birth.  `make` is invoked under the
+  /// pool scope because a coroutine's frame is allocated at call time:
+  ///
+  ///   lp.spawn([&] { return worker_proc(ctx, rank); });
+  template <typename MakeProcess>
+  void spawn(MakeProcess&& make) {
+    FramePool::Scope scope(pool_);
+    scheduler_->spawn(make());
+  }
+
+  /// Next outgoing-post sequence number.  Called only while this LP
+  /// executes (single-threaded), so a plain counter suffices — and it is
+  /// what makes the cross-LP merge key reproducible run to run.
+  [[nodiscard]] std::uint64_t next_post_seq() noexcept { return post_seq_++; }
+
+ private:
+  Id id_;
+  std::unique_ptr<Scheduler> owned_;  ///< null for adopted schedulers
+  Scheduler* scheduler_;
+  FramePool pool_;
+  Mailbox<Post> mailbox_;
+  std::uint64_t post_seq_ = 0;
+};
+
+}  // namespace s3asim::sim

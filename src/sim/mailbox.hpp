@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// Lock-free multi-producer single-consumer mailbox.
+///
+/// The parallel engine (lp_scheduler.hpp) stages every cross-LP message in
+/// the destination LP's mailbox: any worker thread may push while its LP
+/// executes a window, and the coordinator drains all mailboxes at the
+/// window barrier — so pushes are concurrent, drains are not.  `push` is a
+/// lock-free Treiber-stack insert (one CAS on the head, no locks taken on
+/// the simulation's hot path); `drain` detaches the whole list with a
+/// single exchange.
+///
+/// Ordering: `drain` returns items in reverse push order (stack order).
+/// Callers that need a deterministic order must sort — the engine does,
+/// by the (time, source LP, source sequence) key carried in the message —
+/// so the mailbox itself never needs to preserve one.
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace s3asim::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+  ~Mailbox() {
+    Node* node = head_.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  /// Thread-safe, lock-free.  Any thread may push at any time.
+  void push(T value) {
+    auto* node = new Node{head_.load(std::memory_order_relaxed),
+                          std::move(value)};
+    while (!head_.compare_exchange_weak(node->next, node,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Detaches every staged item into `out` (appended, reverse push order)
+  /// and returns how many were moved.  Single consumer: concurrent pushes
+  /// are safe, concurrent drains are not.
+  std::size_t drain(std::vector<T>& out) {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    std::size_t count = 0;
+    while (node != nullptr) {
+      out.push_back(std::move(node->value));
+      Node* next = node->next;
+      delete node;
+      node = next;
+      ++count;
+    }
+    return count;
+  }
+
+  /// True when no item is staged (consumer-side check between windows;
+  /// racy under concurrent pushes, exact at a barrier).
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node* next;
+    T value;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+};
+
+}  // namespace s3asim::sim

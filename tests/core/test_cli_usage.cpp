@@ -14,13 +14,14 @@
 namespace {
 
 const char* const kExpectedFlags[] = {
-    "--procs",         "--strategy",     "--sync",
-    "--speed",         "--arrival-rate", "--arrival-trace",
-    "--admit-policy",  "--admit-depth",  "--trace",
-    "--trace-json",    "--metrics-json", "--gantt",
-    "--groups",        "--jobs",         "--fault",
-    "--fault-timeout", "--json",         "--set",
-    "--print-config",  "--help",
+    "--procs",         "--strategy",       "--sync",
+    "--speed",         "--arrival-rate",   "--arrival-trace",
+    "--admit-policy",  "--admit-depth",    "--engine",
+    "--engine-threads", "--trace",         "--trace-json",
+    "--metrics-json",  "--gantt",          "--groups",
+    "--jobs",          "--fault",          "--fault-timeout",
+    "--json",          "--set",            "--print-config",
+    "--help",
 };
 
 /// Flags documented in the usage text: the first "--token" on each
@@ -68,6 +69,8 @@ TEST(CliUsageTest, GoldenText) {
   EXPECT_NE(text.find("crash => resume-from-flush"), std::string::npos);
   EXPECT_NE(text.find("default 0 = closed batch"), std::string::npos);
   EXPECT_NE(text.find("fifo | wfq | priority"), std::string::npos);
+  EXPECT_NE(text.find("serial | parallel"), std::string::npos);
+  EXPECT_NE(text.find("bit-identical"), std::string::npos);
   // The text ends without a trailing newline (puts adds one).
   EXPECT_NE(text.back(), '\n');
 }

@@ -1,0 +1,161 @@
+/// Tests for the native-LP cluster scale model (core/scale_model.hpp):
+/// thread-count determinism (the engine's headline contract, exercised by
+/// a model with ~30 genuinely concurrent LPs), cross-strategy sanity, and
+/// config validation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/scale_model.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace s3asim;
+using core::ScaleConfig;
+using core::ScaleStats;
+using core::Strategy;
+
+/// Small but structurally faithful config: enough workers for real
+/// aggregation groups and striping, tiny compute so tests stay quick.
+ScaleConfig quick_config(Strategy strategy, bool sync = false) {
+  ScaleConfig config;
+  config.nprocs = 24;
+  config.servers = 4;
+  config.strategy = strategy;
+  config.query_sync = sync;
+  config.queries = 2;
+  config.result_bytes_min = 32 * 1024;
+  config.result_bytes_max = 64 * 1024;
+  config.compute_min = sim::milliseconds(1);
+  config.compute_max = sim::milliseconds(3);
+  config.compute_slice = sim::microseconds(100);
+  config.score_rounds_per_slice = 32;
+  config.cb_nodes = 4;
+  config.aggregator_fanin = 4;
+  return config;
+}
+
+const std::vector<Strategy>& all_strategies() {
+  static const std::vector<Strategy> strategies{
+      Strategy::MW,         Strategy::WWPosix,
+      Strategy::WWList,     Strategy::WWColl,
+      Strategy::WWCollList, Strategy::WWFilePerProcess,
+      Strategy::WWAggr,
+  };
+  return strategies;
+}
+
+TEST(ScaleModelTest, EveryStrategyRunsToQuiescence) {
+  for (const Strategy strategy : all_strategies()) {
+    const ScaleStats stats = run_scale_model(quick_config(strategy), 1);
+    EXPECT_GT(stats.makespan_seconds, 0.0) << core::strategy_name(strategy);
+    EXPECT_GT(stats.events, 0u) << core::strategy_name(strategy);
+    EXPECT_GT(stats.windows, 0u) << core::strategy_name(strategy);
+    EXPECT_GT(stats.cross_lp_messages, 0u) << core::strategy_name(strategy);
+    EXPECT_EQ(stats.lp_count, 24u + 4u) << core::strategy_name(strategy);
+  }
+}
+
+TEST(ScaleModelTest, ResultVolumeIsStrategyIndependent) {
+  // The workload draw is a pure function of (seed, worker, query), so the
+  // bytes produced must agree across strategies — only *where* they go
+  // differs.
+  const std::uint64_t reference =
+      run_scale_model(quick_config(Strategy::WWList), 1).total_result_bytes;
+  EXPECT_GT(reference, 0u);
+  for (const Strategy strategy : all_strategies()) {
+    const ScaleStats stats = run_scale_model(quick_config(strategy), 1);
+    EXPECT_EQ(stats.total_result_bytes, reference)
+        << core::strategy_name(strategy);
+  }
+}
+
+TEST(ScaleModelTest, BitIdenticalAcrossThreadCounts) {
+  // The acceptance contract: identical ScaleStats (full JSON, fingerprint
+  // included) for any engine thread count, for every strategy and both
+  // sync modes.
+  for (const Strategy strategy : all_strategies()) {
+    for (const bool sync : {false, true}) {
+      const std::string baseline =
+          run_scale_model(quick_config(strategy, sync), 1).to_json();
+      for (const unsigned threads : {2u, 4u, 8u}) {
+        const std::string parallel =
+            run_scale_model(quick_config(strategy, sync), threads).to_json();
+        EXPECT_EQ(parallel, baseline)
+            << core::strategy_name(strategy) << " sync=" << sync << " at "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ScaleModelTest, RepeatedParallelRunsAgree) {
+  const std::string first =
+      run_scale_model(quick_config(Strategy::WWAggr), 4).to_json();
+  const std::string second =
+      run_scale_model(quick_config(Strategy::WWAggr), 4).to_json();
+  EXPECT_EQ(first, second);
+}
+
+TEST(ScaleModelTest, MasterFunnelIsSlowerThanWorkerWrites) {
+  // The paper's core finding at scale: MW serializes every result through
+  // the master, WW-List writes directly — MW must cost more wall-clock.
+  const double mw =
+      run_scale_model(quick_config(Strategy::MW), 1).makespan_seconds;
+  const double ww =
+      run_scale_model(quick_config(Strategy::WWList), 1).makespan_seconds;
+  EXPECT_GT(mw, ww);
+}
+
+TEST(ScaleModelTest, QuerySyncNeverSpeedsARunUp) {
+  for (const Strategy strategy : {Strategy::WWList, Strategy::MW}) {
+    const double async =
+        run_scale_model(quick_config(strategy, false), 1).makespan_seconds;
+    const double sync =
+        run_scale_model(quick_config(strategy, true), 1).makespan_seconds;
+    EXPECT_GE(sync, async) << core::strategy_name(strategy);
+  }
+}
+
+TEST(ScaleModelTest, InvalidConfigsRejected) {
+  {
+    ScaleConfig config = quick_config(Strategy::WWList);
+    config.nprocs = 1;
+    EXPECT_THROW((void)run_scale_model(config, 1), std::exception);
+  }
+  {
+    ScaleConfig config = quick_config(Strategy::WWList);
+    config.servers = 0;
+    EXPECT_THROW((void)run_scale_model(config, 1), std::exception);
+  }
+  {
+    ScaleConfig config = quick_config(Strategy::WWList);
+    config.queries = 0;
+    EXPECT_THROW((void)run_scale_model(config, 1), std::exception);
+  }
+  {
+    ScaleConfig config = quick_config(Strategy::WWList);
+    config.compute_slice = 0;
+    EXPECT_THROW((void)run_scale_model(config, 1), std::exception);
+  }
+  {
+    ScaleConfig config = quick_config(Strategy::WWList);
+    config.result_bytes_max = config.result_bytes_min - 1;
+    EXPECT_THROW((void)run_scale_model(config, 1), std::exception);
+  }
+}
+
+TEST(ScaleModelTest, JsonIsCompleteAndStable) {
+  const ScaleStats stats = run_scale_model(quick_config(Strategy::WWList), 2);
+  const std::string json = stats.to_json();
+  for (const char* key :
+       {"makespan_seconds", "total_result_bytes", "events", "windows",
+        "cross_lp_messages", "lp_count", "fingerprint"})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  EXPECT_EQ(json, stats.to_json());
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+/// Cross-engine byte-identity suite (DESIGN.md §9): the parallel DES
+/// engine must produce bit-identical simulated results to the serial
+/// scheduler for every strategy and every feature that composes with it
+/// (query sync, hybrid groups, fault injection, crash/resume, open-loop
+/// serving), at every thread count.  Any divergence is an engine bug by
+/// definition — the simulated world must not know how it is executed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/config.hpp"
+#include "core/simulation.hpp"
+#include "fault/fault.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace s3asim;
+using core::EngineMode;
+using core::SimConfig;
+
+SimConfig with_engine(SimConfig config, EngineMode mode, unsigned threads) {
+  config.engine.mode = mode;
+  config.engine.threads = threads;
+  return config;
+}
+
+std::string serial_json(const SimConfig& config) {
+  return core::run_simulation(with_engine(config, EngineMode::Serial, 0))
+      .to_json();
+}
+
+std::string parallel_json(const SimConfig& config, unsigned threads) {
+  return core::run_simulation(
+             with_engine(config, EngineMode::Parallel, threads))
+      .to_json();
+}
+
+TEST(EngineIdentityTest, AllStrategiesAsyncAcrossThreadCounts) {
+  for (const auto strategy : bench::paper_strategies()) {
+    SimConfig config = core::test_config();
+    config.nprocs = 8;
+    config.strategy = strategy;
+    const std::string baseline = serial_json(config);
+    for (const unsigned threads : {2u, 4u, 8u})
+      EXPECT_EQ(parallel_json(config, threads), baseline)
+          << core::strategy_name(strategy) << " at " << threads << " threads";
+  }
+}
+
+TEST(EngineIdentityTest, AllStrategiesQuerySync) {
+  for (const auto strategy : bench::paper_strategies()) {
+    SimConfig config = core::test_config();
+    config.nprocs = 8;
+    config.strategy = strategy;
+    config.query_sync = true;
+    EXPECT_EQ(parallel_json(config, 4), serial_json(config))
+        << core::strategy_name(strategy);
+  }
+}
+
+TEST(EngineIdentityTest, PaperConfigMatches) {
+  // The exact §3.3 setup the figures are built from.
+  const SimConfig config = core::paper_config();
+  EXPECT_EQ(parallel_json(config, 4), serial_json(config));
+}
+
+TEST(EngineIdentityTest, HybridSegmentationMatches) {
+  SimConfig config = core::test_config();
+  config.nprocs = 8;
+  const std::string baseline =
+      core::run_hybrid_simulation(with_engine(config, EngineMode::Serial, 0), 2)
+          .to_json();
+  for (const unsigned threads : {2u, 4u}) {
+    const std::string parallel =
+        core::run_hybrid_simulation(
+            with_engine(config, EngineMode::Parallel, threads), 2)
+            .to_json();
+    EXPECT_EQ(parallel, baseline) << threads << " threads";
+  }
+}
+
+TEST(EngineIdentityTest, FaultInjectionMatches) {
+  SimConfig config = core::test_config();
+  config.nprocs = 8;
+  config.fault.kills.push_back(fault::WorkerKill{2, sim::milliseconds(1)});
+  EXPECT_EQ(parallel_json(config, 4), serial_json(config));
+}
+
+TEST(EngineIdentityTest, CrashResumeMatches) {
+  SimConfig config = core::test_config();
+  config.nprocs = 8;
+  config.fault.crash_at = sim::milliseconds(2);
+  const auto serial =
+      core::run_with_resume(with_engine(config, EngineMode::Serial, 0));
+  const auto parallel =
+      core::run_with_resume(with_engine(config, EngineMode::Parallel, 4));
+  EXPECT_EQ(parallel.crashed, serial.crashed);
+  EXPECT_EQ(parallel.resume_query, serial.resume_query);
+  EXPECT_EQ(parallel.crashed_seconds, serial.crashed_seconds);
+  EXPECT_EQ(parallel.resumed_seconds, serial.resumed_seconds);
+  EXPECT_EQ(parallel.total_seconds, serial.total_seconds);
+  EXPECT_EQ(parallel.full.to_json(), serial.full.to_json());
+  EXPECT_EQ(parallel.resumed.to_json(), serial.resumed.to_json());
+}
+
+TEST(EngineIdentityTest, OpenLoopServingMatches) {
+  SimConfig config = core::test_config();
+  config.nprocs = 8;
+  config.serving.arrival_rate_hz = 2.0;
+  EXPECT_EQ(parallel_json(config, 4), serial_json(config));
+}
+
+TEST(EngineIdentityTest, RepeatedParallelRunsAgree) {
+  // Two parallel executions (different host interleavings) must agree with
+  // each other, not just with the serial reference.
+  SimConfig config = core::test_config();
+  config.nprocs = 8;
+  EXPECT_EQ(parallel_json(config, 4), parallel_json(config, 4));
+}
+
+}  // namespace
