@@ -28,6 +28,14 @@ inline constexpr char kUsageText[] =
     "                      bit-identical either way — DESIGN.md section 9)\n"
     "  --engine-threads N  parallel-engine threads (default 0 = one per\n"
     "                      hardware thread)\n"
+    "  --cache-size B      per-client write-back cache capacity (e.g. 64MiB;\n"
+    "                      default 0 = caching off, byte-identical to\n"
+    "                      direct dispatch)\n"
+    "  --cache-block B     cache block size; must divide strip_size\n"
+    "                      (default 64KiB)\n"
+    "  --token-granularity B\n"
+    "                      byte-range lease granularity; a multiple of\n"
+    "                      --cache-block (default 1MiB)\n"
     "  --trace FILE.csv    export phase timeline CSV\n"
     "  --trace-json FILE   export Chrome-trace-event JSON (open in Perfetto\n"
     "                      or chrome://tracing; see docs/OBSERVABILITY.md)\n"

@@ -152,6 +152,13 @@ int main(int argc, char** argv) {
       overrides.push_back("engine = " + next_value("--engine"));
     } else if (arg == "--engine-threads") {
       overrides.push_back("engine_threads = " + next_value("--engine-threads"));
+    } else if (arg == "--cache-size") {
+      overrides.push_back("cache_capacity = " + next_value("--cache-size"));
+    } else if (arg == "--cache-block") {
+      overrides.push_back("cache_block = " + next_value("--cache-block"));
+    } else if (arg == "--token-granularity") {
+      overrides.push_back("token_granularity = " +
+                          next_value("--token-granularity"));
     } else if (arg == "--trace") {
       trace_path = next_value("--trace");
     } else if (arg == "--trace-json") {

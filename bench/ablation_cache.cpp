@@ -1,0 +1,173 @@
+/// Ablation K — client-side write-back caching with byte-range lease
+/// tokens (DESIGN.md §10).  Two grids at the paper's §3.3 configuration
+/// (sync-after-write off, so the cache is allowed to absorb):
+///   * cache-capacity sweep (off / 16 MiB / 64 MiB per client) across the
+///     strategies the cache affects most — MW's batched master writes,
+///     WW-POSIX's per-call round trips (the token-contention worst case),
+///     WW-List's native list writes, and WW-Aggr's group aggregation;
+///   * token-granularity sweep (64 KiB / 1 MiB / 8 MiB) at 64 MiB capacity
+///     — coarser leases mean fewer grant round trips but more false
+///     sharing and revocation traffic between neighbouring writers.
+/// The run fails (exit 1) unless at least two strategies see either a
+/// ≥1.3x simulated-time speedup or a ≥30% server-request reduction with
+/// the cache on — the acceptance gate recorded in EXPERIMENTS.md.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/sweep.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace s3asim;
+using namespace s3asim::bench;
+
+namespace {
+
+const core::Strategy kStrategies[] = {
+    core::Strategy::MW, core::Strategy::WWPosix, core::Strategy::WWList,
+    core::Strategy::WWAggr};
+
+core::RunStats run_cache_point(core::Strategy strategy, std::uint32_t nprocs,
+                               std::uint64_t capacity,
+                               std::uint64_t token_bytes) {
+  auto config = core::paper_config();
+  config.strategy = strategy;
+  config.nprocs = nprocs;
+  config.sync_after_write = false;
+  if (capacity != 0) {
+    config.model.pfs.cache.capacity_bytes = capacity;
+    config.model.pfs.cache.block_bytes = 64 * util::KiB;  // = strip
+    config.model.pfs.cache.token_bytes = token_bytes;
+  }
+  auto stats = core::run_simulation(config);
+  require_exact(stats);
+  return stats;
+}
+
+double total_requests(const core::RunStats& stats) {
+  return static_cast<double>(stats.fs.server_requests);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const unsigned jobs = sweep_jobs(argc, argv);
+  const std::uint32_t nprocs = quick ? 8 : 16;
+  const std::vector<std::uint64_t> capacities{0, 16 * util::MiB,
+                                              64 * util::MiB};
+  const std::vector<std::uint64_t> tokens{64 * util::KiB, util::MiB,
+                                          8 * util::MiB};
+  constexpr std::uint64_t kDefaultToken = util::MiB;
+  constexpr std::uint64_t kSweepCapacity = 64 * util::MiB;
+
+  std::printf("S3aSim Ablation K: client-side write-back caching with "
+              "byte-range lease tokens (%u processes)\n",
+              nprocs);
+
+  std::vector<SweepPoint> grid;
+  for (const auto strategy : kStrategies)
+    for (const auto capacity : capacities)
+      grid.push_back({std::string(core::strategy_name(strategy)) + " cap=" +
+                          std::to_string(capacity / util::MiB) + "MiB",
+                      [strategy, nprocs, capacity] {
+                        return run_cache_point(strategy, nprocs, capacity,
+                                               kDefaultToken);
+                      }});
+  for (const auto strategy : kStrategies)
+    for (const auto token : tokens)
+      grid.push_back({std::string(core::strategy_name(strategy)) + " token=" +
+                          std::to_string(token / util::KiB) + "KiB",
+                      [strategy, nprocs, token] {
+                        return run_cache_point(strategy, nprocs,
+                                               kSweepCapacity, token);
+                      }});
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = run_sweep(std::move(grid), jobs);
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  // --- Capacity sweep table + gate inputs. --------------------------------
+  util::TextTable table({"Strategy", "off (s)", "16MiB (s)", "64MiB (s)",
+                         "speedup", "req off", "req 64MiB", "req cut"});
+  util::CsvWriter csv(csv_path("ablation_cache.csv"));
+  csv.write_row({"strategy", "off_s", "cap16_s", "cap64_s", "speedup",
+                 "requests_off", "requests_cap64", "request_cut"});
+  std::size_t index = 0;
+  unsigned winners = 0;
+  for (const auto strategy : kStrategies) {
+    const auto& off = results[index++].stats;
+    const auto& cap16 = results[index++].stats;
+    const auto& cap64 = results[index++].stats;
+    const double speedup = cap64.wall_seconds > 0.0
+                               ? off.wall_seconds / cap64.wall_seconds
+                               : 0.0;
+    const double cut =
+        total_requests(off) > 0.0
+            ? 1.0 - total_requests(cap64) / total_requests(off)
+            : 0.0;
+    if (speedup >= 1.3 || cut >= 0.30) ++winners;
+    table.add_row_numeric(core::strategy_name(strategy),
+                          {off.wall_seconds, cap16.wall_seconds,
+                           cap64.wall_seconds, speedup, total_requests(off),
+                           total_requests(cap64), cut});
+    csv.write_row_numeric(core::strategy_name(strategy),
+                          {off.wall_seconds, cap16.wall_seconds,
+                           cap64.wall_seconds, speedup, total_requests(off),
+                           total_requests(cap64), cut});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("(csv: results/ablation_cache.csv)\n");
+
+  // --- Token-granularity sweep. -------------------------------------------
+  util::TextTable token_table({"Strategy", "64KiB (s)", "1MiB (s)",
+                               "8MiB (s)", "grants@64KiB", "revokes@64KiB",
+                               "revokes@8MiB"});
+  util::CsvWriter token_csv(csv_path("ablation_cache_token.csv"));
+  token_csv.write_row({"strategy", "token64k_s", "token1m_s", "token8m_s",
+                       "grants_64k", "revocations_64k", "revocations_8m"});
+  for (const auto strategy : kStrategies) {
+    const auto& fine = results[index++].stats;
+    const auto& mid = results[index++].stats;
+    const auto& coarse = results[index++].stats;
+    token_table.add_row_numeric(
+        core::strategy_name(strategy),
+        {fine.wall_seconds, mid.wall_seconds, coarse.wall_seconds,
+         static_cast<double>(fine.cache.token_grants),
+         static_cast<double>(fine.cache.token_revocations),
+         static_cast<double>(coarse.cache.token_revocations)});
+    token_csv.write_row_numeric(
+        core::strategy_name(strategy),
+        {fine.wall_seconds, mid.wall_seconds, coarse.wall_seconds,
+         static_cast<double>(fine.cache.token_grants),
+         static_cast<double>(fine.cache.token_revocations),
+         static_cast<double>(coarse.cache.token_revocations)});
+  }
+  std::printf("\n== Token-granularity sweep at 64 MiB capacity ==\n");
+  std::printf("%s", token_table.render().c_str());
+  std::printf("(csv: results/ablation_cache_token.csv)\n");
+
+  const auto report =
+      write_bench_json("cache", quick, jobs, results, sweep_seconds);
+  std::printf("(bench json: %s)\n", report.c_str());
+
+  if (winners < 2) {
+    std::fprintf(stderr,
+                 "ablation_cache: GATE FAILED — only %u strategies reached "
+                 "a >=1.3x speedup or >=30%% request cut (need >=2)\n",
+                 winners);
+    return 1;
+  }
+  std::printf("gate: %u strategies met >=1.3x speedup or >=30%% request "
+              "cut (need >=2)\n",
+              winners);
+  return 0;
+}

@@ -102,6 +102,38 @@ SimConfig load_config(const std::string& config_text) {
   const std::uint32_t servers = static_cast<std::uint32_t>(
       keyval.get_int("server_count", model.pfs.layout.server_count()));
   model.pfs.layout = pfs::Layout(strip, servers);
+
+  // --- Client-side cache (ISSUE 8; all optional — default = cache off). ----
+  if (keyval.has("cache_capacity") || keyval.has("cache_block") ||
+      keyval.has("token_granularity")) {
+    auto& cache = model.pfs.cache;
+    cache.capacity_bytes =
+        keyval.get_bytes("cache_capacity", cache.capacity_bytes);
+    cache.block_bytes = keyval.get_bytes("cache_block", cache.block_bytes);
+    cache.token_bytes =
+        keyval.get_bytes("token_granularity", cache.token_bytes);
+    if (cache.capacity_bytes == 0)
+      throw std::invalid_argument(
+          "key 'cache_capacity': must be positive to enable the client "
+          "cache (omit all cache keys to disable it)");
+    if (cache.block_bytes == 0 || strip % cache.block_bytes != 0)
+      throw std::invalid_argument(
+          "key 'cache_block': " + std::to_string(cache.block_bytes) +
+          " must be positive and divide strip_size (" + std::to_string(strip) +
+          ") so a cache block never straddles servers");
+    if (cache.token_bytes < cache.block_bytes ||
+        cache.token_bytes % cache.block_bytes != 0)
+      throw std::invalid_argument(
+          "key 'token_granularity': " + std::to_string(cache.token_bytes) +
+          " must be a multiple of cache_block (" +
+          std::to_string(cache.block_bytes) +
+          ") — a lease boundary must not split a cache block");
+    if (cache.capacity_bytes < cache.block_bytes)
+      throw std::invalid_argument(
+          "key 'cache_capacity': " + std::to_string(cache.capacity_bytes) +
+          " must hold at least one cache_block (" +
+          std::to_string(cache.block_bytes) + ")");
+  }
   model.pfs.disk.bandwidth_bps =
       keyval.get_double("disk_bandwidth_mbps",
                         model.pfs.disk.bandwidth_bps / 1e6) * 1e6;

@@ -639,6 +639,10 @@ sim::Process master_process(App& app) {
   // ---- Teardown: strategy drain/assembly, tell every worker the stream is
   //      over, then sync. --------------------------------------------------
   co_await strategy.master_teardown(env, state.contributors);
+  // Close the master's client cache (MW and gap-repair writes go through
+  // it) before the workers are told to finish, so every lease conflict is
+  // settled ahead of the final barrier.
+  if (app.fs.cache_enabled()) co_await app.fs.release_client(app.master);
   for (const mpi::Rank worker : app.workers) {
     MasterMsg msg;
     msg.kind = MasterMsg::Kind::Finish;

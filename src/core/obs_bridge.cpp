@@ -154,6 +154,32 @@ void publish_metrics(World& world,
   registry.counter("pfs.sync.requests").add(fs_total.syncs);
   registry.gauge("pfs.busy_seconds").add(sim::to_seconds(fs_total.busy));
 
+  // pfs.cache.* / pfs.metadata.* — client-cache and token-consistency
+  // counters (absent when the cache is off, keeping cache-off manifests
+  // byte-identical to pre-cache builds).
+  if (stats.cache.enabled) {
+    registry.counter("pfs.cache.read_hits").add(stats.cache.read_hits);
+    registry.counter("pfs.cache.read_misses").add(stats.cache.read_misses);
+    registry.counter("pfs.cache.write_hits").add(stats.cache.write_hits);
+    registry.counter("pfs.cache.write_misses").add(stats.cache.write_misses);
+    registry.counter("pfs.cache.evictions").add(stats.cache.evictions);
+    registry.counter("pfs.cache.writebacks").add(stats.cache.writebacks);
+    registry.counter("pfs.cache.writeback_bytes")
+        .add(stats.cache.writeback_bytes);
+    registry.counter("pfs.cache.invalidations")
+        .add(stats.cache.invalidations);
+    registry.counter("pfs.cache.close_writebacks")
+        .add(stats.cache.close_writebacks);
+    registry.counter("pfs.cache.token_grants").add(stats.cache.token_grants);
+    registry.counter("pfs.cache.token_revocations")
+        .add(stats.cache.token_revocations);
+    registry.counter("pfs.cache.token_conflicts")
+        .add(stats.cache.token_conflicts);
+    registry.counter("pfs.metadata.requests").add(stats.cache.metadata_ops);
+    registry.gauge("pfs.metadata.busy_seconds")
+        .add(stats.cache.metadata_busy_seconds);
+  }
+
   // net.* — NIC totals over every endpoint (ranks and servers).
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
@@ -282,6 +308,25 @@ RunStats collect_stats(World& world,
   stats.fs.server_bytes = fs_total.bytes;
   stats.fs.server_syncs = fs_total.syncs;
   stats.fs.server_busy_seconds = sim::to_seconds(fs_total.busy);
+
+  if (world.fs.cache_enabled()) {
+    const pfs::CacheStats cache_total = world.fs.cache_stats();
+    stats.cache.enabled = true;
+    stats.cache.read_hits = cache_total.read_hits;
+    stats.cache.read_misses = cache_total.read_misses;
+    stats.cache.write_hits = cache_total.write_hits;
+    stats.cache.write_misses = cache_total.write_misses;
+    stats.cache.evictions = cache_total.evictions;
+    stats.cache.writebacks = cache_total.writebacks;
+    stats.cache.writeback_bytes = cache_total.writeback_bytes;
+    stats.cache.invalidations = cache_total.invalidations;
+    stats.cache.close_writebacks = cache_total.close_writebacks;
+    stats.cache.token_grants = cache_total.token_grants;
+    stats.cache.token_revocations = cache_total.token_revocations;
+    stats.cache.token_conflicts = cache_total.token_conflicts;
+    stats.cache.metadata_ops = fs_total.metadata_ops;
+    stats.cache.metadata_busy_seconds = sim::to_seconds(fs_total.metadata_busy);
+  }
 
   if (world.metrics != nullptr)
     publish_metrics(world, groups, stats, fs_total);

@@ -138,6 +138,19 @@ std::size_t run_world(World& world) {
 /// too — with a pointer at the alternatives.
 void validate_fault_plan(const SimConfig& config,
                          const std::set<mpi::Rank>& valid) {
+  // The client cache holds dirty data that a killed worker (or a
+  // whole-run crash) would silently lose while the file image already
+  // recorded it at absorb time — output verification would falsely pass.
+  // Until revocation-on-death is modeled, reject the combination; slow /
+  // delay / drop / server faults leave every client alive to flush and
+  // remain allowed.
+  S3A_REQUIRE_MSG(!(config.model.pfs.cache.enabled() &&
+                    (!config.fault.kills.empty() ||
+                     config.fault.crash_at != fault::kNever)),
+                  "worker-kill and crash fault plans are not supported with "
+                  "the client cache (cache_capacity > 0): a dead client's "
+                  "write-back data would be lost silently; disable the cache "
+                  "or use slow/delay/drop/server faults");
   S3A_REQUIRE_MSG(
       !(config.strategy == Strategy::WWAggr &&
         config.fault.perturbs_workers()),

@@ -146,6 +146,40 @@ std::string RunStats::to_json() const {
   json.value(fs.server_busy_seconds);
   json.end_object();
 
+  if (cache.enabled) {
+    json.key("cache");
+    json.begin_object();
+    json.key("read_hits");
+    json.value(cache.read_hits);
+    json.key("read_misses");
+    json.value(cache.read_misses);
+    json.key("write_hits");
+    json.value(cache.write_hits);
+    json.key("write_misses");
+    json.value(cache.write_misses);
+    json.key("evictions");
+    json.value(cache.evictions);
+    json.key("writebacks");
+    json.value(cache.writebacks);
+    json.key("writeback_bytes");
+    json.value(cache.writeback_bytes);
+    json.key("invalidations");
+    json.value(cache.invalidations);
+    json.key("close_writebacks");
+    json.value(cache.close_writebacks);
+    json.key("token_grants");
+    json.value(cache.token_grants);
+    json.key("token_revocations");
+    json.value(cache.token_revocations);
+    json.key("token_conflicts");
+    json.value(cache.token_conflicts);
+    json.key("metadata_ops");
+    json.value(cache.metadata_ops);
+    json.key("metadata_busy_seconds");
+    json.value(cache.metadata_busy_seconds);
+    json.end_object();
+  }
+
   json.key("ranks");
   json.begin_array();
   for (std::size_t rank = 0; rank < ranks.size(); ++rank) {

@@ -68,6 +68,28 @@ struct ServingStats {
   std::uint64_t inflight_peak_bytes = 0;
 };
 
+/// Client-cache / token-consistency aggregates (ISSUE 8).  `enabled` gates
+/// the JSON emission, so cache-off dumps stay byte-identical to pre-cache
+/// builds.  Counter semantics match pfs::CacheStats; the metadata fields
+/// mirror server 0's `metadata_ops`/`metadata_busy`.
+struct CacheRunStats {
+  bool enabled = false;
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t writeback_bytes = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t close_writebacks = 0;
+  std::uint64_t token_grants = 0;
+  std::uint64_t token_revocations = 0;
+  std::uint64_t token_conflicts = 0;
+  std::uint64_t metadata_ops = 0;
+  double metadata_busy_seconds = 0.0;
+};
+
 struct RunStats {
   Strategy strategy = Strategy::MW;
   std::uint32_t nprocs = 0;
@@ -93,6 +115,7 @@ struct RunStats {
   FsStats fs;
   FaultStats faults;
   ServingStats serving;
+  CacheRunStats cache;
 
   /// Simulated second at which each flushed batch of queries became durable
   /// (in query order).  run_with_resume uses this to find the last flushed

@@ -344,6 +344,9 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
       case MasterMsg::Kind::Finish: {
         if (!state.pending.empty())
           co_await worker_flush(app, rank, state, app.query_count() - 1);
+        // Close the client cache before the final barrier: write back any
+        // dirty blocks and return the byte-range leases (DESIGN.md §10).
+        if (app.fs.cache_enabled()) co_await app.fs.release_client(rank);
         break;
       }
     }

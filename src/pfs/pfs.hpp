@@ -13,92 +13,39 @@
 ///    OL (offset-length) list to each touched server;
 ///  * server-side costs: per-request overhead, per-OL-pair overhead, byte
 ///    bandwidth, and an explicit sync (flush) request.
+///
+/// Optional client-side cache layer (DESIGN.md §10): when
+/// `PfsParams::cache` is enabled, every client path absorbs writes into a
+/// per-client write-back `ClientCache` guarded by byte-range lease tokens
+/// granted by the metadata server (`TokenManager` + a serialized token
+/// service).  Off by default — the direct-dispatch paths above are then
+/// byte-identical to pre-cache builds.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
+#include "pfs/cache.hpp"
 #include "pfs/disk.hpp"
 #include "pfs/file_image.hpp"
 #include "pfs/layout.hpp"
+#include "pfs/pfs_types.hpp"
 #include "sim/channel.hpp"
 #include "sim/gate.hpp"
+#include "sim/resource.hpp"
 #include "sim/task.hpp"
 #include "sim/wait_group.hpp"
 #include "util/require.hpp"
 
 namespace s3asim::pfs {
-
-/// Server-side fault injection: from `from` onwards the server's per-request
-/// service time is multiplied by `service_factor` (a failing disk, a
-/// rebuilding RAID set), and the first request serviced at or after `from`
-/// additionally waits out a one-shot `stall` (a controller reset).  The
-/// fault module translates `FaultPlan` entries into these.
-struct ServerDegradation {
-  std::uint32_t server = 0;
-  sim::Time from = 0;
-  double service_factor = 1.0;
-  sim::Time stall = 0;
-};
-
-struct PfsParams {
-  Layout layout = Layout::paper_default();
-  DiskModel disk{};
-  /// Cost of a metadata operation at the metadata server (create/open).
-  sim::Time metadata_op = sim::microseconds(120);
-  /// Wire size of a request envelope and of each OL pair within it.
-  std::uint64_t request_header_bytes = 64;
-  std::uint64_t pair_header_bytes = 16;
-  /// Wire size of a server acknowledgement.
-  std::uint64_t ack_bytes = 32;
-  /// Injected server degradations (empty = healthy file system).
-  std::vector<ServerDegradation> degradations;
-};
-
-using FileHandle = std::uint32_t;
-
-/// Per-server activity counters.
-struct ServerStats {
-  std::uint64_t requests = 0;
-  std::uint64_t pairs = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t syncs = 0;
-  std::uint64_t reads = 0;
-  std::uint64_t read_bytes = 0;
-  sim::Time busy = 0;
-
-  /// Field-wise accumulation — `Pfs::aggregate_stats` sums through this, so
-  /// a counter added here is automatically part of the aggregate.
-  ServerStats& operator+=(const ServerStats& other) noexcept {
-    requests += other.requests;
-    pairs += other.pairs;
-    bytes += other.bytes;
-    syncs += other.syncs;
-    reads += other.reads;
-    read_bytes += other.read_bytes;
-    busy += other.busy;
-    return *this;
-  }
-};
-
-/// Per-request observability hook: `on_request_serviced` fires once per
-/// serviced server request, after its service interval elapsed.  `kind` is
-/// 'w' (write), 'r' (read), or 's' (sync); `[start, end)` is the service
-/// interval in simulated time.  Implemented by the core observer bridge
-/// (trace spans + service-time histograms); the PFS itself stays free of
-/// trace/metrics dependencies, and with no observer attached the service
-/// path is unchanged.
-class RequestObserver {
- public:
-  virtual ~RequestObserver() = default;
-  virtual void on_request_serviced(std::uint32_t server, char kind,
-                                   std::uint64_t pairs, std::uint64_t bytes,
-                                   sim::Time start, sim::Time end) = 0;
-};
 
 class Pfs {
  public:
@@ -125,6 +72,19 @@ class Pfs {
       servers_[degradation.server]->faults.push_back(
           ActiveFault{degradation, false});
     }
+    if (params_.cache.enabled()) {
+      const CacheParams& cache = params_.cache;
+      S3A_REQUIRE_MSG(cache.block_bytes > 0 &&
+                          params_.layout.strip_size() % cache.block_bytes == 0,
+                      "cache_block must divide the layout strip size");
+      S3A_REQUIRE_MSG(cache.token_bytes >= cache.block_bytes &&
+                          cache.token_bytes % cache.block_bytes == 0,
+                      "token_granularity must be a multiple of cache_block");
+      S3A_REQUIRE_MSG(cache.capacity_bytes >= cache.block_bytes,
+                      "cache_capacity must hold at least one cache block");
+      tokens_ = std::make_unique<TokenManager>();
+      token_service_ = std::make_unique<sim::Resource>(scheduler, 1);
+    }
   }
   Pfs(const Pfs&) = delete;
   Pfs& operator=(const Pfs&) = delete;
@@ -143,6 +103,7 @@ class Pfs {
   sim::Task<FileHandle> create_file(net::EndpointId client, std::string name) {
     co_await network_->transfer(client, server_endpoint_base_,
                                 params_.request_header_bytes);
+    account_metadata_op();
     co_await scheduler_->delay(params_.metadata_op);
     co_await network_->transfer(server_endpoint_base_, client, params_.ack_bytes);
     files_.push_back(std::make_unique<FileState>(std::move(name)));
@@ -166,9 +127,23 @@ class Pfs {
   /// outlives the call (vector, stack array); decomposition goes through a
   /// pooled scratch and completion through one WaitGroup, so the whole
   /// fan-out allocates nothing in steady state.
-  sim::Task<void> write_list(FileHandle file, net::EndpointId client,
-                             std::span<const Extent> extents,
-                             std::uint32_t writer = 0, std::uint64_t query = 0) {
+  /// Dispatcher, not a coroutine: the direct path keeps the exact frame
+  /// layout (and frame-pool behavior) of pre-cache builds when the cache
+  /// is off.
+  [[nodiscard]] sim::Task<void> write_list(FileHandle file,
+                                           net::EndpointId client,
+                                           std::span<const Extent> extents,
+                                           std::uint32_t writer = 0,
+                                           std::uint64_t query = 0) {
+    if (cache_enabled())
+      return cache_write_list(file, client, extents, writer, query);
+    return direct_write_list(file, client, extents, writer, query);
+  }
+
+ private:
+  sim::Task<void> direct_write_list(FileHandle file, net::EndpointId client,
+                                    std::span<const Extent> extents,
+                                    std::uint32_t writer, std::uint64_t query) {
     FileState& state = file_state(file);
     ScratchLease scratch = acquire_scratch();
     params_.layout.group_by_server(extents, *scratch);
@@ -184,11 +159,33 @@ class Pfs {
       state.image.record_write(extent.offset, extent.length, writer, query);
   }
 
+  /// Cache path: one batched lease acquisition for the whole OL list, then
+  /// every extent lands in the write-back cache — servers see nothing until
+  /// eviction, sync, revocation, or close.
+  sim::Task<void> cache_write_list(FileHandle file, net::EndpointId client,
+                                   std::span<const Extent> extents,
+                                   std::uint32_t writer, std::uint64_t query) {
+    co_await absorb_batch(file, client, extents, writer, query);
+    co_await drain_evictions(client);
+  }
+
+ public:
   /// Read of a contiguous range: one request per touched server carrying
   /// only headers out, data back.  Used by query-segmentation tools that
   /// stream database fragments from the file system.
-  sim::Task<void> read_contiguous(FileHandle file, net::EndpointId client,
-                                  std::uint64_t offset, std::uint64_t length) {
+  [[nodiscard]] sim::Task<void> read_contiguous(FileHandle file,
+                                                net::EndpointId client,
+                                                std::uint64_t offset,
+                                                std::uint64_t length) {
+    if (cache_enabled()) return cache_read(file, client, offset, length);
+    return direct_read_contiguous(file, client, offset, length);
+  }
+
+ private:
+  sim::Task<void> direct_read_contiguous(FileHandle file,
+                                         net::EndpointId client,
+                                         std::uint64_t offset,
+                                         std::uint64_t length) {
     FileState& state = file_state(file);
     state.bytes_read += length;
     const Extent one{offset, length};
@@ -203,12 +200,37 @@ class Pfs {
     co_await pending.wait();
   }
 
+ public:
   /// POSIX-style noncontiguous write: one fully-synchronous round trip per
   /// extent, in order — "the MPI_Write() call without optimization".  One
   /// scratch and one WaitGroup carry the whole extent loop.
-  sim::Task<void> write_posix(FileHandle file, net::EndpointId client,
-                              std::span<const Extent> extents,
-                              std::uint32_t writer = 0, std::uint64_t query = 0) {
+  [[nodiscard]] sim::Task<void> write_posix(FileHandle file,
+                                            net::EndpointId client,
+                                            std::span<const Extent> extents,
+                                            std::uint32_t writer = 0,
+                                            std::uint64_t query = 0) {
+    if (cache_enabled())
+      return cache_write_posix(file, client, extents, writer, query);
+    return direct_write_posix(file, client, extents, writer, query);
+  }
+
+ private:
+  /// Cache path keeps POSIX per-call semantics: each extent checks (and
+  /// pays for) its lease separately — the round-trip cadence that token
+  /// contention punishes — but the data itself is absorbed write-back.
+  sim::Task<void> cache_write_posix(FileHandle file, net::EndpointId client,
+                                    std::span<const Extent> extents,
+                                    std::uint32_t writer, std::uint64_t query) {
+    for (const Extent& extent : extents)
+      co_await absorb_batch(file, client, std::span<const Extent>(&extent, 1),
+                            writer, query);
+    co_await drain_evictions(client);
+  }
+
+  sim::Task<void> direct_write_posix(FileHandle file, net::EndpointId client,
+                                     std::span<const Extent> extents,
+                                     std::uint32_t writer,
+                                     std::uint64_t query) {
     FileState& state = file_state(file);
     const std::uint64_t strip = params_.layout.strip_size();
     for (const Extent& extent : extents) {
@@ -249,8 +271,24 @@ class Pfs {
     }
   }
 
-  /// MPI_File_sync: a flush request to every server, in parallel.
-  sim::Task<void> sync(FileHandle file, net::EndpointId client) {
+ public:
+  /// MPI_File_sync: a flush request to every server, in parallel.  With the
+  /// cache enabled, the client first writes back its dirty data for the
+  /// file (one coalesced list write), then issues the server-side flush.
+  [[nodiscard]] sim::Task<void> sync(FileHandle file, net::EndpointId client) {
+    if (cache_enabled()) return cache_sync(file, client);
+    return direct_sync(file, client);
+  }
+
+ private:
+  sim::Task<void> cache_sync(FileHandle file, net::EndpointId client) {
+    WritebackRun run;
+    client_cache(client).flush_file(file, run);
+    if (!run.extents.empty()) co_await writeback_run(client, run);
+    co_await direct_sync(file, client);
+  }
+
+  sim::Task<void> direct_sync(FileHandle file, net::EndpointId client) {
     (void)file;  // PVFS2 sync flushes the server-side streams
     sim::WaitGroup pending(*scheduler_);
     for (std::uint32_t s = 0; s < servers_.size(); ++s) {
@@ -259,6 +297,8 @@ class Pfs {
     }
     co_await pending.wait();
   }
+
+ public:
 
   [[nodiscard]] const FileImage& image(FileHandle file) const {
     S3A_REQUIRE(file < files_.size());
@@ -287,6 +327,49 @@ class Pfs {
   [[nodiscard]] std::uint64_t bytes_read(FileHandle file) const {
     S3A_REQUIRE(file < files_.size());
     return files_[file]->bytes_read;
+  }
+
+  /// --- Client-side cache layer (DESIGN.md §10). --------------------------
+
+  [[nodiscard]] bool cache_enabled() const noexcept {
+    return params_.cache.enabled();
+  }
+
+  /// Cache/token counters summed over every client cache plus the token
+  /// manager (`ServerStats`-style aggregation; published as `pfs.cache.*`).
+  [[nodiscard]] CacheStats cache_stats() const {
+    CacheStats total;
+    for (const auto& [client, cache] : caches_) total += cache->stats();
+    if (tokens_ != nullptr) tokens_->add_counters(total);
+    return total;
+  }
+
+  /// The lease table, for tests and diagnostics (cache-enabled only).
+  [[nodiscard]] const TokenManager& token_manager() const {
+    S3A_REQUIRE(tokens_ != nullptr);
+    return *tokens_;
+  }
+
+  /// Close-time flush: writes back every dirty block `client` still holds,
+  /// drops its residency, and returns its leases with one metadata round
+  /// trip.  No-op when the cache is disabled or the client never touched
+  /// it.  Every client must call this before `shutdown` so no dirty data is
+  /// lost (the runtimes hook it into rank teardown).
+  sim::Task<void> release_client(net::EndpointId client) {
+    if (!cache_enabled()) co_return;
+    const auto it = caches_.find(client);
+    if (it == caches_.end()) co_return;
+    std::vector<WritebackRun> runs;
+    it->second->close_all(runs);
+    for (const WritebackRun& run : runs)
+      if (!run.extents.empty()) co_await writeback_run(client, run);
+    tokens_->release_client(static_cast<std::uint32_t>(client));
+    co_await network_->transfer(client, server_endpoint_base_,
+                                params_.request_header_bytes);
+    account_metadata_op();
+    co_await scheduler_->delay(params_.metadata_op);
+    co_await network_->transfer(server_endpoint_base_, client,
+                                params_.ack_bytes);
   }
 
  private:
@@ -510,6 +593,177 @@ class Pfs {
     }
   }
 
+  /// --- Cache-layer glue (all private; DESIGN.md §10). --------------------
+
+  /// Books one metadata operation on server 0 (the metadata server).
+  /// Metadata time is tracked apart from `busy` — see ServerStats.
+  void account_metadata_op() {
+    Server& meta = *servers_[0];
+    ++meta.stats.metadata_ops;
+    meta.stats.metadata_busy += params_.metadata_op;
+  }
+
+  /// The lazily-created cache of one client endpoint (deterministic map).
+  [[nodiscard]] ClientCache& client_cache(net::EndpointId client) {
+    auto& slot = caches_[client];
+    if (slot == nullptr) slot = std::make_unique<ClientCache>(params_.cache);
+    return *slot;
+  }
+
+  using LeaseSpan = std::pair<std::uint64_t, std::uint64_t>;
+
+  /// Rounds each extent out to lease granularity and returns the merged,
+  /// ascending spans `client` does not yet hold in `mode`.
+  [[nodiscard]] std::vector<LeaseSpan> uncovered_spans(
+      FileHandle file, net::EndpointId client, TokenMode mode,
+      std::span<const Extent> extents) const {
+    std::vector<LeaseSpan> needed;
+    const std::uint64_t granule = params_.cache.token_bytes;
+    const auto holder = static_cast<std::uint32_t>(client);
+    for (const Extent& extent : extents) {
+      if (extent.length == 0) continue;
+      const std::uint64_t begin = extent.offset / granule * granule;
+      const std::uint64_t end =
+          (extent.offset + extent.length + granule - 1) / granule * granule;
+      if (!tokens_->covered(file, holder, mode, begin, end))
+        needed.emplace_back(begin, end);
+    }
+    std::sort(needed.begin(), needed.end());
+    std::vector<LeaseSpan> merged;
+    for (const LeaseSpan& span : needed) {
+      if (!merged.empty() && span.first <= merged.back().second)
+        merged.back().second = std::max(merged.back().second, span.second);
+      else
+        merged.push_back(span);
+    }
+    return merged;
+  }
+
+  /// The lease-acquisition round trip (caller holds the token service):
+  /// one request to the metadata server carrying one OL pair per span, the
+  /// metadata op, any revocation round trips, then the grant ack.
+  sim::Task<void> grant_spans(FileHandle file, net::EndpointId client,
+                              TokenMode mode,
+                              const std::vector<LeaseSpan>& spans) {
+    co_await network_->transfer(
+        client, server_endpoint_base_,
+        params_.request_header_bytes + params_.pair_header_bytes * spans.size());
+    account_metadata_op();
+    co_await scheduler_->delay(params_.metadata_op);
+    const auto holder = static_cast<std::uint32_t>(client);
+    for (const LeaseSpan& span : spans)
+      for (const TokenManager::Revocation& revocation :
+           tokens_->acquire(file, holder, mode, span.first, span.second))
+        co_await revoke_one(file, revocation);
+    co_await network_->transfer(server_endpoint_base_, client,
+                                params_.ack_bytes);
+  }
+
+  /// Write-lease acquisition + cache absorption for one extent batch.  The
+  /// whole lease-check → grant → absorb sequence runs under the serialized
+  /// token service when a grant is needed, so a competing client can never
+  /// revoke between our grant and our absorb; when the leases are already
+  /// held, check and absorb are synchronous (no suspension in between).
+  sim::Task<void> absorb_batch(FileHandle file, net::EndpointId client,
+                               std::span<const Extent> extents,
+                               std::uint32_t writer, std::uint64_t query) {
+    std::vector<LeaseSpan> needed =
+        uncovered_spans(file, client, TokenMode::Write, extents);
+    std::optional<sim::ResourceHold> hold;
+    if (!needed.empty()) {
+      co_await token_service_->acquire();
+      hold.emplace(*token_service_);
+      needed = uncovered_spans(file, client, TokenMode::Write, extents);
+      if (!needed.empty())
+        co_await grant_spans(file, client, TokenMode::Write, needed);
+    }
+    FileState& state = file_state(file);
+    ClientCache& cache = client_cache(client);
+    for (const Extent& extent : extents) {
+      cache.absorb_write(file, extent);
+      state.image.record_write(extent.offset, extent.length, writer, query);
+    }
+  }
+
+  /// Cached read: read-lease acquisition, cache probe, then a parallel
+  /// fetch of only the missing pieces.
+  sim::Task<void> cache_read(FileHandle file, net::EndpointId client,
+                             std::uint64_t offset, std::uint64_t length) {
+    file_state(file).bytes_read += length;
+    const Extent one{offset, length};
+    std::vector<LeaseSpan> needed = uncovered_spans(
+        file, client, TokenMode::Read, std::span<const Extent>(&one, 1));
+    std::optional<sim::ResourceHold> hold;
+    if (!needed.empty()) {
+      co_await token_service_->acquire();
+      hold.emplace(*token_service_);
+      needed = uncovered_spans(file, client, TokenMode::Read,
+                               std::span<const Extent>(&one, 1));
+      if (!needed.empty())
+        co_await grant_spans(file, client, TokenMode::Read, needed);
+    }
+    std::vector<Extent> missing;
+    client_cache(client).absorb_read(file, one, missing);
+    hold.reset();
+    if (!missing.empty()) {
+      ScratchLease scratch = acquire_scratch();
+      params_.layout.group_by_server(
+          std::span<const Extent>(missing.data(), missing.size()), *scratch);
+      sim::WaitGroup pending(*scheduler_);
+      for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
+        if (scratch->per_server[s].empty()) continue;
+        pending.add();
+        scheduler_->spawn(
+            issue_read(s, client, scratch->per_server[s], pending));
+      }
+      co_await pending.wait();
+    }
+    co_await drain_evictions(client);
+  }
+
+  /// One revocation round trip: metadata server → victim callback, the
+  /// victim's dirty data in the range written back, victim → metadata ack.
+  sim::Task<void> revoke_one(FileHandle file,
+                             const TokenManager::Revocation& revocation) {
+    const auto victim = static_cast<net::EndpointId>(revocation.client);
+    co_await network_->transfer(server_endpoint_base_, victim,
+                                params_.request_header_bytes);
+    WritebackRun run;
+    client_cache(victim).invalidate(file, revocation.begin, revocation.end,
+                                    run);
+    if (!run.extents.empty()) co_await writeback_run(victim, run);
+    co_await network_->transfer(victim, server_endpoint_base_,
+                                params_.ack_bytes);
+  }
+
+  /// Ships one coalesced writeback run as a native list write (the data was
+  /// recorded in the file image at absorb time).
+  sim::Task<void> writeback_run(net::EndpointId client,
+                                const WritebackRun& run) {
+    ScratchLease scratch = acquire_scratch();
+    params_.layout.group_by_server(
+        std::span<const Extent>(run.extents.data(), run.extents.size()),
+        *scratch);
+    sim::WaitGroup pending(*scheduler_);
+    for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
+      if (scratch->per_server[s].empty()) continue;
+      pending.add();
+      scheduler_->spawn(issue_write(s, client, scratch->per_server[s], pending));
+    }
+    co_await pending.wait();
+  }
+
+  /// Flush-behind eviction loop: while over capacity, the LRU block's
+  /// contiguous dirty run goes back to the servers in one list write.
+  sim::Task<void> drain_evictions(net::EndpointId client) {
+    ClientCache& cache = client_cache(client);
+    while (cache.needs_eviction()) {
+      WritebackRun run;
+      cache.evict_one(run);
+      if (!run.extents.empty()) co_await writeback_run(client, run);
+    }
+  }
+
   sim::Scheduler* scheduler_;
   net::Network* network_;
   PfsParams params_;
@@ -522,6 +776,12 @@ class Pfs {
   /// operations and is reused forever after.
   std::vector<std::unique_ptr<GroupScratch>> scratch_pool_;
   std::vector<GroupScratch*> free_scratch_;
+  /// Cache layer (null unless params_.cache.enabled()).  The token service
+  /// is a capacity-1 resource serializing metadata-server lease traffic;
+  /// client caches are keyed by endpoint in a deterministic map.
+  std::unique_ptr<TokenManager> tokens_;
+  std::unique_ptr<sim::Resource> token_service_;
+  std::map<net::EndpointId, std::unique_ptr<ClientCache>> caches_;
 };
 
 }  // namespace s3asim::pfs

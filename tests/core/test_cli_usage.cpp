@@ -17,7 +17,9 @@ const char* const kExpectedFlags[] = {
     "--procs",         "--strategy",       "--sync",
     "--speed",         "--arrival-rate",   "--arrival-trace",
     "--admit-policy",  "--admit-depth",    "--engine",
-    "--engine-threads", "--trace",         "--trace-json",
+    "--engine-threads", "--cache-size",    "--cache-block",
+    "--token-granularity",
+    "--trace",         "--trace-json",
     "--metrics-json",  "--gantt",          "--groups",
     "--jobs",          "--fault",          "--fault-timeout",
     "--json",          "--set",            "--print-config",
@@ -70,6 +72,9 @@ TEST(CliUsageTest, GoldenText) {
   EXPECT_NE(text.find("default 0 = closed batch"), std::string::npos);
   EXPECT_NE(text.find("fifo | wfq | priority"), std::string::npos);
   EXPECT_NE(text.find("serial | parallel"), std::string::npos);
+  EXPECT_NE(text.find("--cache-size B      per-client write-back cache"),
+            std::string::npos);
+  EXPECT_NE(text.find("byte-range lease granularity"), std::string::npos);
   EXPECT_NE(text.find("bit-identical"), std::string::npos);
   // The text ends without a trailing newline (puts adds one).
   EXPECT_NE(text.back(), '\n');

@@ -298,6 +298,78 @@ TEST(ConfigLoaderTest, BadEngineKeysRejected) {
                std::invalid_argument);
 }
 
+TEST(ConfigLoaderTest, CacheKeysApply) {
+  const auto config = load_config(
+      "strip_size = 64KiB\ncache_capacity = 16MiB\ncache_block = 16KiB\n"
+      "token_granularity = 64KiB\n");
+  EXPECT_TRUE(config.model.pfs.cache.enabled());
+  EXPECT_EQ(config.model.pfs.cache.capacity_bytes, 16u * 1024 * 1024);
+  EXPECT_EQ(config.model.pfs.cache.block_bytes, 16u * 1024);
+  EXPECT_EQ(config.model.pfs.cache.token_bytes, 64u * 1024);
+}
+
+TEST(ConfigLoaderTest, CacheOffByDefault) {
+  EXPECT_FALSE(load_config("").model.pfs.cache.enabled());
+}
+
+TEST(ConfigLoaderTest, ZeroCacheCapacityRejectedNamingKey) {
+  try {
+    (void)load_config("cache_capacity = 0\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("cache_capacity"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ConfigLoaderTest, NegativeCacheCapacityRejectedNamingKey) {
+  try {
+    (void)load_config("cache_capacity = -4MiB\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("cache_capacity"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ConfigLoaderTest, CacheBlockMustDivideStripNamingKey) {
+  try {
+    (void)load_config(
+        "strip_size = 64KiB\ncache_capacity = 1MiB\ncache_block = 24KiB\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("cache_block"), std::string::npos) << message;
+    EXPECT_NE(message.find("strip_size"), std::string::npos) << message;
+  }
+}
+
+TEST(ConfigLoaderTest, TokenGranularityFinerThanBlockRejectedNamingKey) {
+  try {
+    (void)load_config(
+        "cache_capacity = 1MiB\ncache_block = 64KiB\n"
+        "token_granularity = 16KiB\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("token_granularity"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ConfigLoaderTest, CacheCapacityBelowOneBlockRejectedNamingKey) {
+  try {
+    (void)load_config("cache_capacity = 4KiB\ncache_block = 16KiB\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("cache_capacity"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(ConfigLoaderTest, LoadedConfigActuallyRuns) {
   const auto config = load_config(
       "nprocs = 4\nquery_count = 3\nfragment_count = 6\n"

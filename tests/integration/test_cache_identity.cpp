@@ -1,0 +1,134 @@
+/// Cache-enabled byte-identity suite: with the client-side write-back
+/// cache on (DESIGN.md §10), the simulated results must stay bit-identical
+/// across every execution engine — serial scheduler, `--jobs N` sweep
+/// parallelism, and the parallel DES engine at several thread counts.
+/// Lease grants, revocation round trips, and flush-behind evictions all
+/// ride the simulated clock, so no host interleaving may leak through.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/sweep.hpp"
+#include "core/config.hpp"
+#include "core/simulation.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace s3asim;
+using core::EngineMode;
+using core::SimConfig;
+using core::Strategy;
+
+/// The strategies the cache affects most directly: batched master writes,
+/// per-call POSIX writes (token-contention worst case), and aggregation.
+const Strategy kCacheStrategies[] = {Strategy::MW, Strategy::WWPosix,
+                                     Strategy::WWAggr};
+
+SimConfig cached_config(Strategy strategy,
+                        std::uint64_t capacity = util::MiB) {
+  SimConfig config = core::test_config();
+  config.nprocs = 8;
+  config.strategy = strategy;
+  config.sync_after_write = false;  // let the cache absorb writes
+  config.model.pfs.cache.capacity_bytes = capacity;
+  config.model.pfs.cache.block_bytes = 4 * util::KiB;
+  config.model.pfs.cache.token_bytes = 16 * util::KiB;
+  return config;
+}
+
+SimConfig with_engine(SimConfig config, EngineMode mode, unsigned threads) {
+  config.engine.mode = mode;
+  config.engine.threads = threads;
+  return config;
+}
+
+std::string serial_json(const SimConfig& config) {
+  return core::run_simulation(with_engine(config, EngineMode::Serial, 0))
+      .to_json();
+}
+
+std::string parallel_json(const SimConfig& config, unsigned threads) {
+  return core::run_simulation(
+             with_engine(config, EngineMode::Parallel, threads))
+      .to_json();
+}
+
+TEST(CacheIdentityTest, ParallelEngineMatchesSerialAcrossThreadCounts) {
+  for (const Strategy strategy : kCacheStrategies) {
+    const SimConfig config = cached_config(strategy);
+    const std::string baseline = serial_json(config);
+    for (const unsigned threads : {2u, 4u})
+      EXPECT_EQ(parallel_json(config, threads), baseline)
+          << core::strategy_name(strategy) << " at " << threads << " threads";
+  }
+}
+
+TEST(CacheIdentityTest, TinyCapacityEvictionPressureMatches) {
+  // A cache small enough to force flush-behind evictions mid-run is the
+  // hardest case: eviction order depends on LRU state that must evolve
+  // identically under any engine.
+  for (const Strategy strategy : kCacheStrategies) {
+    const SimConfig config =
+        cached_config(strategy, /*capacity=*/32 * util::KiB);
+    EXPECT_EQ(parallel_json(config, 4), serial_json(config))
+        << core::strategy_name(strategy);
+  }
+}
+
+TEST(CacheIdentityTest, SyncAfterWriteMatches) {
+  // sync_after_write flushes the cache after every write burst; the
+  // flush/lease interleaving must still be engine-invariant.
+  for (const Strategy strategy : kCacheStrategies) {
+    SimConfig config = cached_config(strategy);
+    config.sync_after_write = true;
+    EXPECT_EQ(parallel_json(config, 4), serial_json(config))
+        << core::strategy_name(strategy);
+  }
+}
+
+TEST(CacheIdentityTest, JobsSweepMatchesSerialSweep) {
+  // `--jobs 4` runs cache-enabled points on a thread pool; grid-order
+  // results must be byte-identical to the serial sweep.
+  auto grid = [] {
+    std::vector<bench::SweepPoint> points;
+    for (const Strategy strategy : kCacheStrategies)
+      points.push_back({core::strategy_name(strategy), [strategy] {
+                          return core::run_simulation(cached_config(strategy));
+                        }});
+    return points;
+  };
+  const auto serial = bench::run_sweep(grid(), 1);
+  const auto parallel = bench::run_sweep(grid(), 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(parallel[i].stats.to_json(), serial[i].stats.to_json())
+        << serial[i].label;
+}
+
+TEST(CacheIdentityTest, RepeatedParallelRunsAgree) {
+  const SimConfig config = cached_config(Strategy::WWAggr);
+  EXPECT_EQ(parallel_json(config, 4), parallel_json(config, 4));
+}
+
+TEST(CacheIdentityTest, CacheStatsSurfaceInRunStats) {
+  const SimConfig config = cached_config(Strategy::MW);
+  const core::RunStats stats = core::run_simulation(config);
+  EXPECT_TRUE(stats.cache.enabled);
+  EXPECT_GT(stats.cache.token_grants, 0u);
+  EXPECT_GT(stats.cache.write_misses, 0u);
+  EXPECT_NE(stats.to_json().find("\"cache\""), std::string::npos);
+}
+
+TEST(CacheIdentityTest, CacheOffOmitsCacheSection) {
+  SimConfig config = core::test_config();
+  config.nprocs = 8;
+  const core::RunStats stats = core::run_simulation(config);
+  EXPECT_FALSE(stats.cache.enabled);
+  EXPECT_EQ(stats.to_json().find("\"cache\""), std::string::npos);
+}
+
+}  // namespace
