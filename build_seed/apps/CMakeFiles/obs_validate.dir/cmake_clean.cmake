@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_validate.dir/obs_validate.cpp.o"
+  "CMakeFiles/obs_validate.dir/obs_validate.cpp.o.d"
+  "obs_validate"
+  "obs_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

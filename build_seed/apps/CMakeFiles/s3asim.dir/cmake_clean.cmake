@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3asim.dir/s3asim_cli.cpp.o"
+  "CMakeFiles/s3asim.dir/s3asim_cli.cpp.o.d"
+  "s3asim"
+  "s3asim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3asim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

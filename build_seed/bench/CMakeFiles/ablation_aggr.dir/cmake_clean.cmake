@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aggr.dir/ablation_aggr.cpp.o"
+  "CMakeFiles/ablation_aggr.dir/ablation_aggr.cpp.o.d"
+  "ablation_aggr"
+  "ablation_aggr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coll_list.dir/ablation_coll_list.cpp.o"
+  "CMakeFiles/ablation_coll_list.dir/ablation_coll_list.cpp.o.d"
+  "ablation_coll_list"
+  "ablation_coll_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coll_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

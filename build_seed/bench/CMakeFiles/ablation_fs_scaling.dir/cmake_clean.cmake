@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fs_scaling.dir/ablation_fs_scaling.cpp.o"
+  "CMakeFiles/ablation_fs_scaling.dir/ablation_fs_scaling.cpp.o.d"
+  "ablation_fs_scaling"
+  "ablation_fs_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fs_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

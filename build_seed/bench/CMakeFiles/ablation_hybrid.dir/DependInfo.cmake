@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_hybrid.cpp" "bench/CMakeFiles/ablation_hybrid.dir/ablation_hybrid.cpp.o" "gcc" "bench/CMakeFiles/ablation_hybrid.dir/ablation_hybrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/bench/CMakeFiles/s3asim_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/core/CMakeFiles/s3asim_core.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/bio/CMakeFiles/s3asim_bio.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/fault/CMakeFiles/s3asim_fault.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/trace/CMakeFiles/s3asim_trace.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/sim/CMakeFiles/s3asim_sim.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/obs/CMakeFiles/s3asim_obs.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mw_nonblocking.dir/ablation_mw_nonblocking.cpp.o"
+  "CMakeFiles/ablation_mw_nonblocking.dir/ablation_mw_nonblocking.cpp.o.d"
+  "ablation_mw_nonblocking"
+  "ablation_mw_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mw_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

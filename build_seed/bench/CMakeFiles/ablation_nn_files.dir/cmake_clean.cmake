@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nn_files.dir/ablation_nn_files.cpp.o"
+  "CMakeFiles/ablation_nn_files.dir/ablation_nn_files.cpp.o.d"
+  "ablation_nn_files"
+  "ablation_nn_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nn_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_nn_files.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resume.dir/ablation_resume.cpp.o"
+  "CMakeFiles/ablation_resume.dir/ablation_resume.cpp.o.d"
+  "ablation_resume"
+  "ablation_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

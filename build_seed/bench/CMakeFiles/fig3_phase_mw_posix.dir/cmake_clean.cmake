@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_phase_mw_posix.dir/fig3_phase_mw_posix.cpp.o"
+  "CMakeFiles/fig3_phase_mw_posix.dir/fig3_phase_mw_posix.cpp.o.d"
+  "fig3_phase_mw_posix"
+  "fig3_phase_mw_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_phase_mw_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_phase_list_coll.dir/fig4_phase_list_coll.cpp.o"
+  "CMakeFiles/fig4_phase_list_coll.dir/fig4_phase_list_coll.cpp.o.d"
+  "fig4_phase_list_coll"
+  "fig4_phase_list_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_phase_list_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

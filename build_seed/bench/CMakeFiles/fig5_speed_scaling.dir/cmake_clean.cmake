@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_speed_scaling.dir/fig5_speed_scaling.cpp.o"
+  "CMakeFiles/fig5_speed_scaling.dir/fig5_speed_scaling.cpp.o.d"
+  "fig5_speed_scaling"
+  "fig5_speed_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_speed_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_phase_mw_posix.dir/fig6_phase_mw_posix.cpp.o"
+  "CMakeFiles/fig6_phase_mw_posix.dir/fig6_phase_mw_posix.cpp.o.d"
+  "fig6_phase_mw_posix"
+  "fig6_phase_mw_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_phase_mw_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_phase_list_coll.dir/fig7_phase_list_coll.cpp.o"
+  "CMakeFiles/fig7_phase_list_coll.dir/fig7_phase_list_coll.cpp.o.d"
+  "fig7_phase_list_coll"
+  "fig7_phase_list_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_phase_list_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_io.dir/microbench_io.cpp.o"
+  "CMakeFiles/microbench_io.dir/microbench_io.cpp.o.d"
+  "microbench_io"
+  "microbench_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

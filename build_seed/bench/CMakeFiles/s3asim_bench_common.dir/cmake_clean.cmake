@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libs3asim_bench_common.a"
+  "../lib/libs3asim_bench_common.pdb"
+  "CMakeFiles/s3asim_bench_common.dir/common.cpp.o"
+  "CMakeFiles/s3asim_bench_common.dir/common.cpp.o.d"
+  "CMakeFiles/s3asim_bench_common.dir/sweep.cpp.o"
+  "CMakeFiles/s3asim_bench_common.dir/sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3asim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

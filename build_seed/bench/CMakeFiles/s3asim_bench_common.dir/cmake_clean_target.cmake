@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libs3asim_bench_common.a"
+)

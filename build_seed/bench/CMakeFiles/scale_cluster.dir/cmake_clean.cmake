@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_cluster.dir/scale_cluster.cpp.o"
+  "CMakeFiles/scale_cluster.dir/scale_cluster.cpp.o.d"
+  "scale_cluster"
+  "scale_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

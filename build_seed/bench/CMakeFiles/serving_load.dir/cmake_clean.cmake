@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_load.dir/serving_load.cpp.o"
+  "CMakeFiles/serving_load.dir/serving_load.cpp.o.d"
+  "serving_load"
+  "serving_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_search.dir/blast_search.cpp.o"
+  "CMakeFiles/blast_search.dir/blast_search.cpp.o.d"
+  "blast_search"
+  "blast_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

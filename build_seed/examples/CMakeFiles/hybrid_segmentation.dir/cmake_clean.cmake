@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_segmentation.dir/hybrid_segmentation.cpp.o"
+  "CMakeFiles/hybrid_segmentation.dir/hybrid_segmentation.cpp.o.d"
+  "hybrid_segmentation"
+  "hybrid_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

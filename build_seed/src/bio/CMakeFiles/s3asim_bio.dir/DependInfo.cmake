@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/align.cpp" "src/bio/CMakeFiles/s3asim_bio.dir/align.cpp.o" "gcc" "src/bio/CMakeFiles/s3asim_bio.dir/align.cpp.o.d"
+  "/root/repo/src/bio/blast.cpp" "src/bio/CMakeFiles/s3asim_bio.dir/blast.cpp.o" "gcc" "src/bio/CMakeFiles/s3asim_bio.dir/blast.cpp.o.d"
+  "/root/repo/src/bio/evalue.cpp" "src/bio/CMakeFiles/s3asim_bio.dir/evalue.cpp.o" "gcc" "src/bio/CMakeFiles/s3asim_bio.dir/evalue.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/bio/CMakeFiles/s3asim_bio.dir/fasta.cpp.o" "gcc" "src/bio/CMakeFiles/s3asim_bio.dir/fasta.cpp.o.d"
+  "/root/repo/src/bio/generator.cpp" "src/bio/CMakeFiles/s3asim_bio.dir/generator.cpp.o" "gcc" "src/bio/CMakeFiles/s3asim_bio.dir/generator.cpp.o.d"
+  "/root/repo/src/bio/kmer_index.cpp" "src/bio/CMakeFiles/s3asim_bio.dir/kmer_index.cpp.o" "gcc" "src/bio/CMakeFiles/s3asim_bio.dir/kmer_index.cpp.o.d"
+  "/root/repo/src/bio/report.cpp" "src/bio/CMakeFiles/s3asim_bio.dir/report.cpp.o" "gcc" "src/bio/CMakeFiles/s3asim_bio.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3asim_bio.dir/align.cpp.o"
+  "CMakeFiles/s3asim_bio.dir/align.cpp.o.d"
+  "CMakeFiles/s3asim_bio.dir/blast.cpp.o"
+  "CMakeFiles/s3asim_bio.dir/blast.cpp.o.d"
+  "CMakeFiles/s3asim_bio.dir/evalue.cpp.o"
+  "CMakeFiles/s3asim_bio.dir/evalue.cpp.o.d"
+  "CMakeFiles/s3asim_bio.dir/fasta.cpp.o"
+  "CMakeFiles/s3asim_bio.dir/fasta.cpp.o.d"
+  "CMakeFiles/s3asim_bio.dir/generator.cpp.o"
+  "CMakeFiles/s3asim_bio.dir/generator.cpp.o.d"
+  "CMakeFiles/s3asim_bio.dir/kmer_index.cpp.o"
+  "CMakeFiles/s3asim_bio.dir/kmer_index.cpp.o.d"
+  "CMakeFiles/s3asim_bio.dir/report.cpp.o"
+  "CMakeFiles/s3asim_bio.dir/report.cpp.o.d"
+  "libs3asim_bio.a"
+  "libs3asim_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3asim_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_loader.cpp" "src/core/CMakeFiles/s3asim_core.dir/config_loader.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/config_loader.cpp.o.d"
+  "/root/repo/src/core/fasta_workload.cpp" "src/core/CMakeFiles/s3asim_core.dir/fasta_workload.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/fasta_workload.cpp.o.d"
+  "/root/repo/src/core/master_runtime.cpp" "src/core/CMakeFiles/s3asim_core.dir/master_runtime.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/master_runtime.cpp.o.d"
+  "/root/repo/src/core/obs_bridge.cpp" "src/core/CMakeFiles/s3asim_core.dir/obs_bridge.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/obs_bridge.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/s3asim_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/scale_model.cpp" "src/core/CMakeFiles/s3asim_core.dir/scale_model.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/scale_model.cpp.o.d"
+  "/root/repo/src/core/serving.cpp" "src/core/CMakeFiles/s3asim_core.dir/serving.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/serving.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/s3asim_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/s3asim_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/strategies/io_strategy.cpp" "src/core/CMakeFiles/s3asim_core.dir/strategies/io_strategy.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/strategies/io_strategy.cpp.o.d"
+  "/root/repo/src/core/strategies/mw.cpp" "src/core/CMakeFiles/s3asim_core.dir/strategies/mw.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/strategies/mw.cpp.o.d"
+  "/root/repo/src/core/strategies/registry.cpp" "src/core/CMakeFiles/s3asim_core.dir/strategies/registry.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/strategies/registry.cpp.o.d"
+  "/root/repo/src/core/strategies/ww_aggr.cpp" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_aggr.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_aggr.cpp.o.d"
+  "/root/repo/src/core/strategies/ww_coll.cpp" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_coll.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_coll.cpp.o.d"
+  "/root/repo/src/core/strategies/ww_coll_list.cpp" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_coll_list.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_coll_list.cpp.o.d"
+  "/root/repo/src/core/strategies/ww_file_per_process.cpp" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_file_per_process.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_file_per_process.cpp.o.d"
+  "/root/repo/src/core/strategies/ww_list.cpp" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_list.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_list.cpp.o.d"
+  "/root/repo/src/core/strategies/ww_posix.cpp" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_posix.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/strategies/ww_posix.cpp.o.d"
+  "/root/repo/src/core/worker_runtime.cpp" "src/core/CMakeFiles/s3asim_core.dir/worker_runtime.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/worker_runtime.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/s3asim_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/s3asim_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/bio/CMakeFiles/s3asim_bio.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/fault/CMakeFiles/s3asim_fault.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/obs/CMakeFiles/s3asim_obs.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/trace/CMakeFiles/s3asim_trace.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/sim/CMakeFiles/s3asim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3asim_fault.dir/fault.cpp.o"
+  "CMakeFiles/s3asim_fault.dir/fault.cpp.o.d"
+  "libs3asim_fault.a"
+  "libs3asim_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3asim_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

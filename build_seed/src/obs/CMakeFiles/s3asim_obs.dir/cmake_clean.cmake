@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3asim_obs.dir/metrics.cpp.o"
+  "CMakeFiles/s3asim_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/s3asim_obs.dir/schema.cpp.o"
+  "CMakeFiles/s3asim_obs.dir/schema.cpp.o.d"
+  "libs3asim_obs.a"
+  "libs3asim_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3asim_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

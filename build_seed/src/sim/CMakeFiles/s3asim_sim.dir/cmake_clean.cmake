@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3asim_sim.dir/lp_scheduler.cpp.o"
+  "CMakeFiles/s3asim_sim.dir/lp_scheduler.cpp.o.d"
+  "CMakeFiles/s3asim_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/s3asim_sim.dir/scheduler.cpp.o.d"
+  "libs3asim_sim.a"
+  "libs3asim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3asim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

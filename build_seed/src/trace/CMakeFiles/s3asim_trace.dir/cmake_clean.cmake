@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3asim_trace.dir/trace.cpp.o"
+  "CMakeFiles/s3asim_trace.dir/trace.cpp.o.d"
+  "libs3asim_trace.a"
+  "libs3asim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3asim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libs3asim_trace.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3asim_util.dir/csv.cpp.o"
+  "CMakeFiles/s3asim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/s3asim_util.dir/histogram.cpp.o"
+  "CMakeFiles/s3asim_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/s3asim_util.dir/json.cpp.o"
+  "CMakeFiles/s3asim_util.dir/json.cpp.o.d"
+  "CMakeFiles/s3asim_util.dir/keyval.cpp.o"
+  "CMakeFiles/s3asim_util.dir/keyval.cpp.o.d"
+  "CMakeFiles/s3asim_util.dir/log.cpp.o"
+  "CMakeFiles/s3asim_util.dir/log.cpp.o.d"
+  "CMakeFiles/s3asim_util.dir/stats.cpp.o"
+  "CMakeFiles/s3asim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/s3asim_util.dir/table.cpp.o"
+  "CMakeFiles/s3asim_util.dir/table.cpp.o.d"
+  "CMakeFiles/s3asim_util.dir/units.cpp.o"
+  "CMakeFiles/s3asim_util.dir/units.cpp.o.d"
+  "libs3asim_util.a"
+  "libs3asim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3asim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

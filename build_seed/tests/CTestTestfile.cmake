@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build_seed/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("sim")
+subdirs("net")
+subdirs("mpi")
+subdirs("fault")
+subdirs("pfs")
+subdirs("mpiio")
+subdirs("bio")
+subdirs("trace")
+subdirs("core")
+subdirs("integration")

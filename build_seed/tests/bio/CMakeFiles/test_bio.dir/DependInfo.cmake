@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bio/test_align.cpp" "tests/bio/CMakeFiles/test_bio.dir/test_align.cpp.o" "gcc" "tests/bio/CMakeFiles/test_bio.dir/test_align.cpp.o.d"
+  "/root/repo/tests/bio/test_blast.cpp" "tests/bio/CMakeFiles/test_bio.dir/test_blast.cpp.o" "gcc" "tests/bio/CMakeFiles/test_bio.dir/test_blast.cpp.o.d"
+  "/root/repo/tests/bio/test_evalue.cpp" "tests/bio/CMakeFiles/test_bio.dir/test_evalue.cpp.o" "gcc" "tests/bio/CMakeFiles/test_bio.dir/test_evalue.cpp.o.d"
+  "/root/repo/tests/bio/test_fasta.cpp" "tests/bio/CMakeFiles/test_bio.dir/test_fasta.cpp.o" "gcc" "tests/bio/CMakeFiles/test_bio.dir/test_fasta.cpp.o.d"
+  "/root/repo/tests/bio/test_generator.cpp" "tests/bio/CMakeFiles/test_bio.dir/test_generator.cpp.o" "gcc" "tests/bio/CMakeFiles/test_bio.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/bio/test_kmer_index.cpp" "tests/bio/CMakeFiles/test_bio.dir/test_kmer_index.cpp.o" "gcc" "tests/bio/CMakeFiles/test_bio.dir/test_kmer_index.cpp.o.d"
+  "/root/repo/tests/bio/test_report.cpp" "tests/bio/CMakeFiles/test_bio.dir/test_report.cpp.o" "gcc" "tests/bio/CMakeFiles/test_bio.dir/test_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/bio/CMakeFiles/s3asim_bio.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bio.dir/test_align.cpp.o"
+  "CMakeFiles/test_bio.dir/test_align.cpp.o.d"
+  "CMakeFiles/test_bio.dir/test_blast.cpp.o"
+  "CMakeFiles/test_bio.dir/test_blast.cpp.o.d"
+  "CMakeFiles/test_bio.dir/test_evalue.cpp.o"
+  "CMakeFiles/test_bio.dir/test_evalue.cpp.o.d"
+  "CMakeFiles/test_bio.dir/test_fasta.cpp.o"
+  "CMakeFiles/test_bio.dir/test_fasta.cpp.o.d"
+  "CMakeFiles/test_bio.dir/test_generator.cpp.o"
+  "CMakeFiles/test_bio.dir/test_generator.cpp.o.d"
+  "CMakeFiles/test_bio.dir/test_kmer_index.cpp.o"
+  "CMakeFiles/test_bio.dir/test_kmer_index.cpp.o.d"
+  "CMakeFiles/test_bio.dir/test_report.cpp.o"
+  "CMakeFiles/test_bio.dir/test_report.cpp.o.d"
+  "test_bio"
+  "test_bio.pdb"
+  "test_bio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_cli_usage.cpp" "tests/core/CMakeFiles/test_core.dir/test_cli_usage.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_cli_usage.cpp.o.d"
+  "/root/repo/tests/core/test_config_loader.cpp" "tests/core/CMakeFiles/test_core.dir/test_config_loader.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_config_loader.cpp.o.d"
+  "/root/repo/tests/core/test_database_io.cpp" "tests/core/CMakeFiles/test_core.dir/test_database_io.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_database_io.cpp.o.d"
+  "/root/repo/tests/core/test_fasta_workload.cpp" "tests/core/CMakeFiles/test_core.dir/test_fasta_workload.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_fasta_workload.cpp.o.d"
+  "/root/repo/tests/core/test_faults.cpp" "tests/core/CMakeFiles/test_core.dir/test_faults.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/core/test_file_per_process.cpp" "tests/core/CMakeFiles/test_core.dir/test_file_per_process.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_file_per_process.cpp.o.d"
+  "/root/repo/tests/core/test_fragment_cache.cpp" "tests/core/CMakeFiles/test_core.dir/test_fragment_cache.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_fragment_cache.cpp.o.d"
+  "/root/repo/tests/core/test_golden_stats.cpp" "tests/core/CMakeFiles/test_core.dir/test_golden_stats.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_golden_stats.cpp.o.d"
+  "/root/repo/tests/core/test_heterogeneity.cpp" "tests/core/CMakeFiles/test_core.dir/test_heterogeneity.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_heterogeneity.cpp.o.d"
+  "/root/repo/tests/core/test_hybrid.cpp" "tests/core/CMakeFiles/test_core.dir/test_hybrid.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_hybrid.cpp.o.d"
+  "/root/repo/tests/core/test_phases.cpp" "tests/core/CMakeFiles/test_core.dir/test_phases.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_phases.cpp.o.d"
+  "/root/repo/tests/core/test_scale_model.cpp" "tests/core/CMakeFiles/test_core.dir/test_scale_model.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_scale_model.cpp.o.d"
+  "/root/repo/tests/core/test_serving.cpp" "tests/core/CMakeFiles/test_core.dir/test_serving.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_serving.cpp.o.d"
+  "/root/repo/tests/core/test_shapes.cpp" "tests/core/CMakeFiles/test_core.dir/test_shapes.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_shapes.cpp.o.d"
+  "/root/repo/tests/core/test_simulation.cpp" "tests/core/CMakeFiles/test_core.dir/test_simulation.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/core/test_strategy.cpp" "tests/core/CMakeFiles/test_core.dir/test_strategy.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_strategy.cpp.o.d"
+  "/root/repo/tests/core/test_workload.cpp" "tests/core/CMakeFiles/test_core.dir/test_workload.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/core/CMakeFiles/s3asim_core.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/bio/CMakeFiles/s3asim_bio.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/fault/CMakeFiles/s3asim_fault.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/trace/CMakeFiles/s3asim_trace.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/sim/CMakeFiles/s3asim_sim.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/obs/CMakeFiles/s3asim_obs.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/test_cache_identity.cpp.o"
+  "CMakeFiles/test_integration.dir/test_cache_identity.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_cross_layer.cpp.o"
+  "CMakeFiles/test_integration.dir/test_cross_layer.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_engine_identity.cpp.o"
+  "CMakeFiles/test_integration.dir/test_engine_identity.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_observability_determinism.cpp.o"
+  "CMakeFiles/test_integration.dir/test_observability_determinism.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_random_configs.cpp.o"
+  "CMakeFiles/test_integration.dir/test_random_configs.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_sweep_determinism.cpp.o"
+  "CMakeFiles/test_integration.dir/test_sweep_determinism.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpiio/test_datatype.cpp" "tests/mpiio/CMakeFiles/test_mpiio.dir/test_datatype.cpp.o" "gcc" "tests/mpiio/CMakeFiles/test_mpiio.dir/test_datatype.cpp.o.d"
+  "/root/repo/tests/mpiio/test_file.cpp" "tests/mpiio/CMakeFiles/test_mpiio.dir/test_file.cpp.o" "gcc" "tests/mpiio/CMakeFiles/test_mpiio.dir/test_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/sim/CMakeFiles/s3asim_sim.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/obs/CMakeFiles/s3asim_obs.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

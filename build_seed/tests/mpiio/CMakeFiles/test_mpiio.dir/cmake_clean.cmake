@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpiio.dir/test_datatype.cpp.o"
+  "CMakeFiles/test_mpiio.dir/test_datatype.cpp.o.d"
+  "CMakeFiles/test_mpiio.dir/test_file.cpp.o"
+  "CMakeFiles/test_mpiio.dir/test_file.cpp.o.d"
+  "test_mpiio"
+  "test_mpiio.pdb"
+  "test_mpiio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mpiio
+# Build directory: /root/repo/build_seed/tests/mpiio
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build_seed/tests/mpiio/test_mpiio[1]_include.cmake")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/test_metrics.cpp" "tests/obs/CMakeFiles/test_obs.dir/test_metrics.cpp.o" "gcc" "tests/obs/CMakeFiles/test_obs.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/obs/test_schema.cpp" "tests/obs/CMakeFiles/test_obs.dir/test_schema.cpp.o" "gcc" "tests/obs/CMakeFiles/test_obs.dir/test_schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/obs/CMakeFiles/s3asim_obs.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

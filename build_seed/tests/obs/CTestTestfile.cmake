@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/obs
+# Build directory: /root/repo/build_seed/tests/obs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build_seed/tests/obs/test_obs[1]_include.cmake")

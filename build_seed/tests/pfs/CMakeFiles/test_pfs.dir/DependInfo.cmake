@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pfs/test_cache_pfs.cpp" "tests/pfs/CMakeFiles/test_pfs.dir/test_cache_pfs.cpp.o" "gcc" "tests/pfs/CMakeFiles/test_pfs.dir/test_cache_pfs.cpp.o.d"
+  "/root/repo/tests/pfs/test_client_cache.cpp" "tests/pfs/CMakeFiles/test_pfs.dir/test_client_cache.cpp.o" "gcc" "tests/pfs/CMakeFiles/test_pfs.dir/test_client_cache.cpp.o.d"
+  "/root/repo/tests/pfs/test_file_image.cpp" "tests/pfs/CMakeFiles/test_pfs.dir/test_file_image.cpp.o" "gcc" "tests/pfs/CMakeFiles/test_pfs.dir/test_file_image.cpp.o.d"
+  "/root/repo/tests/pfs/test_file_image_property.cpp" "tests/pfs/CMakeFiles/test_pfs.dir/test_file_image_property.cpp.o" "gcc" "tests/pfs/CMakeFiles/test_pfs.dir/test_file_image_property.cpp.o.d"
+  "/root/repo/tests/pfs/test_layout.cpp" "tests/pfs/CMakeFiles/test_pfs.dir/test_layout.cpp.o" "gcc" "tests/pfs/CMakeFiles/test_pfs.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/pfs/test_pfs.cpp" "tests/pfs/CMakeFiles/test_pfs.dir/test_pfs.cpp.o" "gcc" "tests/pfs/CMakeFiles/test_pfs.dir/test_pfs.cpp.o.d"
+  "/root/repo/tests/pfs/test_read.cpp" "tests/pfs/CMakeFiles/test_pfs.dir/test_read.cpp.o" "gcc" "tests/pfs/CMakeFiles/test_pfs.dir/test_read.cpp.o.d"
+  "/root/repo/tests/pfs/test_token.cpp" "tests/pfs/CMakeFiles/test_pfs.dir/test_token.cpp.o" "gcc" "tests/pfs/CMakeFiles/test_pfs.dir/test_token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/sim/CMakeFiles/s3asim_sim.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/obs/CMakeFiles/s3asim_obs.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

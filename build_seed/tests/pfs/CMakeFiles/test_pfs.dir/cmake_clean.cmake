@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs.dir/test_cache_pfs.cpp.o"
+  "CMakeFiles/test_pfs.dir/test_cache_pfs.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/test_client_cache.cpp.o"
+  "CMakeFiles/test_pfs.dir/test_client_cache.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/test_file_image.cpp.o"
+  "CMakeFiles/test_pfs.dir/test_file_image.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/test_file_image_property.cpp.o"
+  "CMakeFiles/test_pfs.dir/test_file_image_property.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/test_layout.cpp.o"
+  "CMakeFiles/test_pfs.dir/test_layout.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/test_pfs.cpp.o"
+  "CMakeFiles/test_pfs.dir/test_pfs.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/test_read.cpp.o"
+  "CMakeFiles/test_pfs.dir/test_read.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/test_token.cpp.o"
+  "CMakeFiles/test_pfs.dir/test_token.cpp.o.d"
+  "test_pfs"
+  "test_pfs.pdb"
+  "test_pfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_channel_barrier.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_channel_barrier.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_channel_barrier.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_event_queue.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_frame_pool.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_frame_pool.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_frame_pool.cpp.o.d"
+  "/root/repo/tests/sim/test_gate_resource.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_gate_resource.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_gate_resource.cpp.o.d"
+  "/root/repo/tests/sim/test_lp_scheduler.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_lp_scheduler.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_lp_scheduler.cpp.o.d"
+  "/root/repo/tests/sim/test_mailbox.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_mailbox.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_mailbox.cpp.o.d"
+  "/root/repo/tests/sim/test_scheduler.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_scheduler.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/sim/test_task.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_task.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_task.cpp.o.d"
+  "/root/repo/tests/sim/test_timer.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_timer.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_timer.cpp.o.d"
+  "/root/repo/tests/sim/test_wait_group.cpp" "tests/sim/CMakeFiles/test_sim.dir/test_wait_group.cpp.o" "gcc" "tests/sim/CMakeFiles/test_sim.dir/test_wait_group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/sim/CMakeFiles/s3asim_sim.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/obs/CMakeFiles/s3asim_obs.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

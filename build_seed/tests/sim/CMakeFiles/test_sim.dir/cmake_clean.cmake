@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_channel_barrier.cpp.o"
+  "CMakeFiles/test_sim.dir/test_channel_barrier.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_event_queue.cpp.o"
+  "CMakeFiles/test_sim.dir/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_frame_pool.cpp.o"
+  "CMakeFiles/test_sim.dir/test_frame_pool.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_gate_resource.cpp.o"
+  "CMakeFiles/test_sim.dir/test_gate_resource.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_lp_scheduler.cpp.o"
+  "CMakeFiles/test_sim.dir/test_lp_scheduler.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_mailbox.cpp.o"
+  "CMakeFiles/test_sim.dir/test_mailbox.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_scheduler.cpp.o"
+  "CMakeFiles/test_sim.dir/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_task.cpp.o"
+  "CMakeFiles/test_sim.dir/test_task.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_timer.cpp.o"
+  "CMakeFiles/test_sim.dir/test_timer.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_wait_group.cpp.o"
+  "CMakeFiles/test_sim.dir/test_wait_group.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

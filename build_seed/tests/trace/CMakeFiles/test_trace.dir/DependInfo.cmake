@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_chrome_export.cpp" "tests/trace/CMakeFiles/test_trace.dir/test_chrome_export.cpp.o" "gcc" "tests/trace/CMakeFiles/test_trace.dir/test_chrome_export.cpp.o.d"
+  "/root/repo/tests/trace/test_trace.cpp" "tests/trace/CMakeFiles/test_trace.dir/test_trace.cpp.o" "gcc" "tests/trace/CMakeFiles/test_trace.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/trace/CMakeFiles/s3asim_trace.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/obs/CMakeFiles/s3asim_obs.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  "/root/repo/build_seed/src/sim/CMakeFiles/s3asim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_histogram.cpp" "tests/util/CMakeFiles/test_util.dir/test_histogram.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/util/test_json.cpp" "tests/util/CMakeFiles/test_util.dir/test_json.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_json.cpp.o.d"
+  "/root/repo/tests/util/test_keyval.cpp" "tests/util/CMakeFiles/test_util.dir/test_keyval.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_keyval.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/util/CMakeFiles/test_util.dir/test_rng.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/util/CMakeFiles/test_util.dir/test_stats.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table_csv.cpp" "tests/util/CMakeFiles/test_util.dir/test_table_csv.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_table_csv.cpp.o.d"
+  "/root/repo/tests/util/test_units.cpp" "tests/util/CMakeFiles/test_util.dir/test_units.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_seed/src/util/CMakeFiles/s3asim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
