@@ -12,7 +12,7 @@ inline constexpr char kUsageText[] =
     "usage: s3asim [options] [config-file]\n"
     "  --procs N           total ranks (master + workers)\n"
     "  --strategy NAME     MW | WW-POSIX | WW-List | WW-Coll | WW-CollList |\n"
-    "                      WW-FilePerProc | WW-Aggr\n"
+    "                      WW-FilePerProc | WW-Aggr | WW-Sieve\n"
     "  --sync              per-query synchronization on\n"
     "  --speed X           compute-speed multiplier\n"
     "  --arrival-rate R    open-loop serving: Poisson arrivals at R queries\n"
@@ -36,6 +36,10 @@ inline constexpr char kUsageText[] =
     "  --token-granularity B\n"
     "                      byte-range lease granularity; a multiple of\n"
     "                      --cache-block (default 1MiB)\n"
+    "  --read-method M     noncontiguous database-read method: posix | list |\n"
+    "                      sieve (needs db_chunk_bytes > 0; docs/IO_MODEL.md)\n"
+    "  --sieve-buffer B    data-sieving buffer size, ROMIO ind_rd_buffer_size\n"
+    "                      (default 4MiB)\n"
     "  --trace FILE.csv    export phase timeline CSV\n"
     "  --trace-json FILE   export Chrome-trace-event JSON (open in Perfetto\n"
     "                      or chrome://tracing; see docs/OBSERVABILITY.md)\n"

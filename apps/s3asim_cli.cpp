@@ -159,6 +159,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--token-granularity") {
       overrides.push_back("token_granularity = " +
                           next_value("--token-granularity"));
+    } else if (arg == "--read-method") {
+      overrides.push_back("read_method = " + next_value("--read-method"));
+    } else if (arg == "--sieve-buffer") {
+      overrides.push_back("sieve_buffer = " + next_value("--sieve-buffer"));
     } else if (arg == "--trace") {
       trace_path = next_value("--trace");
     } else if (arg == "--trace-json") {

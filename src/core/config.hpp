@@ -40,6 +40,15 @@ struct WorkloadConfig {
   /// file system — §1's "repeated I/O introduced by loading sequence data
   /// back and forth between the file system and the main memory".
   std::uint64_t database_bytes = 0;
+  /// Database interleave granularity.  0 (default) stores each fragment
+  /// contiguously, so a fragment load is one contiguous read.  >0 models a
+  /// formatdb-style round-robin layout: the database file is cut into
+  /// chunks of this many bytes and chunk c belongs to fragment
+  /// c mod fragment_count, so loading fragment f means reading the strided
+  /// extent list {f, f+F, f+2F, …} — the noncontiguous read shape that
+  /// `read_method` (list I/O vs data sieving) exists to serve
+  /// (docs/IO_MODEL.md §3).  Config key `db_chunk_bytes`.
+  std::uint64_t db_chunk_bytes = 0;
   /// Result size is uniform in [min_result_bytes, cap] where cap =
   /// size_scale × 3 × max(query_len, db_sequence_len) — the paper's model
   /// ("anywhere from the minimum input size to three times the maximum of
@@ -177,6 +186,11 @@ struct SimConfig {
   /// Per-worker memory available for caching database fragments (Feynman
   /// nodes: 1 GB RDRAM).  Only used when workload.database_bytes > 0.
   std::uint64_t worker_memory_bytes = util::GiB;
+  /// Access method for noncontiguous database-fragment reads (only reached
+  /// when `workload.db_chunk_bytes` > 0 makes fragment loads noncontiguous):
+  /// Posix, ListIo, or Sieve with `hints.sieve_buffer_bytes` windows.
+  /// Config key `read_method`, CLI `--read-method`.
+  mpiio::NoncontigMethod read_method = mpiio::NoncontigMethod::ListIo;
   /// Master prefers assigning fragments a worker already holds in memory
   /// (mpiBLAST-style fragment affinity).  Only affects runs that model
   /// database I/O.

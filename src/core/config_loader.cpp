@@ -26,6 +26,14 @@ mpiio::CollectiveAlgorithm parse_collective(const std::string& name) {
   throw std::invalid_argument("unknown collective_algorithm '" + name + "'");
 }
 
+mpiio::NoncontigMethod parse_read_method(const std::string& name) {
+  if (name == "posix") return mpiio::NoncontigMethod::Posix;
+  if (name == "list") return mpiio::NoncontigMethod::ListIo;
+  if (name == "sieve") return mpiio::NoncontigMethod::Sieve;
+  throw std::invalid_argument("unknown read_method '" + name +
+                              "' (expected 'posix', 'list' or 'sieve')");
+}
+
 }  // namespace
 
 SimConfig load_config(const std::string& config_text) {
@@ -85,6 +93,8 @@ SimConfig load_config(const std::string& config_text) {
   workload.size_scale = keyval.get_double("size_scale", workload.size_scale);
   workload.database_bytes =
       keyval.get_bytes("database_bytes", workload.database_bytes);
+  workload.db_chunk_bytes =
+      keyval.get_bytes("db_chunk_bytes", workload.db_chunk_bytes);
   if (const auto hist = keyval.get_histogram("query"))
     workload.query_histogram = *hist;
   if (const auto hist = keyval.get_histogram("database"))
@@ -169,6 +179,24 @@ SimConfig load_config(const std::string& config_text) {
   if (keyval.has("collective_algorithm"))
     config.hints.collective_algorithm =
         parse_collective(keyval.get_string("collective_algorithm", ""));
+  config.hints.sieve_buffer_bytes =
+      keyval.get_bytes("sieve_buffer", config.hints.sieve_buffer_bytes);
+  if (config.hints.sieve_buffer_bytes == 0)
+    throw std::invalid_argument(
+        "key 'sieve_buffer': must be positive — a sieved access transfers "
+        "one buffer-sized window per round trip");
+  if (model.pfs.cache.enabled() &&
+      config.hints.sieve_buffer_bytes < model.pfs.cache.block_bytes)
+    throw std::invalid_argument(
+        "key 'sieve_buffer': " +
+        std::to_string(config.hints.sieve_buffer_bytes) +
+        " is smaller than cache_block (" +
+        std::to_string(model.pfs.cache.block_bytes) +
+        ") — with the cache enabled, sieved accesses go through the cache, "
+        "which transfers whole blocks");
+  if (keyval.has("read_method"))
+    config.read_method =
+        parse_read_method(keyval.get_string("read_method", ""));
 
   // --- Serving (open-loop arrivals; all optional — defaults = closed batch).
   auto& serving = config.serving;

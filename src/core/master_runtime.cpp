@@ -181,9 +181,11 @@ sim::Process master_process(App& app) {
       const auto db_handle = co_await app.fs.create_file(
           app.comm.endpoint_of(app.master),
           "database." + std::to_string(app.master));
+      // The config's hints, not Hints{}: `--sieve-buffer` must reach the
+      // database file's sieved reads.
       app.database_file = std::make_unique<mpiio::File>(
           app.scheduler, app.network, app.fs, app.comm, db_handle, app.workers,
-          mpiio::Hints{});
+          app.config.hints);
     }
     co_await strategy.master_setup(env);
     for (const mpi::Rank worker : app.workers)

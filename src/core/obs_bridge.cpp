@@ -151,6 +151,10 @@ void publish_metrics(World& world,
   registry.counter("pfs.write.bytes").add(fs_total.bytes);
   registry.counter("pfs.read.requests").add(fs_total.reads);
   registry.counter("pfs.read.bytes").add(fs_total.read_bytes);
+  // Present only when the run actually read (write-only manifests stay
+  // byte-identical to pre-read-path builds).
+  if (fs_total.reads > 0)
+    registry.counter("pfs.read.pairs").add(fs_total.read_pairs);
   registry.counter("pfs.sync.requests").add(fs_total.syncs);
   registry.gauge("pfs.busy_seconds").add(sim::to_seconds(fs_total.busy));
 
@@ -178,6 +182,21 @@ void publish_metrics(World& world,
     registry.counter("pfs.metadata.requests").add(stats.cache.metadata_ops);
     registry.gauge("pfs.metadata.busy_seconds")
         .add(stats.cache.metadata_busy_seconds);
+  }
+
+  // pfs.sieve.* — data-sieving counters (absent unless a sieved access
+  // ran, keeping sieve-free manifests byte-identical).
+  if (stats.sieve.enabled) {
+    registry.counter("pfs.sieve.reads").add(stats.sieve.reads);
+    registry.counter("pfs.sieve.writes").add(stats.sieve.writes);
+    registry.counter("pfs.sieve.rmw_reads").add(stats.sieve.rmw_reads);
+    registry.counter("pfs.sieve.holes_protected")
+        .add(stats.sieve.holes_protected);
+    registry.counter("pfs.sieve.read_bytes_amplified")
+        .add(stats.sieve.read_transferred_bytes - stats.sieve.read_useful_bytes);
+    registry.counter("pfs.sieve.write_bytes_amplified")
+        .add(stats.sieve.write_transferred_bytes -
+             stats.sieve.write_useful_bytes);
   }
 
   // net.* — NIC totals over every endpoint (ranks and servers).
@@ -326,6 +345,19 @@ RunStats collect_stats(World& world,
     stats.cache.token_conflicts = cache_total.token_conflicts;
     stats.cache.metadata_ops = fs_total.metadata_ops;
     stats.cache.metadata_busy_seconds = sim::to_seconds(fs_total.metadata_busy);
+  }
+
+  const pfs::SieveStats& sieve_total = world.fs.sieve_stats();
+  if (sieve_total.used()) {
+    stats.sieve.enabled = true;
+    stats.sieve.reads = sieve_total.reads;
+    stats.sieve.writes = sieve_total.writes;
+    stats.sieve.rmw_reads = sieve_total.rmw_reads;
+    stats.sieve.holes_protected = sieve_total.holes_protected;
+    stats.sieve.read_useful_bytes = sieve_total.read_useful_bytes;
+    stats.sieve.read_transferred_bytes = sieve_total.read_transferred_bytes;
+    stats.sieve.write_useful_bytes = sieve_total.write_useful_bytes;
+    stats.sieve.write_transferred_bytes = sieve_total.write_transferred_bytes;
   }
 
   if (world.metrics != nullptr)

@@ -155,6 +155,26 @@ struct App {
     return static_cast<std::size_t>(config.worker_memory_bytes /
                                     fragment_bytes());
   }
+  /// True when `db_chunk_bytes` interleaves the database file: fragment
+  /// loads become strided extent lists instead of one contiguous read.
+  [[nodiscard]] bool interleaved_database() const noexcept {
+    return models_database_io() && config.workload.db_chunk_bytes > 0 &&
+           config.workload.db_chunk_bytes < fragment_bytes();
+  }
+  /// The extent list of one fragment under the interleaved layout: chunk c
+  /// belongs to fragment c mod F, so fragment f owns chunks f, f+F, f+2F, …
+  /// clipped to database_bytes.  Requires `interleaved_database()`.
+  [[nodiscard]] std::vector<pfs::Extent> fragment_extents(
+      std::uint32_t fragment) const {
+    const std::uint64_t chunk = config.workload.db_chunk_bytes;
+    const std::uint64_t db = config.workload.database_bytes;
+    const std::uint32_t count = config.workload.fragment_count;
+    std::vector<pfs::Extent> extents;
+    for (std::uint64_t c = fragment; c * chunk < db; c += count)
+      extents.push_back(
+          {c * chunk, std::min<std::uint64_t>(chunk, db - c * chunk)});
+    return extents;
+  }
 
   // Derived mode flags.
   [[nodiscard]] bool per_query_msgs_to_all() const noexcept {

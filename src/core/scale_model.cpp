@@ -281,6 +281,10 @@ sim::Task<void> flush_results(Ctx& ctx, std::uint32_t self, std::uint64_t bytes,
       break;
     }
     case Strategy::WWList:
+    case Strategy::WWSieve:
+      // At scale-model granularity a sieved flush looks like a list write:
+      // one contiguous window per flush (the per-query region is dense, so
+      // no RMW pre-reads fire — docs/IO_MODEL.md §4).
       co_await await_acks(node, MsgKind::kWriteAck,
                           send_list_write(ctx, self, bytes));
       break;

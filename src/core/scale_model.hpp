@@ -13,7 +13,7 @@
 /// windowed parallelism translates into real wall-clock speedup.
 ///
 /// It keeps the paper's cost constants (Myrinet link, PVFS2-style striped
-/// servers, per-request disk costs) and the seven I/O strategies' *message
+/// servers, per-request disk costs) and the I/O strategies' *message
 /// patterns*:
 ///
 ///   MW             workers funnel result payloads through the master,

@@ -180,6 +180,28 @@ std::string RunStats::to_json() const {
     json.end_object();
   }
 
+  if (sieve.enabled) {
+    json.key("sieve");
+    json.begin_object();
+    json.key("reads");
+    json.value(sieve.reads);
+    json.key("writes");
+    json.value(sieve.writes);
+    json.key("rmw_reads");
+    json.value(sieve.rmw_reads);
+    json.key("holes_protected");
+    json.value(sieve.holes_protected);
+    json.key("read_useful_bytes");
+    json.value(sieve.read_useful_bytes);
+    json.key("read_transferred_bytes");
+    json.value(sieve.read_transferred_bytes);
+    json.key("write_useful_bytes");
+    json.value(sieve.write_useful_bytes);
+    json.key("write_transferred_bytes");
+    json.value(sieve.write_transferred_bytes);
+    json.end_object();
+  }
+
   json.key("ranks");
   json.begin_array();
   for (std::size_t rank = 0; rank < ranks.size(); ++rank) {

@@ -90,6 +90,22 @@ struct CacheRunStats {
   double metadata_busy_seconds = 0.0;
 };
 
+/// Data-sieving aggregates (docs/IO_MODEL.md §4).  `enabled` gates the
+/// JSON emission — no sieved access in the run means no `sieve` block, so
+/// pre-sieve dumps stay byte-identical.  Counter semantics match
+/// pfs::SieveStats.
+struct SieveRunStats {
+  bool enabled = false;
+  std::uint64_t reads = 0;            ///< sieve-buffer read windows issued
+  std::uint64_t writes = 0;           ///< sieve-buffer write windows issued
+  std::uint64_t rmw_reads = 0;        ///< write windows that pre-read (RMW)
+  std::uint64_t holes_protected = 0;  ///< holes covered by RMW pre-reads
+  std::uint64_t read_useful_bytes = 0;
+  std::uint64_t read_transferred_bytes = 0;
+  std::uint64_t write_useful_bytes = 0;
+  std::uint64_t write_transferred_bytes = 0;
+};
+
 struct RunStats {
   Strategy strategy = Strategy::MW;
   std::uint32_t nprocs = 0;
@@ -116,6 +132,7 @@ struct RunStats {
   FaultStats faults;
   ServingStats serving;
   CacheRunStats cache;
+  SieveRunStats sieve;
 
   /// Simulated second at which each flushed batch of queries became durable
   /// (in query order).  run_with_resume uses this to find the last flushed

@@ -23,6 +23,7 @@ constexpr Entry kRegistry[] = {
     {Strategy::WWCollList, &make_ww_coll_list_strategy},
     {Strategy::WWFilePerProcess, &make_ww_file_per_process_strategy},
     {Strategy::WWAggr, &make_ww_aggr_strategy},
+    {Strategy::WWSieve, &make_ww_sieve_strategy},
 };
 
 }  // namespace

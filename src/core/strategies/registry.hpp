@@ -27,5 +27,6 @@ namespace s3asim::core {
 [[nodiscard]] std::unique_ptr<IoStrategy> make_ww_coll_list_strategy();
 [[nodiscard]] std::unique_ptr<IoStrategy> make_ww_file_per_process_strategy();
 [[nodiscard]] std::unique_ptr<IoStrategy> make_ww_aggr_strategy();
+[[nodiscard]] std::unique_ptr<IoStrategy> make_ww_sieve_strategy();
 
 }  // namespace s3asim::core

@@ -1,0 +1,27 @@
+/// \file ww_sieve.cpp
+/// WW-Sieve (docs/IO_MODEL.md §4): independent worker writes through ROMIO
+/// data sieving — contiguous sieve-buffer windows with read-modify-write
+/// hole protection.
+
+#include "core/strategies/registry.hpp"
+#include "core/strategies/ww_independent.hpp"
+
+namespace s3asim::core {
+
+namespace {
+
+class WwSieveStrategy final : public WwIndependentStrategy {
+ public:
+  WwSieveStrategy() : WwIndependentStrategy(mpiio::NoncontigMethod::Sieve) {}
+  [[nodiscard]] Strategy id() const noexcept override {
+    return Strategy::WWSieve;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<IoStrategy> make_ww_sieve_strategy() {
+  return std::make_unique<WwSieveStrategy>();
+}
+
+}  // namespace s3asim::core

@@ -42,6 +42,11 @@ enum class Strategy {
   /// result data to the group's aggregator, which coalesces adjacent
   /// extents and issues one sorted list write on everyone's behalf.
   WWAggr,
+  /// Extension (docs/IO_MODEL.md §4): independent worker writes through
+  /// ROMIO data sieving — each flush is converted into contiguous
+  /// sieve-buffer windows; windows containing holes are pre-read so the
+  /// gaps are written back unchanged (read-modify-write hole protection).
+  WWSieve,
 };
 
 /// Every enumerator, in declaration order (tests and sweeps iterate this
@@ -49,7 +54,7 @@ enum class Strategy {
 inline constexpr Strategy kAllStrategies[] = {
     Strategy::MW,         Strategy::WWPosix,          Strategy::WWList,
     Strategy::WWColl,     Strategy::WWCollList,       Strategy::WWFilePerProcess,
-    Strategy::WWAggr,
+    Strategy::WWAggr,     Strategy::WWSieve,
 };
 
 [[nodiscard]] constexpr const char* strategy_name(Strategy strategy) noexcept {
@@ -61,6 +66,7 @@ inline constexpr Strategy kAllStrategies[] = {
     case Strategy::WWCollList: return "WW-CollList";
     case Strategy::WWFilePerProcess: return "WW-FilePerProc";
     case Strategy::WWAggr: return "WW-Aggr";
+    case Strategy::WWSieve: return "WW-Sieve";
   }
   return "?";
 }
@@ -93,10 +99,11 @@ inline constexpr Strategy kAllStrategies[] = {
     return Strategy::WWFilePerProcess;
   if (lower == "ww-aggr" || lower == "aggr" || lower == "aggregate")
     return Strategy::WWAggr;
+  if (lower == "ww-sieve" || lower == "sieve") return Strategy::WWSieve;
   S3A_REQUIRE_MSG(false,
                   "unknown strategy '" + name +
                       "' (expected one of: MW, WW-POSIX, WW-List, WW-Coll, "
-                      "WW-CollList, WW-FilePerProc, WW-Aggr)");
+                      "WW-CollList, WW-FilePerProc, WW-Aggr, WW-Sieve)");
   S3A_UNREACHABLE();
 }
 

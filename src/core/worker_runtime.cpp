@@ -130,9 +130,18 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
       } else {
         ++app.rank_stats[rank].fragment_loads;
         const sim::Time start = app.scheduler.now();
-        co_await app.database_file->read_at(
-            rank, static_cast<std::uint64_t>(fragment) * app.fragment_bytes(),
-            app.fragment_bytes());
+        if (app.interleaved_database()) {
+          // formatdb-style round-robin layout: the fragment is a strided
+          // extent list, served by the configured noncontiguous read
+          // method (posix / list / sieve — docs/IO_MODEL.md §3).
+          co_await app.database_file->read_noncontig(
+              rank, app.fragment_extents(fragment), app.config.read_method);
+        } else {
+          co_await app.database_file->read_at(
+              rank,
+              static_cast<std::uint64_t>(fragment) * app.fragment_bytes(),
+              app.fragment_bytes());
+        }
         app.record_phase(rank, Phase::Io, start, app.scheduler.now());
       }
     }

@@ -6,8 +6,10 @@
 /// Independent operations:
 ///  * `write_at`            — contiguous write (MPI_File_write_at)
 ///  * `write_noncontig`     — noncontiguous write with a flattened extent
-///                            list, executed per the chosen method
-///                            (POSIX per-extent, or PVFS2-native list I/O)
+///                            list, executed per the chosen method (POSIX
+///                            per-extent, PVFS2-native list I/O, or ROMIO
+///                            data sieving)
+///  * `read_at` / `read_noncontig` — the read twins (database streaming)
 ///  * `sync`                — MPI_File_sync (flush at every server)
 ///
 /// Collective operation:
@@ -75,9 +77,23 @@ class File {
   }
 
   /// Independent noncontiguous write of pre-flattened extents.
-  sim::Task<void> write_noncontig(mpi::Rank rank, std::vector<Extent> extents,
-                                  NoncontigMethod method,
-                                  std::uint64_t query = 0) {
+  /// Dispatcher, not a coroutine: the Posix/ListIo path keeps the exact
+  /// coroutine frame (and frame-pool behavior) of pre-sieving builds —
+  /// the same transparency discipline as `pfs::Pfs`'s cache dispatchers.
+  [[nodiscard]] sim::Task<void> write_noncontig(mpi::Rank rank,
+                                                std::vector<Extent> extents,
+                                                NoncontigMethod method,
+                                                std::uint64_t query = 0) {
+    if (method == NoncontigMethod::Sieve)
+      return write_noncontig_sieved(rank, std::move(extents), query);
+    return write_noncontig_direct(rank, std::move(extents), method, query);
+  }
+
+ private:
+  sim::Task<void> write_noncontig_direct(mpi::Rank rank,
+                                         std::vector<Extent> extents,
+                                         NoncontigMethod method,
+                                         std::uint64_t query) {
     if (method == NoncontigMethod::Posix) {
       co_await fs_->write_posix(handle_, comm_->endpoint_of(rank), extents,
                                 rank, query);
@@ -86,6 +102,15 @@ class File {
                                rank, query);
     }
   }
+
+  sim::Task<void> write_noncontig_sieved(mpi::Rank rank,
+                                         std::vector<Extent> extents,
+                                         std::uint64_t query) {
+    co_await fs_->write_sieved(handle_, comm_->endpoint_of(rank), extents,
+                               hints_.sieve_buffer_bytes, rank, query);
+  }
+
+ public:
 
   /// Independent noncontiguous write described by a datatype at an offset.
   sim::Task<void> write_typed(mpi::Rank rank, std::uint64_t offset,
@@ -100,6 +125,27 @@ class File {
                           std::uint64_t length) {
     co_await fs_->read_contiguous(handle_, comm_->endpoint_of(rank), offset,
                                   length);
+  }
+
+  /// Independent noncontiguous read of pre-flattened extents — the read
+  /// twin of `write_noncontig`, same three ADIO methods.
+  sim::Task<void> read_noncontig(mpi::Rank rank, std::vector<Extent> extents,
+                                 NoncontigMethod method) {
+    switch (method) {
+      case NoncontigMethod::Posix:
+        // One fully synchronous round trip per extent, in order.
+        for (const Extent& extent : extents)
+          co_await fs_->read_contiguous(handle_, comm_->endpoint_of(rank),
+                                        extent.offset, extent.length);
+        break;
+      case NoncontigMethod::ListIo:
+        co_await fs_->read_list(handle_, comm_->endpoint_of(rank), extents);
+        break;
+      case NoncontigMethod::Sieve:
+        co_await fs_->read_sieved(handle_, comm_->endpoint_of(rank), extents,
+                                  hints_.sieve_buffer_bytes);
+        break;
+    }
   }
 
   /// MPI_File_sync.

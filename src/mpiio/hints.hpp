@@ -22,13 +22,18 @@ enum class CollectiveAlgorithm {
   ListWithSync,
 };
 
-/// How an independent noncontiguous write is executed.
+/// How an independent noncontiguous access (read or write) is executed —
+/// the ROMIO ADIO choices of Thakur/Gropp/Lusk (docs/IO_MODEL.md §4).
 enum class NoncontigMethod {
-  /// One synchronous contiguous write per extent ("MPI_Write() without
+  /// One synchronous contiguous transfer per extent ("MPI_Write() without
   /// optimization").
   Posix,
   /// PVFS2-native list I/O: one batched request per touched server.
   ListIo,
+  /// ROMIO data sieving: contiguous sieve-buffer windows; holes amplify
+  /// reads, and sieved writes pre-read windows containing holes
+  /// (read-modify-write).  Buffer size via `Hints::sieve_buffer_bytes`.
+  Sieve,
 };
 
 struct Hints {
@@ -42,6 +47,10 @@ struct Hints {
   /// Align two-phase file domains to file-system strip boundaries
   /// (ROMIO/PVFS2 tuning).
   bool align_domains_to_strips = true;
+  /// Data-sieving buffer size (ROMIO `ind_rd_buffer_size`): the window an
+  /// independent sieved access transfers per round trip.  Config key
+  /// `sieve_buffer`, CLI `--sieve-buffer`.
+  std::uint64_t sieve_buffer_bytes = 4u * 1024 * 1024;
   /// Per-participant, per-round implementation overhead of ROMIO's generic
   /// two-phase path (buffer management, datatype processing, alltoallv
   /// control traffic, request bookkeeping at high process counts).

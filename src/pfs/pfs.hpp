@@ -1,4 +1,5 @@
 #pragma once
+#define S3ASIM_PFS_PFS_HPP_INCLUDED
 
 /// \file pfs.hpp
 /// The simulated parallel file system: N server processes behind network
@@ -38,6 +39,7 @@
 #include "pfs/file_image.hpp"
 #include "pfs/layout.hpp"
 #include "pfs/pfs_types.hpp"
+#include "pfs/sieve.hpp"
 #include "sim/channel.hpp"
 #include "sim/gate.hpp"
 #include "sim/resource.hpp"
@@ -179,6 +181,38 @@ class Pfs {
                                                 std::uint64_t length) {
     if (cache_enabled()) return cache_read(file, client, offset, length);
     return direct_read_contiguous(file, client, offset, length);
+  }
+
+  /// Native noncontiguous list read — the read twin of `write_list`: every
+  /// extent decomposed and grouped per server, one request per touched
+  /// server carrying that server's whole OL list, data back in parallel.
+  /// Definitions live in pfs_read.hpp (split to keep this header focused
+  /// on the write paths and server machinery).
+  [[nodiscard]] sim::Task<void> read_list(FileHandle file,
+                                          net::EndpointId client,
+                                          std::span<const Extent> extents);
+
+  /// Data-sieving read (docs/IO_MODEL.md §4): the extent list is covered by
+  /// contiguous windows of at most `buffer_bytes`; each window is one
+  /// contiguous transfer (amplified by its holes) issued sequentially — the
+  /// single client-side sieve buffer is reused per window.
+  sim::Task<void> read_sieved(FileHandle file, net::EndpointId client,
+                              std::span<const Extent> extents,
+                              std::uint64_t buffer_bytes);
+
+  /// Data-sieving write: each window containing holes is read back first
+  /// (hole protection), then written as one contiguous transfer.  Only the
+  /// real extents are recorded in the file image — the hole bytes rewrite
+  /// the contents the pre-read fetched.
+  sim::Task<void> write_sieved(FileHandle file, net::EndpointId client,
+                               std::span<const Extent> extents,
+                               std::uint64_t buffer_bytes,
+                               std::uint32_t writer = 0,
+                               std::uint64_t query = 0);
+
+  /// Client-side sieve counters (published as `pfs.sieve.*` when used).
+  [[nodiscard]] const SieveStats& sieve_stats() const noexcept {
+    return sieve_;
   }
 
  private:
@@ -553,6 +587,7 @@ class Pfs {
       const sim::Time service = degrade(
           params_.disk.read_service_time(request.pairs, request.bytes), factor);
       ++server.stats.reads;
+      server.stats.read_pairs += request.pairs;
       server.stats.read_bytes += request.bytes;
       server.stats.busy += service;
       return service;
@@ -613,51 +648,18 @@ class Pfs {
   using LeaseSpan = std::pair<std::uint64_t, std::uint64_t>;
 
   /// Rounds each extent out to lease granularity and returns the merged,
-  /// ascending spans `client` does not yet hold in `mode`.
+  /// ascending spans `client` does not yet hold in `mode` (whole-span
+  /// check; the read path uses the granule-precise `read_lease_spans`).
   [[nodiscard]] std::vector<LeaseSpan> uncovered_spans(
       FileHandle file, net::EndpointId client, TokenMode mode,
-      std::span<const Extent> extents) const {
-    std::vector<LeaseSpan> needed;
-    const std::uint64_t granule = params_.cache.token_bytes;
-    const auto holder = static_cast<std::uint32_t>(client);
-    for (const Extent& extent : extents) {
-      if (extent.length == 0) continue;
-      const std::uint64_t begin = extent.offset / granule * granule;
-      const std::uint64_t end =
-          (extent.offset + extent.length + granule - 1) / granule * granule;
-      if (!tokens_->covered(file, holder, mode, begin, end))
-        needed.emplace_back(begin, end);
-    }
-    std::sort(needed.begin(), needed.end());
-    std::vector<LeaseSpan> merged;
-    for (const LeaseSpan& span : needed) {
-      if (!merged.empty() && span.first <= merged.back().second)
-        merged.back().second = std::max(merged.back().second, span.second);
-      else
-        merged.push_back(span);
-    }
-    return merged;
-  }
+      std::span<const Extent> extents) const;
 
   /// The lease-acquisition round trip (caller holds the token service):
   /// one request to the metadata server carrying one OL pair per span, the
   /// metadata op, any revocation round trips, then the grant ack.
   sim::Task<void> grant_spans(FileHandle file, net::EndpointId client,
                               TokenMode mode,
-                              const std::vector<LeaseSpan>& spans) {
-    co_await network_->transfer(
-        client, server_endpoint_base_,
-        params_.request_header_bytes + params_.pair_header_bytes * spans.size());
-    account_metadata_op();
-    co_await scheduler_->delay(params_.metadata_op);
-    const auto holder = static_cast<std::uint32_t>(client);
-    for (const LeaseSpan& span : spans)
-      for (const TokenManager::Revocation& revocation :
-           tokens_->acquire(file, holder, mode, span.first, span.second))
-        co_await revoke_one(file, revocation);
-    co_await network_->transfer(server_endpoint_base_, client,
-                                params_.ack_bytes);
-  }
+                              const std::vector<LeaseSpan>& spans);
 
   /// Write-lease acquisition + cache absorption for one extent batch.  The
   /// whole lease-check → grant → absorb sequence runs under the serialized
@@ -666,103 +668,55 @@ class Pfs {
   /// held, check and absorb are synchronous (no suspension in between).
   sim::Task<void> absorb_batch(FileHandle file, net::EndpointId client,
                                std::span<const Extent> extents,
-                               std::uint32_t writer, std::uint64_t query) {
-    std::vector<LeaseSpan> needed =
-        uncovered_spans(file, client, TokenMode::Write, extents);
-    std::optional<sim::ResourceHold> hold;
-    if (!needed.empty()) {
-      co_await token_service_->acquire();
-      hold.emplace(*token_service_);
-      needed = uncovered_spans(file, client, TokenMode::Write, extents);
-      if (!needed.empty())
-        co_await grant_spans(file, client, TokenMode::Write, needed);
-    }
-    FileState& state = file_state(file);
-    ClientCache& cache = client_cache(client);
-    for (const Extent& extent : extents) {
-      cache.absorb_write(file, extent);
-      state.image.record_write(extent.offset, extent.length, writer, query);
-    }
-  }
+                               std::uint32_t writer, std::uint64_t query);
 
-  /// Cached read: read-lease acquisition, cache probe, then a parallel
-  /// fetch of only the missing pieces.
+  /// Cached read of one contiguous range: delegates to `cache_read_list`
+  /// (pfs_read.hpp), the shared lease-symmetric read path.
   sim::Task<void> cache_read(FileHandle file, net::EndpointId client,
-                             std::uint64_t offset, std::uint64_t length) {
-    file_state(file).bytes_read += length;
-    const Extent one{offset, length};
-    std::vector<LeaseSpan> needed = uncovered_spans(
-        file, client, TokenMode::Read, std::span<const Extent>(&one, 1));
-    std::optional<sim::ResourceHold> hold;
-    if (!needed.empty()) {
-      co_await token_service_->acquire();
-      hold.emplace(*token_service_);
-      needed = uncovered_spans(file, client, TokenMode::Read,
-                               std::span<const Extent>(&one, 1));
-      if (!needed.empty())
-        co_await grant_spans(file, client, TokenMode::Read, needed);
-    }
-    std::vector<Extent> missing;
-    client_cache(client).absorb_read(file, one, missing);
-    hold.reset();
-    if (!missing.empty()) {
-      ScratchLease scratch = acquire_scratch();
-      params_.layout.group_by_server(
-          std::span<const Extent>(missing.data(), missing.size()), *scratch);
-      sim::WaitGroup pending(*scheduler_);
-      for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
-        if (scratch->per_server[s].empty()) continue;
-        pending.add();
-        scheduler_->spawn(
-            issue_read(s, client, scratch->per_server[s], pending));
-      }
-      co_await pending.wait();
-    }
-    co_await drain_evictions(client);
-  }
+                             std::uint64_t offset, std::uint64_t length);
+
+  /// Cached list read: read-lease acquisition symmetric with
+  /// `absorb_batch` (granule-precise spans, double-checked under the
+  /// serialized token service), cache probe per extent, then one parallel
+  /// fetch of only the missing pieces.  Defined in pfs_read.hpp.
+  sim::Task<void> cache_read_list(FileHandle file, net::EndpointId client,
+                                  std::span<const Extent> extents);
+
+  /// Direct (cache-off) list read; accounts `bytes_read`.
+  sim::Task<void> direct_read_list(FileHandle file, net::EndpointId client,
+                                   std::span<const Extent> extents);
+
+  /// Granule-precise read-lease gaps: unlike the write path's whole-span
+  /// check, an extent spanning several token granules only requests the
+  /// granules the client does not already hold (partial holds are the
+  /// common case for shared read leases).
+  [[nodiscard]] std::vector<LeaseSpan> read_lease_spans(
+      FileHandle file, net::EndpointId client,
+      std::span<const Extent> extents) const;
+
+  /// One parallel read fan-out over the touched servers (no bytes_read
+  /// accounting — that belongs to the dispatching read path).
+  sim::Task<void> read_fanout(net::EndpointId client,
+                              std::span<const Extent> extents);
+
+  /// One parallel write fan-out (cost only; image recording is the
+  /// caller's job).
+  sim::Task<void> write_fanout(net::EndpointId client,
+                               std::span<const Extent> extents);
 
   /// One revocation round trip: metadata server → victim callback, the
   /// victim's dirty data in the range written back, victim → metadata ack.
   sim::Task<void> revoke_one(FileHandle file,
-                             const TokenManager::Revocation& revocation) {
-    const auto victim = static_cast<net::EndpointId>(revocation.client);
-    co_await network_->transfer(server_endpoint_base_, victim,
-                                params_.request_header_bytes);
-    WritebackRun run;
-    client_cache(victim).invalidate(file, revocation.begin, revocation.end,
-                                    run);
-    if (!run.extents.empty()) co_await writeback_run(victim, run);
-    co_await network_->transfer(victim, server_endpoint_base_,
-                                params_.ack_bytes);
-  }
+                             const TokenManager::Revocation& revocation);
 
   /// Ships one coalesced writeback run as a native list write (the data was
   /// recorded in the file image at absorb time).
   sim::Task<void> writeback_run(net::EndpointId client,
-                                const WritebackRun& run) {
-    ScratchLease scratch = acquire_scratch();
-    params_.layout.group_by_server(
-        std::span<const Extent>(run.extents.data(), run.extents.size()),
-        *scratch);
-    sim::WaitGroup pending(*scheduler_);
-    for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
-      if (scratch->per_server[s].empty()) continue;
-      pending.add();
-      scheduler_->spawn(issue_write(s, client, scratch->per_server[s], pending));
-    }
-    co_await pending.wait();
-  }
+                                const WritebackRun& run);
 
   /// Flush-behind eviction loop: while over capacity, the LRU block's
   /// contiguous dirty run goes back to the servers in one list write.
-  sim::Task<void> drain_evictions(net::EndpointId client) {
-    ClientCache& cache = client_cache(client);
-    while (cache.needs_eviction()) {
-      WritebackRun run;
-      cache.evict_one(run);
-      if (!run.extents.empty()) co_await writeback_run(client, run);
-    }
-  }
+  sim::Task<void> drain_evictions(net::EndpointId client);
 
   sim::Scheduler* scheduler_;
   net::Network* network_;
@@ -782,6 +736,13 @@ class Pfs {
   std::unique_ptr<TokenManager> tokens_;
   std::unique_ptr<sim::Resource> token_service_;
   std::map<net::EndpointId, std::unique_ptr<ClientCache>> caches_;
+  /// Data-sieving counters (client side, aggregate over all clients).
+  SieveStats sieve_;
 };
 
 }  // namespace s3asim::pfs
+
+// Out-of-class definitions of the read-path and data-sieving members
+// (kept in a separate header so each file stays within the source-size
+// hygiene budget).
+#include "pfs/pfs_read.hpp"  // IWYU pragma: keep

@@ -1,0 +1,293 @@
+#pragma once
+
+/// \file pfs_read.hpp
+/// Read-path and data-sieving member definitions of `pfs::Pfs`, split out
+/// of pfs.hpp (which #includes this at the bottom — never include this
+/// file directly).  Three client read shapes mirror the write side:
+///
+///  * `read_list` — native list I/O: one request per touched server with
+///    that server's whole OL list (PVFS2's native noncontiguous support);
+///  * `read_sieved` / `write_sieved` — ROMIO data sieving (sieve.hpp):
+///    contiguous buffer-sized windows, hole amplification on reads,
+///    read-modify-write hole protection on writes;
+///  * the cache path `cache_read_list` — byte-range read leases acquired
+///    symmetrically with the write path's `absorb_batch`, block-granular
+///    hit/miss accounting, and a parallel fetch of only the missing
+///    pieces.
+///
+/// With the cache enabled, sieved reads and writes defer to the cache
+/// path: the client cache already coalesces at block granularity and keeps
+/// granules resident, so stacking a sieve buffer under it would re-read
+/// bytes the cache is about to keep (docs/IO_MODEL.md §5).
+///
+/// The cache-layer glue (lease spans, grants, revocations, writebacks)
+/// lives here too, shared by the read and write dispatchers.
+
+#ifndef S3ASIM_PFS_PFS_HPP_INCLUDED
+#error "include pfs/pfs.hpp instead of pfs/pfs_read.hpp"
+#endif
+
+namespace s3asim::pfs {
+
+inline sim::Task<void> Pfs::read_list(FileHandle file, net::EndpointId client,
+                                      std::span<const Extent> extents) {
+  if (cache_enabled()) return cache_read_list(file, client, extents);
+  return direct_read_list(file, client, extents);
+}
+
+inline sim::Task<void> Pfs::direct_read_list(FileHandle file,
+                                             net::EndpointId client,
+                                             std::span<const Extent> extents) {
+  FileState& state = file_state(file);
+  for (const Extent& extent : extents) state.bytes_read += extent.length;
+  co_await read_fanout(client, extents);
+}
+
+inline sim::Task<void> Pfs::read_fanout(net::EndpointId client,
+                                        std::span<const Extent> extents) {
+  ScratchLease scratch = acquire_scratch();
+  params_.layout.group_by_server(extents, *scratch);
+  sim::WaitGroup pending(*scheduler_);
+  for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
+    if (scratch->per_server[s].empty()) continue;
+    pending.add();
+    scheduler_->spawn(issue_read(s, client, scratch->per_server[s], pending));
+  }
+  co_await pending.wait();
+}
+
+inline sim::Task<void> Pfs::write_fanout(net::EndpointId client,
+                                         std::span<const Extent> extents) {
+  ScratchLease scratch = acquire_scratch();
+  params_.layout.group_by_server(extents, *scratch);
+  sim::WaitGroup pending(*scheduler_);
+  for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
+    if (scratch->per_server[s].empty()) continue;
+    pending.add();
+    scheduler_->spawn(issue_write(s, client, scratch->per_server[s], pending));
+  }
+  co_await pending.wait();
+}
+
+inline sim::Task<void> Pfs::read_sieved(FileHandle file, net::EndpointId client,
+                                        std::span<const Extent> extents,
+                                        std::uint64_t buffer_bytes) {
+  if (cache_enabled()) {
+    co_await cache_read_list(file, client, extents);
+    co_return;
+  }
+  FileState& state = file_state(file);
+  const SievePlan plan = plan_sieve(extents, buffer_bytes);
+  state.bytes_read += plan.useful_bytes;
+  sieve_.reads += plan.windows.size();
+  sieve_.read_useful_bytes += plan.useful_bytes;
+  sieve_.read_transferred_bytes += plan.transferred_bytes;
+  // Windows run sequentially — there is one sieve buffer, reused — while
+  // each window's per-server transfers proceed in parallel.
+  for (const SieveWindow& window : plan.windows) {
+    const Extent span{window.offset, window.length};
+    co_await read_fanout(client, std::span<const Extent>(&span, 1));
+  }
+}
+
+inline sim::Task<void> Pfs::write_sieved(FileHandle file,
+                                         net::EndpointId client,
+                                         std::span<const Extent> extents,
+                                         std::uint64_t buffer_bytes,
+                                         std::uint32_t writer,
+                                         std::uint64_t query) {
+  if (cache_enabled()) {
+    // Write-back caching subsumes write-side sieving: absorption already
+    // coalesces, with no amplification and no RMW.  Lease semantics stay
+    // identical to the list path.
+    co_await cache_write_list(file, client, extents, writer, query);
+    co_return;
+  }
+  FileState& state = file_state(file);
+  const SievePlan plan = plan_sieve(extents, buffer_bytes);
+  sieve_.writes += plan.windows.size();
+  sieve_.write_useful_bytes += plan.useful_bytes;
+  sieve_.write_transferred_bytes += plan.transferred_bytes;
+  for (const SieveWindow& window : plan.windows) {
+    const Extent span{window.offset, window.length};
+    if (window.holes != 0) {
+      // Read-modify-write: fetch the window so its holes are written back
+      // with their current contents.  PVFS2 offers no locking, so this
+      // pre-read is the only protection the gaps get — see DESIGN.md §11
+      // for the concurrency caveat this inherits from real ROMIO.
+      ++sieve_.rmw_reads;
+      sieve_.holes_protected += window.holes;
+      co_await read_fanout(client, std::span<const Extent>(&span, 1));
+    }
+    co_await write_fanout(client, std::span<const Extent>(&span, 1));
+  }
+  // Only the caller's extents land in the image: the hole bytes rewrote
+  // whatever the pre-read saw, leaving other writers' data attributed to
+  // them.
+  for (const Extent& extent : extents)
+    state.image.record_write(extent.offset, extent.length, writer, query);
+}
+
+inline sim::Task<void> Pfs::cache_read(FileHandle file, net::EndpointId client,
+                                       std::uint64_t offset,
+                                       std::uint64_t length) {
+  const Extent one{offset, length};
+  co_await cache_read_list(file, client, std::span<const Extent>(&one, 1));
+}
+
+inline std::vector<Pfs::LeaseSpan> Pfs::read_lease_spans(
+    FileHandle file, net::EndpointId client,
+    std::span<const Extent> extents) const {
+  std::vector<LeaseSpan> needed;
+  const std::uint64_t granule = params_.cache.token_bytes;
+  const auto holder = static_cast<std::uint32_t>(client);
+  for (const Extent& extent : extents) {
+    if (extent.length == 0) continue;
+    const std::uint64_t first = extent.offset / granule * granule;
+    const std::uint64_t last =
+        (extent.offset + extent.length + granule - 1) / granule * granule;
+    for (std::uint64_t begin = first; begin < last; begin += granule)
+      if (!tokens_->covered(file, holder, TokenMode::Read, begin,
+                            begin + granule))
+        needed.emplace_back(begin, begin + granule);
+  }
+  std::sort(needed.begin(), needed.end());
+  std::vector<LeaseSpan> merged;
+  for (const LeaseSpan& span : needed) {
+    if (!merged.empty() && span.first <= merged.back().second)
+      merged.back().second = std::max(merged.back().second, span.second);
+    else
+      merged.push_back(span);
+  }
+  return merged;
+}
+
+inline sim::Task<void> Pfs::cache_read_list(FileHandle file,
+                                            net::EndpointId client,
+                                            std::span<const Extent> extents) {
+  FileState& state = file_state(file);
+  for (const Extent& extent : extents) state.bytes_read += extent.length;
+  // Read-lease acquisition, symmetric with absorb_batch: double-checked
+  // under the serialized token service so a competing writer cannot revoke
+  // between our grant and our probe.
+  std::vector<LeaseSpan> needed = read_lease_spans(file, client, extents);
+  std::optional<sim::ResourceHold> hold;
+  if (!needed.empty()) {
+    co_await token_service_->acquire();
+    hold.emplace(*token_service_);
+    needed = read_lease_spans(file, client, extents);
+    if (!needed.empty())
+      co_await grant_spans(file, client, TokenMode::Read, needed);
+  }
+  std::vector<Extent> missing;
+  ClientCache& cache = client_cache(client);
+  for (const Extent& extent : extents)
+    cache.absorb_read(file, extent, missing);
+  hold.reset();
+  if (!missing.empty())
+    co_await read_fanout(
+        client, std::span<const Extent>(missing.data(), missing.size()));
+  co_await drain_evictions(client);
+}
+
+inline std::vector<Pfs::LeaseSpan> Pfs::uncovered_spans(
+    FileHandle file, net::EndpointId client, TokenMode mode,
+    std::span<const Extent> extents) const {
+  std::vector<LeaseSpan> needed;
+  const std::uint64_t granule = params_.cache.token_bytes;
+  const auto holder = static_cast<std::uint32_t>(client);
+  for (const Extent& extent : extents) {
+    if (extent.length == 0) continue;
+    const std::uint64_t begin = extent.offset / granule * granule;
+    const std::uint64_t end =
+        (extent.offset + extent.length + granule - 1) / granule * granule;
+    if (!tokens_->covered(file, holder, mode, begin, end))
+      needed.emplace_back(begin, end);
+  }
+  std::sort(needed.begin(), needed.end());
+  std::vector<LeaseSpan> merged;
+  for (const LeaseSpan& span : needed) {
+    if (!merged.empty() && span.first <= merged.back().second)
+      merged.back().second = std::max(merged.back().second, span.second);
+    else
+      merged.push_back(span);
+  }
+  return merged;
+}
+
+inline sim::Task<void> Pfs::grant_spans(FileHandle file, net::EndpointId client,
+                                        TokenMode mode,
+                                        const std::vector<LeaseSpan>& spans) {
+  co_await network_->transfer(
+      client, server_endpoint_base_,
+      params_.request_header_bytes + params_.pair_header_bytes * spans.size());
+  account_metadata_op();
+  co_await scheduler_->delay(params_.metadata_op);
+  const auto holder = static_cast<std::uint32_t>(client);
+  for (const LeaseSpan& span : spans)
+    for (const TokenManager::Revocation& revocation :
+         tokens_->acquire(file, holder, mode, span.first, span.second))
+      co_await revoke_one(file, revocation);
+  co_await network_->transfer(server_endpoint_base_, client, params_.ack_bytes);
+}
+
+inline sim::Task<void> Pfs::absorb_batch(FileHandle file,
+                                         net::EndpointId client,
+                                         std::span<const Extent> extents,
+                                         std::uint32_t writer,
+                                         std::uint64_t query) {
+  std::vector<LeaseSpan> needed =
+      uncovered_spans(file, client, TokenMode::Write, extents);
+  std::optional<sim::ResourceHold> hold;
+  if (!needed.empty()) {
+    co_await token_service_->acquire();
+    hold.emplace(*token_service_);
+    needed = uncovered_spans(file, client, TokenMode::Write, extents);
+    if (!needed.empty())
+      co_await grant_spans(file, client, TokenMode::Write, needed);
+  }
+  FileState& state = file_state(file);
+  ClientCache& cache = client_cache(client);
+  for (const Extent& extent : extents) {
+    cache.absorb_write(file, extent);
+    state.image.record_write(extent.offset, extent.length, writer, query);
+  }
+}
+
+inline sim::Task<void> Pfs::revoke_one(
+    FileHandle file, const TokenManager::Revocation& revocation) {
+  const auto victim = static_cast<net::EndpointId>(revocation.client);
+  co_await network_->transfer(server_endpoint_base_, victim,
+                              params_.request_header_bytes);
+  WritebackRun run;
+  client_cache(victim).invalidate(file, revocation.begin, revocation.end, run);
+  if (!run.extents.empty()) co_await writeback_run(victim, run);
+  co_await network_->transfer(victim, server_endpoint_base_,
+                              params_.ack_bytes);
+}
+
+inline sim::Task<void> Pfs::writeback_run(net::EndpointId client,
+                                          const WritebackRun& run) {
+  ScratchLease scratch = acquire_scratch();
+  params_.layout.group_by_server(
+      std::span<const Extent>(run.extents.data(), run.extents.size()),
+      *scratch);
+  sim::WaitGroup pending(*scheduler_);
+  for (std::uint32_t s = 0; s < scratch->per_server.size(); ++s) {
+    if (scratch->per_server[s].empty()) continue;
+    pending.add();
+    scheduler_->spawn(issue_write(s, client, scratch->per_server[s], pending));
+  }
+  co_await pending.wait();
+}
+
+inline sim::Task<void> Pfs::drain_evictions(net::EndpointId client) {
+  ClientCache& cache = client_cache(client);
+  while (cache.needs_eviction()) {
+    WritebackRun run;
+    cache.evict_one(run);
+    if (!run.extents.empty()) co_await writeback_run(client, run);
+  }
+}
+
+}  // namespace s3asim::pfs

@@ -60,6 +60,7 @@ struct ServerStats {
   std::uint64_t bytes = 0;
   std::uint64_t syncs = 0;
   std::uint64_t reads = 0;
+  std::uint64_t read_pairs = 0;
   std::uint64_t read_bytes = 0;
   sim::Time busy = 0;
   /// Metadata-service counters — nonzero only on server 0, which doubles
@@ -75,6 +76,7 @@ struct ServerStats {
     bytes += other.bytes;
     syncs += other.syncs;
     reads += other.reads;
+    read_pairs += other.read_pairs;
     read_bytes += other.read_bytes;
     busy += other.busy;
     metadata_ops += other.metadata_ops;

@@ -19,6 +19,7 @@ const char* const kExpectedFlags[] = {
     "--admit-policy",  "--admit-depth",    "--engine",
     "--engine-threads", "--cache-size",    "--cache-block",
     "--token-granularity",
+    "--read-method",   "--sieve-buffer",
     "--trace",         "--trace-json",
     "--metrics-json",  "--gantt",          "--groups",
     "--jobs",          "--fault",          "--fault-timeout",
@@ -66,7 +67,10 @@ TEST(CliUsageTest, GoldenText) {
             std::string::npos);
   EXPECT_NE(text.find("determinism self-check; default 1 = off"),
             std::string::npos);
-  EXPECT_NE(text.find("WW-FilePerProc | WW-Aggr"), std::string::npos);
+  EXPECT_NE(text.find("WW-FilePerProc | WW-Aggr | WW-Sieve"),
+            std::string::npos);
+  EXPECT_NE(text.find("posix | list |"), std::string::npos);
+  EXPECT_NE(text.find("ROMIO ind_rd_buffer_size"), std::string::npos);
   EXPECT_NE(text.find("docs/OBSERVABILITY.md"), std::string::npos);
   EXPECT_NE(text.find("crash => resume-from-flush"), std::string::npos);
   EXPECT_NE(text.find("default 0 = closed batch"), std::string::npos);

@@ -312,6 +312,55 @@ TEST(ConfigLoaderTest, CacheOffByDefault) {
   EXPECT_FALSE(load_config("").model.pfs.cache.enabled());
 }
 
+TEST(ConfigLoaderTest, ReadPathKeysParse) {
+  const auto config = load_config(
+      "database_bytes = 32MiB\ndb_chunk_bytes = 4KiB\n"
+      "read_method = sieve\nsieve_buffer = 512KiB\n");
+  EXPECT_EQ(config.workload.db_chunk_bytes, 4u * 1024);
+  EXPECT_EQ(config.read_method, s3asim::mpiio::NoncontigMethod::Sieve);
+  EXPECT_EQ(config.hints.sieve_buffer_bytes, 512u * 1024);
+  // Defaults: contiguous fragments, list reads, 4 MiB sieve buffer.
+  const auto defaults = load_config("");
+  EXPECT_EQ(defaults.workload.db_chunk_bytes, 0u);
+  EXPECT_EQ(defaults.read_method, s3asim::mpiio::NoncontigMethod::ListIo);
+  EXPECT_EQ(defaults.hints.sieve_buffer_bytes, 4u * 1024 * 1024);
+}
+
+TEST(ConfigLoaderTest, UnknownReadMethodRejected) {
+  try {
+    (void)load_config("read_method = mmap\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("read_method"), std::string::npos) << message;
+    EXPECT_NE(message.find("sieve"), std::string::npos) << message;
+  }
+}
+
+TEST(ConfigLoaderTest, ZeroSieveBufferRejectedNamingKey) {
+  try {
+    (void)load_config("sieve_buffer = 0\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("sieve_buffer"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ConfigLoaderTest, SieveBufferSmallerThanCacheBlockRejectedNamingBoth) {
+  try {
+    (void)load_config(
+        "strip_size = 64KiB\ncache_capacity = 1MiB\ncache_block = 16KiB\n"
+        "token_granularity = 64KiB\nsieve_buffer = 4KiB\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("sieve_buffer"), std::string::npos) << message;
+    EXPECT_NE(message.find("cache_block"), std::string::npos) << message;
+  }
+}
+
 TEST(ConfigLoaderTest, ZeroCacheCapacityRejectedNamingKey) {
   try {
     (void)load_config("cache_capacity = 0\n");

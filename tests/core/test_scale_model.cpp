@@ -43,7 +43,7 @@ const std::vector<Strategy>& all_strategies() {
       Strategy::MW,         Strategy::WWPosix,
       Strategy::WWList,     Strategy::WWColl,
       Strategy::WWCollList, Strategy::WWFilePerProcess,
-      Strategy::WWAggr,
+      Strategy::WWAggr,     Strategy::WWSieve,
   };
   return strategies;
 }

@@ -22,6 +22,7 @@ TEST(StrategyTest, Names) {
   EXPECT_STREQ(strategy_name(Strategy::WWCollList), "WW-CollList");
   EXPECT_STREQ(strategy_name(Strategy::WWFilePerProcess), "WW-FilePerProc");
   EXPECT_STREQ(strategy_name(Strategy::WWAggr), "WW-Aggr");
+  EXPECT_STREQ(strategy_name(Strategy::WWSieve), "WW-Sieve");
 }
 
 TEST(StrategyTest, NamesAreUniqueAndNonEmpty) {
@@ -81,6 +82,8 @@ TEST(StrategyTest, ParseAliases) {
   EXPECT_EQ(parse_strategy("aggr"), Strategy::WWAggr);
   EXPECT_EQ(parse_strategy("aggregate"), Strategy::WWAggr);
   EXPECT_EQ(parse_strategy("AGGR"), Strategy::WWAggr);
+  EXPECT_EQ(parse_strategy("sieve"), Strategy::WWSieve);
+  EXPECT_EQ(parse_strategy("SIEVE"), Strategy::WWSieve);
 }
 
 TEST(StrategyTest, ParseRejectsUnknownWithCanonicalSpellings) {

@@ -192,6 +192,73 @@ TEST(CachePfsTest, RepeatedReadHitsAvoidServerTraffic) {
   f.sched.run();
 }
 
+TEST(CachePfsTest, ReadsHoldLeasesSymmetricallyWithWrites) {
+  // The read path participates in the token protocol exactly like the
+  // write path: the first read acquires a read lease, reads inside the
+  // leased range need no further token traffic, and a competing writer
+  // revokes the reader's lease (and cached blocks).
+  Fixture f(cached_params(/*capacity_blocks=*/64));
+  auto prog = [](Fixture& fx) -> Process {
+    const auto file = co_await fx.fs.create_file(0, "shared");
+    co_await fx.fs.read_contiguous(file, 1, 0, kStrip);
+    const pfs::CacheStats after_first = fx.fs.cache_stats();
+    EXPECT_GE(after_first.token_grants, 1u);
+    // Covered re-read: a hit, with zero additional lease round trips.
+    co_await fx.fs.read_contiguous(file, 1, 0, kCacheBlock);
+    EXPECT_EQ(fx.fs.cache_stats().token_grants, after_first.token_grants);
+    EXPECT_GE(fx.fs.cache_stats().read_hits, 1u);
+    // A writer on client 0 over the same range must revoke the read lease.
+    co_await fx.fs.write_contiguous(file, 0, 0, kCacheBlock);
+    EXPECT_GE(fx.fs.cache_stats().token_revocations, 1u);
+    EXPECT_GE(fx.fs.cache_stats().invalidations, 1u);
+    // The reader's next access re-acquires and re-fetches — no stale hit.
+    const std::uint64_t grants = fx.fs.cache_stats().token_grants;
+    co_await fx.fs.read_contiguous(file, 1, 0, kCacheBlock);
+    EXPECT_GT(fx.fs.cache_stats().token_grants, grants);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+}
+
+TEST(CachePfsTest, ReadLeaseSpansAreGranulePrecise) {
+  // Token granularity = one cache block here, so a strided read list must
+  // lease only the granules it touches — not the bounding span.
+  Fixture f(cached_params(/*capacity_blocks=*/64, /*servers=*/2,
+                          /*token_bytes=*/kCacheBlock));
+  auto prog = [](Fixture& fx) -> Process {
+    const auto file = co_await fx.fs.create_file(0, "strided");
+    const std::vector<Extent> extents{Extent{0, 64},
+                                      Extent{4 * kCacheBlock, 64}};
+    co_await fx.fs.read_list(file, 1, extents);
+    // Client 0 writes *between* the two read granules: no read lease
+    // covers that range, so no revocation round trip fires.
+    co_await fx.fs.write_contiguous(file, 0, 2 * kCacheBlock, 64);
+    EXPECT_EQ(fx.fs.cache_stats().token_revocations, 0u);
+    // Writing over a leased granule does revoke.
+    co_await fx.fs.write_contiguous(file, 0, 0, 64);
+    EXPECT_GE(fx.fs.cache_stats().token_revocations, 1u);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+}
+
+TEST(CachePfsTest, SievedAccessesDeferToCache) {
+  // With the cache on, sieved reads/writes ride the cache path: the sieve
+  // counters stay untouched and absorption handles coalescing instead.
+  Fixture f(cached_params(/*capacity_blocks=*/64));
+  auto prog = [](Fixture& fx) -> Process {
+    const auto file = co_await fx.fs.create_file(0, "out");
+    const std::vector<Extent> extents{Extent{0, 64}, Extent{256, 64}};
+    co_await fx.fs.write_sieved(file, 0, extents, /*buffer_bytes=*/4096);
+    co_await fx.fs.read_sieved(file, 0, extents, /*buffer_bytes=*/4096);
+    EXPECT_FALSE(fx.fs.sieve_stats().used());
+    EXPECT_GE(fx.fs.cache_stats().write_misses, 1u);
+    EXPECT_GE(fx.fs.cache_stats().read_hits, 1u);
+  };
+  f.sched.spawn(prog(f));
+  f.sched.run();
+}
+
 TEST(CachePfsTest, PosixPathPaysPerCallLeaseChecks) {
   Fixture f(cached_params(/*capacity_blocks=*/64, /*servers=*/2,
                           /*token_bytes=*/kCacheBlock));
