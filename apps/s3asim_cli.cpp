@@ -159,6 +159,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--token-granularity") {
       overrides.push_back("token_granularity = " +
                           next_value("--token-granularity"));
+    } else if (arg == "--worker-classes") {
+      overrides.push_back("worker_classes = " + next_value("--worker-classes"));
+    } else if (arg == "--joins") {
+      overrides.push_back("joins = " + next_value("--joins"));
+    } else if (arg == "--elastic") {
+      overrides.push_back("elastic = true");
+    } else if (arg == "--min-workers") {
+      overrides.push_back("min_workers = " + next_value("--min-workers"));
+    } else if (arg == "--autoscale-target") {
+      overrides.push_back("autoscale_target = " +
+                          next_value("--autoscale-target"));
     } else if (arg == "--read-method") {
       overrides.push_back("read_method = " + next_value("--read-method"));
     } else if (arg == "--sieve-buffer") {

@@ -116,6 +116,63 @@ struct ServingConfig {
   }
 };
 
+/// One named capability class of a heterogeneous worker mix
+/// (`worker_classes` config key, DESIGN.md §12).  Classes repeat
+/// cyclically over the worker ranks: with `standard:speed=1,count=3|
+/// accel:speed=4,count=1` every fourth worker searches 4× as fast
+/// (cf. SWAPHI's accelerator-class Xeon Phi workers).
+struct SpeedClass {
+  std::string name = "standard";
+  double speed = 1.0;        ///< relative compute-speed multiplier (> 0)
+  std::uint32_t count = 1;   ///< pattern slots per cycle (>= 1)
+};
+
+/// One scheduled mid-run join (`joins` config key): worker `rank` is a
+/// standby until simulated time `at`, then runs the join handshake and
+/// starts taking tasks — the inverse of a kill fault.
+struct JoinSpec {
+  std::uint32_t rank = 0;
+  sim::Time at = 0;
+  /// Optional speed-class override (by name); empty keeps the worker's
+  /// positional class from the `worker_classes` cycle.
+  std::string speed_class;
+};
+
+/// Cluster-membership configuration (ROADMAP item 5; membership.hpp has
+/// the registry that interprets it).  Default-constructed = the paper's
+/// fixed homogeneous cluster, byte-identical to the pre-membership tree.
+struct MembershipConfig {
+  /// Named speed classes, cycled over worker ranks; empty = homogeneous.
+  std::vector<SpeedClass> classes;
+  /// Speed-aware dispatch: prefer handing larger fragments to faster
+  /// workers (only consulted when `classes` is non-empty; the `false`
+  /// arm is the blind-dispatch baseline of Ablation O).
+  bool speed_aware = true;
+  /// Scheduled mid-run joins (closed-batch runs only).
+  std::vector<JoinSpec> joins;
+  /// Elastic autoscaling (serving mode only): workers beyond
+  /// `min_workers` start as standbys and the AutoscalePolicy summons or
+  /// drains them against the admission-queue depth.
+  bool elastic = false;
+  /// Initially-active worker count in elastic mode (1 … nprocs−1).
+  std::uint32_t min_workers = 0;
+  /// Queue depth that triggers a scale-up (`autoscale_target`, > 0).
+  double autoscale_target = 4.0;
+  /// Minimum time between autoscaling actions (`autoscale_cooldown_ms`).
+  sim::Time autoscale_cooldown = sim::seconds(2);
+
+  [[nodiscard]] bool heterogeneous() const noexcept {
+    return !classes.empty();
+  }
+  /// Membership can change mid-run (either elastic mechanism).
+  [[nodiscard]] bool dynamic() const noexcept {
+    return elastic || !joins.empty();
+  }
+  [[nodiscard]] bool configured() const noexcept {
+    return dynamic() || heterogeneous();
+  }
+};
+
 /// Which DES executor runs the event loop (DESIGN.md §9).
 enum class EngineMode {
   Serial,    ///< the single-threaded scheduler (every prior release)
@@ -220,6 +277,9 @@ struct SimConfig {
   EngineConfig engine{};
   /// Open-loop serving workload (disabled by default: closed batch).
   ServingConfig serving{};
+  /// Cluster membership: speed classes, scheduled joins, elastic
+  /// autoscaling (default = fixed homogeneous membership).
+  MembershipConfig membership{};
   WorkloadConfig workload{};
   ModelParams model{};
   mpiio::Hints hints{};

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/membership.hpp"
 #include "core/serving.hpp"
 #include "util/require.hpp"
 
@@ -217,6 +218,40 @@ SimConfig load_config(const std::string& config_text) {
   if (keyval.has("tenants"))
     serving.tenants = parse_tenants(keyval.get_string("tenants", ""));
   if (!serving.arrival_trace.empty()) apply_arrival_trace(config);
+
+  // --- Membership (ISSUE 10; all optional — defaults = fixed cluster). ----
+  auto& membership = config.membership;
+  if (keyval.has("worker_classes"))
+    membership.classes =
+        parse_worker_classes(keyval.get_string("worker_classes", ""));
+  membership.speed_aware =
+      keyval.get_bool("speed_aware", membership.speed_aware);
+  if (keyval.has("joins"))
+    membership.joins = parse_joins(keyval.get_string("joins", ""));
+  membership.elastic = keyval.get_bool("elastic", membership.elastic);
+  const std::int64_t min_workers =
+      keyval.get_int("min_workers", membership.min_workers);
+  if (min_workers < 0)
+    throw std::invalid_argument("key 'min_workers': must be non-negative");
+  membership.min_workers = static_cast<std::uint32_t>(min_workers);
+  membership.autoscale_target =
+      keyval.get_double("autoscale_target", membership.autoscale_target);
+  if (membership.autoscale_target <= 0.0)
+    throw std::invalid_argument(
+        "key 'autoscale_target': must be positive (the admission queue "
+        "depth that triggers a scale-up)");
+  const double cooldown_ms = keyval.get_double(
+      "autoscale_cooldown_ms",
+      sim::to_milliseconds(membership.autoscale_cooldown));
+  if (cooldown_ms < 0.0)
+    throw std::invalid_argument(
+        "key 'autoscale_cooldown_ms': must be non-negative");
+  membership.autoscale_cooldown = sim::milliseconds(cooldown_ms);
+  for (const JoinSpec& join : membership.joins)
+    if (!join.speed_class.empty() && membership.classes.empty())
+      throw std::invalid_argument(
+          "joins entry for worker " + std::to_string(join.rank) +
+          " names a speed class but no worker_classes are declared");
 
   const auto unused = keyval.unused_keys();
   if (!unused.empty()) {

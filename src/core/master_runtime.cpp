@@ -87,71 +87,8 @@ bool serving_admit(App& app, MasterState& state) {
 
 }  // namespace
 
-/// With faults the message counts are not known up front (reassignment,
-/// drops, retirements), so both master pumps run until the master cancels
-/// their posted receives at teardown (MPI_Cancel).
-sim::Process master_request_pump(App& app) {
-  while (true) {
-    mpi::Message message =
-        co_await app.comm.recv(app.master, mpi::kAnySource, kTagRequest);
-    if (message.cancelled) break;
-    app.master_requests.push_back(std::move(message));
-    app.request_wake->push(0);
-  }
-}
-
-sim::Process master_scores_pump(App& app) {
-  while (true) {
-    mpi::Message message =
-        co_await app.comm.recv(app.master, mpi::kAnySource, kTagScores);
-    if (message.cancelled) break;
-    app.master_scores.push_back(std::move(message));
-    app.scores_wake->push(0);
-    // The recovery and serving loops block on a single wake stream; mirror
-    // the token.
-    if (app.recovery_mode || app.serving != nullptr)
-      app.request_wake->push(0);
-  }
-}
-
-/// Serving mode: replays the precomputed arrival list in simulated time.
-/// Each firing admits (or sheds) the query and wakes the master's serving
-/// loop with a synthetic arrival notice; one final notice marks the stream
-/// closed so the master can re-evaluate its termination condition.
-sim::Process serving_arrival_process(App& app) {
-  ServingContext& serving = *app.serving;
-  const auto total = static_cast<std::uint32_t>(serving.arrivals.size());
-  while (serving.next_arrival < total) {
-    const Arrival& next = serving.arrivals[serving.next_arrival];
-    if (next.at > app.scheduler.now())
-      co_await app.scheduler.delay(next.at - app.scheduler.now());
-    const std::uint32_t query = serving.next_arrival++;
-    (void)serving.offer(query);
-    app.master_requests.push_back(
-        mpi::Message{.source = app.master, .tag = kTagArrival});
-    app.request_wake->push(0);
-  }
-  serving.arrivals_open = false;
-  app.master_requests.push_back(
-      mpi::Message{.source = app.master, .tag = kTagArrival});
-  app.request_wake->push(0);
-}
-
-/// Failure detector for one worker: every token in `armed` covers one timer
-/// arming by the master.  Expiry injects a synthetic failure notice into
-/// the master's request queue (a local decision — no simulated traffic).
-sim::Process worker_probe(App& app, mpi::Rank rank) {
-  App::ProbeCtl& probe = *app.probes.at(rank);
-  while (true) {
-    const auto token = co_await probe.armed->pop();
-    if (!token) break;  // closed at teardown
-    const bool fired = co_await probe.timer->wait();
-    if (!fired) continue;  // sign of life (or re-arm) cancelled the wait
-    app.master_requests.push_back(
-        mpi::Message{.source = rank, .tag = kTagFailure});
-    app.request_wake->push(0);
-  }
-}
+// The ingress pumps (request/scores/join), the serving arrival replayer,
+// and the per-worker failure probes live in master_pumps.cpp.
 
 sim::Process master_process(App& app) {
   MasterState state;
@@ -188,9 +125,12 @@ sim::Process master_process(App& app) {
           app.config.hints);
     }
     co_await strategy.master_setup(env);
+    // Standbys (scheduled joiners, elastic pool) are outside the cluster:
+    // their setup rides the Welcome of the join handshake instead.
     for (const mpi::Rank worker : app.workers)
-      co_await app.comm.send(app.master, worker, kTagSetup,
-                             app.config.model.setup_message_bytes);
+      if (!app.registry->initially_standby(worker))
+        co_await app.comm.send(app.master, worker, kTagSetup,
+                               app.config.model.setup_message_bytes);
     app.record_phase(app.master, Phase::Setup, start, app.scheduler.now());
   }
 
@@ -216,12 +156,40 @@ sim::Process master_process(App& app) {
     // mpiBLAST-style fragment affinity: within the current query, prefer a
     // fragment the requesting worker already has in memory.
     std::size_t pick = 0;
+    bool affinity_hit = false;
     if (app.config.fragment_affinity && app.models_database_io()) {
       for (std::size_t i = 0; i < state.pending_fragments.size(); ++i) {
         if (state.worker_caches.at(worker).contains(
                 state.pending_fragments[i])) {
           pick = i;
+          affinity_hit = true;
           break;
+        }
+      }
+    }
+    // Speed-aware dispatch (heterogeneous classes only): longest-
+    // processing-time-first — every request takes the costliest pending
+    // fragment, except a slow worker (speed below the active mean) at the
+    // query's tail (no more pending fragments than active workers), which
+    // takes the cheapest so it never anchors the critical path.  Affinity
+    // still wins — a warm cache beats a better size match.
+    if (!affinity_hit && app.config.membership.speed_aware &&
+        !app.config.membership.classes.empty() &&
+        state.pending_fragments.size() > 1) {
+      const std::uint32_t query = app.queries[state.next_query];
+      const bool slow = app.registry->speed_factor(worker) <
+                        app.registry->active_mean_speed();
+      const bool tail =
+          state.pending_fragments.size() <= app.registry->active_count();
+      const bool take_largest = !(slow && tail);
+      std::uint64_t best = app.workload.fragment_result_bytes(
+          query, state.pending_fragments[0]);
+      for (std::size_t i = 1; i < state.pending_fragments.size(); ++i) {
+        const std::uint64_t cost = app.workload.fragment_result_bytes(
+            query, state.pending_fragments[i]);
+        if (take_largest ? cost > best : cost < best) {
+          best = cost;
+          pick = i;
         }
       }
     }
@@ -320,6 +288,24 @@ sim::Process master_process(App& app) {
     }
   };
 
+  // ---- Join handshake (dynamic membership only). -------------------------
+  // The joiner pre-staged `staged_fragment` before taking work; mirror the
+  // touch so affinity scheduling sees the warm cache, then acknowledge on
+  // the ordered master→worker stream (Welcome — or, after the main loop
+  // has exited, the universal Finish turns the joiner away instead).
+  auto handle_join = [&app, &state](mpi::Message event) -> sim::Task<void> {
+    const auto& join = event.as<JoinMsg>();
+    if (app.models_database_io())
+      (void)state.worker_caches.at(join.worker).touch(join.staged_fragment);
+    MasterMsg reply;
+    reply.kind = MasterMsg::Kind::Welcome;
+    const sim::Time send_start = app.scheduler.now();
+    co_await app.comm.send(app.master, join.worker, kTagMasterToWorker,
+                           app.config.model.control_message_bytes, reply);
+    app.record_phase(app.master, Phase::DataDistribution, send_start,
+                     app.scheduler.now());
+  };
+
   if (app.serving != nullptr) {
     // ---- Open-loop serving master loop (online arrivals). ---------------
     // Same protocol as the failure-free loop, but the task source is the
@@ -350,6 +336,16 @@ sim::Process master_process(App& app) {
     auto serve_request = [&app, &state, &stream_over, &fresh_task,
                           &assign_reply,
                           &send_reply](mpi::Rank worker) -> sim::Task<void> {
+      if (app.registry->state(worker) == WorkerLifecycle::Draining) {
+        // Scale-down: the worker finished its outstanding task; wave it
+        // off and complete the drain.
+        MasterMsg reply;
+        reply.kind = MasterMsg::Kind::Done;
+        ++state.done_sent;
+        (void)app.registry->complete_drain(worker, app.scheduler.now());
+        co_await send_reply(worker, reply);
+        co_return;
+      }
       if (const auto task = fresh_task(worker)) {
         co_await send_reply(worker, assign_reply(*task));
       } else if (stream_over()) {
@@ -363,10 +359,19 @@ sim::Process master_process(App& app) {
     };
     // Unpark waiting workers while dispatchable work (or a final Done
     // verdict) exists for them.
-    auto feed_parked = [&state, &stream_over, &fresh_task, &assign_reply,
-                        &send_reply]() -> sim::Task<void> {
+    auto feed_parked = [&app, &state, &stream_over, &fresh_task,
+                        &assign_reply, &send_reply]() -> sim::Task<void> {
       while (!state.parked.empty()) {
         const mpi::Rank worker = state.parked.front();
+        if (app.registry->state(worker) == WorkerLifecycle::Draining) {
+          state.parked.pop_front();
+          MasterMsg reply;
+          reply.kind = MasterMsg::Kind::Done;
+          ++state.done_sent;
+          (void)app.registry->complete_drain(worker, app.scheduler.now());
+          co_await send_reply(worker, reply);
+          continue;
+        }
         if (const auto task = fresh_task(worker)) {
           state.parked.pop_front();
           co_await send_reply(worker, assign_reply(*task));
@@ -381,9 +386,51 @@ sim::Process master_process(App& app) {
         }
       }
     };
+    // Elastic autoscaling: one policy step per wake — summon the
+    // lowest-rank standby into the cluster, or drain the most recently
+    // joined active worker (releasing it immediately when parked: a
+    // parked worker will never request again on its own).
+    auto autoscale_step = [&app, &state, &serving,
+                           &send_reply]() -> sim::Task<void> {
+      if (app.autoscaler == nullptr) co_return;
+      WorkerRegistry& registry = *app.registry;
+      // Demand = queued + dispatched-but-unretired queries, so a lone
+      // in-service query can still summon help mid-query (its remaining
+      // fragments redistribute to the joiners).
+      const std::size_t demand =
+          serving.queue.size() + (app.query_count() - state.next_inorder);
+      const int dir = app.autoscaler->decide(
+          demand, registry.active_count(),
+          registry.count(WorkerLifecycle::Joining),
+          app.config.membership.min_workers, serving.arrivals_open,
+          app.scheduler.now());
+      if (dir > 0) {
+        if (const auto standby = registry.pick_standby()) {
+          (void)registry.begin_join(*standby, app.scheduler.now());
+          app.activations.at(*standby)->push(0);
+        }
+      } else if (dir < 0) {
+        if (const auto victim = registry.pick_drain_candidate()) {
+          (void)registry.begin_drain(*victim, app.scheduler.now());
+          const auto parked_it =
+              std::find(state.parked.begin(), state.parked.end(), *victim);
+          if (parked_it != state.parked.end()) {
+            state.parked.erase(parked_it);
+            MasterMsg reply;
+            reply.kind = MasterMsg::Kind::Done;
+            ++state.done_sent;
+            (void)registry.complete_drain(*victim, app.scheduler.now());
+            co_await send_reply(*victim, reply);
+          }
+        }
+      }
+    };
+    // Termination counts Done handshakes against *participants* (workers
+    // that ever reached Active): never-summoned standbys are released by
+    // the teardown Finish instead.  Equal to nworkers() when non-elastic.
     while (!(stream_over() && state.tasks_completed == state.tasks_assigned &&
              state.next_inorder == app.query_count() &&
-             state.done_sent == app.nworkers())) {
+             state.done_sent == app.registry->participant_count())) {
       const sim::Time wait_start = app.scheduler.now();
       auto token = co_await app.request_wake->pop();
       S3A_CHECK_MSG(token.has_value(), "master wake stream closed early");
@@ -395,6 +442,10 @@ sim::Process master_process(App& app) {
         // An arrival notice carries no reply of its own; the feed_parked
         // pass below reacts to the new (or newly closed) stream state.
         if (event.tag == kTagArrival) continue;
+        if (event.tag == kTagJoin) {
+          co_await handle_join(std::move(event));
+          continue;
+        }
         S3A_CHECK(event.tag == kTagRequest);
         co_await serve_request(event.source);
       }
@@ -403,6 +454,7 @@ sim::Process master_process(App& app) {
         if (!app.master_requests.empty()) break;  // requests take priority
       }
       co_await feed_parked();
+      co_await autoscale_step();
     }
   } else if (!app.recovery_mode) {
     // ---- Failure-free master loop (Algorithm 1, byte-identical to the
@@ -551,8 +603,11 @@ sim::Process master_process(App& app) {
           co_return;
         }
       }
-      // Retire the worker and reclaim everything it still owes.
+      // Retire the worker and reclaim everything it still owes.  Removal
+      // is a registry transition — fail-stop and elastic leave share one
+      // path, and the worker-side death dedups first-wins.
       state.retired.insert(worker);
+      (void)app.registry->mark_dead(worker, app.scheduler.now());
       ++app.faults.workers_retired;
       if (app.trace_log != nullptr)
         app.trace_log->event(app.master, "Retire", app.scheduler.now());
@@ -626,6 +681,8 @@ sim::Process master_process(App& app) {
         app.master_requests.pop_front();
         if (event.tag == kTagFailure) {
           co_await handle_failure(event.source);
+        } else if (event.tag == kTagJoin) {
+          co_await handle_join(std::move(event));
         } else {
           S3A_CHECK(event.tag == kTagRequest);
           co_await serve_request(event.source);
@@ -640,6 +697,13 @@ sim::Process master_process(App& app) {
 
   // ---- Teardown: strategy drain/assembly, tell every worker the stream is
   //      over, then sync. --------------------------------------------------
+  // Membership teardown first: cancel unfired join timers and close the
+  // activation channels so every worker still outside the cluster unblocks
+  // and can meet the Finish below at the final barrier.  A kTagJoin still
+  // queued (or in flight) is never served past this point — the universal
+  // Finish turns the late joiner away instead of a Welcome.
+  for (auto& [rank, timer] : app.join_timers) timer->cancel();
+  for (auto& [rank, channel] : app.activations) channel->close();
   co_await strategy.master_teardown(env, state.contributors);
   // Close the master's client cache (MW and gap-repair writes go through
   // it) before the workers are told to finish, so every lease conflict is

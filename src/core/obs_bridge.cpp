@@ -94,6 +94,64 @@ void fill_serving_stats(RunStats& stats, const ServingContext& serving) {
         static_cast<double>(serving.completed_total()) / stats.wall_seconds;
 }
 
+/// Folds the groups' worker registries into the run's membership block:
+/// lifecycle outcome, provisioning cost, join latencies, and the actual
+/// per-worker effective speeds (compute_speed × speed_factor — fixing the
+/// stats echo that reported only the base compute_speed under jitter).
+/// Emitted when membership is configured or jitter makes speeds
+/// heterogeneous; plain runs carry no block and stay byte-identical.
+void fill_membership_stats(RunStats& stats, const World& world,
+                           const std::vector<std::unique_ptr<App>>& groups) {
+  const SimConfig& config = world.config;
+  if (!config.membership.configured() && config.compute_speed_jitter <= 0.0)
+    return;
+  MembershipStats& membership = stats.membership;
+  membership.enabled = true;
+  for (const SpeedClass& cls : config.membership.classes)
+    membership.classes.push_back({cls.name, cls.speed, 0});
+  double speed_sum = 0.0;
+  std::uint32_t speed_count = 0;
+  double latency_sum = 0.0;
+  std::uint32_t latency_count = 0;
+  const sim::Time end = world.scheduler.now();
+  for (const auto& app : groups) {
+    const WorkerRegistry& registry = *app->registry;
+    membership.epoch += registry.epoch();
+    membership.participants += registry.participant_count();
+    membership.peak_active += registry.peak_active();
+    membership.final_active += registry.active_count();
+    membership.joins += registry.joins_completed();
+    membership.drains += registry.drains_completed();
+    membership.deaths += registry.count(WorkerLifecycle::Dead);
+    membership.worker_seconds += registry.worker_seconds(end);
+    for (const double latency : registry.join_latencies()) {
+      latency_sum += latency;
+      membership.join_latency_max_seconds =
+          std::max(membership.join_latency_max_seconds, latency);
+      ++latency_count;
+    }
+    for (const WorkerRecord& record : registry.records()) {
+      const double speed = config.compute_speed * record.speed_factor;
+      if (speed_count == 0) {
+        membership.speed_min = speed;
+        membership.speed_max = speed;
+      } else {
+        membership.speed_min = std::min(membership.speed_min, speed);
+        membership.speed_max = std::max(membership.speed_max, speed);
+      }
+      speed_sum += speed;
+      ++speed_count;
+      if (record.class_index < membership.classes.size())
+        ++membership.classes[record.class_index].workers;
+    }
+  }
+  if (speed_count > 0)
+    membership.speed_mean = speed_sum / static_cast<double>(speed_count);
+  if (latency_count > 0)
+    membership.join_latency_mean_seconds =
+        latency_sum / static_cast<double>(latency_count);
+}
+
 /// Publishes every layer's end-of-run aggregates into the registry under
 /// the stable dotted names of the docs/OBSERVABILITY.md catalog.  Counters
 /// *add* (so a crash+resume invocation accumulates across its runs);
@@ -270,6 +328,41 @@ void publish_metrics(World& world,
     }
   }
 
+  // membership.* — cluster-membership outcome (absent on fixed
+  // homogeneous runs, keeping their manifests byte-identical).
+  if (stats.membership.enabled) {
+    registry.counter("membership.epoch").add(stats.membership.epoch);
+    registry.gauge("membership.participants")
+        .set(static_cast<double>(stats.membership.participants));
+    registry.gauge("membership.peak_active")
+        .set(static_cast<double>(stats.membership.peak_active));
+    registry.gauge("membership.final_active")
+        .set(static_cast<double>(stats.membership.final_active));
+    std::uint32_t draining = 0;
+    for (const auto& app : groups)
+      draining += app->registry->count(WorkerLifecycle::Draining);
+    registry.gauge("membership.draining").set(static_cast<double>(draining));
+    registry.counter("membership.joins").add(stats.membership.joins);
+    registry.counter("membership.drains").add(stats.membership.drains);
+    registry.counter("membership.deaths").add(stats.membership.deaths);
+    registry.gauge("membership.worker_seconds")
+        .add(stats.membership.worker_seconds);
+    obs::Histogram& join_latency =
+        registry.histogram("membership.join_latency_seconds");
+    for (const auto& app : groups)
+      for (const double latency : app->registry->join_latencies())
+        join_latency.observe(latency);
+    registry.gauge("membership.speed_min").set(stats.membership.speed_min);
+    registry.gauge("membership.speed_max").set(stats.membership.speed_max);
+    registry.gauge("membership.speed_mean").set(stats.membership.speed_mean);
+    for (const ClassStats& cls : stats.membership.classes) {
+      registry.gauge("membership.class." + cls.name + ".speed")
+          .set(cls.speed);
+      registry.gauge("membership.class." + cls.name + ".workers")
+          .set(static_cast<double>(cls.workers));
+    }
+  }
+
   // trace.* — the drop counter is incremented live via
   // TraceLog::attach_registry; materialize it here so drop-free (or
   // trace-less) runs still carry an explicit zero in the manifest.
@@ -320,6 +413,7 @@ RunStats collect_stats(World& world,
   std::sort(stats.batch_complete_seconds.begin(),
             stats.batch_complete_seconds.end());
   if (stats.bytes_covered != stats.output_bytes) stats.file_exact = false;
+  fill_membership_stats(stats, world, groups);
 
   const pfs::ServerStats fs_total = world.fs.aggregate_stats();
   stats.fs.server_requests = fs_total.requests;

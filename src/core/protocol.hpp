@@ -24,6 +24,12 @@ inline constexpr mpi::Tag kTagScores = 3;
 inline constexpr mpi::Tag kTagSetup = 4;
 /// Reserved for strategy-internal worker↔worker traffic (WW-Aggr).
 inline constexpr mpi::Tag kTagStrategy = 5;
+/// worker → master: join handshake of an elastic/scheduled joiner
+/// (DESIGN.md §12).  The master acknowledges on the ordered
+/// kTagMasterToWorker stream with MasterMsg::Kind::Welcome — or with
+/// Finish if the run is already tearing down, so a late joiner is turned
+/// away instead of deadlocking.
+inline constexpr mpi::Tag kTagJoin = 6;
 /// Synthetic local event (never on the wire): arrival process → master,
 /// "a query arrived (or the stream closed); re-evaluate dispatch".
 inline constexpr mpi::Tag kTagArrival = 97;
@@ -43,12 +49,21 @@ struct MasterMsg {
     Done,     ///< no more tasks will be assigned
     Offsets,  ///< offset list for a completed query (possibly empty)
     Finish,   ///< all offsets sent; worker may tear down
+    Welcome,  ///< join accepted: stage the fragment cache, then request work
   };
   Kind kind = Kind::Assign;
   std::uint32_t query = 0;        ///< global query id
   std::uint32_t local_query = 0;  ///< position within the group's query list
   std::uint32_t fragment = 0;
   std::vector<pfs::Extent> extents;  // Offsets only
+};
+
+/// Payload of a worker→master join-handshake message (kTagJoin).
+struct JoinMsg {
+  mpi::Rank worker = 0;
+  /// Fragment the joiner will pre-stage into its cache before taking
+  /// tasks (the master mirrors the touch for affinity scheduling).
+  std::uint32_t staged_fragment = 0;
 };
 
 /// Payload of a worker→master scores message.

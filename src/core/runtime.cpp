@@ -54,7 +54,28 @@ App::App(World& w, mpi::Rank master_rank, std::vector<mpi::Rank> worker_ranks,
   if (config.serving.enabled()) {
     serving = std::make_unique<ServingContext>(config);
   }
-  recovery_mode = config.fault.perturbs_workers();
+  // Membership ledger before anything queries worker_speed.  On a
+  // fixed-membership run everyone is Active from t=0 and the registry is
+  // pure host-side bookkeeping (byte-identity preserved).
+  registry = std::make_unique<WorkerRegistry>(
+      config.membership, workers, config.workload.seed,
+      config.compute_speed_jitter);
+  for (const mpi::Rank rank : workers) {
+    const WorkerRecord& record = registry->record(rank);
+    if (record.scheduled_join != kNoScheduledJoin)
+      join_timers.emplace(rank, std::make_unique<sim::Timer>(scheduler));
+    else if (record.initially_standby)
+      activations.emplace(rank,
+                          std::make_unique<sim::Channel<int>>(scheduler));
+  }
+  if (config.membership.elastic)
+    autoscaler = std::make_unique<AutoscalePolicy>(
+        config.membership.autoscale_target,
+        config.membership.autoscale_cooldown);
+  // Scheduled closed-batch joins ride the recovery loop (its termination
+  // condition counts results, not workers); elastic rides the serving loop.
+  recovery_mode = config.fault.perturbs_workers() ||
+                  (config.membership.dynamic() && !config.serving.enabled());
   if (recovery_mode) {
     for (const mpi::Rank rank : workers) {
       auto probe = std::make_unique<ProbeCtl>();
@@ -105,6 +126,8 @@ void launch_group(App& app) {
   app.scheduler.spawn(master_request_pump(app));
   app.scheduler.spawn(master_scores_pump(app));
   if (app.serving != nullptr) app.scheduler.spawn(serving_arrival_process(app));
+  if (app.config.membership.dynamic())
+    app.scheduler.spawn(master_join_pump(app));
   for (const mpi::Rank rank : app.workers) {
     app.scheduler.spawn(worker_process(app, rank));
     app.scheduler.spawn(worker_stream_pump(app, rank));

@@ -16,6 +16,7 @@
 #include <set>
 #include <vector>
 
+#include "core/membership.hpp"
 #include "core/obs_bridge.hpp"
 #include "core/serving.hpp"
 #include "core/simulation.hpp"
@@ -115,6 +116,21 @@ struct App {
   /// consult it.
   std::unique_ptr<ServingContext> serving;
 
+  // ---- Cluster membership (ISSUE 10). ------------------------------------
+  /// The group's membership ledger: lifecycle, speed classes, epoch.
+  /// Always present; on a fixed-membership run every worker is Active from
+  /// t=0 and the registry is pure host-side bookkeeping.
+  std::unique_ptr<WorkerRegistry> registry;
+  /// One cancellable timer per scheduled joiner (`joins = …`): the worker
+  /// waits it out, then starts the join handshake.  Cancelled at master
+  /// teardown so stragglers never inflate the wall clock.
+  std::map<mpi::Rank, std::unique_ptr<sim::Timer>> join_timers;
+  /// One activation channel per elastic standby: the autoscaler pushes a
+  /// token to summon the worker into the cluster; closed at teardown.
+  std::map<mpi::Rank, std::unique_ptr<sim::Channel<int>>> activations;
+  /// Elastic autoscaler (serving mode): queue-depth target + cooldown.
+  std::unique_ptr<AutoscalePolicy> autoscaler;
+
   // ---- Fault-injection / recovery state (inert on failure-free runs). ----
   /// True when the plan perturbs workers: the master runs its
   /// recovery-capable loop and arms per-worker failure detectors.
@@ -199,15 +215,12 @@ struct App {
   }
 
   /// Worker `rank`'s effective search speed: the global multiplier scaled
-  /// by a deterministic per-rank heterogeneity factor.
+  /// by the registry's capability factor (speed class × the deterministic
+  /// per-rank jitter; `1.0 × jitter` exactly when no classes are
+  /// configured, so homogeneous runs are bit-identical to the
+  /// pre-registry formula).
   [[nodiscard]] double worker_speed(mpi::Rank rank) const {
-    double factor = 1.0;
-    if (config.compute_speed_jitter > 0.0) {
-      util::Xoshiro256 rng(
-          util::hash_combine(config.workload.seed ^ 0x48e7e601ULL, rank));
-      factor += config.compute_speed_jitter * (2.0 * rng.uniform() - 1.0);
-    }
-    return config.compute_speed * factor;
+    return config.compute_speed * registry->speed_factor(rank);
   }
 
   [[nodiscard]] sim::Time compute_time(std::uint32_t query,
@@ -234,6 +247,9 @@ struct App {
 sim::Process master_process(App& app);
 sim::Process master_request_pump(App& app);
 sim::Process master_scores_pump(App& app);
+/// Dynamic membership only: receives kTagJoin handshakes and queues them
+/// on the master's request stream (joins are served with request priority).
+sim::Process master_join_pump(App& app);
 sim::Process worker_probe(App& app, mpi::Rank rank);
 /// Serving mode only: fires each arrival at its simulated time, admits or
 /// sheds it, and wakes the master's serving loop.

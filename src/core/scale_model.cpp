@@ -1,6 +1,7 @@
 #include "core/scale_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <coroutine>
 #include <deque>
 #include <utility>
@@ -322,9 +323,20 @@ sim::Process worker_process(Ctx& ctx, std::uint32_t self) {
   ScaleNode& node = ctx.nodes[self];
   const ScaleConfig& cfg = ctx.cfg;
   const GroupInfo group = group_info(cfg, self);
+  // Scheduled joiner: the LP exists from t=0 (so the LP layout never
+  // depends on membership), but its work starts at the join time.
+  if (const sim::Time join_at = cfg.worker_join_time(self); join_at > 0)
+    co_await node.lp->scheduler().delay(join_at);
+  const double class_speed = cfg.worker_class_speed(self);
   for (std::uint32_t query = 0; query < cfg.queries; ++query) {
     const Draw draw = draw_workload(cfg, self, query);
-    co_await run_compute(ctx, node, self, query, draw.compute);
+    sim::Time compute = draw.compute;
+    // Heterogeneous classes divide the search time; skipped entirely when
+    // homogeneous so legacy runs stay bit-identical.
+    if (class_speed != 1.0)
+      compute = static_cast<sim::Time>(std::llround(
+          static_cast<double>(compute) / class_speed));
+    co_await run_compute(ctx, node, self, query, compute);
     node.result_bytes += draw.bytes;
     co_await flush_results(ctx, self, draw.bytes, group);
     if (cfg.query_sync) {
@@ -449,6 +461,9 @@ ScaleStats run_scale_model(const ScaleConfig& config, unsigned threads) {
                   "scale model: compute_slice must be positive");
   S3A_REQUIRE_MSG(config.strip_bytes > 0,
                   "scale model: strip_bytes must be positive");
+  for (const double speed : config.class_speeds)
+    S3A_REQUIRE_MSG(speed > 0.0,
+                    "scale model: class_speeds entries must be positive");
 
   sim::LpScheduler engine(
       sim::LpScheduler::Options{config.network.latency, threads});

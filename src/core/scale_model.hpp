@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/strategy.hpp"
 #include "net/model.hpp"
@@ -78,7 +79,27 @@ struct ScaleConfig {
   /// WW-Aggr: workers per aggregation group.
   std::uint32_t aggregator_fanin = 8;
 
+  /// Heterogeneous speed classes (ISSUE 10): worker w's compute divides by
+  /// `class_speeds[(w − 1) % size]`.  Empty = homogeneous (and the divide
+  /// is skipped entirely, keeping legacy runs bit-identical).
+  std::vector<double> class_speeds;
+  /// Per-worker scheduled join delay (indexed w − 1; missing/0 = present
+  /// from t=0).  One LP exists per *potential* worker regardless, so the
+  /// LP layout — and with it the engine's determinism contract — does not
+  /// depend on who joins when.
+  std::vector<sim::Time> join_times;
+
   [[nodiscard]] std::uint32_t workers() const noexcept { return nprocs - 1; }
+  /// Speed multiplier of worker `w` (1-based rank).
+  [[nodiscard]] double worker_class_speed(std::uint32_t w) const noexcept {
+    if (class_speeds.empty()) return 1.0;
+    return class_speeds[(w - 1) % class_speeds.size()];
+  }
+  /// Scheduled join delay of worker `w` (1-based rank); 0 = founding member.
+  [[nodiscard]] sim::Time worker_join_time(std::uint32_t w) const noexcept {
+    if (join_times.empty() || w - 1 >= join_times.size()) return 0;
+    return join_times[w - 1];
+  }
 };
 
 struct ScaleStats {

@@ -185,4 +185,48 @@ struct ServingContext {
   [[nodiscard]] std::uint64_t completed_total() const noexcept;
 };
 
+/// Elastic scaling policy (ISSUE 10): holds a demand target and a
+/// cooldown, and decides — one step per serving-loop wake — whether to
+/// summon a standby (+1), drain the most recently joined active worker
+/// (−1), or hold (0).  Pure arithmetic over the registry's counters;
+/// the master owns the actual transitions.
+class AutoscalePolicy {
+ public:
+  AutoscalePolicy(double target_depth, sim::Time cooldown)
+      : target_depth_(target_depth), cooldown_(cooldown) {}
+
+  /// `demand` is the outstanding work the cluster is answerable for:
+  /// admission-queue length plus dispatched-but-unretired queries.
+  /// Counting the in-service query matters — a lone arrival dispatches
+  /// immediately (queue depth stays 0), yet with `target <= 1` the
+  /// summoned workers still accelerate it mid-query, because fragments
+  /// of the running query redistribute to every joiner.  `joining`
+  /// gates both directions (one membership change in flight at a time
+  /// keeps the signal honest).  Scale-up needs the stream open and
+  /// demand at/over target; scale-down needs zero demand and more than
+  /// `min_active` workers.  Each decision re-arms the cooldown.
+  [[nodiscard]] int decide(std::size_t demand, std::uint32_t active,
+                           std::uint32_t joining, std::uint32_t min_active,
+                           bool arrivals_open, sim::Time now) {
+    if (joining > 0) return 0;
+    if (now < ready_at_) return 0;
+    if (arrivals_open && static_cast<double>(demand) >= target_depth_) {
+      ready_at_ = now + cooldown_;
+      return +1;
+    }
+    if (demand == 0 && active > min_active) {
+      ready_at_ = now + cooldown_;
+      return -1;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] double target_depth() const noexcept { return target_depth_; }
+
+ private:
+  double target_depth_;
+  sim::Time cooldown_;
+  sim::Time ready_at_ = 0;
+};
+
 }  // namespace s3asim::core

@@ -42,6 +42,7 @@ RunStats run_simulation(const SimConfig& config, const Observability& observe) {
     workers.push_back(rank);
   validate_fault_plan(config, {workers.begin(), workers.end()});
   validate_serving(config);
+  validate_membership(config);
 
   World world(config, config.nprocs);
   world.attach_observability(observe);
@@ -74,6 +75,9 @@ ResumeOutcome run_with_resume(const SimConfig& config,
 ResumeOutcome run_with_resume(const SimConfig& config,
                               const Observability& observe) {
   reject_serving(config, "run_with_resume");
+  S3A_REQUIRE_MSG(!config.membership.dynamic(),
+                  "run_with_resume is a fixed-membership driver; drop "
+                  "elastic/joins to use it");
   ResumeOutcome outcome;
 
   // The run that (possibly) crashes: the configured plan minus the crash
@@ -146,6 +150,9 @@ RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
 RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
                                const Observability& observe) {
   reject_serving(config, "run_hybrid_simulation");
+  S3A_REQUIRE_MSG(!config.membership.dynamic(),
+                  "run_hybrid_simulation is a fixed-membership driver; drop "
+                  "elastic/joins to use it (worker_classes alone are fine)");
   S3A_REQUIRE_MSG(groups >= 1, "need at least one group");
   S3A_REQUIRE_MSG(config.nprocs % groups == 0,
                   "nprocs must be divisible by the group count");
@@ -158,6 +165,7 @@ RunStats run_hybrid_simulation(const SimConfig& config, std::uint32_t groups,
   for (mpi::Rank rank = 0; rank < config.nprocs; ++rank)
     if (rank % per_group != 0) all_workers.insert(rank);
   validate_fault_plan(config, all_workers);
+  validate_membership(config);
 
   World world(config, config.nprocs);
   world.attach_observability(observe);

@@ -127,6 +127,51 @@ std::string RunStats::to_json() const {
     json.end_object();
   }
 
+  if (membership.enabled) {
+    json.key("membership");
+    json.begin_object();
+    json.key("epoch");
+    json.value(membership.epoch);
+    json.key("participants");
+    json.value(static_cast<std::uint64_t>(membership.participants));
+    json.key("peak_active");
+    json.value(static_cast<std::uint64_t>(membership.peak_active));
+    json.key("final_active");
+    json.value(static_cast<std::uint64_t>(membership.final_active));
+    json.key("joins");
+    json.value(static_cast<std::uint64_t>(membership.joins));
+    json.key("drains");
+    json.value(static_cast<std::uint64_t>(membership.drains));
+    json.key("deaths");
+    json.value(static_cast<std::uint64_t>(membership.deaths));
+    json.key("worker_seconds");
+    json.value(membership.worker_seconds);
+    json.key("join_latency_mean_seconds");
+    json.value(membership.join_latency_mean_seconds);
+    json.key("join_latency_max_seconds");
+    json.value(membership.join_latency_max_seconds);
+    json.key("speed_min");
+    json.value(membership.speed_min);
+    json.key("speed_max");
+    json.value(membership.speed_max);
+    json.key("speed_mean");
+    json.value(membership.speed_mean);
+    json.key("classes");
+    json.begin_array();
+    for (const ClassStats& cls : membership.classes) {
+      json.begin_object();
+      json.key("name");
+      json.value(cls.name);
+      json.key("speed");
+      json.value(cls.speed);
+      json.key("workers");
+      json.value(static_cast<std::uint64_t>(cls.workers));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
   json.key("batch_complete_seconds");
   json.begin_array();
   for (const double at : batch_complete_seconds) json.value(at);

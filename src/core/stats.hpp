@@ -90,6 +90,38 @@ struct CacheRunStats {
   double metadata_busy_seconds = 0.0;
 };
 
+/// One speed class's aggregate in the membership block.
+struct ClassStats {
+  std::string name;
+  double speed = 1.0;        ///< configured relative multiplier
+  std::uint32_t workers = 0;  ///< ranks assigned to this class
+};
+
+/// Cluster-membership aggregates (ISSUE 10).  `enabled` gates the JSON
+/// emission: fixed-membership homogeneous runs emit no `membership` block,
+/// so pre-membership dumps stay byte-identical.  Heterogeneous runs
+/// (classes or jitter) and dynamic runs (joins/elastic) emit it — the
+/// effective-speed fields fix obs_bridge only reporting the base
+/// compute_speed.
+struct MembershipStats {
+  bool enabled = false;
+  std::uint64_t epoch = 0;            ///< accepted transitions
+  std::uint32_t participants = 0;     ///< workers that ever reached Active
+  std::uint32_t peak_active = 0;
+  std::uint32_t final_active = 0;
+  std::uint32_t joins = 0;            ///< completed mid-run joins
+  std::uint32_t drains = 0;           ///< clean elastic departures
+  std::uint32_t deaths = 0;           ///< fail-stopped members
+  double worker_seconds = 0.0;        ///< Σ active spans (provisioning cost)
+  double join_latency_mean_seconds = 0.0;
+  double join_latency_max_seconds = 0.0;
+  // Effective per-worker speeds (compute_speed × speed_factor).
+  double speed_min = 0.0;
+  double speed_max = 0.0;
+  double speed_mean = 0.0;
+  std::vector<ClassStats> classes;
+};
+
 /// Data-sieving aggregates (docs/IO_MODEL.md §4).  `enabled` gates the
 /// JSON emission — no sieved access in the run means no `sieve` block, so
 /// pre-sieve dumps stay byte-identical.  Counter semantics match
@@ -131,6 +163,7 @@ struct RunStats {
   FsStats fs;
   FaultStats faults;
   ServingStats serving;
+  MembershipStats membership;
   CacheRunStats cache;
   SieveRunStats sieve;
 

@@ -195,6 +195,14 @@ class IoStrategy {
   [[nodiscard]] virtual bool offsets_are_notifications() const noexcept {
     return false;
   }
+  /// Whether the strategy can absorb mid-run membership changes (elastic
+  /// autoscaling, scheduled joins).  Strategies that synchronize over a
+  /// fixed worker cohort — collective write rounds, lockstep aggregation
+  /// groups — must return false; validate_membership turns that into an
+  /// actionable config error before the run starts.
+  [[nodiscard]] virtual bool tolerates_membership_changes() const noexcept {
+    return true;
+  }
 
   // ---- Master-side hooks (Algorithm 1). -----------------------------------
 

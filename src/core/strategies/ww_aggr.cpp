@@ -47,6 +47,9 @@ class WwAggrStrategy final : public IoStrategy {
   [[nodiscard]] bool flush_blocks_process() const noexcept override {
     return true;  // members block shipping; aggregators block collecting
   }
+  [[nodiscard]] bool tolerates_membership_changes() const noexcept override {
+    return false;  // aggregation groups are fixed at setup
+  }
 
   void attach(StrategyEnv& env) override {
     fanin_ = env.config.aggregator_fanin;

@@ -19,6 +19,11 @@ class WwCollectiveStrategy : public IoStrategy {
   [[nodiscard]] bool flush_blocks_process() const noexcept override {
     return true;
   }
+  /// `write_at_all` rounds span a fixed communicator; a worker joining or
+  /// draining mid-round would deadlock the collective.
+  [[nodiscard]] bool tolerates_membership_changes() const noexcept override {
+    return false;
+  }
 
   sim::Task<void> flush(StrategyEnv& env, mpi::Rank rank,
                         std::vector<pfs::Extent> extents,

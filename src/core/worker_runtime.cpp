@@ -107,6 +107,9 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
   auto die = [&app, &strategy, &env, rank]() {
     app.dead.insert(rank);
     app.death_times[rank] = app.scheduler.now();
+    // Removal is a registry transition (first-wins with the master's
+    // timeout retirement) — kill/crash and elastic leave share one path.
+    (void)app.registry->mark_dead(rank, app.scheduler.now());
     ++app.faults.workers_died;
     app.query_barrier.leave();
     app.comm.barrier_leave();
@@ -227,20 +230,53 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
     co_return false;
   };
 
-  // ---- Step 1: receive input variables. ----------------------------------
-  {
-    const sim::Time start = app.scheduler.now();
-    (void)co_await app.comm.recv(rank, app.master, kTagSetup);
-    app.record_phase(rank, Phase::Setup, start, app.scheduler.now());
-  }
+  // ---- Step 1: receive input variables — or, for a worker provisioned
+  // outside the cluster (scheduled joiner / elastic standby), wait for the
+  // join trigger and open the handshake instead.  The handshake is
+  // deadlock-free by construction: after kTagJoin the worker simply enters
+  // the event loop, where the master's ordered stream delivers either
+  // Welcome (join accepted) or Finish (the run ended first — turned away).
+  if (app.registry->initially_standby(rank)) {
+    bool join = false;
+    if (const auto timer_it = app.join_timers.find(rank);
+        timer_it != app.join_timers.end()) {
+      // Scheduled joiner: sleep until the configured join time (cancelled
+      // at master teardown if the run finishes first).
+      timer_it->second->arm_at(app.registry->scheduled_join(rank));
+      join = co_await timer_it->second->wait();
+      if (join) (void)app.registry->begin_join(rank, app.scheduler.now());
+    } else {
+      // Elastic standby: block until the autoscaler's summons (begin_join
+      // was recorded master-side); nullopt means the run ended unsummoned.
+      const auto token = co_await app.activations.at(rank)->pop();
+      join = token.has_value();
+    }
+    if (join) {
+      const sim::Time start = app.scheduler.now();
+      JoinMsg msg;
+      msg.worker = rank;
+      if (app.models_database_io())
+        msg.staged_fragment = rank % app.config.workload.fragment_count;
+      co_await app.comm.send(rank, app.master, kTagJoin,
+                             model.control_message_bytes, msg);
+      app.record_phase(rank, Phase::Setup, start, app.scheduler.now());
+    }
+  } else {
+    {
+      const sim::Time start = app.scheduler.now();
+      (void)co_await app.comm.recv(rank, app.master, kTagSetup);
+      app.record_phase(rank, Phase::Setup, start, app.scheduler.now());
+    }
 
-  // First work request.
-  {
-    const sim::Time start = app.scheduler.now();
-    co_await app.comm.send(rank, app.master, kTagRequest,
-                           model.control_message_bytes);
-    state.awaiting_response = true;
-    app.record_phase(rank, Phase::DataDistribution, start, app.scheduler.now());
+    // First work request.
+    {
+      const sim::Time start = app.scheduler.now();
+      co_await app.comm.send(rank, app.master, kTagRequest,
+                             model.control_message_bytes);
+      state.awaiting_response = true;
+      app.record_phase(rank, Phase::DataDistribution, start,
+                       app.scheduler.now());
+    }
   }
 
   while (true) {
@@ -346,6 +382,43 @@ sim::Process worker_process(App& app, mpi::Rank rank) {
                                msg.extents.end());
           if (app.config.queries_per_flush == 1)
             co_await worker_flush(app, rank, state, msg.local_query);
+        }
+        break;
+      }
+
+      case MasterMsg::Kind::Welcome: {
+        app.record_phase(rank, Phase::Setup, wait_start, wait_end);
+        // Late-joiner staging: load the announced fragment before taking
+        // any task, so the first assignments hit a warm cache instead of
+        // stampeding the database servers mid-run.
+        if (app.models_database_io()) {
+          const std::uint32_t fragment =
+              rank % app.config.workload.fragment_count;
+          if (!state.cache.touch(fragment)) {
+            ++app.rank_stats[rank].fragment_loads;
+            const sim::Time start = app.scheduler.now();
+            if (app.interleaved_database()) {
+              co_await app.database_file->read_noncontig(
+                  rank, app.fragment_extents(fragment),
+                  app.config.read_method);
+            } else {
+              co_await app.database_file->read_at(
+                  rank,
+                  static_cast<std::uint64_t>(fragment) * app.fragment_bytes(),
+                  app.fragment_bytes());
+            }
+            app.record_phase(rank, Phase::Io, start, app.scheduler.now());
+          }
+        }
+        (void)app.registry->activate(rank, app.scheduler.now());
+        // Now a full cluster member: request the first task.
+        {
+          const sim::Time start = app.scheduler.now();
+          co_await app.comm.send(rank, app.master, kTagRequest,
+                                 model.control_message_bytes);
+          state.awaiting_response = true;
+          app.record_phase(rank, Phase::DataDistribution, start,
+                           app.scheduler.now());
         }
         break;
       }

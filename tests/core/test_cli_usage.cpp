@@ -19,6 +19,8 @@ const char* const kExpectedFlags[] = {
     "--admit-policy",  "--admit-depth",    "--engine",
     "--engine-threads", "--cache-size",    "--cache-block",
     "--token-granularity",
+    "--worker-classes", "--joins",         "--elastic",
+    "--min-workers",   "--autoscale-target",
     "--read-method",   "--sieve-buffer",
     "--trace",         "--trace-json",
     "--metrics-json",  "--gantt",          "--groups",
@@ -79,6 +81,13 @@ TEST(CliUsageTest, GoldenText) {
   EXPECT_NE(text.find("--cache-size B      per-client write-back cache"),
             std::string::npos);
   EXPECT_NE(text.find("byte-range lease granularity"), std::string::npos);
+  EXPECT_NE(text.find("\"name:speed=S,count=N\" assigned round-robin"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"worker=R,at=T[,class=NAME]\" (closed batch only)"),
+            std::string::npos);
+  EXPECT_NE(text.find("autoscaler grow/shrink the cluster"), std::string::npos);
+  EXPECT_NE(text.find("admission-queue depth that triggers a scale-up"),
+            std::string::npos);
   EXPECT_NE(text.find("bit-identical"), std::string::npos);
   // The text ends without a trailing newline (puts adds one).
   EXPECT_NE(text.back(), '\n');

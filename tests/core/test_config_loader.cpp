@@ -11,6 +11,7 @@
 namespace {
 
 using namespace s3asim::core;
+namespace sim = s3asim::sim;
 
 /// Writes `text` to a fresh file under the test temp dir and returns its path.
 std::string write_temp_trace(const std::string& name, const std::string& text) {
@@ -428,6 +429,163 @@ TEST(ConfigLoaderTest, LoadedConfigActuallyRuns) {
   const auto stats = run_simulation(config);
   EXPECT_TRUE(stats.file_exact);
   EXPECT_EQ(stats.nprocs, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Membership keys (ISSUE 10): worker_classes / joins / elastic knobs parse
+// into MembershipConfig, and malformed specs die with messages that name
+// the offending clause.
+// ---------------------------------------------------------------------------
+
+TEST(ConfigLoaderTest, WorkerClassesParsed) {
+  const auto config = load_config(
+      "worker_classes = standard:speed=1,count=3|accel:speed=4,count=1\n");
+  ASSERT_EQ(config.membership.classes.size(), 2u);
+  EXPECT_EQ(config.membership.classes[0].name, "standard");
+  EXPECT_DOUBLE_EQ(config.membership.classes[0].speed, 1.0);
+  EXPECT_EQ(config.membership.classes[0].count, 3u);
+  EXPECT_EQ(config.membership.classes[1].name, "accel");
+  EXPECT_DOUBLE_EQ(config.membership.classes[1].speed, 4.0);
+  EXPECT_EQ(config.membership.classes[1].count, 1u);
+  EXPECT_TRUE(config.membership.heterogeneous());
+  EXPECT_FALSE(config.membership.dynamic());
+}
+
+TEST(ConfigLoaderTest, JoinsParsedWithTimeGrammar) {
+  const auto config =
+      load_config("joins = worker=4,at=2s|worker=7,at=1500ms\n");
+  ASSERT_EQ(config.membership.joins.size(), 2u);
+  EXPECT_EQ(config.membership.joins[0].rank, 4u);
+  EXPECT_EQ(config.membership.joins[0].at, sim::seconds(2));
+  EXPECT_EQ(config.membership.joins[1].rank, 7u);
+  EXPECT_EQ(config.membership.joins[1].at, sim::milliseconds(1500));
+  EXPECT_TRUE(config.membership.dynamic());
+}
+
+TEST(ConfigLoaderTest, ElasticKnobsParsed) {
+  const auto config = load_config(
+      "elastic = true\nmin_workers = 2\nautoscale_target = 6\n"
+      "autoscale_cooldown_ms = 500\n");
+  EXPECT_TRUE(config.membership.elastic);
+  EXPECT_EQ(config.membership.min_workers, 2u);
+  EXPECT_DOUBLE_EQ(config.membership.autoscale_target, 6.0);
+  EXPECT_EQ(config.membership.autoscale_cooldown, sim::milliseconds(500));
+}
+
+TEST(ConfigLoaderTest, WorkerClassZeroSpeedRejectedNamingClass) {
+  try {
+    (void)load_config("worker_classes = standard:speed=1|slow:speed=0\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("slow"), std::string::npos) << message;
+    EXPECT_NE(message.find("speed"), std::string::npos) << message;
+  }
+}
+
+TEST(ConfigLoaderTest, WorkerClassUnknownFieldListsExpected) {
+  try {
+    (void)load_config("worker_classes = standard:rate=2\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("rate"), std::string::npos) << message;
+    EXPECT_NE(message.find("expected"), std::string::npos) << message;
+  }
+}
+
+TEST(ConfigLoaderTest, DuplicateWorkerClassNameRejected) {
+  try {
+    (void)load_config("worker_classes = a:speed=1|a:speed=2\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("duplicate"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ConfigLoaderTest, JoinWithoutTimeRejected) {
+  try {
+    (void)load_config("joins = worker=4\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("at"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ConfigLoaderTest, DuplicateJoinWorkerRejected) {
+  try {
+    (void)load_config("joins = worker=4,at=1|worker=4,at=2\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("duplicate"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ConfigLoaderTest, JoinClassWithoutDeclaredClassesRejected) {
+  try {
+    (void)load_config("joins = worker=4,at=2,class=gpu\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("worker 4"), std::string::npos) << message;
+    EXPECT_NE(message.find("worker_classes"), std::string::npos) << message;
+  }
+}
+
+TEST(ConfigLoaderTest, NegativeAutoscaleTargetRejectedNamingKey) {
+  try {
+    (void)load_config("autoscale_target = -3\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("autoscale_target"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ConfigLoaderTest, NegativeMinWorkersRejectedNamingKey) {
+  try {
+    (void)load_config("min_workers = -1\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("min_workers"), std::string::npos)
+        << error.what();
+  }
+}
+
+// validate_membership runs at simulation entry (the loader cannot see the
+// strategy/membership interaction until both are final).
+TEST(ConfigLoaderTest, JoinNamingUnknownSpeedClassListsKnownClasses) {
+  auto config = load_config(
+      "nprocs = 5\nworker_classes = std:speed=1\n"
+      "joins = worker=4,at=2,class=gpu\n");
+  try {
+    (void)run_simulation(config);
+    FAIL() << "expected failure naming the unknown class";
+  } catch (const std::exception& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("gpu"), std::string::npos) << message;
+    EXPECT_NE(message.find("known classes: std"), std::string::npos) << message;
+  }
+}
+
+TEST(ConfigLoaderTest, ElasticWithCollectiveStrategyRejectedWithAlternatives) {
+  auto config = test_config();
+  config.strategy = Strategy::WWColl;
+  config.serving.arrival_rate_hz = 2.0;
+  config.membership.elastic = true;
+  config.membership.min_workers = 1;
+  try {
+    (void)run_simulation(config);
+    FAIL() << "expected failure naming the strategy conflict";
+  } catch (const std::exception& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("WW-Coll"), std::string::npos) << message;
+    EXPECT_NE(message.find("WW-List"), std::string::npos) << message;
+  }
 }
 
 }  // namespace
